@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ablation (§6.1 future work, implemented): the counter-driven automatic
+ * policy versus static choices. For a TLB-hostile workload (GUPS) and a
+ * TLB-friendly one (STREAM), compares always-off, always-on, and the
+ * automatic engine. The engine should match always-on for GUPS and
+ * always-off for STREAM — one knob, per-process-right answers.
+ */
+
+#include "bench/harness.h"
+
+#include "src/core/auto_policy.h"
+
+using namespace mitosim;
+using namespace mitosim::bench;
+
+namespace
+{
+
+struct Outcome
+{
+    Cycles runtime = 0;
+    bool replicated = false;
+};
+
+enum class Mode
+{
+    Off,
+    On,
+    Auto,
+};
+
+Outcome
+run(const std::string &workload, Mode mode)
+{
+    sim::Machine machine(benchMachine());
+    core::MitosisBackend backend(machine.physmem());
+    os::Kernel kernel(machine, backend);
+    core::AutoPolicyEngine engine(backend);
+
+    os::Process &proc = kernel.createProcess(workload, 0);
+    os::ExecContext ctx(kernel, proc);
+    for (SocketId s = 0; s < machine.numSockets(); ++s)
+        ctx.addThread(s);
+
+    workloads::WorkloadParams params;
+    params.footprint = 128ull << 20;
+    auto w = workloads::makeWorkload(workload, params);
+    w->setup(ctx);
+
+    if (mode == Mode::On) {
+        backend.setReplicationMask(
+            proc.roots(), proc.id(),
+            SocketMask::all(machine.numSockets()));
+        kernel.reloadContexts(proc);
+    }
+
+    // Warm + policy-sampling phase.
+    for (int round = 0; round < 4; ++round) {
+        ctx.resetCounters();
+        workloads::runInterleaved(ctx, *w, 1500);
+        if (mode == Mode::Auto)
+            engine.sample(kernel, proc, ctx.totals());
+    }
+
+    ctx.resetCounters();
+    workloads::runInterleaved(ctx, *w, 6000);
+    Outcome out;
+    out.runtime = ctx.runtime();
+    out.replicated = proc.roots().replicated();
+    kernel.destroyProcess(proc);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    printTitle("Ablation: automatic counter-based policy (§6.1) vs "
+               "static on/off");
+
+    std::printf("%-10s %12s %12s %12s   %s\n", "workload", "off", "on",
+                "auto", "auto chose");
+    for (const char *name : {"gups", "canneal", "stream", "liblinear"}) {
+        Outcome off = run(name, Mode::Off);
+        Outcome on = run(name, Mode::On);
+        Outcome automatic = run(name, Mode::Auto);
+        double b = static_cast<double>(off.runtime);
+        std::printf("%-10s %12.3f %12.3f %12.3f   %s\n", name, 1.0,
+                    static_cast<double>(on.runtime) / b,
+                    static_cast<double>(automatic.runtime) / b,
+                    automatic.replicated ? "replicate" : "leave alone");
+    }
+    std::printf("\n(expected: auto tracks the better static choice per "
+                "workload)\n");
+    return 0;
+}

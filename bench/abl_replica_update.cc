@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation (§5.2): cost of propagating one PTE store to all replicas,
+ * circular struct-page list (2N references) vs walking every replica
+ * tree (4N+N references), across replica counts. Google-benchmark
+ * harness; the figure of merit is *simulated* kernel cycles per update,
+ * reported as a counter (host time also measures the implementation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/mitosis.h"
+#include "src/mem/physical_memory.h"
+#include "src/pt/operations.h"
+
+namespace
+{
+
+using namespace mitosim;
+
+struct Rig
+{
+    explicit Rig(int sockets, core::UpdateMode mode)
+        : topo([sockets] {
+              numa::TopologyConfig cfg;
+              cfg.numSockets = sockets;
+              cfg.coresPerSocket = 1;
+              cfg.memPerSocket = 16ull << 20;
+              return cfg;
+          }()),
+          pm(topo),
+          backend(pm,
+                  [mode] {
+                      core::MitosisConfig cfg;
+                      cfg.updateMode = mode;
+                      return cfg;
+                  }()),
+          ops(pm, backend)
+    {
+        if (!ops.createRoot(roots, 1, 0, nullptr))
+            fatal("rig: out of memory");
+        pt::PtPlacementPolicy policy;
+        auto data = pm.allocData(0, 1);
+        if (!ops.map4K(roots, 1, 0x1000, *data, pt::PteWrite, policy, 0,
+                       nullptr))
+            fatal("rig: map failed");
+        backend.setReplicationMask(roots, 1, SocketMask::all(sockets));
+        loc = ops.walk(roots, 0x1000).loc;
+    }
+
+    ~Rig() { ops.destroy(roots, nullptr); }
+
+    numa::Topology topo;
+    mem::PhysicalMemory pm;
+    core::MitosisBackend backend;
+    pt::PageTableOps ops;
+    pt::RootSet roots;
+    pt::PteLoc loc;
+};
+
+void
+BM_ReplicaUpdate(benchmark::State &state)
+{
+    int replicas = static_cast<int>(state.range(0));
+    auto mode = state.range(1) == 0 ? core::UpdateMode::CircularList
+                                    : core::UpdateMode::WalkReplicas;
+    Rig rig(replicas, mode);
+
+    std::uint64_t toggles = 0;
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        pvops::KernelCost cost;
+        std::uint64_t flag = (toggles++ & 1) ? pt::PteNumaHint : 0;
+        rig.backend.setPte(rig.roots, rig.loc,
+                           pt::Pte::make(7, pt::PtePresent | flag), 1,
+                           &cost);
+        sim_cycles += cost.cycles;
+        benchmark::DoNotOptimize(cost.cycles);
+    }
+    state.counters["sim_cycles_per_update"] =
+        benchmark::Counter(static_cast<double>(sim_cycles) /
+                           static_cast<double>(state.iterations()));
+}
+
+} // namespace
+
+BENCHMARK(BM_ReplicaUpdate)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"replicas", "walk_mode"});
+
+BENCHMARK_MAIN();

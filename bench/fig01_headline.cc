@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 1 (headline): remote/local leaf-PTE tables and the two headline
+ * speedups — Canneal in the multi-socket scenario (paper: 1.34x with
+ * first-touch + Mitosis) and GUPS in the workload-migration scenario
+ * (paper: 3.24x for RPI-LD vs RPI-LD+M).
+ */
+
+#include "bench/harness.h"
+
+using namespace mitosim;
+using namespace mitosim::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+
+    // Top-left table: % of local/remote leaf PTEs per observing socket
+    // for Canneal (multi-socket, first-touch).
+    printTitle("Figure 1 (top left): Canneal leaf-PTE locality per socket");
+    ScenarioConfig canneal;
+    canneal.workload = "canneal";
+    auto placement = analyzePlacement(canneal);
+    std::printf("%-10s", "Sockets");
+    for (std::size_t s = 0; s < placement.remoteLeafFraction.size(); ++s)
+        std::printf("%8zu", s);
+    std::printf("\n%-10s", "Remote");
+    for (double f : placement.remoteLeafFraction)
+        std::printf("%7.0f%%", 100.0 * f);
+    std::printf("\n%-10s", "Local");
+    for (double f : placement.remoteLeafFraction)
+        std::printf("%7.0f%%", 100.0 * (1.0 - f));
+    std::printf("\n(paper: remote 86/68/71/75%%)\n");
+
+    // Top-right table: GUPS after migration — all leaf PTEs remote.
+    printTitle("Figure 1 (top right): GUPS single-socket after migration");
+    {
+        sim::Machine machine(benchMachine());
+        core::MitosisBackend backend(machine.physmem());
+        os::Kernel kernel(machine, backend);
+        os::Process &proc = kernel.createProcess("gups", 0);
+        kernel.setDataPolicy(proc, os::DataPolicy::Fixed, 0);
+        kernel.setPtPlacement(proc, pt::PtPlacement::Fixed, 1);
+        os::ExecContext ctx(kernel, proc);
+        ctx.addThread(0);
+        workloads::WorkloadParams params;
+        params.footprint = 128ull << 20;
+        auto w = workloads::makeWorkload("gups", params);
+        w->setup(ctx);
+        analysis::PtAnalyzer analyzer(machine.physmem(), kernel.ptOps());
+        auto snap = analyzer.snapshot(proc.roots());
+        std::printf("Remote %6.0f%%   Local %6.0f%%   (paper: 100%% / 0%%)\n",
+                    100.0 * snap.remoteLeafFractionFrom(0),
+                    100.0 * (1.0 - snap.remoteLeafFractionFrom(0)));
+        kernel.destroyProcess(proc);
+    }
+
+    // Bottom-left: Canneal multi-socket, first-touch vs +Mitosis.
+    printTitle("Figure 1 (bottom left): Canneal multi-socket");
+    auto f = runMultiSocket(canneal, MsConfig::F);
+    auto fm = runMultiSocket(canneal, MsConfig::FM);
+    double ms_speedup = static_cast<double>(f.runtime) /
+                        static_cast<double>(fm.runtime);
+    printRow("%-22s norm_runtime=%.3f walk_frac=%.2f", "first-touch", 1.0,
+             f.walkFraction());
+    printRow("%-22s norm_runtime=%.3f walk_frac=%.2f", "first-touch+Mitosis",
+             static_cast<double>(fm.runtime) /
+                 static_cast<double>(f.runtime),
+             fm.walkFraction());
+    printRow("speedup: %.2fx   (paper: 1.34x)", ms_speedup);
+
+    // Bottom-right: GUPS workload migration, local vs remote(interfere)
+    // vs Mitosis.
+    printTitle("Figure 1 (bottom right): GUPS workload migration");
+    ScenarioConfig gups;
+    gups.workload = "gups";
+    auto local = runWorkloadMigration(gups, wmPlacement("LP-LD"));
+    auto remote = runWorkloadMigration(gups, wmPlacement("RPI-LD"));
+    auto mitosis = runWorkloadMigration(gups, wmPlacement("RPI-LD+M"));
+    printRow("%-22s norm_runtime=%.3f", "local (LP-LD)", 1.0);
+    printRow("%-22s norm_runtime=%.3f", "remote+interf (RPI-LD)",
+             static_cast<double>(remote.runtime) /
+                 static_cast<double>(local.runtime));
+    printRow("%-22s norm_runtime=%.3f", "Mitosis (RPI-LD+M)",
+             static_cast<double>(mitosis.runtime) /
+                 static_cast<double>(local.runtime));
+    printRow("speedup: %.2fx   (paper: 3.24x)",
+             static_cast<double>(remote.runtime) /
+                 static_cast<double>(mitosis.runtime));
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 6: workload-migration scenario, all seven Table 2 placements,
+ * 4 KB pages. For every workload prints runtime normalized to LP-LD and
+ * the fraction of cycles spent in page walks (the hashed bar part).
+ *
+ * Expected shape (paper): LP-LD fastest; LP-RD/LP-RDI ~3x; RP-LD/RPI-LD
+ * ~3.3x (remote page-tables can hurt *more* than remote data); RP-RD /
+ * RPI-RDI worst (~3.6x).
+ */
+
+#include "bench/harness.h"
+
+using namespace mitosim;
+using namespace mitosim::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    printTitle("Figure 6: placement matrix, 4KB pages "
+               "(runtime normalized to LP-LD)");
+
+    const char *workloads[] = {"gups",    "btree",    "hashjoin",
+                               "redis",   "xsbench",  "pagerank",
+                               "liblinear", "canneal"};
+    const char *configs[] = {"LP-LD", "LP-RD", "LP-RDI", "RP-LD",
+                             "RPI-LD", "RP-RD", "RPI-RDI"};
+
+    std::printf("%-11s", "workload");
+    for (const char *c : configs)
+        std::printf(" %9s", c);
+    std::printf("\n");
+
+    for (const char *name : workloads) {
+        ScenarioConfig cfg;
+        cfg.workload = name;
+        double base = 0;
+        std::printf("%-11s", name);
+        std::string walk_row;
+        for (const char *c : configs) {
+            auto out = runWorkloadMigration(cfg, wmPlacement(c));
+            if (base == 0)
+                base = static_cast<double>(out.runtime);
+            std::printf(" %9.2f",
+                        static_cast<double>(out.runtime) / base);
+            walk_row += format(" %8.0f%%", 100.0 * out.walkFraction());
+        }
+        std::printf("\n%-11s%s\n", "  walk%", walk_row.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 9a: multi-socket scenario, 4 KB pages. Six Table 3 configs per
+ * workload (F, F+M, F-A, F-A+M, I, I+M), runtime normalized to F, plus
+ * the speedup of each +M config over its non-M partner.
+ *
+ * Expected shape (paper): Mitosis (+M) never slows a workload down and
+ * improves each pairing, up to 1.34x (Canneal F vs F+M).
+ */
+
+#include "bench/harness.h"
+
+using namespace mitosim;
+using namespace mitosim::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    printTitle("Figure 9a: multi-socket scenario, 4KB pages "
+               "(normalized to F)");
+
+    const char *workloads[] = {"canneal",  "memcached", "xsbench",
+                               "graph500", "hashjoin",  "btree"};
+    const MsConfig configs[] = {MsConfig::F,  MsConfig::FM, MsConfig::FA,
+                                MsConfig::FAM, MsConfig::I, MsConfig::IM};
+
+    std::printf("%-11s", "workload");
+    for (MsConfig c : configs)
+        std::printf(" %8s", msConfigName(c, false));
+    std::printf("   speedups(+M)\n");
+
+    for (const char *name : workloads) {
+        ScenarioConfig cfg;
+        cfg.workload = name;
+        double results[6];
+        double walks[6];
+        double base = 0;
+        for (int i = 0; i < 6; ++i) {
+            auto out = runMultiSocket(cfg, configs[i]);
+            if (i == 0)
+                base = static_cast<double>(out.runtime);
+            results[i] = static_cast<double>(out.runtime) / base;
+            walks[i] = out.walkFraction();
+        }
+        std::printf("%-11s", name);
+        for (double r : results)
+            std::printf(" %8.3f", r);
+        std::printf("   %.2fx %.2fx %.2fx\n", results[0] / results[1],
+                    results[2] / results[3], results[4] / results[5]);
+        std::printf("%-11s", "  walk%");
+        for (double wf : walks)
+            std::printf(" %7.0f%%", 100.0 * wf);
+        std::printf("\n");
+    }
+    std::printf("\n(paper best case: Canneal F->F+M = 1.34x; Mitosis "
+                "never slower)\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 9b: multi-socket scenario with transparent huge pages (2 MB).
+ * Same Table 3 matrix as Figure 9a, normalized to the *4 KB* F config to
+ * show the page-size effect, as in the paper.
+ *
+ * Expected shape (paper): THP cuts walk overheads substantially, yet
+ * Mitosis still helps several workloads (Canneal 1.14x, Memcached 1.31x
+ * best cases) and never hurts.
+ */
+
+#include "bench/harness.h"
+
+using namespace mitosim;
+using namespace mitosim::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    printTitle("Figure 9b: multi-socket scenario, 2MB pages "
+               "(normalized to 4KB F)");
+
+    const char *workloads[] = {"canneal",  "memcached", "xsbench",
+                               "graph500", "hashjoin",  "btree"};
+    const MsConfig configs[] = {MsConfig::F,  MsConfig::FM, MsConfig::FA,
+                                MsConfig::FAM, MsConfig::I, MsConfig::IM};
+
+    std::printf("%-11s", "workload");
+    for (MsConfig c : configs)
+        std::printf(" %8s", msConfigName(c, true));
+    std::printf("   speedups(+M)\n");
+
+    for (const char *name : workloads) {
+        ScenarioConfig cfg4k;
+        cfg4k.workload = name;
+        cfg4k.footprint = 4ull << 30;
+        auto base4k = runMultiSocket(cfg4k, MsConfig::F);
+        double base = static_cast<double>(base4k.runtime);
+
+        ScenarioConfig cfg;
+        cfg.workload = name;
+        cfg.footprint = 4ull << 30;
+        cfg.thp = true;
+        double results[6];
+        double walks[6];
+        for (int i = 0; i < 6; ++i) {
+            auto out = runMultiSocket(cfg, configs[i]);
+            results[i] = static_cast<double>(out.runtime) / base;
+            walks[i] = out.walkFraction();
+        }
+        std::printf("%-11s", name);
+        for (double r : results)
+            std::printf(" %8.3f", r);
+        std::printf("   %.2fx %.2fx %.2fx\n", results[0] / results[1],
+                    results[2] / results[3], results[4] / results[5]);
+        std::printf("%-11s", "  walk%");
+        for (double wf : walks)
+            std::printf(" %7.0f%%", 100.0 * wf);
+        std::printf("\n");
+    }
+    std::printf("\n(paper: 2MB bars < 1.0 of 4KB-F; +M still up to "
+                "1.14-1.31x on some workloads, never slower)\n");
+    return 0;
+}

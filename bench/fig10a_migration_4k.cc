@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 10a: workload-migration scenario, 4 KB pages. Per workload:
+ * LP-LD (baseline), RPI-LD (page-tables stranded remotely, interfered)
+ * and RPI-LD+M (Mitosis migrates the page-tables back).
+ *
+ * Expected shape (paper): RPI-LD costs 1.4x-3.2x; +M recovers the LP-LD
+ * baseline exactly. GUPS shows the largest gap (3.24x).
+ */
+
+#include "bench/harness.h"
+
+using namespace mitosim;
+using namespace mitosim::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    printTitle("Figure 10a: workload migration, 4KB pages "
+               "(normalized to LP-LD)");
+
+    const char *workloads[] = {"gups",    "btree",    "hashjoin",
+                               "redis",   "xsbench",  "pagerank",
+                               "liblinear", "canneal"};
+
+    std::printf("%-11s %9s %9s %9s   %s\n", "workload", "LP-LD", "RPI-LD",
+                "RPI-LD+M", "improvement(+M)");
+    for (const char *name : workloads) {
+        ScenarioConfig cfg;
+        cfg.workload = name;
+        auto base = runWorkloadMigration(cfg, wmPlacement("LP-LD"));
+        auto remote = runWorkloadMigration(cfg, wmPlacement("RPI-LD"));
+        auto mitosis =
+            runWorkloadMigration(cfg, wmPlacement("RPI-LD+M"));
+        double b = static_cast<double>(base.runtime);
+        std::printf("%-11s %9.2f %9.2f %9.2f   %.2fx\n", name, 1.0,
+                    static_cast<double>(remote.runtime) / b,
+                    static_cast<double>(mitosis.runtime) / b,
+                    static_cast<double>(remote.runtime) /
+                        static_cast<double>(mitosis.runtime));
+    }
+    std::printf("\n(paper improvements: GUPS 3.24x, BTree 1.97x, "
+                "HashJoin 2.10x, Redis 1.80x, XSBench 1.44x, PageRank "
+                "1.83x, LibLinear 1.42x, Canneal 1.95x)\n");
+    return 0;
+}

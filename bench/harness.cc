@@ -1,0 +1,268 @@
+#include "harness.h"
+
+#include <cstdarg>
+
+#include "src/base/logging.h"
+
+namespace mitosim::bench
+{
+
+sim::MachineConfig
+benchMachine()
+{
+    sim::MachineConfig cfg;
+    cfg.topo.numSockets = 4;
+    cfg.topo.coresPerSocket = 2;
+    cfg.topo.memPerSocket = 6ull << 30;
+    // Keep the leaf-PTE : L3 ratio of the paper's machine (see header).
+    cfg.hier.l3BytesPerSocket = 64ull << 10;
+    // The L1D scales with the L3 so page-directory lines of the scaled
+    // THP footprints overflow it as they do on the real machine.
+    cfg.hier.l1dBytes = 4ull << 10;
+    // Sandy-Bridge-style STLB (no 2 MB entries): preserves the paper's
+    // large-page-count : TLB-reach ratio at scaled THP footprints.
+    cfg.tlb.l2Holds2M = false;
+    return cfg;
+}
+
+const char *
+msConfigName(MsConfig config, bool thp)
+{
+    switch (config) {
+      case MsConfig::F:
+        return thp ? "TF" : "F";
+      case MsConfig::FM:
+        return thp ? "TF+M" : "F+M";
+      case MsConfig::FA:
+        return thp ? "TF-A" : "F-A";
+      case MsConfig::FAM:
+        return thp ? "TF-A+M" : "F-A+M";
+      case MsConfig::I:
+        return thp ? "TI" : "I";
+      case MsConfig::IM:
+        return thp ? "TI+M" : "I+M";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Run ops with periodic AutoNUMA scan ticks when enabled. */
+void
+runMeasured(os::Kernel &kernel, os::ExecContext &ctx,
+            workloads::Workload &w, std::uint64_t ops, bool autonuma,
+            std::uint64_t seed)
+{
+    if (!autonuma) {
+        workloads::runInterleaved(ctx, w, ops);
+        return;
+    }
+    // Linux AutoNUMA samples a bounded number of pages per period with
+    // adaptive back-off; a light sampling rate models that. Heavier
+    // rates thrash multi-socket workloads with page ping-pong.
+    Rng rng(seed ^ 0x5eedull);
+    std::uint64_t chunk = ops / 4 ? ops / 4 : ops;
+    std::uint64_t done = 0;
+    while (done < ops) {
+        std::uint64_t now = std::min(chunk, ops - done);
+        workloads::runInterleaved(ctx, w, now);
+        kernel.autoNumaTick(0.005, rng);
+        done += now;
+    }
+}
+
+} // namespace
+
+RunOutcome
+runMultiSocket(const ScenarioConfig &scenario, MsConfig config)
+{
+    sim::Machine machine(benchMachine());
+    core::MitosisBackend backend(machine.physmem());
+    os::Kernel kernel(machine, backend);
+
+    if (scenario.fragmentation > 0.0) {
+        Rng frag_rng(scenario.seed ^ 0xf7a6ull);
+        for (SocketId s = 0; s < machine.numSockets(); ++s)
+            machine.physmem().fragment(s, scenario.fragmentation,
+                                       frag_rng);
+    }
+
+    os::Process &proc =
+        kernel.createProcess(scenario.workload, 0);
+
+    bool interleave = config == MsConfig::I || config == MsConfig::IM;
+    bool mitosis = config == MsConfig::FM || config == MsConfig::FAM ||
+                   config == MsConfig::IM;
+    bool autonuma = config == MsConfig::FA || config == MsConfig::FAM;
+
+    if (interleave) {
+        kernel.setDataPolicy(proc, os::DataPolicy::Interleave);
+        kernel.setPtPlacement(proc, pt::PtPlacement::Interleave);
+    } else {
+        kernel.setDataPolicy(proc, os::DataPolicy::FirstTouch);
+        kernel.setPtPlacement(proc, pt::PtPlacement::FirstTouch);
+    }
+    kernel.enableAutoNuma(proc, autonuma);
+
+    os::ExecContext ctx(kernel, proc);
+    for (SocketId s = 0; s < machine.numSockets(); ++s)
+        ctx.addThread(s);
+
+    workloads::WorkloadParams params;
+    params.footprint = scenario.footprint;
+    params.seed = scenario.seed;
+    params.thp = scenario.thp;
+    auto w = workloads::makeWorkload(scenario.workload, params);
+    w->setup(ctx);
+
+    if (mitosis) {
+        backend.setReplicationMask(
+            proc.roots(), proc.id(),
+            SocketMask::all(machine.numSockets()));
+        kernel.reloadContexts(proc);
+    }
+
+    runMeasured(kernel, ctx, *w, scenario.warmupOps, autonuma,
+                scenario.seed);
+    ctx.resetCounters();
+    runMeasured(kernel, ctx, *w, scenario.measureOps, autonuma,
+                scenario.seed + 1);
+
+    RunOutcome out;
+    out.runtime = ctx.runtime();
+    out.totals = ctx.totals();
+    kernel.destroyProcess(proc);
+    return out;
+}
+
+PlacementAnalysis
+analyzePlacement(const ScenarioConfig &scenario, bool interleave)
+{
+    sim::Machine machine(benchMachine());
+    core::MitosisBackend backend(machine.physmem());
+    os::Kernel kernel(machine, backend);
+    os::Process &proc = kernel.createProcess(scenario.workload, 0);
+    if (interleave) {
+        kernel.setDataPolicy(proc, os::DataPolicy::Interleave);
+        kernel.setPtPlacement(proc, pt::PtPlacement::Interleave);
+    }
+
+    os::ExecContext ctx(kernel, proc);
+    for (SocketId s = 0; s < machine.numSockets(); ++s)
+        ctx.addThread(s);
+
+    workloads::WorkloadParams params;
+    params.footprint = scenario.footprint;
+    params.seed = scenario.seed;
+    params.thp = scenario.thp;
+    auto w = workloads::makeWorkload(scenario.workload, params);
+    w->setup(ctx);
+    // A short run so access-driven effects (faults, AutoNUMA) settle.
+    workloads::runInterleaved(ctx, *w, scenario.warmupOps);
+
+    analysis::PtAnalyzer analyzer(machine.physmem(), kernel.ptOps());
+    auto snap = analyzer.snapshot(proc.roots());
+
+    PlacementAnalysis out;
+    for (SocketId s = 0; s < machine.numSockets(); ++s)
+        out.remoteLeafFraction.push_back(snap.remoteLeafFractionFrom(s));
+    out.figure3Dump = snap.str();
+    kernel.destroyProcess(proc);
+    return out;
+}
+
+WmPlacement
+wmPlacement(const std::string &name)
+{
+    if (name == "LP-LD")
+        return {"LP-LD", false, false, false, false};
+    if (name == "LP-RD")
+        return {"LP-RD", false, true, false, false};
+    if (name == "LP-RDI")
+        return {"LP-RDI", false, true, true, false};
+    if (name == "RP-LD")
+        return {"RP-LD", true, false, false, false};
+    if (name == "RPI-LD")
+        return {"RPI-LD", true, false, true, false};
+    if (name == "RP-RD")
+        return {"RP-RD", true, true, false, false};
+    if (name == "RPI-RDI")
+        return {"RPI-RDI", true, true, true, false};
+    if (name == "RPI-LD+M")
+        return {"RPI-LD+M", true, false, true, true};
+    if (name == "TRPI-LD+M")
+        return {"TRPI-LD+M", true, false, true, true};
+    fatal("unknown workload-migration placement '%s'", name.c_str());
+}
+
+RunOutcome
+runWorkloadMigration(const ScenarioConfig &scenario, const WmPlacement &wm)
+{
+    sim::Machine machine(benchMachine());
+    core::MitosisBackend backend(machine.physmem());
+    os::Kernel kernel(machine, backend);
+
+    constexpr SocketId SocketA = 0;
+    constexpr SocketId SocketB = 1;
+
+    if (scenario.fragmentation > 0.0) {
+        Rng frag_rng(scenario.seed ^ 0xf7a6ull);
+        for (SocketId s = 0; s < machine.numSockets(); ++s)
+            machine.physmem().fragment(s, scenario.fragmentation,
+                                       frag_rng);
+    }
+
+    os::Process &proc = kernel.createProcess(scenario.workload, SocketA);
+    kernel.setDataPolicy(proc, os::DataPolicy::Fixed,
+                         wm.remoteData ? SocketB : SocketA);
+    kernel.setPtPlacement(proc, pt::PtPlacement::Fixed,
+                          wm.remotePt ? SocketB : SocketA);
+
+    os::ExecContext ctx(kernel, proc);
+    ctx.addThread(SocketA);
+
+    workloads::WorkloadParams params;
+    params.footprint = scenario.footprint;
+    params.seed = scenario.seed;
+    params.thp = scenario.thp;
+    auto w = workloads::makeWorkload(scenario.workload, params);
+    w->setup(ctx);
+
+    if (wm.mitosisMigrate) {
+        backend.migratePageTables(proc.roots(), proc.id(), SocketA);
+        kernel.reloadContexts(proc);
+    }
+    if (wm.interference)
+        machine.topology().addInterferer(SocketB);
+
+    workloads::runInterleaved(ctx, *w, scenario.warmupOps);
+    ctx.resetCounters();
+    workloads::runInterleaved(ctx, *w, scenario.measureOps);
+
+    RunOutcome out;
+    out.runtime = ctx.runtime();
+    out.totals = ctx.totals();
+    if (wm.interference)
+        machine.topology().removeInterferer(SocketB);
+    kernel.destroyProcess(proc);
+    return out;
+}
+
+void
+printTitle(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void
+printRow(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::vprintf(fmt, ap);
+    va_end(ap);
+    std::printf("\n");
+}
+
+} // namespace mitosim::bench

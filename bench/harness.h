@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared benchmark harness: the two experimental scenarios of the paper
+ * (§3/§8) with their full configuration matrices, plus table printing.
+ *
+ * Scaling: footprints are 128 MiB against a 64 KiB/socket L3, preserving
+ * the paper's leaf-PTE-working-set : L3 ratio (~4:1) that makes 4 KB-page
+ * walks DRAM-bound, and the paper's DRAM latencies (280/580 cycles).
+ * Absolute numbers differ from the paper's testbed; shapes are the
+ * reproduction target (see EXPERIMENTS.md).
+ */
+
+#ifndef MITOSIM_BENCH_HARNESS_H
+#define MITOSIM_BENCH_HARNESS_H
+
+#include <cstdio>
+#include <string>
+
+#include "src/analysis/pt_dump.h"
+#include "src/core/mitosis.h"
+#include "src/os/exec_context.h"
+#include "src/os/kernel.h"
+#include "src/sim/machine.h"
+#include "src/workloads/workload.h"
+
+namespace mitosim::bench
+{
+
+/** Machine used by all scenario benches. */
+sim::MachineConfig benchMachine();
+
+/** Common workload knobs. */
+struct ScenarioConfig
+{
+    std::string workload;
+    std::uint64_t footprint = 128ull << 20;
+    bool thp = false;
+    std::uint64_t warmupOps = 2000;
+    std::uint64_t measureOps = 6000;
+    std::uint64_t seed = 42;
+    double fragmentation = 0.0; //!< pre-fragment all sockets (Fig 11)
+};
+
+/** What a run produced. */
+struct RunOutcome
+{
+    Cycles runtime = 0;
+    sim::PerfCounters totals;
+
+    double walkFraction() const { return totals.walkFraction(); }
+    double remotePtFraction() const { return totals.remotePtFraction(); }
+};
+
+/// @name Multi-socket scenario (Table 3 configs: F, F+M, F-A, F-A+M, I, I+M)
+/// @{
+
+enum class MsConfig
+{
+    F,   //!< first-touch data + PT
+    FM,  //!< first-touch + Mitosis replication
+    FA,  //!< first-touch + AutoNUMA data migration
+    FAM, //!< first-touch + AutoNUMA + Mitosis
+    I,   //!< interleaved data + PT
+    IM,  //!< interleaved + Mitosis
+};
+
+const char *msConfigName(MsConfig config, bool thp);
+
+/** Threads on every socket; returns aggregate counters + runtime. */
+RunOutcome runMultiSocket(const ScenarioConfig &scenario, MsConfig config);
+
+/**
+ * Remote-leaf-PTE percentages per observing socket for a multi-socket
+ * workload after setup with first-touch placement (Figures 1/4), and the
+ * full snapshot (Figure 3).
+ */
+struct PlacementAnalysis
+{
+    std::vector<double> remoteLeafFraction; //!< per observing socket
+    std::string figure3Dump;
+};
+
+PlacementAnalysis analyzePlacement(const ScenarioConfig &scenario,
+                                   bool interleave = false);
+
+/// @}
+/// @name Workload migration scenario (Table 2 configs)
+/// @{
+
+struct WmPlacement
+{
+    const char *name = "LP-LD";
+    bool remotePt = false;      //!< page-tables forced on socket B
+    bool remoteData = false;    //!< data forced on socket B
+    bool interference = false;  //!< STREAM-style hog on socket B
+    bool mitosisMigrate = false; //!< +M: migrate PTs back to A
+};
+
+/** The seven Table 2 placements by name: LP-LD ... RPI-RDI. */
+WmPlacement wmPlacement(const std::string &name);
+
+/** Single thread on socket A; placement per @p wm. */
+RunOutcome runWorkloadMigration(const ScenarioConfig &scenario,
+                                const WmPlacement &wm);
+
+/// @}
+/// @name Output helpers
+/// @{
+
+void printTitle(const std::string &title);
+void printRow(const char *fmt, ...);
+
+/// @}
+
+} // namespace mitosim::bench
+
+#endif // MITOSIM_BENCH_HARNESS_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Page-table placement analysis, the C++ analogue of the paper's kernel
+ * module that "walks the page-table of a process and dumps the PTEs
+ * including the value of the page-table root register" (§3.1).
+ *
+ * Produces the per-level x per-socket statistics of Figure 3 (page
+ * counts, pointer-target distribution, remote percentage) and the
+ * remote-leaf-PTE percentages per observing socket of Figures 1 and 4.
+ */
+
+#ifndef MITOSIM_ANALYSIS_PT_DUMP_H
+#define MITOSIM_ANALYSIS_PT_DUMP_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/mem/physical_memory.h"
+#include "src/pt/operations.h"
+#include "src/pt/root_set.h"
+
+namespace mitosim::analysis
+{
+
+/** Statistics for one (level, holder-socket) cell of the dump. */
+struct LevelSocketCell
+{
+    std::uint64_t pages = 0; //!< PT pages of this level on this socket
+    /** Valid PTEs in those pages, bucketed by target socket. */
+    std::vector<std::uint64_t> pointersTo;
+    std::uint64_t validPtes = 0;
+    std::uint64_t remotePtes = 0; //!< targets on another socket
+
+    double
+    remoteFraction() const
+    {
+        return validPtes ? static_cast<double>(remotePtes) /
+                               static_cast<double>(validPtes)
+                         : 0.0;
+    }
+};
+
+/** A full snapshot: 4 levels x N sockets. */
+class PtSnapshot
+{
+  public:
+    PtSnapshot(int num_sockets);
+
+    LevelSocketCell &cell(int level, SocketId socket);
+    const LevelSocketCell &cell(int level, SocketId socket) const;
+
+    int numSockets() const { return sockets; }
+
+    /** Total leaf (L1 + huge-L2) PTEs on @p socket. */
+    std::uint64_t leafPtesOn(SocketId socket) const;
+
+    /** Total leaf PTEs in the snapshot. */
+    std::uint64_t totalLeafPtes() const;
+
+    /**
+     * The paper's headline metric: the fraction of leaf PTEs a thread on
+     * @p observer has to fetch from a *remote* socket on a TLB miss,
+     * i.e. leaf PTEs stored on sockets != observer / all leaf PTEs.
+     */
+    double remoteLeafFractionFrom(SocketId observer) const;
+
+    /** Render in the format of the paper's Figure 3. */
+    std::string str() const;
+
+  private:
+    int sockets;
+    // [level 1..4][socket]
+    std::array<std::vector<LevelSocketCell>, 5> cells;
+};
+
+/** Walks a process's page-table(s) and produces snapshots. */
+class PtAnalyzer
+{
+  public:
+    PtAnalyzer(mem::PhysicalMemory &physmem, pt::PageTableOps &ops)
+        : mem(physmem), ptops(ops)
+    {
+    }
+
+    /**
+     * Snapshot the *primary* tree of @p roots (what the paper's module
+     * saw: CR3 of the running task).
+     */
+    PtSnapshot snapshot(const pt::RootSet &roots) const;
+
+    /**
+     * Snapshot the tree a thread on @p socket actually walks (the local
+     * replica under Mitosis). With replication enabled this shows 0%
+     * remote leaf PTEs — the paper's Figure 7(a)(ii) state.
+     */
+    PtSnapshot snapshotFor(const pt::RootSet &roots, SocketId socket) const;
+
+  private:
+    PtSnapshot snapshotTree(Pfn root) const;
+
+    mem::PhysicalMemory &mem;
+    pt::PageTableOps &ptops;
+};
+
+/**
+ * Table 4's analytical model: memory overhead of page-table replication
+ * for a compact address space of @p footprint bytes with @p replicas
+ * replicas, relative to the single-page-table baseline.
+ *
+ * Returns the multiplier (e.g. 1.006 = +0.6%).
+ */
+double replicationMemOverhead(std::uint64_t footprint, int replicas);
+
+/** Size in bytes of a single 4-level page-table mapping [0, footprint). */
+std::uint64_t pageTableBytes(std::uint64_t footprint);
+
+} // namespace mitosim::analysis
+
+#endif // MITOSIM_ANALYSIS_PT_DUMP_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition.
+ *
+ * - panic():  an internal simulator invariant broke; aborts.
+ * - fatal():  the user asked for something impossible; exits cleanly.
+ * - warn():   something works but imperfectly.
+ * - inform(): plain status output.
+ *
+ * All take printf-style format strings; formatting is done eagerly so the
+ * functions stay out of hot paths.
+ */
+
+#ifndef MITOSIM_BASE_LOGGING_H
+#define MITOSIM_BASE_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace mitosim
+{
+
+/** Exception thrown by panic()/fatal() so tests can observe failures. */
+class SimError : public std::exception
+{
+  public:
+    SimError(std::string kind, std::string message);
+
+    const char *what() const noexcept override { return _what.c_str(); }
+    const std::string &kind() const { return _kind; }
+    const std::string &message() const { return _message; }
+
+  private:
+    std::string _kind;
+    std::string _message;
+    std::string _what;
+};
+
+/** Internal invariant violation: throws SimError("panic"). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Unrecoverable user/configuration error: throws SimError("fatal"). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning on stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message on stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a simulator invariant; active in all build types.
+ * Prefer this to <cassert> so release benchmarks still check invariants.
+ */
+#define MITOSIM_ASSERT(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::mitosim::panic("assertion failed: %s (%s:%d) " __VA_ARGS__,   \
+                             #cond, __FILE__, __LINE__);                    \
+        }                                                                   \
+    } while (0)
+
+} // namespace mitosim
+
+#endif // MITOSIM_BASE_LOGGING_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Bitmask of NUMA sockets, the currency of Mitosis replication policy.
+ *
+ * Mirrors the nodemask passed to the paper's libnuma extension
+ * numa_set_pgtable_replication_mask(): N set bits request page-table
+ * replicas on N sockets; the empty mask restores native behaviour.
+ */
+
+#ifndef MITOSIM_BASE_SOCKET_MASK_H
+#define MITOSIM_BASE_SOCKET_MASK_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/logging.h"
+#include "src/base/types.h"
+
+namespace mitosim
+{
+
+/** Up to 64 sockets, plenty for the 16-replica Table 4 sweep. */
+class SocketMask
+{
+  public:
+    constexpr SocketMask() = default;
+
+    /** Mask with sockets [0, n) set. */
+    static constexpr SocketMask
+    all(int n)
+    {
+        SocketMask m;
+        m.bits = (n >= 64) ? ~0ull : ((1ull << n) - 1);
+        return m;
+    }
+
+    /** Mask with exactly one socket set. */
+    static constexpr SocketMask
+    single(SocketId s)
+    {
+        SocketMask m;
+        m.bits = 1ull << s;
+        return m;
+    }
+
+    static constexpr SocketMask none() { return SocketMask{}; }
+
+    constexpr bool contains(SocketId s) const
+    {
+        return s >= 0 && s < 64 && (bits >> s) & 1;
+    }
+
+    constexpr bool empty() const { return bits == 0; }
+
+    constexpr int count() const { return __builtin_popcountll(bits); }
+
+    void set(SocketId s)
+    {
+        MITOSIM_ASSERT(s >= 0 && s < 64);
+        bits |= 1ull << s;
+    }
+
+    void clear(SocketId s)
+    {
+        MITOSIM_ASSERT(s >= 0 && s < 64);
+        bits &= ~(1ull << s);
+    }
+
+    /** Lowest set socket id, or InvalidSocket when empty. */
+    SocketId
+    first() const
+    {
+        return bits ? __builtin_ctzll(bits) : InvalidSocket;
+    }
+
+    /** Next set socket id strictly above @p s, or InvalidSocket. */
+    SocketId
+    nextAfter(SocketId s) const
+    {
+        std::uint64_t rest = bits & ~((s >= 63) ? ~0ull : ((2ull << s) - 1));
+        return rest ? __builtin_ctzll(rest) : InvalidSocket;
+    }
+
+    constexpr bool operator==(const SocketMask &o) const = default;
+
+    constexpr SocketMask
+    operator|(const SocketMask &o) const
+    {
+        SocketMask m;
+        m.bits = bits | o.bits;
+        return m;
+    }
+
+    constexpr SocketMask
+    operator&(const SocketMask &o) const
+    {
+        SocketMask m;
+        m.bits = bits & o.bits;
+        return m;
+    }
+
+    std::uint64_t raw() const { return bits; }
+
+    /** e.g. "{0,2,3}" */
+    std::string
+    str() const
+    {
+        std::string s = "{";
+        bool first_one = true;
+        for (SocketId i = 0; i < 64; ++i) {
+            if (contains(i)) {
+                if (!first_one)
+                    s += ",";
+                s += std::to_string(i);
+                first_one = false;
+            }
+        }
+        return s + "}";
+    }
+
+  private:
+    std::uint64_t bits = 0;
+};
+
+} // namespace mitosim
+
+#endif // MITOSIM_BASE_SOCKET_MASK_H

@@ -1,0 +1,77 @@
+#include "stats.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace mitosim
+{
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+std::string
+Summary::str() const
+{
+    return format("mean=%.3f min=%.3f max=%.3f sd=%.3f n=%llu", mean(),
+                  min(), max(), stddev(),
+                  static_cast<unsigned long long>(n));
+}
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : width(bucket_width), counts(num_buckets, 0)
+{
+    MITOSIM_ASSERT(bucket_width > 0 && num_buckets > 0);
+}
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    std::size_t bucket = static_cast<std::size_t>(value / width);
+    if (bucket >= counts.size())
+        overflow_ += weight;
+    else
+        counts[bucket] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0;
+    std::uint64_t target = static_cast<std::uint64_t>(
+        p * static_cast<double>(total_));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen >= target)
+            return (i + 1) * width - 1;
+    }
+    return counts.size() * width; // in the overflow bucket
+}
+
+std::string
+Histogram::str() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        out += format("[%llu,%llu): %llu\n",
+                      static_cast<unsigned long long>(i * width),
+                      static_cast<unsigned long long>((i + 1) * width),
+                      static_cast<unsigned long long>(counts[i]));
+    }
+    if (overflow_)
+        out += format("overflow: %llu\n",
+                      static_cast<unsigned long long>(overflow_));
+    return out;
+}
+
+} // namespace mitosim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small statistics helpers: streaming summaries and fixed-bucket histograms.
+ *
+ * Used by benches to report means/percentiles and by the analysis module to
+ * summarize page-table distributions.
+ */
+
+#ifndef MITOSIM_BASE_STATS_H
+#define MITOSIM_BASE_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mitosim
+{
+
+/** Streaming min/max/mean/stddev accumulator (Welford). */
+class Summary
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n);
+        m2 += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? mean_ : 0.0; }
+    double min() const { return n ? min_ : 0.0; }
+    double max() const { return n ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    }
+
+    double stddev() const;
+
+    /** "mean=... min=... max=... n=..." */
+    std::string str() const;
+
+  private:
+    std::uint64_t n = 0;
+    double mean_ = 0.0;
+    double m2 = 0.0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+/** Histogram over [0, bucket_width * num_buckets) with overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
+
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    std::uint64_t total() const { return total_; }
+    std::size_t numBuckets() const { return counts.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Smallest value v such that at least fraction p of samples are <= v. */
+    std::uint64_t percentile(double p) const;
+
+    std::string str() const;
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace mitosim
+
+#endif // MITOSIM_BASE_STATS_H

@@ -1,0 +1,114 @@
+#include "set_assoc_cache.h"
+
+namespace mitosim::cache
+{
+
+namespace
+{
+
+std::uint64_t
+roundDownPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, unsigned ways)
+    : numWays(ways)
+{
+    if (ways == 0)
+        fatal("cache associativity must be nonzero");
+    std::uint64_t total_lines = capacity_bytes / LineSize;
+    if (total_lines < ways)
+        fatal("cache capacity smaller than one set");
+    sets = roundDownPow2(total_lines / ways);
+    lines.assign(sets * ways, Line{});
+}
+
+bool
+SetAssocCache::lookup(PhysAddr pa)
+{
+    std::uint64_t line = lineAddr(pa);
+    std::size_t base = setOf(line) * numWays;
+    for (unsigned w = 0; w < numWays; ++w) {
+        if (lines[base + w].tag == line) {
+            lines[base + w].lru = ++clock;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+std::uint64_t
+SetAssocCache::insert(PhysAddr pa)
+{
+    std::uint64_t line = lineAddr(pa);
+    std::size_t base = setOf(line) * numWays;
+    std::size_t victim = base;
+    for (unsigned w = 0; w < numWays; ++w) {
+        Line &l = lines[base + w];
+        if (l.tag == line) { // already present
+            l.lru = ++clock;
+            return ~0ull;
+        }
+        if (l.tag == ~0ull) { // free way
+            victim = base + w;
+            l.tag = line;
+            l.lru = ++clock;
+            return ~0ull;
+        }
+        if (lines[victim].lru > l.lru)
+            victim = base + w;
+    }
+    std::uint64_t evicted = lines[victim].tag;
+    lines[victim].tag = line;
+    lines[victim].lru = ++clock;
+    ++stats_.evictions;
+    return evicted;
+}
+
+void
+SetAssocCache::invalidateLine(PhysAddr pa)
+{
+    std::uint64_t line = lineAddr(pa);
+    std::size_t base = setOf(line) * numWays;
+    for (unsigned w = 0; w < numWays; ++w) {
+        if (lines[base + w].tag == line) {
+            lines[base + w].tag = ~0ull;
+            ++stats_.invalidations;
+            return;
+        }
+    }
+}
+
+void
+SetAssocCache::invalidateFrame(Pfn pfn)
+{
+    std::uint64_t first = pfnToAddr(pfn) >> LineShift;
+    for (std::uint64_t line = first; line < first + (PageSize / LineSize);
+         ++line) {
+        std::size_t base = setOf(line) * numWays;
+        for (unsigned w = 0; w < numWays; ++w) {
+            if (lines[base + w].tag == line) {
+                lines[base + w].tag = ~0ull;
+                ++stats_.invalidations;
+                break;
+            }
+        }
+    }
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &l : lines)
+        l.tag = ~0ull;
+}
+
+} // namespace mitosim::cache

@@ -1,0 +1,74 @@
+#include "auto_policy.h"
+
+namespace mitosim::core
+{
+
+SocketMask
+AutoPolicyEngine::runningSockets(os::Kernel &kernel,
+                                 const os::Process &proc)
+{
+    SocketMask mask;
+    const auto &topo = kernel.machine().topology();
+    for (const auto &t : proc.threads())
+        mask.set(topo.socketOfCore(t.core));
+    return mask;
+}
+
+AutoPolicyAction
+AutoPolicyEngine::sample(os::Kernel &kernel, os::Process &proc,
+                         const sim::PerfCounters &window)
+{
+    ++stats_.samples;
+
+    if (window.accesses < cfg.minAccessesPerSample) {
+        ++stats_.skippedNoSignal;
+        streak[proc.id()] = 0;
+        return AutoPolicyAction::None;
+    }
+    if (proc.residentPages < cfg.minResidentPages) {
+        // Small footprints fit the TLB; replication cost would dominate
+        // (§8.3: the 1 MB case is 23% memory overhead for nothing).
+        ++stats_.skippedSmall;
+        streak[proc.id()] = 0;
+        return AutoPolicyAction::None;
+    }
+
+    double walk_fraction = window.walkFraction();
+    bool replicated = proc.roots().replicated();
+
+    if (!replicated && walk_fraction >= cfg.enableWalkFraction) {
+        int &run = streak[proc.id()];
+        if (++run < cfg.samplesBeforeAction)
+            return AutoPolicyAction::None;
+        run = 0;
+        SocketMask mask = runningSockets(kernel, proc);
+        if (mask.count() < 2) {
+            // Single-socket process: nothing to replicate across. A
+            // future extension could trigger migration health checks.
+            return AutoPolicyAction::None;
+        }
+        if (!mitosis.setReplicationMask(proc.roots(), proc.id(), mask))
+            return AutoPolicyAction::None;
+        kernel.reloadContexts(proc);
+        ++stats_.enables;
+        return AutoPolicyAction::Enabled;
+    }
+
+    if (replicated && walk_fraction <= cfg.disableWalkFraction) {
+        int &run = streak[proc.id()];
+        if (++run < cfg.samplesBeforeAction)
+            return AutoPolicyAction::None;
+        run = 0;
+        if (!mitosis.setReplicationMask(proc.roots(), proc.id(),
+                                        SocketMask::none()))
+            return AutoPolicyAction::None;
+        kernel.reloadContexts(proc);
+        ++stats_.disables;
+        return AutoPolicyAction::Disabled;
+    }
+
+    streak[proc.id()] = 0;
+    return AutoPolicyAction::None;
+}
+
+} // namespace mitosim::core

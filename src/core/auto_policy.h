@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Counter-driven automatic replication policy — the extension the paper
+ * sketches in §6.1 and leaves as future work:
+ *
+ *   "the OS can obtain TLB miss rates or cycles spent walking
+ *    page-tables through performance counters ... and then apply policy
+ *    decisions automatically. A high TLB miss rate suggests that a
+ *    process can benefit from page-table replication or migration. ...
+ *    we disable page-table replication for short-running processes
+ *    since the performance and memory cost ... cannot be amortized."
+ *
+ * The engine samples each process's walk-cycle fraction over a window
+ * and, with hysteresis, enables replication onto the sockets the
+ * process runs on (or tears it down again). Small processes are never
+ * replicated: their working set fits the TLB anyway (§8.3's 1 MB
+ * argument) and the relative memory overhead is largest there.
+ */
+
+#ifndef MITOSIM_CORE_AUTO_POLICY_H
+#define MITOSIM_CORE_AUTO_POLICY_H
+
+#include <cstdint>
+#include <map>
+
+#include "src/core/mitosis.h"
+#include "src/os/exec_context.h"
+#include "src/os/kernel.h"
+#include "src/sim/perf_counters.h"
+
+namespace mitosim::core
+{
+
+/** Thresholds for the automatic policy. */
+struct AutoPolicyConfig
+{
+    /** Enable replication above this walk-cycle fraction. */
+    double enableWalkFraction = 0.15;
+
+    /** Tear replicas down below this fraction (hysteresis band). */
+    double disableWalkFraction = 0.05;
+
+    /** Ignore windows with fewer accesses (no signal). */
+    std::uint64_t minAccessesPerSample = 5000;
+
+    /** Never replicate processes smaller than this (4 KB pages). */
+    std::uint64_t minResidentPages = 1024; // 4 MiB
+
+    /**
+     * Consecutive qualifying samples required before acting — filters
+     * short-running processes, whose replication cost cannot be
+     * amortized (§6.1).
+     */
+    int samplesBeforeAction = 2;
+};
+
+/** What a sample decided. */
+enum class AutoPolicyAction
+{
+    None,
+    Enabled,
+    Disabled,
+};
+
+/** Engine statistics. */
+struct AutoPolicyStats
+{
+    std::uint64_t samples = 0;
+    std::uint64_t enables = 0;
+    std::uint64_t disables = 0;
+    std::uint64_t skippedSmall = 0;   //!< below minResidentPages
+    std::uint64_t skippedNoSignal = 0; //!< too few accesses
+};
+
+/**
+ * The automatic policy engine. One instance per kernel; call sample()
+ * periodically per process with the counters accumulated since the last
+ * sample (the model of a per-task perf-counter readout).
+ */
+class AutoPolicyEngine
+{
+  public:
+    AutoPolicyEngine(MitosisBackend &backend,
+                     const AutoPolicyConfig &config = AutoPolicyConfig{})
+        : mitosis(backend), cfg(config)
+    {
+    }
+
+    /**
+     * Feed one measurement window for @p proc.
+     *
+     * @param window counters accumulated over the window
+     * @return the action taken (replication mask changes are applied
+     *         and contexts reloaded via @p kernel).
+     */
+    AutoPolicyAction sample(os::Kernel &kernel, os::Process &proc,
+                            const sim::PerfCounters &window);
+
+    /** Forget per-process history (e.g. after process exit). */
+    void forget(ProcId pid) { streak.erase(pid); }
+
+    const AutoPolicyStats &stats() const { return stats_; }
+    const AutoPolicyConfig &config() const { return cfg; }
+
+  private:
+    /** Sockets on which @p proc currently has threads. */
+    static SocketMask runningSockets(os::Kernel &kernel,
+                                     const os::Process &proc);
+
+    MitosisBackend &mitosis;
+    AutoPolicyConfig cfg;
+    AutoPolicyStats stats_;
+    std::map<ProcId, int> streak; //!< consecutive qualifying samples
+};
+
+} // namespace mitosim::core
+
+#endif // MITOSIM_CORE_AUTO_POLICY_H

@@ -1,0 +1,127 @@
+#include "lazy_backend.h"
+
+#include "src/base/logging.h"
+#include "src/pvops/costs.h"
+
+namespace mitosim::core
+{
+
+LazyMitosisBackend::LazyMitosisBackend(mem::PhysicalMemory &physmem,
+                                       const MitosisConfig &config)
+    : MitosisBackend(physmem, config),
+      queues(static_cast<std::size_t>(physmem.topology().numSockets()))
+{
+}
+
+void
+LazyMitosisBackend::setPte(pt::RootSet &roots, pt::PteLoc loc,
+                           pt::Pte value, int level,
+                           pvops::KernelCost *cost)
+{
+    // Unreplicated pages: nothing to defer.
+    if (mem.meta(loc.ptPfn).replicaNext == loc.ptPfn) {
+        MitosisBackend::setPte(roots, loc, value, level, cost);
+        return;
+    }
+
+    // Primary store with local child fixup, as in the eager base.
+    pt::Pte primary_value = value;
+    bool non_leaf = value.present() && level > 1 &&
+                    !(level == 2 && value.huge());
+    if (non_leaf && mem.meta(value.pfn()).isPageTable()) {
+        Pfn local_child = mem.replicaOnSocket(value.pfn(),
+                                              mem.socketOf(loc.ptPfn));
+        if (local_child != InvalidPfn)
+            primary_value = value.withPfn(local_child);
+    }
+    mem.table(loc.ptPfn)[loc.index] = primary_value.raw();
+    if (cost) {
+        cost->charge(pvops::PteWriteCost);
+        ++cost->pteWrites;
+    }
+
+    // Per replica: installs are deferred as messages; changes to a
+    // present entry must stay eager (see header).
+    Pfn p = mem.meta(loc.ptPfn).replicaNext;
+    while (p != loc.ptPfn) {
+        pt::Pte existing{mem.table(p)[loc.index]};
+        if (!existing.present() && value.present()) {
+            auto &q = queues[static_cast<std::size_t>(mem.socketOf(p))];
+            q.push_back(Update{p, loc.index, value, level});
+            ++lstats.queued;
+            lstats.maxQueueDepth =
+                std::max<std::uint64_t>(lstats.maxQueueDepth, q.size());
+            if (cost)
+                cost->charge(pvops::ReplicaHopCost); // enqueue bookkeeping
+        } else {
+            chargeLocate(cost);
+            writeReplicaEntry(p, loc.index, value, level, cost);
+            ++lstats.eagerFallbacks;
+        }
+        p = mem.meta(p).replicaNext;
+    }
+}
+
+void
+LazyMitosisBackend::releasePtPage(pt::RootSet &roots, Pfn pfn,
+                                  pvops::KernelCost *cost)
+{
+    // Drop pending messages aimed at any page of the dying replica set;
+    // applying them later would write into freed (possibly reused)
+    // frames.
+    std::vector<Pfn> dying;
+    mem.forEachReplica(pfn, [&](Pfn p) { dying.push_back(p); });
+    for (auto &q : queues) {
+        std::deque<Update> kept;
+        for (const Update &u : q) {
+            bool doomed = false;
+            for (Pfn d : dying) {
+                if (u.replicaPfn == d) {
+                    doomed = true;
+                    break;
+                }
+            }
+            if (!doomed)
+                kept.push_back(u);
+        }
+        q = std::move(kept);
+    }
+    MitosisBackend::releasePtPage(roots, pfn, cost);
+}
+
+bool
+LazyMitosisBackend::onTranslationFault(pt::RootSet &roots, SocketId socket,
+                                       VirtAddr va,
+                                       pvops::KernelCost *cost)
+{
+    (void)roots;
+    (void)va;
+    MITOSIM_ASSERT(socket >= 0 &&
+                   socket < static_cast<SocketId>(queues.size()));
+    auto &q = queues[static_cast<std::size_t>(socket)];
+    if (q.empty())
+        return false;
+
+    // Batch-apply every pending message for this socket (the fault
+    // handler is the message-processing point, §7.2).
+    ++lstats.drains;
+    while (!q.empty()) {
+        Update u = q.front();
+        q.pop_front();
+        writeReplicaEntry(u.replicaPfn, u.index, u.value, u.level, cost);
+        ++lstats.applied;
+    }
+    if (cost)
+        cost->charge(pvops::FaultFixedCost);
+    return true;
+}
+
+std::size_t
+LazyMitosisBackend::pendingFor(SocketId socket) const
+{
+    MITOSIM_ASSERT(socket >= 0 &&
+                   socket < static_cast<SocketId>(queues.size()));
+    return queues[static_cast<std::size_t>(socket)].size();
+}
+
+} // namespace mitosim::core

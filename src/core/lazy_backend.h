@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lazy replica propagation — the §7.2 library-OS design, realized as a
+ * PV-Ops backend:
+ *
+ *   "Updates to page-tables might need to be converted to explicit
+ *    update messages to other sockets, which avoid the need for global
+ *    locks and propagates updates lazily. On a page-fault, updates can
+ *    be processed and applied accordingly in the page-fault handling
+ *    routine."
+ *
+ * LazyMitosisBackend queues *installing* PTE stores (non-present ->
+ * present) as per-socket update messages instead of writing every
+ * replica eagerly; a replica that has not received the message simply
+ * faults, and the kernel's pre-fault hook drains the socket's queue.
+ *
+ * Correctness rule: only installs may be lazy. Any store that changes a
+ * *present* replica entry (unmap, permission downgrade, frame
+ * migration) is propagated eagerly — a stale present entry would keep
+ * translating and never fault, which could leak freed frames.
+ */
+
+#ifndef MITOSIM_CORE_LAZY_BACKEND_H
+#define MITOSIM_CORE_LAZY_BACKEND_H
+
+#include <deque>
+#include <vector>
+
+#include "src/core/mitosis.h"
+
+namespace mitosim::core
+{
+
+/** Lazy-propagation statistics. */
+struct LazyStats
+{
+    std::uint64_t queued = 0;       //!< update messages enqueued
+    std::uint64_t applied = 0;      //!< messages applied at fault time
+    std::uint64_t drains = 0;       //!< fault-time queue drains
+    std::uint64_t eagerFallbacks = 0; //!< present-entry stores kept eager
+    std::uint64_t maxQueueDepth = 0;
+};
+
+/** MitosisBackend with message-based lazy install propagation. */
+class LazyMitosisBackend : public MitosisBackend
+{
+  public:
+    explicit LazyMitosisBackend(
+        mem::PhysicalMemory &physmem,
+        const MitosisConfig &config = MitosisConfig{});
+
+    void setPte(pt::RootSet &roots, pt::PteLoc loc, pt::Pte value,
+                int level, pvops::KernelCost *cost) override;
+
+    /** Purges queued messages aimed at the freed replica set. */
+    void releasePtPage(pt::RootSet &roots, Pfn pfn,
+                       pvops::KernelCost *cost) override;
+
+    bool onTranslationFault(pt::RootSet &roots, SocketId socket,
+                            VirtAddr va, pvops::KernelCost *cost) override;
+
+    const char *name() const override { return "mitosis-lazy"; }
+
+    const LazyStats &lazyStats() const { return lstats; }
+
+    /** Pending messages for @p socket (diagnostics / tests). */
+    std::size_t pendingFor(SocketId socket) const;
+
+  private:
+    /** One queued replica update. */
+    struct Update
+    {
+        Pfn replicaPfn;
+        unsigned index;
+        pt::Pte value;
+        int level;
+    };
+
+    std::vector<std::deque<Update>> queues; //!< per socket
+    LazyStats lstats;
+};
+
+} // namespace mitosim::core
+
+#endif // MITOSIM_CORE_LAZY_BACKEND_H

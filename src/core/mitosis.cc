@@ -1,0 +1,505 @@
+#include "mitosis.h"
+
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/pt/pte.h"
+#include "src/pvops/costs.h"
+
+namespace mitosim::core
+{
+
+using pvops::KernelCost;
+
+namespace
+{
+
+/** Tiny extra cost of the PV-Ops indirection itself (Table 6). */
+constexpr Cycles IndirectionCost = 1;
+
+} // namespace
+
+MitosisBackend::MitosisBackend(mem::PhysicalMemory &physmem,
+                               const MitosisConfig &config)
+    : mem(physmem), cfg(config)
+{
+}
+
+void
+MitosisBackend::setSystemPolicy(SystemPolicy policy, SocketId fixed_socket)
+{
+    cfg.policy = policy;
+    cfg.fixedSocket = fixed_socket;
+}
+
+SocketMask
+MitosisBackend::effectiveMask(const pt::RootSet &roots) const
+{
+    if (cfg.policy == SystemPolicy::Disabled ||
+        cfg.policy == SystemPolicy::FixedSocket) {
+        return SocketMask::none();
+    }
+    if (cfg.policy == SystemPolicy::AllProcesses)
+        return SocketMask::all(mem.topology().numSockets());
+    return roots.replicaMask;
+}
+
+Pfn
+MitosisBackend::allocSingle(ProcId owner, int level, SocketId hint,
+                            KernelCost *cost)
+{
+    if (cfg.policy == SystemPolicy::FixedSocket)
+        hint = cfg.fixedSocket;
+    auto pfn = mem.allocPt(hint, level, owner);
+    if (!pfn) {
+        for (SocketId s = 0; s < mem.topology().numSockets() && !pfn; ++s) {
+            if (s != hint)
+                pfn = mem.allocPt(s, level, owner);
+        }
+    }
+    if (!pfn)
+        return InvalidPfn;
+    if (cost) {
+        cost->charge(pvops::PtPageSetupCost);
+        ++cost->ptPagesAllocated;
+    }
+    return *pfn;
+}
+
+Pfn
+MitosisBackend::allocPtPage(pt::RootSet &roots, ProcId owner, int level,
+                            SocketId hint_socket, KernelCost *cost)
+{
+    if (cost)
+        cost->charge(IndirectionCost);
+
+    SocketMask mask = effectiveMask(roots);
+    if (mask.empty())
+        return allocSingle(owner, level, hint_socket, cost);
+
+    // Replicated allocation: one page per socket in the mask, linked into
+    // a circular list. The primary copy lives on the hint socket when the
+    // hint is in the mask, otherwise on the mask's first socket.
+    SocketId primary_socket =
+        mask.contains(hint_socket) ? hint_socket : mask.first();
+
+    Pfn primary = allocSingle(owner, level, primary_socket, cost);
+    if (primary == InvalidPfn)
+        return InvalidPfn;
+    ++stats_.replicaPagesCreated;
+
+    for (SocketId s = mask.first(); s != InvalidSocket;
+         s = mask.nextAfter(s)) {
+        if (s == mem.socketOf(primary))
+            continue;
+        auto replica = mem.allocPt(s, level, owner);
+        if (!replica) {
+            // Degraded: this socket simply won't get a local copy.
+            ++stats_.degradedAllocs;
+            continue;
+        }
+        if (cost) {
+            cost->charge(pvops::PtPageSetupCost);
+            ++cost->ptPagesAllocated;
+        }
+        mem.linkReplica(primary, *replica);
+        ++stats_.replicaPagesCreated;
+    }
+    return primary;
+}
+
+void
+MitosisBackend::releasePtPage(pt::RootSet &roots, Pfn pfn, KernelCost *cost)
+{
+    (void)roots;
+    if (cost)
+        cost->charge(IndirectionCost);
+    // Free the whole replica set.
+    std::vector<Pfn> pages;
+    mem.forEachReplica(pfn, [&](Pfn p) { pages.push_back(p); });
+    for (Pfn p : pages) {
+        mem.unlinkReplica(p);
+        mem.freePt(p);
+        if (cost) {
+            cost->charge(pvops::PageFreeCost);
+            ++cost->ptPagesFreed;
+        }
+        if (p != pfn)
+            ++stats_.replicaPagesFreed;
+    }
+}
+
+void
+MitosisBackend::chargeLocate(KernelCost *cost) const
+{
+    if (!cost)
+        return;
+    if (cfg.updateMode == UpdateMode::CircularList) {
+        // One struct-page pointer chase per replica (2N total refs: N
+        // writes + N metadata reads, §5.2).
+        cost->charge(pvops::ReplicaHopCost);
+        ++cost->replicaHops;
+    } else {
+        // Walk the replica's tree from its root: 4 steps on x86-64.
+        cost->charge(4 * pvops::ReplicaWalkStepCost);
+    }
+}
+
+void
+MitosisBackend::writeReplicaEntry(Pfn replica, unsigned index,
+                                  pt::Pte value, int level,
+                                  KernelCost *cost)
+{
+    pt::Pte out = value;
+    // Non-leaf present entries point at child page-table pages; each
+    // replica must reference the child copy on its own socket (semantic
+    // replication, §2.3). Leaf entries (L1, or L2 with PS) are copied
+    // verbatim — data frames are shared by all replicas.
+    bool non_leaf = value.present() && level > 1 &&
+                    !(level == 2 && value.huge());
+    if (non_leaf) {
+        Pfn child = value.pfn();
+        if (mem.meta(child).isPageTable()) {
+            Pfn local_child =
+                mem.replicaOnSocket(child, mem.socketOf(replica));
+            if (local_child != InvalidPfn)
+                out = value.withPfn(local_child);
+            // else: degraded replica set; keep the cross-socket pointer.
+        }
+    }
+    mem.table(replica)[index] = out.raw();
+    if (cost) {
+        cost->charge(pvops::PteRemoteWriteCost);
+        ++cost->replicaWrites;
+    }
+    ++stats_.eagerUpdates;
+    ++stats_.replicaRefsOnUpdate;
+}
+
+void
+MitosisBackend::setPte(pt::RootSet &roots, pt::PteLoc loc, pt::Pte value,
+                       int level, KernelCost *cost)
+{
+    (void)roots;
+    if (cost)
+        cost->charge(IndirectionCost);
+
+    // Primary store. Replica trees are symmetric: the copy named by
+    // `loc` must also reference the child replica local to *its* socket
+    // (the tree a core walks must never leave its socket when a local
+    // child exists).
+    pt::Pte primary_value = value;
+    bool non_leaf = value.present() && level > 1 &&
+                    !(level == 2 && value.huge());
+    if (non_leaf && mem.meta(value.pfn()).isPageTable()) {
+        Pfn local_child = mem.replicaOnSocket(value.pfn(),
+                                              mem.socketOf(loc.ptPfn));
+        if (local_child != InvalidPfn)
+            primary_value = value.withPfn(local_child);
+    }
+    mem.table(loc.ptPfn)[loc.index] = primary_value.raw();
+    if (cost) {
+        cost->charge(pvops::PteWriteCost);
+        ++cost->pteWrites;
+    }
+
+    // Eager propagation along the circular list (Figure 8).
+    Pfn p = mem.meta(loc.ptPfn).replicaNext;
+    while (p != loc.ptPfn) {
+        chargeLocate(cost);
+        writeReplicaEntry(p, loc.index, value, level, cost);
+        p = mem.meta(p).replicaNext;
+    }
+}
+
+pt::Pte
+MitosisBackend::readPte(const pt::RootSet &roots, pt::PteLoc loc,
+                        KernelCost *cost) const
+{
+    (void)roots;
+    if (cost)
+        cost->charge(IndirectionCost + pvops::PteReadCost);
+
+    std::uint64_t raw = mem.table(loc.ptPfn)[loc.index];
+    Pfn p = mem.meta(loc.ptPfn).replicaNext;
+    if (p != loc.ptPfn) {
+        // OR the hardware-written bits across every replica (§5.4).
+        auto *self = const_cast<MitosisBackend *>(this);
+        ++self->stats_.adMergedReads;
+        while (p != loc.ptPfn) {
+            raw |= mem.table(p)[loc.index] & pt::PteAdMask;
+            // The ring pointer shares the struct-page line with other
+            // metadata the read path already touched; charge only the
+            // PTE load itself.
+            if (cost)
+                cost->charge(pvops::PteReadCost);
+            p = mem.meta(p).replicaNext;
+        }
+    }
+    return pt::Pte{raw};
+}
+
+void
+MitosisBackend::clearAccessedDirty(pt::RootSet &roots, pt::PteLoc loc,
+                                   std::uint64_t bits, KernelCost *cost)
+{
+    (void)roots;
+    if (cost)
+        cost->charge(IndirectionCost);
+    Pfn p = loc.ptPfn;
+    do {
+        mem.table(p)[loc.index] &= ~bits;
+        if (cost) {
+            cost->charge(pvops::PteWriteCost);
+            ++cost->pteWrites;
+        }
+        p = mem.meta(p).replicaNext;
+    } while (p != loc.ptPfn);
+}
+
+Pfn
+MitosisBackend::cr3For(const pt::RootSet &roots, SocketId socket) const
+{
+    return roots.rootFor(socket);
+}
+
+Pfn
+MitosisBackend::replicateSubtree(Pfn src, int level, SocketId target,
+                                 ProcId owner, KernelCost *cost)
+{
+    Pfn dst = mem.replicaOnSocket(src, target);
+    bool fresh = false;
+    if (dst == InvalidPfn) {
+        auto page = mem.allocPt(target, level, owner);
+        if (!page) {
+            ++stats_.degradedAllocs;
+            return InvalidPfn;
+        }
+        dst = *page;
+        mem.linkReplica(src, dst);
+        ++stats_.replicaPagesCreated;
+        fresh = true;
+        if (cost) {
+            cost->charge(pvops::PtPageSetupCost);
+            ++cost->ptPagesAllocated;
+        }
+    }
+
+    const std::uint64_t *src_tbl = mem.table(src);
+    std::uint64_t *dst_tbl = mem.table(dst);
+    for (unsigned i = 0; i < PtEntriesPerPage; ++i) {
+        pt::Pte entry{src_tbl[i]};
+        if (!entry.present()) {
+            if (fresh)
+                dst_tbl[i] = entry.raw();
+            continue;
+        }
+        bool leaf = (level == 1) || (level == 2 && entry.huge());
+        if (leaf) {
+            dst_tbl[i] = entry.raw();
+        } else {
+            Pfn child_copy = replicateSubtree(entry.pfn(), level - 1,
+                                              target, owner, cost);
+            dst_tbl[i] = (child_copy != InvalidPfn)
+                             ? entry.withPfn(child_copy).raw()
+                             : entry.raw(); // degraded cross-socket link
+        }
+        if (cost) {
+            cost->charge(pvops::PteWriteCost + pvops::PteReadCost);
+            ++cost->pteWrites;
+        }
+    }
+    return dst;
+}
+
+bool
+MitosisBackend::setReplicationMask(pt::RootSet &roots, ProcId owner,
+                                   SocketMask mask, KernelCost *cost)
+{
+    if (cfg.policy == SystemPolicy::Disabled ||
+        cfg.policy == SystemPolicy::FixedSocket) {
+        return false;
+    }
+    MITOSIM_ASSERT(roots.primaryRoot != InvalidPfn,
+                   "setReplicationMask: process has no page-table");
+
+    SocketMask old_mask = roots.replicaMask;
+
+    // Build replicas for newly requested sockets.
+    for (SocketId s = mask.first(); s != InvalidSocket;
+         s = mask.nextAfter(s)) {
+        if (s >= mem.topology().numSockets())
+            fatal("replication mask names socket %d beyond topology", s);
+        replicateSubtree(roots.primaryRoot, 4, s, owner, cost);
+        ++stats_.treeReplications;
+    }
+
+    // Tear down replicas for sockets no longer in the mask. Primary-tree
+    // pages are never freed even if their socket leaves the mask.
+    for (SocketId s = old_mask.first(); s != InvalidSocket;
+         s = old_mask.nextAfter(s)) {
+        if (mask.contains(s))
+            continue;
+        // Collect pages of the primary tree, then free their s-replicas.
+        std::vector<Pfn> to_free;
+        collectReplicasOn(roots, s, to_free);
+        for (Pfn p : to_free) {
+            mem.unlinkReplica(p);
+            mem.freePt(p);
+            ++stats_.replicaPagesFreed;
+            if (cost) {
+                cost->charge(pvops::PageFreeCost);
+                ++cost->ptPagesFreed;
+            }
+        }
+    }
+
+    roots.replicaMask = mask;
+    for (SocketId s = 0; s < pt::MaxSockets; ++s) {
+        Pfn root = (s < mem.topology().numSockets())
+                       ? mem.replicaOnSocket(roots.primaryRoot, s)
+                       : InvalidPfn;
+        roots.perSocketRoot[static_cast<std::size_t>(s)] =
+            (root != InvalidPfn && (mask.contains(s) ||
+                                    root == roots.primaryRoot))
+                ? root
+                : roots.primaryRoot;
+    }
+    return true;
+}
+
+void
+MitosisBackend::collectReplicasOn(pt::RootSet &roots, SocketId socket,
+                                  std::vector<Pfn> &out)
+{
+    // DFS over the primary tree; for each page record its replica on
+    // @p socket unless that replica *is* the primary page.
+    struct Frame
+    {
+        Pfn table;
+        int level;
+    };
+    std::vector<Frame> stack{{roots.primaryRoot, 4}};
+    while (!stack.empty()) {
+        Frame f = stack.back();
+        stack.pop_back();
+        Pfn replica = mem.replicaOnSocket(f.table, socket);
+        if (replica != InvalidPfn && replica != f.table)
+            out.push_back(replica);
+        if (f.level == 1)
+            continue;
+        const std::uint64_t *tbl = mem.table(f.table);
+        for (unsigned i = 0; i < PtEntriesPerPage; ++i) {
+            pt::Pte entry{tbl[i]};
+            if (entry.present() && !(f.level == 2 && entry.huge()))
+                stack.push_back({entry.pfn(), f.level - 1});
+        }
+    }
+}
+
+void
+MitosisBackend::freeOtherReplicas(Pfn keep, KernelCost *cost)
+{
+    std::vector<Pfn> others;
+    mem.forEachReplica(keep, [&](Pfn p) {
+        if (p != keep)
+            others.push_back(p);
+    });
+    for (Pfn p : others) {
+        mem.unlinkReplica(p);
+        mem.freePt(p);
+        ++stats_.replicaPagesFreed;
+        if (cost) {
+            cost->charge(pvops::PageFreeCost);
+            ++cost->ptPagesFreed;
+        }
+    }
+}
+
+bool
+MitosisBackend::migratePageTables(pt::RootSet &roots, ProcId owner,
+                                  SocketId target, KernelCost *cost)
+{
+    if (cfg.policy == SystemPolicy::Disabled ||
+        cfg.policy == SystemPolicy::FixedSocket) {
+        return false;
+    }
+    MITOSIM_ASSERT(roots.primaryRoot != InvalidPfn,
+                   "migratePageTables: process has no page-table");
+    MITOSIM_ASSERT(target >= 0 && target < mem.topology().numSockets());
+
+    // Step 1: replicate onto the target (§5.5: migration reuses the
+    // replication machinery).
+    Pfn new_root =
+        replicateSubtree(roots.primaryRoot, 4, target, owner, cost);
+    if (new_root == InvalidPfn)
+        return false;
+    ++stats_.treeMigrations;
+
+    Pfn old_root = roots.primaryRoot;
+    roots.primaryRoot = new_root;
+
+    if (cfg.eagerFreeOnMigration) {
+        // Step 2 (eager): free every non-target copy. Walk the *new*
+        // tree; its replica lists still link the old copies.
+        struct Frame
+        {
+            Pfn table;
+            int level;
+        };
+        std::vector<Frame> stack{{new_root, 4}};
+        while (!stack.empty()) {
+            Frame f = stack.back();
+            stack.pop_back();
+            if (f.level > 1) {
+                const std::uint64_t *tbl = mem.table(f.table);
+                for (unsigned i = 0; i < PtEntriesPerPage; ++i) {
+                    pt::Pte entry{tbl[i]};
+                    if (entry.present() &&
+                        !(f.level == 2 && entry.huge()))
+                        stack.push_back({entry.pfn(), f.level - 1});
+                }
+            }
+            freeOtherReplicas(f.table, cost);
+        }
+        roots.resetToPrimary();
+    } else {
+        // Lazy: keep the old copies as live replicas; the old home
+        // socket keeps a local tree in case the process migrates back.
+        SocketMask mask = roots.replicaMask;
+        mask.set(target);
+        mask.set(mem.socketOf(old_root));
+        roots.replicaMask = mask;
+        for (SocketId s = 0; s < pt::MaxSockets; ++s) {
+            Pfn root = (s < mem.topology().numSockets())
+                           ? mem.replicaOnSocket(new_root, s)
+                           : InvalidPfn;
+            roots.perSocketRoot[static_cast<std::size_t>(s)] =
+                (root != InvalidPfn) ? root : new_root;
+        }
+    }
+    return true;
+}
+
+void
+MitosisBackend::onProcessMigrated(pt::RootSet &roots, ProcId owner,
+                                  SocketId from, SocketId to,
+                                  KernelCost *cost)
+{
+    (void)from;
+    if (!cfg.migrateOnProcessMove)
+        return;
+    if (cfg.policy == SystemPolicy::Disabled ||
+        cfg.policy == SystemPolicy::FixedSocket) {
+        return;
+    }
+    if (roots.replicated()) {
+        // Fully replicated processes already have a local tree wherever
+        // they land; nothing to migrate.
+        if (roots.replicaMask.contains(to))
+            return;
+    }
+    migratePageTables(roots, owner, to, cost);
+}
+
+} // namespace mitosim::core

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Mitosis: transparently self-replicating page-tables (the paper's core
+ * contribution, §4-§6).
+ *
+ * MitosisBackend is a PV-Ops backend that
+ *  - allocates page-table pages as *replica sets* (one page per socket in
+ *    the process's replication mask), linked through the circular
+ *    struct-page list of Figure 8;
+ *  - eagerly propagates every PTE store to all replicas, rewriting
+ *    non-leaf entries so each replica's upper levels point at that
+ *    socket's copy of the child table (semantic, not bytewise,
+ *    replication — §2.3);
+ *  - ORs hardware-written Accessed/Dirty bits across replicas on reads
+ *    and clears them everywhere (§5.4);
+ *  - supplies per-socket CR3 values so a scheduled thread walks its local
+ *    replica (§5.3);
+ *  - implements page-table *migration* as replicate-to-target followed by
+ *    eager (or lazy) release of the source copies (§5.5);
+ *  - carries the policy surface of §6: a system-wide 4-state knob and the
+ *    per-process replication bitmask behind
+ *    numa_set_pgtable_replication_mask().
+ */
+
+#ifndef MITOSIM_CORE_MITOSIS_H
+#define MITOSIM_CORE_MITOSIS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/socket_mask.h"
+#include "src/mem/physical_memory.h"
+#include "src/pvops/pvops.h"
+
+namespace mitosim::core
+{
+
+/** §6.1: the system-wide policy states exposed via sysctl. */
+enum class SystemPolicy
+{
+    Disabled,     //!< Mitosis off: behave exactly like the native backend
+    PerProcess,   //!< replicate only for processes with a non-empty mask
+    FixedSocket,  //!< force all PT allocations onto one socket (analysis)
+    AllProcesses, //!< replicate to all sockets for every process
+};
+
+/** §5.2: how replica locations are found on an update. */
+enum class UpdateMode
+{
+    CircularList, //!< struct-page list: 2N references per update (Fig 8)
+    WalkReplicas, //!< walk each replica tree: 4N references (the strawman)
+};
+
+/** Tunables. */
+struct MitosisConfig
+{
+    SystemPolicy policy = SystemPolicy::PerProcess;
+    SocketId fixedSocket = 0; //!< for SystemPolicy::FixedSocket
+    UpdateMode updateMode = UpdateMode::CircularList;
+
+    /**
+     * After migration, free the source replica eagerly (default) or keep
+     * it consistent for a cheap migrate-back (§5.5).
+     */
+    bool eagerFreeOnMigration = true;
+
+    /** Migrate page-tables when the kernel migrates a process. */
+    bool migrateOnProcessMove = true;
+};
+
+/** Replication activity counters. */
+struct MitosisStats
+{
+    std::uint64_t replicaPagesCreated = 0;
+    std::uint64_t replicaPagesFreed = 0;
+    std::uint64_t eagerUpdates = 0;      //!< propagated PTE stores
+    std::uint64_t replicaRefsOnUpdate = 0; //!< memory refs those stores cost
+    std::uint64_t adMergedReads = 0;     //!< OR-ed A/D reads
+    std::uint64_t treeReplications = 0;  //!< full-tree replicate calls
+    std::uint64_t treeMigrations = 0;    //!< §5.5 migrations
+    std::uint64_t degradedAllocs = 0;    //!< replica alloc failures
+};
+
+/** The Mitosis PV-Ops backend. */
+class MitosisBackend : public pvops::PvOps
+{
+  public:
+    explicit MitosisBackend(mem::PhysicalMemory &physmem,
+                            const MitosisConfig &config = MitosisConfig{});
+
+    /// @name Policy surface (§6)
+    /// @{
+
+    /** sysctl: change the system-wide state. */
+    void setSystemPolicy(SystemPolicy policy, SocketId fixed_socket = 0);
+    SystemPolicy systemPolicy() const { return cfg.policy; }
+
+    /**
+     * The numa_set_pgtable_replication_mask() syscall: replicate the
+     * process's page-table onto every socket in @p mask (walking and
+     * copying the existing tree), or tear replicas down for an empty
+     * mask. No-op under SystemPolicy::Disabled.
+     *
+     * @return true if the mask was applied.
+     */
+    bool setReplicationMask(pt::RootSet &roots, ProcId owner,
+                            SocketMask mask,
+                            pvops::KernelCost *cost = nullptr);
+
+    /** numa_get_pgtable_replication_mask(). */
+    SocketMask replicationMask(const pt::RootSet &roots) const
+    {
+        return roots.replicaMask;
+    }
+
+    /**
+     * §5.5: migrate the page-table to @p target. Implemented as
+     * replicate-to-target; source copies are freed eagerly or kept
+     * (lazily releasable) per configuration.
+     */
+    bool migratePageTables(pt::RootSet &roots, ProcId owner,
+                           SocketId target,
+                           pvops::KernelCost *cost = nullptr);
+
+    /// @}
+    /// @name PV-Ops implementation (§5)
+    /// @{
+
+    Pfn allocPtPage(pt::RootSet &roots, ProcId owner, int level,
+                    SocketId hint_socket, pvops::KernelCost *cost) override;
+
+    void releasePtPage(pt::RootSet &roots, Pfn pfn,
+                       pvops::KernelCost *cost) override;
+
+    void setPte(pt::RootSet &roots, pt::PteLoc loc, pt::Pte value,
+                int level, pvops::KernelCost *cost) override;
+
+    pt::Pte readPte(const pt::RootSet &roots, pt::PteLoc loc,
+                    pvops::KernelCost *cost) const override;
+
+    void clearAccessedDirty(pt::RootSet &roots, pt::PteLoc loc,
+                            std::uint64_t bits,
+                            pvops::KernelCost *cost) override;
+
+    Pfn cr3For(const pt::RootSet &roots, SocketId socket) const override;
+
+    void onProcessMigrated(pt::RootSet &roots, ProcId owner, SocketId from,
+                           SocketId to, pvops::KernelCost *cost) override;
+
+    const char *name() const override { return "mitosis"; }
+
+    /// @}
+
+    const MitosisStats &stats() const { return stats_; }
+    void resetStats() { stats_ = MitosisStats{}; }
+    const MitosisConfig &config() const { return cfg; }
+
+  protected:
+    /** Mask in force for new PT pages of a process. */
+    SocketMask effectiveMask(const pt::RootSet &roots) const;
+
+    /** Allocate one PT page honoring the FixedSocket analysis policy. */
+    Pfn allocSingle(ProcId owner, int level, SocketId hint,
+                    pvops::KernelCost *cost);
+
+    /**
+     * Ensure a replica of the subtree rooted at @p src exists on
+     * @p target; returns the target-socket copy of @p src.
+     */
+    Pfn replicateSubtree(Pfn src, int level, SocketId target, ProcId owner,
+                         pvops::KernelCost *cost);
+
+    /** Free every replica of @p pfn's list except @p keep. */
+    void freeOtherReplicas(Pfn keep, pvops::KernelCost *cost);
+
+    /** Collect the @p socket replicas of all primary-tree pages. */
+    void collectReplicasOn(pt::RootSet &roots, SocketId socket,
+                           std::vector<Pfn> &out);
+
+    /** Write @p value into replica page @p replica, fixing child links. */
+    void writeReplicaEntry(Pfn replica, unsigned index, pt::Pte value,
+                           int level, pvops::KernelCost *cost);
+
+    /** Charge the per-replica locate cost for the configured mode. */
+    void chargeLocate(pvops::KernelCost *cost) const;
+
+    mem::PhysicalMemory &mem;
+    MitosisConfig cfg;
+    MitosisStats stats_;
+};
+
+} // namespace mitosim::core
+
+#endif // MITOSIM_CORE_MITOSIS_H

@@ -1,0 +1,203 @@
+#include "frame_allocator.h"
+
+#include "src/base/logging.h"
+
+namespace mitosim::mem
+{
+
+FrameAllocator::FrameAllocator(Pfn first_pfn, std::uint64_t num_frames)
+    : basePfn(first_pfn), numFrames(num_frames), freeCount(num_frames),
+      blocks(num_frames / framesPerBlock)
+{
+    if (num_frames == 0 || num_frames % framesPerBlock != 0)
+        fatal("FrameAllocator size must be a positive multiple of 512");
+    fullyFreeStack.reserve(blocks.size());
+    // Push in reverse so allocation proceeds from low addresses upward.
+    for (std::size_t i = blocks.size(); i-- > 0;)
+        fullyFreeStack.push_back(static_cast<std::uint32_t>(i));
+}
+
+bool
+FrameAllocator::testSlot(const Block &b, unsigned slot) const
+{
+    return (b.used[slot >> 6] >> (slot & 63)) & 1;
+}
+
+void
+FrameAllocator::setSlot(Block &b, unsigned slot)
+{
+    b.used[slot >> 6] |= 1ull << (slot & 63);
+    ++b.usedCount;
+}
+
+void
+FrameAllocator::clearSlot(Block &b, unsigned slot)
+{
+    b.used[slot >> 6] &= ~(1ull << (slot & 63));
+    --b.usedCount;
+}
+
+int
+FrameAllocator::findFreeSlot(const Block &b) const
+{
+    for (unsigned w = 0; w < 8; ++w) {
+        std::uint64_t inv = ~b.used[w];
+        if (inv)
+            return static_cast<int>(w * 64 +
+                                    static_cast<unsigned>(
+                                        __builtin_ctzll(inv)));
+    }
+    return -1;
+}
+
+std::optional<Pfn>
+FrameAllocator::allocFrame()
+{
+    if (freeCount == 0)
+        return std::nullopt;
+
+    // Prefer a partially-used block to keep fully-free blocks intact for
+    // large-page allocations (mirrors buddy-allocator behaviour).
+    while (!partialStack.empty()) {
+        std::uint32_t bi = partialStack.back();
+        Block &b = blocks[bi];
+        if (b.usedCount == 0 || b.usedCount >= framesPerBlock) {
+            partialStack.pop_back(); // stale entry
+            continue;
+        }
+        int slot = findFreeSlot(b);
+        MITOSIM_ASSERT(slot >= 0);
+        setSlot(b, static_cast<unsigned>(slot));
+        if (b.usedCount >= framesPerBlock)
+            partialStack.pop_back();
+        --freeCount;
+        return basePfn + bi * 512ull + static_cast<unsigned>(slot);
+    }
+
+    // Split a fully-free block.
+    while (!fullyFreeStack.empty()) {
+        std::uint32_t bi = fullyFreeStack.back();
+        Block &b = blocks[bi];
+        if (b.usedCount != 0) {
+            fullyFreeStack.pop_back(); // stale entry
+            continue;
+        }
+        fullyFreeStack.pop_back();
+        setSlot(b, 0);
+        partialStack.push_back(bi);
+        --freeCount;
+        return basePfn + bi * 512ull;
+    }
+
+    // freeCount > 0 but no block found: stacks were stale; rebuild.
+    for (std::size_t i = blocks.size(); i-- > 0;) {
+        if (blocks[i].usedCount == 0)
+            fullyFreeStack.push_back(static_cast<std::uint32_t>(i));
+        else if (blocks[i].usedCount < framesPerBlock)
+            partialStack.push_back(static_cast<std::uint32_t>(i));
+    }
+    if (partialStack.empty() && fullyFreeStack.empty())
+        return std::nullopt;
+    return allocFrame();
+}
+
+std::optional<Pfn>
+FrameAllocator::allocLargeBlock()
+{
+    while (!fullyFreeStack.empty()) {
+        std::uint32_t bi = fullyFreeStack.back();
+        Block &b = blocks[bi];
+        if (b.usedCount != 0) {
+            fullyFreeStack.pop_back(); // stale
+            continue;
+        }
+        fullyFreeStack.pop_back();
+        for (auto &w : b.used)
+            w = ~0ull;
+        b.usedCount = framesPerBlock;
+        freeCount -= framesPerBlock;
+        return basePfn + bi * 512ull;
+    }
+    // Rebuild in case frees made blocks fully free without stack entries.
+    bool found = false;
+    for (std::size_t i = blocks.size(); i-- > 0;) {
+        if (blocks[i].usedCount == 0) {
+            fullyFreeStack.push_back(static_cast<std::uint32_t>(i));
+            found = true;
+        }
+    }
+    if (!found)
+        return std::nullopt;
+    return allocLargeBlock();
+}
+
+void
+FrameAllocator::freeFrame(Pfn pfn)
+{
+    MITOSIM_ASSERT(owns(pfn), "freeFrame: pfn not owned by this socket");
+    Block &b = blocks[blockOf(pfn)];
+    unsigned slot = slotOf(pfn);
+    if (!testSlot(b, slot))
+        panic("double free of pfn %llu", (unsigned long long)pfn);
+    bool was_full = b.usedCount >= framesPerBlock;
+    clearSlot(b, slot);
+    ++freeCount;
+    std::uint32_t bi = static_cast<std::uint32_t>(blockOf(pfn));
+    if (b.usedCount == 0)
+        fullyFreeStack.push_back(bi);
+    else if (was_full)
+        partialStack.push_back(bi);
+}
+
+void
+FrameAllocator::freeLargeBlock(Pfn head)
+{
+    MITOSIM_ASSERT(owns(head) && slotOf(head) == 0,
+                   "freeLargeBlock: head not 2MB aligned");
+    Block &b = blocks[blockOf(head)];
+    if (b.usedCount != framesPerBlock)
+        panic("freeLargeBlock: block not fully allocated");
+    for (auto &w : b.used)
+        w = 0;
+    b.usedCount = 0;
+    freeCount += framesPerBlock;
+    fullyFreeStack.push_back(static_cast<std::uint32_t>(blockOf(head)));
+}
+
+std::uint64_t
+FrameAllocator::freeLargeBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : blocks)
+        if (b.usedCount == 0)
+            ++n;
+    return n;
+}
+
+bool
+FrameAllocator::isAllocated(Pfn pfn) const
+{
+    MITOSIM_ASSERT(owns(pfn));
+    return testSlot(blocks[blockOf(pfn)], slotOf(pfn));
+}
+
+std::vector<Pfn>
+FrameAllocator::fragment(double fraction, Rng &rng)
+{
+    std::vector<Pfn> pinned;
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+        Block &b = blocks[bi];
+        if (b.usedCount != 0)
+            continue;
+        if (!rng.chance(fraction))
+            continue;
+        unsigned slot = static_cast<unsigned>(rng.below(framesPerBlock));
+        setSlot(b, slot);
+        --freeCount;
+        partialStack.push_back(static_cast<std::uint32_t>(bi));
+        pinned.push_back(basePfn + bi * 512ull + slot);
+    }
+    return pinned;
+}
+
+} // namespace mitosim::mem

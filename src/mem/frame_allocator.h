@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Per-socket physical frame allocator.
+ *
+ * Tracks 4 KB frames inside 2 MB-aligned blocks so it can serve both base
+ * pages and contiguous 512-frame large pages (for THP). Fragmentation is
+ * first-class: the fragmentation injector pins scattered frames inside
+ * otherwise-free blocks, making 2 MB allocations fail exactly the way an
+ * aged Linux buddy allocator does (paper §8.2, Figure 11).
+ */
+
+#ifndef MITOSIM_MEM_FRAME_ALLOCATOR_H
+#define MITOSIM_MEM_FRAME_ALLOCATOR_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/types.h"
+
+namespace mitosim::mem
+{
+
+/** Free-frame bookkeeping for one socket's contiguous PFN range. */
+class FrameAllocator
+{
+  public:
+    /**
+     * @param first_pfn lowest frame this allocator owns (2 MB aligned)
+     * @param num_frames number of frames owned (multiple of 512)
+     */
+    FrameAllocator(Pfn first_pfn, std::uint64_t num_frames);
+
+    /** Allocate one 4 KB frame; nullopt when the socket is exhausted. */
+    std::optional<Pfn> allocFrame();
+
+    /**
+     * Allocate 512 contiguous, 2 MB-aligned frames; nullopt when no fully
+     * free block exists (exhaustion or fragmentation).
+     */
+    std::optional<Pfn> allocLargeBlock();
+
+    /** Return one 4 KB frame. Double-free is a panic. */
+    void freeFrame(Pfn pfn);
+
+    /** Return a 2 MB block previously obtained from allocLargeBlock(). */
+    void freeLargeBlock(Pfn head);
+
+    std::uint64_t freeFrames() const { return freeCount; }
+    std::uint64_t totalFrames() const { return numFrames; }
+    Pfn firstPfn() const { return basePfn; }
+
+    /** Number of fully-free 2 MB blocks (capacity for THP allocations). */
+    std::uint64_t freeLargeBlocks() const;
+
+    bool
+    owns(Pfn pfn) const
+    {
+        return pfn >= basePfn && pfn < basePfn + numFrames;
+    }
+
+    bool isAllocated(Pfn pfn) const;
+
+    /**
+     * Fragmentation injector: for each fully-free 2 MB block, with
+     * probability @p fraction allocate one interior frame and report it.
+     * The caller marks those frames Reserved so they are never reused as
+     * data; freeing them later "compacts" memory.
+     *
+     * @return the pinned frames.
+     */
+    std::vector<Pfn> fragment(double fraction, Rng &rng);
+
+  private:
+    static constexpr unsigned framesPerBlock = 512;
+
+    struct Block
+    {
+        std::uint64_t used[8] = {0, 0, 0, 0, 0, 0, 0, 0}; // 512-bit bitmap
+        std::uint32_t usedCount = 0;
+    };
+
+    std::uint64_t blockOf(Pfn pfn) const { return (pfn - basePfn) / 512; }
+    unsigned slotOf(Pfn pfn) const
+    {
+        return static_cast<unsigned>((pfn - basePfn) % 512);
+    }
+
+    bool testSlot(const Block &b, unsigned slot) const;
+    void setSlot(Block &b, unsigned slot);
+    void clearSlot(Block &b, unsigned slot);
+    int findFreeSlot(const Block &b) const;
+
+    Pfn basePfn;
+    std::uint64_t numFrames;
+    std::uint64_t freeCount;
+    std::vector<Block> blocks;
+
+    // Lazily-maintained stacks of candidate block indices. Entries may be
+    // stale; pop verifies against the block's actual state.
+    std::vector<std::uint32_t> fullyFreeStack;
+    std::vector<std::uint32_t> partialStack;
+};
+
+} // namespace mitosim::mem
+
+#endif // MITOSIM_MEM_FRAME_ALLOCATOR_H

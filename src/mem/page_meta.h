@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-frame metadata, MitoSim's equivalent of Linux's struct page.
+ *
+ * The paper stores the replica circular-list pointer in struct page (§5.2,
+ * Figure 8) so that a PTE write can find all replicas of a page-table page
+ * in O(replicas) without walking any page-table. We do the same: every
+ * physical frame has a PageMeta; page-table frames additionally own their
+ * 512-entry table storage and participate in a circular replica list.
+ */
+
+#ifndef MITOSIM_MEM_PAGE_META_H
+#define MITOSIM_MEM_PAGE_META_H
+
+#include <cstdint>
+#include <memory>
+
+#include "src/base/types.h"
+
+namespace mitosim::mem
+{
+
+/** What a physical frame currently holds. */
+enum class FrameType : std::uint8_t
+{
+    Free,      //!< on a free list
+    Data,      //!< application data (unbacked in the host)
+    PageTable, //!< one page of a process page-table (host-backed)
+    Reserved,  //!< kernel junk, e.g. fragmentation filler
+};
+
+/** Flags on a frame. */
+enum FrameFlags : std::uint16_t
+{
+    FrameFlagNone = 0,
+    FrameFlagLargeHead = 1 << 0, //!< first frame of a 2 MB data page
+    FrameFlagLargeTail = 1 << 1, //!< interior frame of a 2 MB data page
+    FrameFlagPtReserve = 1 << 2, //!< lives in a per-socket PT page cache
+};
+
+/**
+ * Metadata for one 4 KB physical frame.
+ *
+ * @invariant type == PageTable  <=>  table != nullptr
+ * @invariant For PageTable frames, replicaNext forms a circular list over
+ *            all replicas of the same logical page-table page; an
+ *            unreplicated page links to itself.
+ */
+struct PageMeta
+{
+    /** PT frames own their 512 x u64 storage; null otherwise. */
+    std::unique_ptr<std::uint64_t[]> table;
+
+    /** Next frame in the circular replica list (self if unreplicated). */
+    Pfn replicaNext = InvalidPfn;
+
+    /** Owning process, or -1 for kernel/none. */
+    ProcId owner = -1;
+
+    FrameType type = FrameType::Free;
+
+    /** Page-table level 1..4 for PageTable frames, 0 otherwise. */
+    std::uint8_t level = 0;
+
+    std::uint16_t flags = FrameFlagNone;
+
+    bool isPageTable() const { return type == FrameType::PageTable; }
+    bool isFree() const { return type == FrameType::Free; }
+    bool hasFlag(FrameFlags f) const { return (flags & f) != 0; }
+};
+
+} // namespace mitosim::mem
+
+#endif // MITOSIM_MEM_PAGE_META_H

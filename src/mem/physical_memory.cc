@@ -1,0 +1,397 @@
+#include "physical_memory.h"
+
+#include <array>
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace mitosim::mem
+{
+
+PhysicalMemory::PhysicalMemory(const numa::Topology &topology)
+    : topo(topology),
+      metas(topo.totalFrames()),
+      perSocket(static_cast<std::size_t>(topo.numSockets())),
+      ptCache(static_cast<std::size_t>(topo.numSockets())),
+      ptCacheTarget(static_cast<std::size_t>(topo.numSockets()), 0),
+      fragPinned(static_cast<std::size_t>(topo.numSockets())),
+      ptLive(static_cast<std::size_t>(topo.numSockets()))
+{
+    allocators.reserve(static_cast<std::size_t>(topo.numSockets()));
+    for (SocketId s = 0; s < topo.numSockets(); ++s)
+        allocators.emplace_back(topo.firstPfnOf(s), topo.framesPerSocket());
+    for (auto &arr : ptLive)
+        arr.fill(0);
+}
+
+FrameAllocator &
+PhysicalMemory::alloc(SocketId socket)
+{
+    MITOSIM_ASSERT(socket >= 0 && socket < topo.numSockets());
+    return allocators[static_cast<std::size_t>(socket)];
+}
+
+const FrameAllocator &
+PhysicalMemory::alloc(SocketId socket) const
+{
+    MITOSIM_ASSERT(socket >= 0 && socket < topo.numSockets());
+    return allocators[static_cast<std::size_t>(socket)];
+}
+
+std::optional<Pfn>
+PhysicalMemory::allocData(SocketId socket, ProcId owner)
+{
+    auto pfn = alloc(socket).allocFrame();
+    if (!pfn)
+        return std::nullopt;
+    PageMeta &m = meta(*pfn);
+    m.type = FrameType::Data;
+    m.owner = owner;
+    m.level = 0;
+    m.flags = FrameFlagNone;
+    m.replicaNext = *pfn;
+    ++perSocket[static_cast<std::size_t>(socket)].dataPages;
+    return pfn;
+}
+
+std::optional<Pfn>
+PhysicalMemory::allocDataAny(SocketId preferred, ProcId owner)
+{
+    auto pfn = allocData(preferred, owner);
+    if (pfn)
+        return pfn;
+    for (int d = 1; d < topo.numSockets(); ++d) {
+        SocketId s = (preferred + d) % topo.numSockets();
+        pfn = allocData(s, owner);
+        if (pfn)
+            return pfn;
+    }
+    return std::nullopt;
+}
+
+std::optional<Pfn>
+PhysicalMemory::allocDataLarge(SocketId socket, ProcId owner)
+{
+    auto head = alloc(socket).allocLargeBlock();
+    if (!head)
+        return std::nullopt;
+    for (Pfn p = *head; p < *head + FramesPerLargePage; ++p) {
+        PageMeta &m = meta(p);
+        m.type = FrameType::Data;
+        m.owner = owner;
+        m.level = 0;
+        m.flags = (p == *head) ? FrameFlagLargeHead : FrameFlagLargeTail;
+        m.replicaNext = p;
+    }
+    ++perSocket[static_cast<std::size_t>(socket)].dataLargePages;
+    return head;
+}
+
+void
+PhysicalMemory::freeData(Pfn pfn)
+{
+    PageMeta &m = meta(pfn);
+    MITOSIM_ASSERT(m.type == FrameType::Data && !m.hasFlag(FrameFlagLargeHead)
+                       && !m.hasFlag(FrameFlagLargeTail),
+                   "freeData: not a small data frame");
+    m.type = FrameType::Free;
+    m.owner = -1;
+    m.replicaNext = InvalidPfn;
+    SocketId s = socketOf(pfn);
+    --perSocket[static_cast<std::size_t>(s)].dataPages;
+    alloc(s).freeFrame(pfn);
+}
+
+void
+PhysicalMemory::freeDataLarge(Pfn head)
+{
+    PageMeta &hm = meta(head);
+    MITOSIM_ASSERT(hm.type == FrameType::Data &&
+                       hm.hasFlag(FrameFlagLargeHead),
+                   "freeDataLarge: not a large-page head");
+    for (Pfn p = head; p < head + FramesPerLargePage; ++p) {
+        PageMeta &m = meta(p);
+        m.type = FrameType::Free;
+        m.owner = -1;
+        m.flags = FrameFlagNone;
+        m.replicaNext = InvalidPfn;
+    }
+    SocketId s = socketOf(head);
+    --perSocket[static_cast<std::size_t>(s)].dataLargePages;
+    alloc(s).freeLargeBlock(head);
+}
+
+std::optional<Pfn>
+PhysicalMemory::migrateData(Pfn pfn, SocketId target)
+{
+    PageMeta &m = meta(pfn);
+    MITOSIM_ASSERT(m.type == FrameType::Data, "migrateData: not data");
+    bool large = m.hasFlag(FrameFlagLargeHead);
+    MITOSIM_ASSERT(!m.hasFlag(FrameFlagLargeTail),
+                   "migrateData: interior of a large page");
+    ProcId owner = m.owner;
+    std::optional<Pfn> fresh = large ? allocDataLarge(target, owner)
+                                     : allocData(target, owner);
+    if (!fresh)
+        return std::nullopt;
+    if (large)
+        freeDataLarge(pfn);
+    else
+        freeData(pfn);
+    return fresh;
+}
+
+std::optional<Pfn>
+PhysicalMemory::popPtCache(SocketId socket)
+{
+    auto &cache = ptCache[static_cast<std::size_t>(socket)];
+    if (cache.empty())
+        return std::nullopt;
+    Pfn pfn = cache.back();
+    cache.pop_back();
+    return pfn;
+}
+
+std::optional<Pfn>
+PhysicalMemory::allocPt(SocketId socket, int level, ProcId owner)
+{
+    MITOSIM_ASSERT(level >= 1 && level <= 4, "bad page-table level");
+    auto &st = perSocket[static_cast<std::size_t>(socket)];
+    ++st.ptAllocs;
+
+    std::optional<Pfn> pfn = alloc(socket).allocFrame();
+    if (!pfn) {
+        pfn = popPtCache(socket); // reserve pool fallback (§5.1)
+        if (pfn)
+            ++st.ptCacheHits;
+    }
+    if (!pfn) {
+        ++st.ptAllocFailures;
+        return std::nullopt;
+    }
+
+    PageMeta &m = meta(*pfn);
+    m.type = FrameType::PageTable;
+    m.owner = owner;
+    m.level = static_cast<std::uint8_t>(level);
+    m.flags = FrameFlagNone;
+    m.replicaNext = *pfn; // self-linked until replicated
+    m.table = std::make_unique<std::uint64_t[]>(PtEntriesPerPage);
+    std::memset(m.table.get(), 0, PtEntriesPerPage * sizeof(std::uint64_t));
+
+    ++st.ptPages;
+    ++ptLive[static_cast<std::size_t>(socket)][static_cast<std::size_t>(
+        level)];
+    return pfn;
+}
+
+void
+PhysicalMemory::freePt(Pfn pfn)
+{
+    PageMeta &m = meta(pfn);
+    MITOSIM_ASSERT(m.isPageTable(), "freePt: not a page-table frame");
+    MITOSIM_ASSERT(m.replicaNext == pfn,
+                   "freePt: page still linked in a replica list");
+    SocketId s = socketOf(pfn);
+    auto &st = perSocket[static_cast<std::size_t>(s)];
+    --st.ptPages;
+    --ptLive[static_cast<std::size_t>(s)][m.level];
+
+    m.table.reset();
+    m.owner = -1;
+    m.level = 0;
+    m.replicaNext = InvalidPfn;
+
+    auto &cache = ptCache[static_cast<std::size_t>(s)];
+    if (cache.size() < ptCacheTarget[static_cast<std::size_t>(s)]) {
+        m.type = FrameType::Reserved;
+        m.flags = FrameFlagPtReserve;
+        cache.push_back(pfn);
+    } else {
+        m.type = FrameType::Free;
+        m.flags = FrameFlagNone;
+        alloc(s).freeFrame(pfn);
+    }
+}
+
+void
+PhysicalMemory::setPtCacheTarget(SocketId socket, std::uint64_t frames)
+{
+    MITOSIM_ASSERT(socket >= 0 && socket < topo.numSockets());
+    auto idx = static_cast<std::size_t>(socket);
+    ptCacheTarget[idx] = frames;
+    auto &cache = ptCache[idx];
+    // Grow eagerly while memory is available.
+    while (cache.size() < frames) {
+        auto pfn = alloc(socket).allocFrame();
+        if (!pfn)
+            break;
+        PageMeta &m = meta(*pfn);
+        m.type = FrameType::Reserved;
+        m.flags = FrameFlagPtReserve;
+        cache.push_back(*pfn);
+    }
+    // Shrink eagerly when the target drops.
+    while (cache.size() > frames) {
+        Pfn pfn = cache.back();
+        cache.pop_back();
+        PageMeta &m = meta(pfn);
+        m.type = FrameType::Free;
+        m.flags = FrameFlagNone;
+        alloc(socket).freeFrame(pfn);
+    }
+}
+
+std::uint64_t
+PhysicalMemory::ptCacheSize(SocketId socket) const
+{
+    MITOSIM_ASSERT(socket >= 0 && socket < topo.numSockets());
+    return ptCache[static_cast<std::size_t>(socket)].size();
+}
+
+std::uint64_t *
+PhysicalMemory::table(Pfn pfn)
+{
+    PageMeta &m = meta(pfn);
+    MITOSIM_ASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
+    return m.table.get();
+}
+
+const std::uint64_t *
+PhysicalMemory::table(Pfn pfn) const
+{
+    const PageMeta &m = meta(pfn);
+    MITOSIM_ASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
+    return m.table.get();
+}
+
+void
+PhysicalMemory::linkReplica(Pfn base, Pfn added)
+{
+    PageMeta &bm = meta(base);
+    PageMeta &am = meta(added);
+    MITOSIM_ASSERT(bm.isPageTable() && am.isPageTable());
+    MITOSIM_ASSERT(am.replicaNext == added,
+                   "linkReplica: page already in a list");
+    am.replicaNext = bm.replicaNext;
+    bm.replicaNext = added;
+}
+
+void
+PhysicalMemory::unlinkReplica(Pfn pfn)
+{
+    PageMeta &m = meta(pfn);
+    MITOSIM_ASSERT(m.isPageTable());
+    if (m.replicaNext == pfn)
+        return; // already alone
+    Pfn prev = pfn;
+    while (meta(prev).replicaNext != pfn)
+        prev = meta(prev).replicaNext;
+    meta(prev).replicaNext = m.replicaNext;
+    m.replicaNext = pfn;
+}
+
+Pfn
+PhysicalMemory::replicaOnSocket(Pfn pfn, SocketId socket) const
+{
+    Pfn p = pfn;
+    do {
+        if (socketOf(p) == socket)
+            return p;
+        p = meta(p).replicaNext;
+    } while (p != pfn);
+    return InvalidPfn;
+}
+
+int
+PhysicalMemory::replicaCount(Pfn pfn) const
+{
+    int n = 0;
+    Pfn p = pfn;
+    do {
+        ++n;
+        p = meta(p).replicaNext;
+    } while (p != pfn);
+    return n;
+}
+
+void
+PhysicalMemory::forEachReplica(Pfn pfn,
+                               const std::function<void(Pfn)> &fn) const
+{
+    Pfn p = pfn;
+    do {
+        fn(p);
+        p = meta(p).replicaNext;
+    } while (p != pfn);
+}
+
+PageMeta &
+PhysicalMemory::meta(Pfn pfn)
+{
+    MITOSIM_ASSERT(pfn < metas.size(), "meta(): pfn out of range");
+    return metas[pfn];
+}
+
+const PageMeta &
+PhysicalMemory::meta(Pfn pfn) const
+{
+    MITOSIM_ASSERT(pfn < metas.size(), "meta(): pfn out of range");
+    return metas[pfn];
+}
+
+std::uint64_t
+PhysicalMemory::freeFrames(SocketId socket) const
+{
+    return alloc(socket).freeFrames();
+}
+
+std::uint64_t
+PhysicalMemory::freeLargeBlocks(SocketId socket) const
+{
+    return alloc(socket).freeLargeBlocks();
+}
+
+const MemStats &
+PhysicalMemory::stats(SocketId socket) const
+{
+    MITOSIM_ASSERT(socket >= 0 && socket < topo.numSockets());
+    return perSocket[static_cast<std::size_t>(socket)];
+}
+
+std::uint64_t
+PhysicalMemory::ptPagesAt(SocketId socket, int level) const
+{
+    MITOSIM_ASSERT(socket >= 0 && socket < topo.numSockets());
+    MITOSIM_ASSERT(level >= 1 && level <= 4);
+    return ptLive[static_cast<std::size_t>(socket)][static_cast<std::size_t>(
+        level)];
+}
+
+void
+PhysicalMemory::fragment(SocketId socket, double fraction, Rng &rng)
+{
+    auto pinned = alloc(socket).fragment(fraction, rng);
+    for (Pfn pfn : pinned) {
+        PageMeta &m = meta(pfn);
+        m.type = FrameType::Reserved;
+        m.flags = FrameFlagNone;
+    }
+    auto &list = fragPinned[static_cast<std::size_t>(socket)];
+    list.insert(list.end(), pinned.begin(), pinned.end());
+}
+
+void
+PhysicalMemory::defragment(SocketId socket)
+{
+    auto &list = fragPinned[static_cast<std::size_t>(socket)];
+    for (Pfn pfn : list) {
+        PageMeta &m = meta(pfn);
+        MITOSIM_ASSERT(m.type == FrameType::Reserved);
+        m.type = FrameType::Free;
+        alloc(socket).freeFrame(pfn);
+    }
+    list.clear();
+}
+
+} // namespace mitosim::mem

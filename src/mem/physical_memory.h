@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Socket-homed simulated physical memory.
+ *
+ * Combines the NUMA topology, one FrameAllocator per socket, the PageMeta
+ * array, and the per-socket page-table reserve caches (paper §5.1: "we
+ * implemented per-socket page-caches to reserve pages for page-table
+ * allocations", sized via sysctl).
+ *
+ * Data frames are *unbacked*: the simulator never stores data bytes, only
+ * placement. Page-table frames are host-backed (512 x u64) because the
+ * radix trees must really exist for replication to be semantic.
+ */
+
+#ifndef MITOSIM_MEM_PHYSICAL_MEMORY_H
+#define MITOSIM_MEM_PHYSICAL_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/types.h"
+#include "src/mem/frame_allocator.h"
+#include "src/mem/page_meta.h"
+#include "src/numa/topology.h"
+
+namespace mitosim::mem
+{
+
+/** Allocation / liveness statistics, queryable per socket. */
+struct MemStats
+{
+    std::uint64_t dataPages = 0;      //!< live 4 KB data frames
+    std::uint64_t dataLargePages = 0; //!< live 2 MB data pages
+    std::uint64_t ptPages = 0;        //!< live page-table frames
+    std::uint64_t ptAllocs = 0;       //!< cumulative PT allocations
+    std::uint64_t ptCacheHits = 0;    //!< PT allocs served from reserve
+    std::uint64_t ptAllocFailures = 0;
+};
+
+/** All simulated physical memory of the machine. */
+class PhysicalMemory
+{
+  public:
+    explicit PhysicalMemory(const numa::Topology &topology);
+
+    const numa::Topology &topology() const { return topo; }
+
+    /// @name Data frames
+    /// @{
+
+    /** Strictly allocate a 4 KB data frame on @p socket. */
+    std::optional<Pfn> allocData(SocketId socket, ProcId owner);
+
+    /**
+     * Allocate a 4 KB data frame, preferring @p preferred but falling back
+     * to other sockets in nearest-first order (Linux's default behaviour
+     * when a node is exhausted).
+     */
+    std::optional<Pfn> allocDataAny(SocketId preferred, ProcId owner);
+
+    /** Strictly allocate a 2 MB data page on @p socket. */
+    std::optional<Pfn> allocDataLarge(SocketId socket, ProcId owner);
+
+    void freeData(Pfn pfn);
+    void freeDataLarge(Pfn head);
+
+    /** Move a data frame to @p target socket; returns the new pfn. */
+    std::optional<Pfn> migrateData(Pfn pfn, SocketId target);
+
+    /// @}
+    /// @name Page-table frames
+    /// @{
+
+    /**
+     * Allocate a zeroed page-table frame on @p socket: strict allocation
+     * first, then the socket's reserve cache (§5.1). Returns nullopt only
+     * when both fail.
+     */
+    std::optional<Pfn> allocPt(SocketId socket, int level, ProcId owner);
+
+    void freePt(Pfn pfn);
+
+    /** sysctl-style control of the per-socket PT reserve size. */
+    void setPtCacheTarget(SocketId socket, std::uint64_t frames);
+    std::uint64_t ptCacheSize(SocketId socket) const;
+
+    /** Backing storage of a PT frame (512 entries). */
+    std::uint64_t *table(Pfn pfn);
+    const std::uint64_t *table(Pfn pfn) const;
+
+    /// @}
+    /// @name Replica circular list (Figure 8)
+    /// @{
+
+    /** Insert @p added into the circular replica list containing @p base. */
+    void linkReplica(Pfn base, Pfn added);
+
+    /** Remove @p pfn from its replica list (self-link afterwards). */
+    void unlinkReplica(Pfn pfn);
+
+    /** Replica of @p pfn's list homed on @p socket, or InvalidPfn. */
+    Pfn replicaOnSocket(Pfn pfn, SocketId socket) const;
+
+    /** Number of pages in @p pfn's replica list (>= 1). */
+    int replicaCount(Pfn pfn) const;
+
+    /** Visit every page in the replica list, starting at @p pfn. */
+    void forEachReplica(Pfn pfn,
+                        const std::function<void(Pfn)> &fn) const;
+
+    /// @}
+
+    PageMeta &meta(Pfn pfn);
+    const PageMeta &meta(Pfn pfn) const;
+    SocketId socketOf(Pfn pfn) const { return topo.socketOfPfn(pfn); }
+
+    std::uint64_t freeFrames(SocketId socket) const;
+    std::uint64_t freeLargeBlocks(SocketId socket) const;
+    const MemStats &stats(SocketId socket) const;
+
+    /** Live PT frames on @p socket at @p level (analysis, Fig 3). */
+    std::uint64_t ptPagesAt(SocketId socket, int level) const;
+
+    /// @name Fragmentation injection (Figure 11)
+    /// @{
+    void fragment(SocketId socket, double fraction, Rng &rng);
+    void defragment(SocketId socket);
+    /// @}
+
+  private:
+    FrameAllocator &alloc(SocketId socket);
+    const FrameAllocator &alloc(SocketId socket) const;
+    std::optional<Pfn> popPtCache(SocketId socket);
+
+    const numa::Topology &topo;
+    std::vector<FrameAllocator> allocators;
+    std::vector<PageMeta> metas;
+    std::vector<MemStats> perSocket;
+
+    // PT reserve caches: frames pre-allocated per socket.
+    std::vector<std::vector<Pfn>> ptCache;
+    std::vector<std::uint64_t> ptCacheTarget;
+
+    // Fragmentation filler frames, per socket, so we can undo.
+    std::vector<std::vector<Pfn>> fragPinned;
+
+    // Live PT page counts [socket][level 0..4] (level index 1..4 used).
+    std::vector<std::array<std::uint64_t, 5>> ptLive;
+};
+
+} // namespace mitosim::mem
+
+#endif // MITOSIM_MEM_PHYSICAL_MEMORY_H

@@ -1,0 +1,44 @@
+#include "topology.h"
+
+namespace mitosim::numa
+{
+
+Topology::Topology(const TopologyConfig &config)
+    : cfg(config),
+      framesPerSocket_(cfg.memPerSocket / PageSize),
+      interferers(static_cast<std::size_t>(cfg.numSockets), 0)
+{
+    if (cfg.numSockets < 1 || cfg.numSockets > 64)
+        fatal("numSockets must be in [1,64], got %d", cfg.numSockets);
+    if (cfg.coresPerSocket < 1)
+        fatal("coresPerSocket must be positive, got %d", cfg.coresPerSocket);
+    if (cfg.memPerSocket < LargePageSize)
+        fatal("memPerSocket must be at least one large page");
+    if (cfg.interferenceFactor < 1.0)
+        fatal("interferenceFactor must be >= 1.0");
+}
+
+void
+Topology::addInterferer(SocketId socket)
+{
+    MITOSIM_ASSERT(socket >= 0 && socket < numSockets());
+    ++interferers[static_cast<std::size_t>(socket)];
+}
+
+void
+Topology::removeInterferer(SocketId socket)
+{
+    MITOSIM_ASSERT(socket >= 0 && socket < numSockets());
+    MITOSIM_ASSERT(interferers[static_cast<std::size_t>(socket)] > 0,
+                   "no interferer registered on socket");
+    --interferers[static_cast<std::size_t>(socket)];
+}
+
+bool
+Topology::hasInterferer(SocketId socket) const
+{
+    MITOSIM_ASSERT(socket >= 0 && socket < numSockets());
+    return interferers[static_cast<std::size_t>(socket)] > 0;
+}
+
+} // namespace mitosim::numa

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Execution context: N logical workload threads pinned to cores, with
+ * per-thread performance counters.
+ *
+ * Threads are simulated round-robin in small chunks so that same-socket
+ * threads share L3 state roughly the way concurrent execution would.
+ * The reported "runtime" of a parallel phase is the maximum per-thread
+ * cycle count (threads run concurrently in the modelled machine).
+ */
+
+#ifndef MITOSIM_OS_EXEC_CONTEXT_H
+#define MITOSIM_OS_EXEC_CONTEXT_H
+
+#include <vector>
+
+#include "src/os/kernel.h"
+#include "src/os/process.h"
+#include "src/sim/perf_counters.h"
+
+namespace mitosim::os
+{
+
+/** Workload-facing execution handle. */
+class ExecContext
+{
+  public:
+    ExecContext(Kernel &kernel, Process &proc) : k(kernel), proc_(proc) {}
+
+    /** Pin a new logical thread to a free core of @p socket. */
+    int
+    addThread(SocketId socket)
+    {
+        k.spawnThreadOnSocket(proc_, socket);
+        counters.emplace_back();
+        return static_cast<int>(counters.size()) - 1;
+    }
+
+    int numThreads() const { return static_cast<int>(counters.size()); }
+
+    /** Core currently backing logical thread @p tid. */
+    CoreId
+    coreOf(int tid) const
+    {
+        return proc_.threads().at(static_cast<std::size_t>(tid)).core;
+    }
+
+    SocketId
+    socketOf(int tid) const
+    {
+        return k.machine().topology().socketOfCore(coreOf(tid));
+    }
+
+    /** One load/store by thread @p tid. */
+    Cycles
+    access(int tid, VirtAddr va, bool is_write)
+    {
+        return k.machine()
+            .core(coreOf(tid))
+            .access(va, is_write, counters[static_cast<std::size_t>(tid)]);
+    }
+
+    /** Charge non-memory work to thread @p tid. */
+    void
+    compute(int tid, Cycles c)
+    {
+        auto &pc = counters[static_cast<std::size_t>(tid)];
+        pc.cycles += c;
+        pc.computeCycles += c;
+    }
+
+    sim::PerfCounters &
+    threadCounters(int tid)
+    {
+        return counters[static_cast<std::size_t>(tid)];
+    }
+
+    /** Aggregate counters over all threads. */
+    sim::PerfCounters
+    totals() const
+    {
+        sim::PerfCounters sum;
+        for (const auto &pc : counters)
+            sum.add(pc);
+        return sum;
+    }
+
+    /** Parallel runtime: the slowest thread's cycles. */
+    Cycles
+    runtime() const
+    {
+        Cycles max = 0;
+        for (const auto &pc : counters)
+            max = std::max(max, pc.cycles);
+        return max;
+    }
+
+    /** Walk-cycle fraction of the slowest thread's socket-mates. */
+    double
+    walkFraction() const
+    {
+        sim::PerfCounters sum = totals();
+        return sum.walkFraction();
+    }
+
+    /** Reset counters (benches exclude the initialization phase). */
+    void
+    resetCounters()
+    {
+        for (auto &pc : counters)
+            pc = sim::PerfCounters{};
+    }
+
+    Kernel &kernel() { return k; }
+    Process &process() { return proc_; }
+
+  private:
+    Kernel &k;
+    Process &proc_;
+    std::vector<sim::PerfCounters> counters;
+};
+
+} // namespace mitosim::os
+
+#endif // MITOSIM_OS_EXEC_CONTEXT_H

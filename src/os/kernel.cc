@@ -1,0 +1,569 @@
+#include "kernel.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/pvops/costs.h"
+
+namespace mitosim::os
+{
+
+using pvops::KernelCost;
+
+Kernel::Kernel(sim::Machine &machine, pvops::PvOps &backend)
+    : mach(machine), pv(&backend), ops(machine.physmem(), backend),
+      autonuma(*this),
+      coreOwner(static_cast<std::size_t>(machine.numCores()), -1)
+{
+    mach.setFaultHandler(
+        [this](CoreId core, const sim::FaultRequest &req) {
+            return handleFault(core, req);
+        });
+}
+
+Kernel::~Kernel()
+{
+    // Tear down any still-live processes so physical memory balances.
+    while (!procs.empty())
+        destroyProcess(*procs.back());
+}
+
+Process &
+Kernel::createProcess(const std::string &name, SocketId home_socket)
+{
+    MITOSIM_ASSERT(home_socket >= 0 &&
+                   home_socket < mach.numSockets());
+    auto proc = std::make_unique<Process>(nextPid++, name);
+    Process &ref = *proc;
+    KernelCost cost;
+    if (!ops.createRoot(ref.roots(), ref.id(), home_socket, &cost))
+        fatal("out of memory creating root table for '%s'", name.c_str());
+    procs.push_back(std::move(proc));
+    homeSockets.push_back(home_socket);
+    return ref;
+}
+
+void
+Kernel::destroyProcess(Process &proc)
+{
+    // Free all data frames referenced by the primary tree.
+    std::vector<pt::WalkResult> leaves;
+    ops.forEachLeaf(proc.roots(),
+                    [&](VirtAddr, pt::PteLoc loc, pt::Pte pte,
+                        PageSizeKind size) {
+                        pt::WalkResult r;
+                        r.mapped = true;
+                        r.leaf = pte;
+                        r.loc = loc;
+                        r.size = size;
+                        leaves.push_back(r);
+                    });
+    for (const auto &leaf : leaves)
+        freeLeafData(leaf);
+
+    KernelCost cost;
+    ops.destroy(proc.roots(), &cost);
+
+    for (const auto &t : proc.threads())
+        coreOwner[static_cast<std::size_t>(t.core)] = -1;
+
+    auto it = std::find_if(procs.begin(), procs.end(),
+                           [&](const auto &p) { return p.get() == &proc; });
+    MITOSIM_ASSERT(it != procs.end(), "destroyProcess: unknown process");
+    homeSockets.erase(homeSockets.begin() + (it - procs.begin()));
+    procs.erase(it);
+}
+
+Process *
+Kernel::findProcess(ProcId pid)
+{
+    for (auto &p : procs) {
+        if (p->id() == pid)
+            return p.get();
+    }
+    return nullptr;
+}
+
+Process *
+Kernel::processOnCore(CoreId core)
+{
+    MITOSIM_ASSERT(core >= 0 && core < mach.numCores());
+    ProcId pid = coreOwner[static_cast<std::size_t>(core)];
+    return pid < 0 ? nullptr : findProcess(pid);
+}
+
+SocketId
+Kernel::homeSocket(const Process &proc) const
+{
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+        if (procs[i].get() == &proc)
+            return homeSockets[i];
+    }
+    panic("homeSocket: unknown process");
+}
+
+Region
+Kernel::mmap(Process &proc, std::uint64_t length, const MmapOptions &opts,
+             KernelCost *cost)
+{
+    MITOSIM_ASSERT(length > 0, "mmap of zero length");
+    std::uint64_t rounded = alignUp(length, PageSize);
+    return mmapFixed(proc, proc.reserveRange(rounded), rounded, opts,
+                     cost);
+}
+
+Region
+Kernel::mmapFixed(Process &proc, VirtAddr start, std::uint64_t length,
+                  const MmapOptions &opts, KernelCost *cost)
+{
+    MITOSIM_ASSERT(length > 0, "mmap of zero length");
+    MITOSIM_ASSERT((start & (PageSize - 1)) == 0, "mmapFixed: unaligned");
+    std::uint64_t rounded = alignUp(length, PageSize);
+    for (const Vma &v : proc.vmas()) {
+        if (start < v.end && start + rounded > v.start)
+            fatal("mmapFixed: range overlaps an existing VMA");
+    }
+
+    Vma vma;
+    vma.start = start;
+    vma.end = start + rounded;
+    vma.prot = opts.prot;
+    vma.thpEnabled = opts.thp;
+    proc.vmas().push_back(vma);
+
+    if (cost)
+        cost->charge(pvops::VmaOpFixedCost);
+
+    if (opts.populate) {
+        CoreId core = opts.populateCore;
+        if (core < 0)
+            core = mach.topology().firstCoreOf(homeSocket(proc));
+        populate(proc, start, rounded, core, cost);
+    }
+    return Region{start, rounded};
+}
+
+void
+Kernel::populate(Process &proc, VirtAddr start, std::uint64_t length,
+                 CoreId core, KernelCost *cost)
+{
+    KernelCost local;
+    KernelCost &c = cost ? *cost : local;
+    VirtAddr va = start;
+    VirtAddr end = start + length;
+    while (va < end) {
+        pt::WalkResult existing = ops.walk(proc.roots(), va);
+        if (existing.mapped) {
+            va += (existing.size == PageSizeKind::Large2M)
+                      ? LargePageSize - (va & (LargePageSize - 1))
+                      : PageSize;
+            continue;
+        }
+        if (!faultIn(proc, core, va, c))
+            fatal("populate: out of memory at va=0x%llx",
+                  (unsigned long long)va);
+        pt::WalkResult mapped = ops.walk(proc.roots(), va);
+        MITOSIM_ASSERT(mapped.mapped, "populate: fault-in did not map");
+        va += (mapped.size == PageSizeKind::Large2M)
+                  ? LargePageSize - (va & (LargePageSize - 1))
+                  : PageSize;
+    }
+}
+
+void
+Kernel::munmap(Process &proc, VirtAddr start, std::uint64_t length,
+               KernelCost *cost)
+{
+    MITOSIM_ASSERT((start & (PageSize - 1)) == 0, "munmap: unaligned");
+    std::uint64_t rounded = alignUp(length, PageSize);
+    VirtAddr end = start + rounded;
+
+    if (cost)
+        cost->charge(pvops::VmaOpFixedCost);
+
+    std::uint64_t pages_touched = 0;
+    for (VirtAddr va = start; va < end;) {
+        pt::WalkResult res = ops.unmap(proc.roots(), va, cost);
+        if (!res.mapped) {
+            va += PageSize;
+            continue;
+        }
+        freeLeafData(res);
+        if (cost)
+            cost->charge(pvops::PageFreeCost);
+        ++pages_touched;
+        if (pages_touched <= FlushAllThresholdPages)
+            shootdown(proc, va, nullptr);
+        va += (res.size == PageSizeKind::Large2M)
+                  ? LargePageSize - (va & (LargePageSize - 1))
+                  : PageSize;
+    }
+    if (pages_touched > FlushAllThresholdPages)
+        flushProcess(proc, nullptr);
+    if (pages_touched > 0 && cost)
+        cost->charge(pvops::TlbShootdownCost);
+
+    // Trim / split the VMA list.
+    std::vector<Vma> updated;
+    for (const Vma &v : proc.vmas()) {
+        if (v.end <= start || v.start >= end) {
+            updated.push_back(v);
+            continue;
+        }
+        if (v.start < start) {
+            Vma left = v;
+            left.end = start;
+            updated.push_back(left);
+        }
+        if (v.end > end) {
+            Vma right = v;
+            right.start = end;
+            updated.push_back(right);
+        }
+    }
+    proc.vmas() = std::move(updated);
+}
+
+void
+Kernel::mprotect(Process &proc, VirtAddr start, std::uint64_t length,
+                 std::uint64_t prot, KernelCost *cost)
+{
+    MITOSIM_ASSERT((start & (PageSize - 1)) == 0, "mprotect: unaligned");
+    std::uint64_t rounded = alignUp(length, PageSize);
+    VirtAddr end = start + rounded;
+
+    if (cost)
+        cost->charge(pvops::VmaOpFixedCost);
+
+    std::uint64_t set = 0;
+    std::uint64_t clear = 0;
+    if (prot & ProtWrite)
+        set |= pt::PteWrite;
+    else
+        clear |= pt::PteWrite;
+
+    std::uint64_t pages_touched = 0;
+    for (VirtAddr va = start; va < end;) {
+        pt::WalkResult res = ops.walk(proc.roots(), va);
+        if (!res.mapped) {
+            va += PageSize;
+            continue;
+        }
+        ops.protect(proc.roots(), va, set, clear, cost);
+        ++pages_touched;
+        if (pages_touched <= FlushAllThresholdPages)
+            shootdown(proc, va, nullptr);
+        va += (res.size == PageSizeKind::Large2M)
+                  ? LargePageSize - (va & (LargePageSize - 1))
+                  : PageSize;
+    }
+    if (pages_touched > FlushAllThresholdPages)
+        flushProcess(proc, nullptr);
+    if (pages_touched > 0 && cost)
+        cost->charge(pvops::TlbShootdownCost);
+
+    for (Vma &v : proc.vmas()) {
+        if (v.start >= start && v.end <= end)
+            v.prot = prot;
+    }
+}
+
+int
+Kernel::spawnThread(Process &proc, CoreId core)
+{
+    MITOSIM_ASSERT(core >= 0 && core < mach.numCores());
+    MITOSIM_ASSERT(coreOwner[static_cast<std::size_t>(core)] < 0,
+                   "core already occupied");
+    coreOwner[static_cast<std::size_t>(core)] = proc.id();
+    Thread t;
+    t.tid = nextTid++;
+    t.core = core;
+    proc.threads().push_back(t);
+    SocketId s = mach.topology().socketOfCore(core);
+    mach.core(core).loadCr3(pv->cr3For(proc.roots(), s));
+    return t.tid;
+}
+
+CoreId
+Kernel::findFreeCore(SocketId socket) const
+{
+    const auto &topo = mach.topology();
+    CoreId first = topo.firstCoreOf(socket);
+    for (CoreId c = first; c < first + topo.coresPerSocket(); ++c) {
+        if (coreOwner[static_cast<std::size_t>(c)] < 0)
+            return c;
+    }
+    return -1;
+}
+
+int
+Kernel::spawnThreadOnSocket(Process &proc, SocketId socket)
+{
+    CoreId core = findFreeCore(socket);
+    if (core < 0)
+        fatal("no free core on socket %d", socket);
+    return spawnThread(proc, core);
+}
+
+void
+Kernel::migrateProcess(Process &proc, SocketId target, bool migrate_data,
+                       KernelCost *cost)
+{
+    MITOSIM_ASSERT(target >= 0 && target < mach.numSockets());
+    SocketId from = homeSocket(proc);
+
+    // Re-pin threads onto the target socket.
+    for (auto &t : proc.threads()) {
+        coreOwner[static_cast<std::size_t>(t.core)] = -1;
+        CoreId fresh = findFreeCore(target);
+        if (fresh < 0)
+            fatal("migrateProcess: no free core on socket %d", target);
+        coreOwner[static_cast<std::size_t>(fresh)] = proc.id();
+        t.core = fresh;
+    }
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+        if (procs[i].get() == &proc)
+            homeSockets[i] = target;
+    }
+
+    if (migrate_data) {
+        // Collect first: migrating mutates the tree we iterate.
+        struct Item
+        {
+            VirtAddr va;
+            pt::Pte pte;
+            PageSizeKind size;
+        };
+        std::vector<Item> items;
+        ops.forEachLeaf(proc.roots(),
+                        [&](VirtAddr va, pt::PteLoc, pt::Pte pte,
+                            PageSizeKind size) {
+                            items.push_back({va, pte, size});
+                        });
+        auto &physmem = mach.physmem();
+        for (const auto &it : items) {
+            if (physmem.socketOf(it.pte.pfn()) == target)
+                continue;
+            auto fresh = physmem.migrateData(it.pte.pfn(), target);
+            if (!fresh)
+                continue; // target full; leave the page behind
+            pt::WalkResult cur = ops.walk(proc.roots(), it.va);
+            MITOSIM_ASSERT(cur.mapped);
+            int level = (it.size == PageSizeKind::Large2M) ? 2 : 1;
+            pv->setPte(proc.roots(), cur.loc, cur.leaf.withPfn(*fresh),
+                       level, cost);
+            if (cost) {
+                std::uint64_t frames =
+                    (it.size == PageSizeKind::Large2M) ? FramesPerLargePage
+                                                       : 1;
+                cost->charge(pvops::PageCopyCost * frames);
+            }
+        }
+    }
+
+    // Tell the backend (Mitosis migrates the page-tables here, §5.5).
+    pv->onProcessMigrated(proc.roots(), proc.id(), from, target, cost);
+
+    // Fresh CR3 on the new cores (full flush on the old ones is implicit:
+    // nothing runs there any more).
+    reloadContexts(proc);
+    if (cost)
+        cost->charge(pvops::TlbShootdownCost);
+}
+
+void
+Kernel::reloadContexts(Process &proc)
+{
+    for (const auto &t : proc.threads()) {
+        SocketId s = mach.topology().socketOfCore(t.core);
+        mach.core(t.core).loadCr3(pv->cr3For(proc.roots(), s));
+    }
+}
+
+void
+Kernel::setDataPolicy(Process &proc, DataPolicy policy,
+                      SocketId fixed_socket)
+{
+    proc.dataPolicy = policy;
+    proc.dataFixedSocket = fixed_socket;
+}
+
+void
+Kernel::setPtPlacement(Process &proc, pt::PtPlacement placement,
+                       SocketId fixed_socket)
+{
+    proc.ptPolicy.mode = placement;
+    proc.ptPolicy.fixedSocket = fixed_socket;
+}
+
+void
+Kernel::enableAutoNuma(Process &proc, bool on)
+{
+    proc.autoNumaEnabled = on;
+}
+
+void
+Kernel::autoNumaTick(double sample_fraction, Rng &rng)
+{
+    for (auto &p : procs) {
+        if (p->autoNumaEnabled)
+            autonuma.scan(*p, sample_fraction, rng);
+    }
+}
+
+void
+Kernel::shootdown(Process &proc, VirtAddr va, KernelCost *cost)
+{
+    for (const auto &t : proc.threads()) {
+        auto &core = mach.core(t.core);
+        core.tlb().invalidatePage(va);
+        core.pwc().invalidate(va);
+    }
+    if (cost)
+        cost->charge(pvops::TlbShootdownCost);
+}
+
+void
+Kernel::flushProcess(Process &proc, KernelCost *cost)
+{
+    for (const auto &t : proc.threads()) {
+        auto &core = mach.core(t.core);
+        core.tlb().flushAll();
+        core.pwc().flushAll();
+    }
+    if (cost)
+        cost->charge(pvops::TlbShootdownCost);
+}
+
+SocketId
+Kernel::chooseDataSocket(Process &proc, VirtAddr va,
+                         SocketId faulting_socket, bool large)
+{
+    switch (proc.dataPolicy) {
+      case DataPolicy::FirstTouch:
+        return faulting_socket;
+      case DataPolicy::Interleave: {
+        unsigned shift = large ? LargePageShift : PageShift;
+        return static_cast<SocketId>((va >> shift) %
+                                     static_cast<std::uint64_t>(
+                                         mach.numSockets()));
+      }
+      case DataPolicy::Fixed:
+        return proc.dataFixedSocket;
+    }
+    return faulting_socket;
+}
+
+bool
+Kernel::faultIn(Process &proc, CoreId core, VirtAddr va, KernelCost &cost)
+{
+    const Vma *vma = proc.findVma(va);
+    if (!vma)
+        panic("segfault: pid %d touched unmapped va=0x%llx", proc.id(),
+              (unsigned long long)va);
+
+    cost.charge(pvops::FaultFixedCost);
+    SocketId faulting_socket = mach.topology().socketOfCore(core);
+    auto &physmem = mach.physmem();
+
+    std::uint64_t flags = pt::PteUser;
+    if (vma->prot & ProtWrite)
+        flags |= pt::PteWrite;
+
+    // THP path: map a whole 2 MB page when the aligned block fits the VMA
+    // and a contiguous run is available (falls back under fragmentation,
+    // the Figure 11 effect).
+    VirtAddr huge_base = alignDown(va, LargePageSize);
+    if (vma->thpEnabled && huge_base >= vma->start &&
+        huge_base + LargePageSize <= vma->end) {
+        SocketId target = chooseDataSocket(proc, huge_base,
+                                           faulting_socket, true);
+        if (auto head = physmem.allocDataLarge(target, proc.id())) {
+            cost.charge(pvops::PageAllocCost +
+                        pvops::PageZeroCost * FramesPerLargePage);
+            if (ops.map2M(proc.roots(), proc.id(), huge_base, *head, flags,
+                          proc.ptPolicy, faulting_socket, &cost)) {
+                proc.residentPages += FramesPerLargePage;
+                return true;
+            }
+            physmem.freeDataLarge(*head);
+            return false;
+        }
+        // Fall through to a 4 KB mapping.
+    }
+
+    SocketId target = chooseDataSocket(proc, va, faulting_socket, false);
+    auto pfn = physmem.allocData(target, proc.id());
+    if (!pfn)
+        pfn = physmem.allocDataAny(target, proc.id());
+    if (!pfn)
+        return false;
+    cost.charge(pvops::PageAllocCost + pvops::PageZeroCost);
+    VirtAddr page_va = alignDown(va, PageSize);
+    if (!ops.map4K(proc.roots(), proc.id(), page_va, *pfn, flags,
+                   proc.ptPolicy, faulting_socket, &cost)) {
+        physmem.freeData(*pfn);
+        return false;
+    }
+    ++proc.residentPages;
+    return true;
+}
+
+void
+Kernel::freeLeafData(const pt::WalkResult &leaf)
+{
+    auto &physmem = mach.physmem();
+    if (leaf.size == PageSizeKind::Large2M)
+        physmem.freeDataLarge(leaf.leaf.pfn());
+    else
+        physmem.freeData(leaf.leaf.pfn());
+}
+
+Cycles
+Kernel::handleFault(CoreId core, const sim::FaultRequest &req)
+{
+    Process *proc = processOnCore(core);
+    if (!proc)
+        panic("fault on core %d with no process scheduled", core);
+
+    KernelCost cost;
+    SocketId fault_socket = mach.topology().socketOfCore(core);
+    switch (req.kind) {
+      case sim::WalkFault::NotPresent:
+        if (pv->onTranslationFault(proc->roots(), fault_socket, req.va,
+                                   &cost)) {
+            break; // lazy replica updates applied; the access retries
+        }
+        if (!faultIn(*proc, core, req.va, cost))
+            fatal("out of memory demand-faulting va=0x%llx",
+                  (unsigned long long)req.va);
+        break;
+
+      case sim::WalkFault::NumaHint:
+        cost.charge(autonuma.onHintFault(*proc, core, req.va));
+        break;
+
+      case sim::WalkFault::Protection: {
+        if (pv->onTranslationFault(proc->roots(), fault_socket, req.va,
+                                   &cost)) {
+            break; // a pending permission upgrade was applied
+        }
+        const Vma *vma = proc->findVma(req.va);
+        if (!vma || !(vma->prot & ProtWrite))
+            panic("write to read-only mapping at va=0x%llx",
+                  (unsigned long long)req.va);
+        // VMA allows writing but the PTE lagged (e.g. after mprotect
+        // round-trip): upgrade the leaf.
+        cost.charge(pvops::FaultFixedCost);
+        ops.protect(proc->roots(), req.va, pt::PteWrite, 0, &cost);
+        shootdown(*proc, req.va, &cost);
+        break;
+      }
+
+      case sim::WalkFault::None:
+        panic("handleFault called with WalkFault::None");
+    }
+    return cost.cycles;
+}
+
+} // namespace mitosim::os

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The simulated OS kernel: process lifecycle, VMA system calls, demand
+ * paging, THP, NUMA data placement, AutoNUMA hint faults, scheduling and
+ * cross-socket process migration.
+ *
+ * The kernel never writes a PTE directly: every mutation goes through the
+ * PV-Ops backend it was constructed with, which is the seam where Mitosis
+ * plugs in (§5.2). Swapping the backend is the only difference between a
+ * "stock Linux" and a "Mitosis" kernel in MitoSim.
+ */
+
+#ifndef MITOSIM_OS_KERNEL_H
+#define MITOSIM_OS_KERNEL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/os/process.h"
+#include "src/pt/operations.h"
+#include "src/pvops/pvops.h"
+#include "src/sim/machine.h"
+
+namespace mitosim::os
+{
+
+class Kernel;
+
+/** AutoNUMA: hint-fault driven data-page migration (data pages only —
+ *  "page-table pages were never migrated", §3.1 observation 4). */
+class AutoNuma
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t pagesScanned = 0;
+        std::uint64_t hintsPlaced = 0;
+        std::uint64_t hintFaults = 0;
+        std::uint64_t pagesMigrated = 0;
+        std::uint64_t migrationFailures = 0;
+    };
+
+    explicit AutoNuma(Kernel &kernel) : k(kernel) {}
+
+    /**
+     * Periodic scan: mark a random @p fraction of present leaves with the
+     * NUMA hint bit so the next touch faults and reveals the accessor.
+     */
+    void scan(Process &proc, double fraction, Rng &rng);
+
+    /**
+     * Service a hint fault at @p va from @p core: clear the hint and
+     * migrate the data page towards the accessing socket if remote.
+     */
+    Cycles onHintFault(Process &proc, CoreId core, VirtAddr va);
+
+    const Stats &stats() const { return stats_; }
+    void resetStats() { stats_ = Stats{}; }
+
+  private:
+    Kernel &k;
+    Stats stats_;
+};
+
+/** A mapped range returned by mmap. */
+struct Region
+{
+    VirtAddr start = 0;
+    std::uint64_t length = 0;
+
+    VirtAddr end() const { return start + length; }
+};
+
+/** Options for Kernel::mmap. */
+struct MmapOptions
+{
+    bool populate = false; //!< MAP_POPULATE: fault everything in eagerly
+    bool thp = false;      //!< region is THP-eligible (2 MB pages)
+    std::uint64_t prot = ProtRead | ProtWrite;
+    CoreId populateCore = -1; //!< first-touch context; -1 = home socket
+};
+
+/** The kernel. */
+class Kernel
+{
+  public:
+    Kernel(sim::Machine &machine, pvops::PvOps &backend);
+    ~Kernel();
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /// @name Process lifecycle
+    /// @{
+    Process &createProcess(const std::string &name, SocketId home_socket);
+    void destroyProcess(Process &proc);
+    Process *findProcess(ProcId pid);
+    Process *processOnCore(CoreId core);
+    SocketId homeSocket(const Process &proc) const;
+    /// @}
+
+    /// @name VMA system calls
+    /// @{
+    Region mmap(Process &proc, std::uint64_t length,
+                const MmapOptions &opts,
+                pvops::KernelCost *cost = nullptr);
+
+    /**
+     * MAP_FIXED: map at exactly @p start (page aligned, must not overlap
+     * an existing VMA). Used by micro-benchmarks that repeatedly remap
+     * the same region, and by allocators with address requirements.
+     */
+    Region mmapFixed(Process &proc, VirtAddr start, std::uint64_t length,
+                     const MmapOptions &opts,
+                     pvops::KernelCost *cost = nullptr);
+
+    void munmap(Process &proc, VirtAddr start, std::uint64_t length,
+                pvops::KernelCost *cost = nullptr);
+
+    void mprotect(Process &proc, VirtAddr start, std::uint64_t length,
+                  std::uint64_t prot, pvops::KernelCost *cost = nullptr);
+
+    /** Touch every page of a range from @p core (first-touch context). */
+    void populate(Process &proc, VirtAddr start, std::uint64_t length,
+                  CoreId core, pvops::KernelCost *cost = nullptr);
+    /// @}
+
+    /// @name Threads and migration
+    /// @{
+
+    /** Pin a new thread to @p core and load its CR3 there. */
+    int spawnThread(Process &proc, CoreId core);
+
+    /** Pin a new thread to any free core of @p socket. */
+    int spawnThreadOnSocket(Process &proc, SocketId socket);
+
+    /**
+     * Move every thread of @p proc to @p target. Optionally migrates all
+     * data pages (what stock NUMA balancing achieves over time); informs
+     * the PV-Ops backend so Mitosis can migrate the page-tables (§5.5).
+     */
+    void migrateProcess(Process &proc, SocketId target, bool migrate_data,
+                        pvops::KernelCost *cost = nullptr);
+
+    /** Re-load each thread's CR3 (after replication-mask changes). */
+    void reloadContexts(Process &proc);
+    /// @}
+
+    /// @name Policy knobs
+    /// @{
+    void setDataPolicy(Process &proc, DataPolicy policy,
+                       SocketId fixed_socket = 0);
+    void setPtPlacement(Process &proc, pt::PtPlacement placement,
+                        SocketId fixed_socket = 0);
+    void enableAutoNuma(Process &proc, bool on);
+    /// @}
+
+    /** One AutoNUMA period: scan every opted-in process. */
+    void autoNumaTick(double sample_fraction, Rng &rng);
+
+    /// @name Internals exposed for the Mitosis manager and analysis
+    /// @{
+    pt::PageTableOps &ptOps() { return ops; }
+    pvops::PvOps &backend() { return *pv; }
+    sim::Machine &machine() { return mach; }
+    AutoNuma &autoNuma() { return autonuma; }
+
+    /** Invalidate @p va in the TLB/PWC of every core running @p proc. */
+    void shootdown(Process &proc, VirtAddr va, pvops::KernelCost *cost);
+
+    /** Full TLB flush on every core running @p proc. */
+    void flushProcess(Process &proc, pvops::KernelCost *cost);
+    /// @}
+
+    /** Fault service routine registered with the Machine. */
+    Cycles handleFault(CoreId core, const sim::FaultRequest &req);
+
+  private:
+    friend class AutoNuma;
+
+    /** Demand-fault @p va into @p proc from @p core. */
+    bool faultIn(Process &proc, CoreId core, VirtAddr va,
+                 pvops::KernelCost &cost);
+
+    SocketId chooseDataSocket(Process &proc, VirtAddr va,
+                              SocketId faulting_socket, bool large);
+
+    /** Free the data frame behind a leaf (4 KB or 2 MB). */
+    void freeLeafData(const pt::WalkResult &leaf);
+
+    CoreId findFreeCore(SocketId socket) const;
+
+    sim::Machine &mach;
+    pvops::PvOps *pv;
+    pt::PageTableOps ops;
+    AutoNuma autonuma;
+
+    std::vector<std::unique_ptr<Process>> procs;
+    std::vector<SocketId> homeSockets; // parallel to procs by pid index
+    std::vector<ProcId> coreOwner;     // -1 = idle core
+    ProcId nextPid = 1;
+    int nextTid = 1;
+
+    /**
+     * Linux flushes the whole TLB instead of single pages beyond a
+     * small threshold (tlb_single_page_flush_ceiling); we do the same.
+     */
+    static constexpr std::uint64_t FlushAllThresholdPages = 33;
+};
+
+} // namespace mitosim::os
+
+#endif // MITOSIM_OS_KERNEL_H

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Processes, their address spaces (VMAs) and placement policies.
+ *
+ * The process owns a pt::RootSet (its CR3 array), a sorted VMA list, and
+ * the data/page-table placement policies the paper's analysis varies
+ * (first-touch vs interleave data placement, §3.1; forced page-table
+ * sockets, §3.2).
+ */
+
+#ifndef MITOSIM_OS_PROCESS_H
+#define MITOSIM_OS_PROCESS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/pt/operations.h"
+#include "src/pt/root_set.h"
+
+namespace mitosim::os
+{
+
+/** Data page placement policy (numactl-style). */
+enum class DataPolicy
+{
+    FirstTouch, //!< allocate on the faulting thread's socket (default)
+    Interleave, //!< round-robin across sockets by page index
+    Fixed,      //!< always a designated socket (§3.2 methodology)
+};
+
+/** Protection bits for mmap/mprotect. */
+enum ProtFlags : std::uint64_t
+{
+    ProtRead = 1 << 0,
+    ProtWrite = 1 << 1,
+};
+
+/** One virtual memory area. */
+struct Vma
+{
+    VirtAddr start = 0;
+    VirtAddr end = 0; //!< exclusive
+    std::uint64_t prot = ProtRead | ProtWrite;
+    bool thpEnabled = false; //!< eligible for transparent 2 MB pages
+
+    bool contains(VirtAddr va) const { return va >= start && va < end; }
+    std::uint64_t length() const { return end - start; }
+};
+
+/** A runnable thread pinned to one core. */
+struct Thread
+{
+    int tid = -1;
+    CoreId core = -1;
+};
+
+/** A process. */
+class Process
+{
+  public:
+    Process(ProcId id, std::string name) : pid(id), name_(std::move(name))
+    {
+    }
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    ProcId id() const { return pid; }
+    const std::string &name() const { return name_; }
+
+    /// @name Address space
+    /// @{
+    pt::RootSet &roots() { return roots_; }
+    const pt::RootSet &roots() const { return roots_; }
+
+    std::vector<Vma> &vmas() { return vmas_; }
+    const std::vector<Vma> &vmas() const { return vmas_; }
+
+    /** VMA containing @p va, or nullptr. */
+    const Vma *
+    findVma(VirtAddr va) const
+    {
+        for (const auto &v : vmas_) {
+            if (v.contains(va))
+                return &v;
+        }
+        return nullptr;
+    }
+
+    Vma *
+    findVma(VirtAddr va)
+    {
+        return const_cast<Vma *>(
+            static_cast<const Process *>(this)->findVma(va));
+    }
+
+    /** Bump-allocated mmap area; 2 MB aligned for THP friendliness. */
+    VirtAddr
+    reserveRange(std::uint64_t length)
+    {
+        VirtAddr base = nextMmap;
+        nextMmap = alignUp(nextMmap + length, LargePageSize);
+        return base;
+    }
+    /// @}
+
+    /// @name Policies
+    /// @{
+    DataPolicy dataPolicy = DataPolicy::FirstTouch;
+    SocketId dataFixedSocket = 0;
+    pt::PtPlacementPolicy ptPolicy;
+    bool autoNumaEnabled = false;
+    /// @}
+
+    /// @name Scheduling
+    /// @{
+    std::vector<Thread> &threads() { return threads_; }
+    const std::vector<Thread> &threads() const { return threads_; }
+    /// @}
+
+    /** Round-robin rotor for interleaved data placement. */
+    int interleaveNext = 0;
+
+    /** Cumulative count of pages faulted in (4 KB units). */
+    std::uint64_t residentPages = 0;
+
+  private:
+    ProcId pid;
+    std::string name_;
+    pt::RootSet roots_;
+    std::vector<Vma> vmas_;
+    std::vector<Thread> threads_;
+    VirtAddr nextMmap = 0x10000000000ull; //!< 1 TiB, clear of nullptr
+};
+
+} // namespace mitosim::os
+
+#endif // MITOSIM_OS_PROCESS_H

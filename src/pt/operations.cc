@@ -1,0 +1,279 @@
+#include "operations.h"
+
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/pvops/costs.h"
+
+namespace mitosim::pt
+{
+
+bool
+PageTableOps::createRoot(RootSet &roots, ProcId owner, SocketId socket,
+                         pvops::KernelCost *cost)
+{
+    MITOSIM_ASSERT(roots.primaryRoot == InvalidPfn,
+                   "createRoot: process already has a root");
+    Pfn root = pv->allocPtPage(roots, owner, 4, socket, cost);
+    if (root == InvalidPfn)
+        return false;
+    roots.primaryRoot = root;
+    roots.resetToPrimary();
+    return true;
+}
+
+Pfn
+PageTableOps::descendAlloc(RootSet &roots, ProcId owner, VirtAddr va,
+                           int target_level, PtPlacementPolicy &pt_policy,
+                           SocketId faulting_socket,
+                           pvops::KernelCost *cost)
+{
+    MITOSIM_ASSERT(roots.primaryRoot != InvalidPfn, "process has no root");
+    Pfn table = roots.primaryRoot;
+    for (int level = 4; level > target_level; --level) {
+        unsigned idx = ptIndex(va, ptLevel(level));
+        Pte entry = pv->readPte(roots, PteLoc{table, idx}, cost);
+        if (!entry.present()) {
+            SocketId target = pt_policy.chooseSocket(
+                faulting_socket, mem.topology().numSockets());
+            Pfn child = pv->allocPtPage(roots, owner, level - 1, target,
+                                        cost);
+            if (child == InvalidPfn)
+                return InvalidPfn;
+            Pte new_entry = Pte::make(child, PtePresent | PteWrite |
+                                                 PteUser);
+            pv->setPte(roots, PteLoc{table, idx}, new_entry, level, cost);
+            table = child;
+        } else {
+            MITOSIM_ASSERT(!entry.huge(),
+                           "descendAlloc: hit a huge leaf above target");
+            table = entry.pfn();
+        }
+    }
+    return table;
+}
+
+Pfn
+PageTableOps::descend(const RootSet &roots, VirtAddr va,
+                      int target_level) const
+{
+    if (roots.primaryRoot == InvalidPfn)
+        return InvalidPfn;
+    Pfn table = roots.primaryRoot;
+    for (int level = 4; level > target_level; --level) {
+        unsigned idx = ptIndex(va, ptLevel(level));
+        Pte entry{mem.table(table)[idx]};
+        if (!entry.present() || entry.huge())
+            return InvalidPfn;
+        table = entry.pfn();
+    }
+    return table;
+}
+
+bool
+PageTableOps::map4K(RootSet &roots, ProcId owner, VirtAddr va, Pfn data_pfn,
+                    std::uint64_t flags, PtPlacementPolicy &pt_policy,
+                    SocketId faulting_socket, pvops::KernelCost *cost)
+{
+    Pfn leaf_table = descendAlloc(roots, owner, va, 1, pt_policy,
+                                  faulting_socket, cost);
+    if (leaf_table == InvalidPfn)
+        return false;
+    unsigned idx = ptIndex(va, PtLevel::L1);
+    Pte value = Pte::make(data_pfn, flags | PtePresent);
+    pv->setPte(roots, PteLoc{leaf_table, idx}, value, 1, cost);
+    return true;
+}
+
+bool
+PageTableOps::map2M(RootSet &roots, ProcId owner, VirtAddr va, Pfn head_pfn,
+                    std::uint64_t flags, PtPlacementPolicy &pt_policy,
+                    SocketId faulting_socket, pvops::KernelCost *cost)
+{
+    MITOSIM_ASSERT((va & (LargePageSize - 1)) == 0,
+                   "map2M: va not 2MB aligned");
+    MITOSIM_ASSERT((head_pfn & (FramesPerLargePage - 1)) == 0,
+                   "map2M: pfn not 2MB aligned");
+    Pfn dir_table = descendAlloc(roots, owner, va, 2, pt_policy,
+                                 faulting_socket, cost);
+    if (dir_table == InvalidPfn)
+        return false;
+    unsigned idx = ptIndex(va, PtLevel::L2);
+    Pte value = Pte::make(head_pfn, flags | PtePresent | PteHuge);
+    pv->setPte(roots, PteLoc{dir_table, idx}, value, 2, cost);
+    return true;
+}
+
+WalkResult
+PageTableOps::walk(const RootSet &roots, VirtAddr va) const
+{
+    WalkResult res;
+    if (roots.primaryRoot == InvalidPfn)
+        return res;
+    Pfn table = roots.primaryRoot;
+    for (int level = 4; level >= 1; --level) {
+        unsigned idx = ptIndex(va, ptLevel(level));
+        Pte entry{mem.table(table)[idx]};
+        ++res.depth;
+        if (!entry.present())
+            return res;
+        if (level == 2 && entry.huge()) {
+            res.mapped = true;
+            res.leaf = entry;
+            res.loc = PteLoc{table, idx};
+            res.size = PageSizeKind::Large2M;
+            return res;
+        }
+        if (level == 1) {
+            res.mapped = true;
+            res.leaf = entry;
+            res.loc = PteLoc{table, idx};
+            res.size = PageSizeKind::Base4K;
+            return res;
+        }
+        table = entry.pfn();
+    }
+    return res;
+}
+
+WalkResult
+PageTableOps::unmap(RootSet &roots, VirtAddr va, pvops::KernelCost *cost)
+{
+    WalkResult res = walk(roots, va);
+    if (!res.mapped)
+        return res;
+    int level = (res.size == PageSizeKind::Large2M) ? 2 : 1;
+    pv->setPte(roots, res.loc, Pte{}, level, cost);
+    return res;
+}
+
+bool
+PageTableOps::protect(RootSet &roots, VirtAddr va, std::uint64_t set_flags,
+                      std::uint64_t clear_flags, pvops::KernelCost *cost)
+{
+    WalkResult res = walk(roots, va);
+    if (!res.mapped)
+        return false;
+    int level = (res.size == PageSizeKind::Large2M) ? 2 : 1;
+    // Read-modify-write through the hook interface.
+    Pte cur = pv->readPte(roots, res.loc, cost);
+    Pte updated = cur.withFlags(set_flags, clear_flags);
+    pv->setPte(roots, res.loc, updated, level, cost);
+    return true;
+}
+
+WalkResult
+PageTableOps::readLeaf(const RootSet &roots, VirtAddr va,
+                       pvops::KernelCost *cost) const
+{
+    WalkResult res = walk(roots, va);
+    if (res.mapped)
+        res.leaf = pv->readPte(roots, res.loc, cost); // OR-ed A/D
+    return res;
+}
+
+bool
+PageTableOps::clearAccessedDirty(RootSet &roots, VirtAddr va,
+                                 std::uint64_t bits,
+                                 pvops::KernelCost *cost)
+{
+    WalkResult res = walk(roots, va);
+    if (!res.mapped)
+        return false;
+    pv->clearAccessedDirty(roots, res.loc, bits, cost);
+    return true;
+}
+
+void
+PageTableOps::forEachLeaf(
+    const RootSet &roots,
+    const std::function<void(VirtAddr, PteLoc, Pte, PageSizeKind)> &fn)
+    const
+{
+    if (roots.primaryRoot == InvalidPfn)
+        return;
+
+    struct Frame
+    {
+        Pfn table;
+        int level;
+        VirtAddr base;
+    };
+    std::vector<Frame> stack{{roots.primaryRoot, 4, 0}};
+    while (!stack.empty()) {
+        Frame f = stack.back();
+        stack.pop_back();
+        const std::uint64_t *tbl = mem.table(f.table);
+        std::uint64_t span = bytesPerEntry(ptLevel(f.level));
+        for (unsigned i = 0; i < PtEntriesPerPage; ++i) {
+            Pte entry{tbl[i]};
+            if (!entry.present())
+                continue;
+            VirtAddr va = f.base + i * span;
+            if (f.level == 1) {
+                fn(va, PteLoc{f.table, i}, entry, PageSizeKind::Base4K);
+            } else if (f.level == 2 && entry.huge()) {
+                fn(va, PteLoc{f.table, i}, entry, PageSizeKind::Large2M);
+            } else {
+                stack.push_back({entry.pfn(), f.level - 1, va});
+            }
+        }
+    }
+}
+
+void
+PageTableOps::forEachTable(const RootSet &roots,
+                           const std::function<void(Pfn, int)> &fn) const
+{
+    if (roots.primaryRoot == InvalidPfn)
+        return;
+    // Depth-first, parents before children; callers needing leaves-last
+    // can collect and reverse.
+    struct Frame
+    {
+        Pfn table;
+        int level;
+    };
+    std::vector<Frame> stack{{roots.primaryRoot, 4}};
+    while (!stack.empty()) {
+        Frame f = stack.back();
+        stack.pop_back();
+        fn(f.table, f.level);
+        if (f.level == 1)
+            continue;
+        const std::uint64_t *tbl = mem.table(f.table);
+        for (unsigned i = 0; i < PtEntriesPerPage; ++i) {
+            Pte entry{tbl[i]};
+            if (entry.present() && !(f.level == 2 && entry.huge()))
+                stack.push_back({entry.pfn(), f.level - 1});
+        }
+    }
+}
+
+void
+PageTableOps::destroyLevel(RootSet &roots, Pfn table, int level,
+                           pvops::KernelCost *cost)
+{
+    if (level > 1) {
+        const std::uint64_t *tbl = mem.table(table);
+        for (unsigned i = 0; i < PtEntriesPerPage; ++i) {
+            Pte entry{tbl[i]};
+            if (entry.present() && !(level == 2 && entry.huge()))
+                destroyLevel(roots, entry.pfn(), level - 1, cost);
+        }
+    }
+    pv->releasePtPage(roots, table, cost);
+}
+
+void
+PageTableOps::destroy(RootSet &roots, pvops::KernelCost *cost)
+{
+    if (roots.primaryRoot == InvalidPfn)
+        return;
+    destroyLevel(roots, roots.primaryRoot, 4, cost);
+    roots.primaryRoot = InvalidPfn;
+    roots.perSocketRoot.fill(InvalidPfn);
+    roots.replicaMask = SocketMask::none();
+}
+
+} // namespace mitosim::pt

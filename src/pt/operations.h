@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Software page-table management: map, unmap, protect, walk, destroy.
+ *
+ * This is the kernel-side view of the radix tree. All mutation goes
+ * through the PV-Ops backend so that replication is transparent to the
+ * callers (the OS layer), exactly as in the paper's Linux implementation.
+ * Reads used for tree navigation go through readPte() as well, which is
+ * how the Mitosis backend guarantees OR-ed Accessed/Dirty bits.
+ */
+
+#ifndef MITOSIM_PT_OPERATIONS_H
+#define MITOSIM_PT_OPERATIONS_H
+
+#include <cstdint>
+#include <functional>
+
+#include "src/mem/physical_memory.h"
+#include "src/pt/pte.h"
+#include "src/pt/root_set.h"
+#include "src/pvops/pvops.h"
+
+namespace mitosim::pt
+{
+
+/** Result of a software walk. */
+struct WalkResult
+{
+    bool mapped = false;       //!< leaf present
+    Pte leaf;                  //!< leaf entry value (possibly OR-ed A/D)
+    PteLoc loc;                //!< where the leaf lives (primary tree)
+    PageSizeKind size = PageSizeKind::Base4K;
+    int depth = 0;             //!< levels traversed (diagnostics)
+};
+
+/** How to choose the socket of a newly allocated page-table page. */
+enum class PtPlacement
+{
+    FirstTouch,  //!< socket of the faulting thread (Linux default, §3.1)
+    Interleave,  //!< round-robin across sockets
+    Fixed,       //!< always a designated socket (§3.2 methodology)
+};
+
+/** PT placement policy state for one process. */
+struct PtPlacementPolicy
+{
+    PtPlacement mode = PtPlacement::FirstTouch;
+    SocketId fixedSocket = 0;     //!< used when mode == Fixed
+    int interleaveNext = 0;       //!< rotor when mode == Interleave
+
+    SocketId
+    chooseSocket(SocketId faulting_socket, int num_sockets)
+    {
+        switch (mode) {
+          case PtPlacement::FirstTouch:
+            return faulting_socket;
+          case PtPlacement::Interleave: {
+            SocketId s = interleaveNext;
+            interleaveNext = (interleaveNext + 1) % num_sockets;
+            return s;
+          }
+          case PtPlacement::Fixed:
+            return fixedSocket;
+        }
+        return faulting_socket;
+    }
+};
+
+/**
+ * Page-table operations bound to a physical memory and a PV-Ops backend.
+ * Stateless per-process: all per-process state lives in RootSet.
+ */
+class PageTableOps
+{
+  public:
+    PageTableOps(mem::PhysicalMemory &physmem, pvops::PvOps &backend)
+        : mem(physmem), pv(&backend)
+    {
+    }
+
+    /** Swap the PV-Ops backend (native <-> mitosis). */
+    void setBackend(pvops::PvOps &backend) { pv = &backend; }
+    pvops::PvOps &backend() { return *pv; }
+    const pvops::PvOps &backend() const { return *pv; }
+
+    /**
+     * Create the root (L4) table for a new process.
+     * @return false on allocation failure.
+     */
+    bool createRoot(RootSet &roots, ProcId owner, SocketId socket,
+                    pvops::KernelCost *cost);
+
+    /**
+     * Map @p va -> @p data_pfn as a 4 KB page, allocating intermediate
+     * tables as needed via the placement policy.
+     */
+    bool map4K(RootSet &roots, ProcId owner, VirtAddr va, Pfn data_pfn,
+               std::uint64_t flags, PtPlacementPolicy &pt_policy,
+               SocketId faulting_socket, pvops::KernelCost *cost);
+
+    /** Map @p va -> 2 MB page at @p head_pfn (PS entry at L2). */
+    bool map2M(RootSet &roots, ProcId owner, VirtAddr va, Pfn head_pfn,
+               std::uint64_t flags, PtPlacementPolicy &pt_policy,
+               SocketId faulting_socket, pvops::KernelCost *cost);
+
+    /**
+     * Software walk of the *primary* tree (used by the OS; the hardware
+     * walker in pt/walker.h walks per-socket replicas with timing).
+     * A/D bits in the result are OR-ed across replicas by the backend.
+     */
+    WalkResult walk(const RootSet &roots, VirtAddr va) const;
+
+    /**
+     * Clear the leaf mapping at @p va. Intermediate tables are retained
+     * (as Linux does for non-exit unmaps). Returns the former leaf.
+     */
+    WalkResult unmap(RootSet &roots, VirtAddr va, pvops::KernelCost *cost);
+
+    /**
+     * Rewrite the leaf flags at @p va: set @p set_flags, clear
+     * @p clear_flags. Returns false if @p va is unmapped.
+     */
+    bool protect(RootSet &roots, VirtAddr va, std::uint64_t set_flags,
+                 std::uint64_t clear_flags, pvops::KernelCost *cost);
+
+    /** OR-read A/D bits of the leaf at @p va; InvalidPfn leaf if absent. */
+    WalkResult readLeaf(const RootSet &roots, VirtAddr va,
+                        pvops::KernelCost *cost) const;
+
+    /** Clear A/D bits at @p va across all replicas. */
+    bool clearAccessedDirty(RootSet &roots, VirtAddr va, std::uint64_t bits,
+                            pvops::KernelCost *cost);
+
+    /**
+     * Visit every present leaf entry in the primary tree.
+     * @param fn (va, level-1-or-2 loc, pte, size)
+     */
+    void forEachLeaf(const RootSet &roots,
+                     const std::function<void(VirtAddr, PteLoc, Pte,
+                                              PageSizeKind)> &fn) const;
+
+    /**
+     * Visit every page-table page of the primary tree, leaves last.
+     * @param fn (pt_pfn, level)
+     */
+    void forEachTable(const RootSet &roots,
+                      const std::function<void(Pfn, int)> &fn) const;
+
+    /** Free the whole tree (process exit), including replicas. */
+    void destroy(RootSet &roots, pvops::KernelCost *cost);
+
+    mem::PhysicalMemory &physmem() { return mem; }
+
+  private:
+    /**
+     * Descend to the table at @p target_level, allocating missing
+     * intermediate tables. Returns the pfn of the target-level table in
+     * the primary tree, or InvalidPfn on allocation failure.
+     */
+    Pfn descendAlloc(RootSet &roots, ProcId owner, VirtAddr va,
+                     int target_level, PtPlacementPolicy &pt_policy,
+                     SocketId faulting_socket, pvops::KernelCost *cost);
+
+    /** Read-only descend; InvalidPfn if a level is missing. */
+    Pfn descend(const RootSet &roots, VirtAddr va, int target_level) const;
+
+    void destroyLevel(RootSet &roots, Pfn table, int level,
+                      pvops::KernelCost *cost);
+
+    mem::PhysicalMemory &mem;
+    pvops::PvOps *pv;
+};
+
+} // namespace mitosim::pt
+
+#endif // MITOSIM_PT_OPERATIONS_H

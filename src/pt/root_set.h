@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-process page-table root bookkeeping.
+ *
+ * The paper (§5.3) keeps "an array of root page-table pointers which allows
+ * directly selecting the local replica by indexing this array using the
+ * socket id"; initializing every slot with the same root is exactly the
+ * native behaviour. RootSet is that array plus the primary root and the
+ * current replication mask.
+ */
+
+#ifndef MITOSIM_PT_ROOT_SET_H
+#define MITOSIM_PT_ROOT_SET_H
+
+#include <array>
+
+#include "src/base/socket_mask.h"
+#include "src/base/types.h"
+
+namespace mitosim::pt
+{
+
+/** Largest socket count a RootSet supports (Table 4 sweeps to 16). */
+inline constexpr int MaxSockets = 16;
+
+/** The CR3 array of one process. */
+struct RootSet
+{
+    /** The original (native) root; always valid for a live process. */
+    Pfn primaryRoot = InvalidPfn;
+
+    /** Sockets currently holding a full replica tree. */
+    SocketMask replicaMask;
+
+    /**
+     * Per-socket root pointer loaded into CR3 on context switch. Slots of
+     * sockets without a replica fall back to primaryRoot.
+     */
+    std::array<Pfn, MaxSockets> perSocketRoot{};
+
+    RootSet() { perSocketRoot.fill(InvalidPfn); }
+
+    /** Root the MMU of a core on @p socket should use. */
+    Pfn
+    rootFor(SocketId socket) const
+    {
+        if (socket >= 0 && socket < MaxSockets &&
+            perSocketRoot[static_cast<std::size_t>(socket)] != InvalidPfn) {
+            return perSocketRoot[static_cast<std::size_t>(socket)];
+        }
+        return primaryRoot;
+    }
+
+    /** Reset all slots to the primary root (native behaviour). */
+    void
+    resetToPrimary()
+    {
+        perSocketRoot.fill(primaryRoot);
+        replicaMask = SocketMask::none();
+    }
+
+    bool replicated() const { return !replicaMask.empty(); }
+};
+
+} // namespace mitosim::pt
+
+#endif // MITOSIM_PT_ROOT_SET_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cycle cost constants for kernel-side virtual-memory work.
+ *
+ * The simulator charges OS operations (page faults, VMA system calls,
+ * replica maintenance) with flat per-step costs rather than running them
+ * through the cache hierarchy: what matters for the paper's Table 5 / 6 is
+ * the *ratio* between baseline kernel work and the extra replica
+ * maintenance Mitosis adds. Values are loosely calibrated to Linux on a
+ * Haswell-class part (zeroing a 4 KB page dominates a fault; a hot PTE
+ * store is a handful of cycles; a TLB shootdown IPI is microseconds).
+ */
+
+#ifndef MITOSIM_PVOPS_COSTS_H
+#define MITOSIM_PVOPS_COSTS_H
+
+#include "src/base/types.h"
+
+namespace mitosim::pvops
+{
+
+/** Allocating a physical frame from the buddy/free lists. */
+inline constexpr Cycles PageAllocCost = 300;
+
+/** Zeroing a fresh 4 KB frame (dominates fault cost). */
+inline constexpr Cycles PageZeroCost = 1200;
+
+/** Returning a frame to the allocator (no zeroing on free). */
+inline constexpr Cycles PageFreeCost = 100;
+
+/** One PTE store into the local, cache-hot page-table. */
+inline constexpr Cycles PteWriteCost = 12;
+
+/** One PTE store into a *replica* page-table on another socket.
+ *  Stores are posted; the cost is issue bandwidth, not round-trip. */
+inline constexpr Cycles PteRemoteWriteCost = 8;
+
+/** One PTE load (read-modify-write cycles in mprotect etc.). */
+inline constexpr Cycles PteReadCost = 8;
+
+/** Following one struct-page replica pointer (Figure 8 list hop). */
+inline constexpr Cycles ReplicaHopCost = 3;
+
+/** Locating a replica by walking a replica tree (the 4N alternative). */
+inline constexpr Cycles ReplicaWalkStepCost = 30;
+
+/** Fixed syscall + VMA bookkeeping per mmap/munmap/mprotect call. */
+inline constexpr Cycles VmaOpFixedCost = 900;
+
+/** One TLB shootdown round (IPI + remote flush), charged per ranged op. */
+inline constexpr Cycles TlbShootdownCost = 2600;
+
+/** Allocating + zeroing one page-table page. */
+inline constexpr Cycles PtPageSetupCost = PageAllocCost + PageZeroCost;
+
+/** Page-fault entry/exit overhead (trap, VMA lookup). */
+inline constexpr Cycles FaultFixedCost = 450;
+
+/** Copying one 4 KB page during data migration. */
+inline constexpr Cycles PageCopyCost = 1500;
+
+} // namespace mitosim::pvops
+
+#endif // MITOSIM_PVOPS_COSTS_H

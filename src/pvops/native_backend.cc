@@ -1,0 +1,97 @@
+#include "native_backend.h"
+
+#include "src/pvops/costs.h"
+
+namespace mitosim::pvops
+{
+
+Pfn
+NativeBackend::allocPtPage(pt::RootSet &roots, ProcId owner, int level,
+                           SocketId hint_socket, KernelCost *cost)
+{
+    (void)roots;
+    auto pfn = mem.allocPt(hint_socket, level, owner);
+    if (!pfn) {
+        // Fall back to any socket, as Linux does under node pressure.
+        for (SocketId s = 0; s < mem.topology().numSockets() && !pfn; ++s) {
+            if (s != hint_socket)
+                pfn = mem.allocPt(s, level, owner);
+        }
+    }
+    if (!pfn)
+        return InvalidPfn;
+    if (cost) {
+        cost->charge(PtPageSetupCost);
+        ++cost->ptPagesAllocated;
+    }
+    return *pfn;
+}
+
+void
+NativeBackend::releasePtPage(pt::RootSet &roots, Pfn pfn, KernelCost *cost)
+{
+    (void)roots;
+    mem.freePt(pfn);
+    if (cost) {
+        cost->charge(PageFreeCost);
+        ++cost->ptPagesFreed;
+    }
+}
+
+void
+NativeBackend::setPte(pt::RootSet &roots, pt::PteLoc loc, pt::Pte value,
+                      int level, KernelCost *cost)
+{
+    (void)roots;
+    (void)level;
+    mem.table(loc.ptPfn)[loc.index] = value.raw();
+    if (cost) {
+        cost->charge(PteWriteCost);
+        ++cost->pteWrites;
+    }
+}
+
+pt::Pte
+NativeBackend::readPte(const pt::RootSet &roots, pt::PteLoc loc,
+                       KernelCost *cost) const
+{
+    (void)roots;
+    if (cost)
+        cost->charge(PteReadCost);
+    return pt::Pte{mem.table(loc.ptPfn)[loc.index]};
+}
+
+void
+NativeBackend::clearAccessedDirty(pt::RootSet &roots, pt::PteLoc loc,
+                                  std::uint64_t bits, KernelCost *cost)
+{
+    (void)roots;
+    mem.table(loc.ptPfn)[loc.index] &= ~bits;
+    if (cost) {
+        cost->charge(PteWriteCost);
+        ++cost->pteWrites;
+    }
+}
+
+Pfn
+NativeBackend::cr3For(const pt::RootSet &roots, SocketId socket) const
+{
+    (void)socket;
+    return roots.primaryRoot;
+}
+
+void
+NativeBackend::onProcessMigrated(pt::RootSet &roots, ProcId owner,
+                                 SocketId from, SocketId to,
+                                 KernelCost *cost)
+{
+    // Stock kernels do not migrate page-tables (§3.2: "page-table
+    // migration is not supported"). Nothing to do.
+    (void)roots;
+    (void)owner;
+    (void)from;
+    (void)to;
+    (void)cost;
+}
+
+} // namespace mitosim::pvops

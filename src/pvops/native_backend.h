@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The native PV-Ops backend: no replication, direct PTE stores.
+ *
+ * Matches stock Linux behaviour: page-table pages are allocated on the
+ * hint socket (first touch), writes go to the single copy, CR3 is the
+ * primary root for every socket, and process migration leaves page-tables
+ * behind (the paper's §3.2 problem statement).
+ */
+
+#ifndef MITOSIM_PVOPS_NATIVE_BACKEND_H
+#define MITOSIM_PVOPS_NATIVE_BACKEND_H
+
+#include "src/mem/physical_memory.h"
+#include "src/pvops/pvops.h"
+
+namespace mitosim::pvops
+{
+
+/** Stock, replication-free backend. */
+class NativeBackend : public PvOps
+{
+  public:
+    explicit NativeBackend(mem::PhysicalMemory &physmem) : mem(physmem) {}
+
+    Pfn allocPtPage(pt::RootSet &roots, ProcId owner, int level,
+                    SocketId hint_socket, KernelCost *cost) override;
+
+    void releasePtPage(pt::RootSet &roots, Pfn pfn,
+                       KernelCost *cost) override;
+
+    void setPte(pt::RootSet &roots, pt::PteLoc loc, pt::Pte value, int level,
+                KernelCost *cost) override;
+
+    pt::Pte readPte(const pt::RootSet &roots, pt::PteLoc loc,
+                    KernelCost *cost) const override;
+
+    void clearAccessedDirty(pt::RootSet &roots, pt::PteLoc loc,
+                            std::uint64_t bits, KernelCost *cost) override;
+
+    Pfn cr3For(const pt::RootSet &roots, SocketId socket) const override;
+
+    void onProcessMigrated(pt::RootSet &roots, ProcId owner, SocketId from,
+                           SocketId to, KernelCost *cost) override;
+
+    const char *name() const override { return "native"; }
+
+  private:
+    mem::PhysicalMemory &mem;
+};
+
+} // namespace mitosim::pvops
+
+#endif // MITOSIM_PVOPS_NATIVE_BACKEND_H

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The paravirt-ops style page-table hook interface.
+ *
+ * The paper implements Mitosis "as a new backend for PV-Ops alongside the
+ * native and Xen backends" (§5.2): every kernel write to a page-table goes
+ * through this indirection, which lets the Mitosis backend propagate the
+ * update to all replicas. We reproduce the same seam. The OS layer never
+ * touches a PTE directly; the hardware page-walker *does* (A/D bits),
+ * which is why readPte()/clearAccessedDirty() exist — the Mitosis backend
+ * must consult every replica to return correct flags (§5.4).
+ */
+
+#ifndef MITOSIM_PVOPS_PVOPS_H
+#define MITOSIM_PVOPS_PVOPS_H
+
+#include <cstdint>
+
+#include "src/base/socket_mask.h"
+#include "src/base/types.h"
+#include "src/pt/pte.h"
+#include "src/pt/root_set.h"
+
+namespace mitosim::pvops
+{
+
+/** Accumulator for kernel-side cycle charging; any field may be ignored. */
+struct KernelCost
+{
+    Cycles cycles = 0;
+    std::uint64_t pteWrites = 0;      //!< primary PTE stores
+    std::uint64_t replicaWrites = 0;  //!< extra stores into replicas
+    std::uint64_t replicaHops = 0;    //!< circular-list pointer follows
+    std::uint64_t ptPagesAllocated = 0;
+    std::uint64_t ptPagesFreed = 0;
+
+    void
+    charge(Cycles c)
+    {
+        cycles += c;
+    }
+};
+
+/**
+ * Page-table hook interface (excerpt mirroring the paper's Listing 1:
+ * write_cr3 / paravirt_alloc_pte / paravirt_release_pte / set_pte, plus
+ * the get-side functions the paper had to add for A/D correctness).
+ */
+class PvOps
+{
+  public:
+    virtual ~PvOps() = default;
+
+    /**
+     * Allocate a page-table page at @p level for the process owning
+     * @p roots. @p hint_socket is where the native policy would place it
+     * (the socket of the faulting thread, or a forced socket). Backends
+     * may allocate additional replica pages and link them.
+     *
+     * @return the pfn the *primary* tree should reference, or InvalidPfn
+     *         on allocation failure.
+     */
+    virtual Pfn allocPtPage(pt::RootSet &roots, ProcId owner, int level,
+                            SocketId hint_socket, KernelCost *cost) = 0;
+
+    /**
+     * Release the page-table page @p pfn (a primary-tree page). Backends
+     * release every linked replica as well.
+     */
+    virtual void releasePtPage(pt::RootSet &roots, Pfn pfn,
+                               KernelCost *cost) = 0;
+
+    /**
+     * Store @p value at @p loc (a PTE slot in the primary tree) and
+     * propagate to replicas. @p level is the level of the containing
+     * page (1..4); backends use it to fix up child pointers per replica.
+     */
+    virtual void setPte(pt::RootSet &roots, pt::PteLoc loc, pt::Pte value,
+                        int level, KernelCost *cost) = 0;
+
+    /**
+     * Read the PTE at @p loc for OS purposes. Backends with replicas must
+     * OR the Accessed/Dirty bits across all replicas (§5.4).
+     */
+    virtual pt::Pte readPte(const pt::RootSet &roots, pt::PteLoc loc,
+                            KernelCost *cost) const = 0;
+
+    /** Clear Accessed/Dirty at @p loc in *all* replicas. */
+    virtual void clearAccessedDirty(pt::RootSet &roots, pt::PteLoc loc,
+                                    std::uint64_t bits,
+                                    KernelCost *cost) = 0;
+
+    /**
+     * write_cr3: the root the MMU of a core on @p socket must load when
+     * the process is scheduled there (§5.3).
+     */
+    virtual Pfn cr3For(const pt::RootSet &roots, SocketId socket) const = 0;
+
+    /**
+     * Notification that the process has been migrated between sockets.
+     * The native backend ignores it; the Mitosis backend migrates the
+     * page-tables per its policy (§5.5).
+     */
+    virtual void onProcessMigrated(pt::RootSet &roots, ProcId owner,
+                                   SocketId from, SocketId to,
+                                   KernelCost *cost) = 0;
+
+    /**
+     * Pre-fault hook: a walk on @p socket faulted at @p va. Backends
+     * with *lazy* replica propagation (the §7.2 library-OS design)
+     * drain their pending update queue for that socket here and return
+     * true so the access retries; eager backends return false and the
+     * kernel services the fault normally.
+     */
+    virtual bool
+    onTranslationFault(pt::RootSet &roots, SocketId socket, VirtAddr va,
+                       KernelCost *cost)
+    {
+        (void)roots;
+        (void)socket;
+        (void)va;
+        (void)cost;
+        return false;
+    }
+
+    /** Human-readable backend name ("native", "mitosis"). */
+    virtual const char *name() const = 0;
+};
+
+/** Where PteLoc is in terms of a specific replica page (helper). */
+struct PteRef
+{
+    Pfn ptPfn;
+    unsigned index;
+};
+
+} // namespace mitosim::pvops
+
+#endif // MITOSIM_PVOPS_PVOPS_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * One simulated CPU core: TLB, paging-structure cache, current CR3, and
+ * the access entry point that drives the whole translation pipeline.
+ *
+ * Faults discovered by the walker are punted to a fault handler the OS
+ * layer registers on the Machine (hardware raises, software services).
+ */
+
+#ifndef MITOSIM_SIM_CORE_H
+#define MITOSIM_SIM_CORE_H
+
+#include <functional>
+
+#include "src/base/types.h"
+#include "src/sim/memory_hierarchy.h"
+#include "src/sim/perf_counters.h"
+#include "src/sim/walker.h"
+#include "src/tlb/paging_structure_cache.h"
+#include "src/tlb/tlb.h"
+
+namespace mitosim::sim
+{
+
+/** A fault the core delivers to the OS. */
+struct FaultRequest
+{
+    VirtAddr va = 0;
+    bool isWrite = false;
+    WalkFault kind = WalkFault::None;
+};
+
+/**
+ * Fault service routine: resolves the fault (mapping the page, clearing
+ * the hint, upgrading protection, ...) and returns the kernel cycles
+ * spent. Must make forward progress or the core panics after retries.
+ */
+using FaultHandler = std::function<Cycles(CoreId, const FaultRequest &)>;
+
+/** A CPU core. */
+class Core
+{
+  public:
+    Core(CoreId id, MemoryHierarchy &hierarchy,
+         mem::PhysicalMemory &physmem, const tlb::TlbConfig &tlb_cfg,
+         const tlb::PwcConfig &pwc_cfg);
+
+    CoreId id() const { return coreId; }
+    SocketId socket() const { return socketId; }
+
+    /** Context switch: load a page-table root, flushing TLB and PWC. */
+    void loadCr3(Pfn root);
+
+    Pfn cr3() const { return cr3_; }
+    bool hasContext() const { return cr3_ != InvalidPfn; }
+
+    /**
+     * Execute one load/store to @p va. Drives TLB lookup, page walk,
+     * fault servicing and the data-side cache access; charges everything
+     * into @p pc and returns the total latency.
+     */
+    Cycles access(VirtAddr va, bool is_write, PerfCounters &pc);
+
+    /** OS hook for fault servicing; owned by the Machine, shared. */
+    void setFaultHandler(const FaultHandler *handler)
+    {
+        faultHandler = handler;
+    }
+
+    tlb::TwoLevelTlb &tlb() { return tlb_; }
+    tlb::PagingStructureCache &pwc() { return pwc_; }
+
+  private:
+    CoreId coreId;
+    SocketId socketId;
+    MemoryHierarchy &hier;
+    PageWalker walker;
+    tlb::TwoLevelTlb tlb_;
+    tlb::PagingStructureCache pwc_;
+    Pfn cr3_ = InvalidPfn;
+    const FaultHandler *faultHandler = nullptr;
+};
+
+} // namespace mitosim::sim
+
+#endif // MITOSIM_SIM_CORE_H

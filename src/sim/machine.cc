@@ -1,0 +1,32 @@
+#include "machine.h"
+
+#include "src/base/logging.h"
+
+namespace mitosim::sim
+{
+
+Machine::Machine(const MachineConfig &config)
+    : cfg(config), topo(cfg.topo), mem_(topo), hier(topo, cfg.hier)
+{
+    cores.reserve(static_cast<std::size_t>(topo.numCores()));
+    for (CoreId c = 0; c < topo.numCores(); ++c)
+        cores.push_back(
+            std::make_unique<Core>(c, hier, mem_, cfg.tlb, cfg.pwc));
+}
+
+Core &
+Machine::core(CoreId id)
+{
+    MITOSIM_ASSERT(id >= 0 && id < numCores(), "core id out of range");
+    return *cores[static_cast<std::size_t>(id)];
+}
+
+void
+Machine::setFaultHandler(FaultHandler h)
+{
+    handler = std::move(h);
+    for (auto &c : cores)
+        c->setFaultHandler(&handler);
+}
+
+} // namespace mitosim::sim

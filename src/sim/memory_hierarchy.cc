@@ -1,0 +1,105 @@
+#include "memory_hierarchy.h"
+
+#include "src/base/logging.h"
+
+namespace mitosim::sim
+{
+
+MemoryHierarchy::MemoryHierarchy(numa::Topology &topology,
+                                 const HierarchyConfig &config)
+    : topo(topology), cfg(config)
+{
+    l1d.reserve(static_cast<std::size_t>(topo.numCores()));
+    for (int c = 0; c < topo.numCores(); ++c)
+        l1d.emplace_back(cfg.l1dBytes, cfg.l1dWays);
+    l3.reserve(static_cast<std::size_t>(topo.numSockets()));
+    for (SocketId s = 0; s < topo.numSockets(); ++s)
+        l3.emplace_back(cfg.l3BytesPerSocket, cfg.l3Ways);
+}
+
+Cycles
+MemoryHierarchy::access(CoreId core, PhysAddr pa, bool is_write,
+                        AccessKind kind, PerfCounters *pc)
+{
+    SocketId here = topo.socketOfCore(core);
+    SocketId home = topo.socketOfPfn(addrToPfn(pa));
+    auto &my_l1 = l1d[static_cast<std::size_t>(core)];
+    auto &my_l3 = l3[static_cast<std::size_t>(here)];
+    (void)is_write; // presence-only model: writes allocate like reads
+
+    if (my_l1.lookup(pa)) {
+        if (pc)
+            ++pc->l1dHits;
+        return cfg.l1dHitLatency;
+    }
+
+    // A socket hosting a bandwidth interferer has its L3 continuously
+    // thrashed by the interferer's stream; model it as always-miss.
+    bool here_thrashed = topo.hasInterferer(here);
+    if (!here_thrashed && my_l3.lookup(pa)) {
+        my_l1.insert(pa);
+        if (pc)
+            ++pc->l3LocalHits;
+        return cfg.l1dHitLatency + cfg.l3HitLatency;
+    }
+
+    // Remote-L3 probe: the home socket's cache may hold the line.
+    if (cfg.remoteL3ProbeEnabled && home != here &&
+        !topo.hasInterferer(home)) {
+        auto &home_l3 = l3[static_cast<std::size_t>(home)];
+        if (home_l3.lookup(pa)) {
+            my_l1.insert(pa);
+            if (!here_thrashed)
+                my_l3.insert(pa);
+            if (pc)
+                ++pc->l3RemoteHits;
+            return cfg.l1dHitLatency + cfg.l3RemoteHitLatency;
+        }
+    }
+
+    // DRAM at the home socket.
+    Cycles dram = topo.dramLatency(here, home);
+    my_l1.insert(pa);
+    if (!here_thrashed)
+        my_l3.insert(pa);
+    if (pc) {
+        bool remote = here != home;
+        if (kind == AccessKind::PageTable) {
+            if (remote)
+                ++pc->ptDramRemote;
+            else
+                ++pc->ptDramLocal;
+        } else {
+            if (remote)
+                ++pc->dataDramRemote;
+            else
+                ++pc->dataDramLocal;
+        }
+    }
+    return cfg.l1dHitLatency + cfg.l3HitLatency + dram;
+}
+
+void
+MemoryHierarchy::invalidateFrame(Pfn pfn)
+{
+    for (auto &c : l1d)
+        c.invalidateFrame(pfn);
+    for (auto &c : l3)
+        c.invalidateFrame(pfn);
+}
+
+cache::SetAssocCache &
+MemoryHierarchy::l3Of(SocketId socket)
+{
+    MITOSIM_ASSERT(socket >= 0 && socket < topo.numSockets());
+    return l3[static_cast<std::size_t>(socket)];
+}
+
+cache::SetAssocCache &
+MemoryHierarchy::l1dOf(CoreId core)
+{
+    MITOSIM_ASSERT(core >= 0 && core < topo.numCores());
+    return l1d[static_cast<std::size_t>(core)];
+}
+
+} // namespace mitosim::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The timing model: per-core L1D, per-socket shared L3, NUMA DRAM.
+ *
+ * Every simulated memory reference (data or page-table) is charged here.
+ * The latency ladder follows the paper's platform: ~4 cycles L1, ~40
+ * cycles local L3, a remote-L3 probe that is faster than remote DRAM
+ * ("accessing a remote last-level cache may be faster than accessing
+ * DRAM", §8.1), then local/remote DRAM at 280/580 cycles, doubled-ish on
+ * sockets hosting a bandwidth interferer.
+ *
+ * Page-table lines and data lines share the L3, so data streaming evicts
+ * PT entries naturally — the effect behind Figure 10b's GUPS result.
+ */
+
+#ifndef MITOSIM_SIM_MEMORY_HIERARCHY_H
+#define MITOSIM_SIM_MEMORY_HIERARCHY_H
+
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/cache/set_assoc_cache.h"
+#include "src/numa/topology.h"
+#include "src/sim/perf_counters.h"
+
+namespace mitosim::sim
+{
+
+/** What kind of line an access touches (for counter attribution). */
+enum class AccessKind
+{
+    Data,
+    PageTable,
+};
+
+/** Cache sizing and latency knobs. */
+struct HierarchyConfig
+{
+    std::uint64_t l1dBytes = 32ull << 10; //!< per-core L1D
+    unsigned l1dWays = 8;
+    Cycles l1dHitLatency = 4;
+
+    /**
+     * Per-socket shared L3. The paper's machine has 35 MB for ~500 GB of
+     * DRAM; we default to 1 MB against 4 GB/socket to preserve the
+     * leaf-PTE-working-set vs L3 ratio (see DESIGN.md scaling note).
+     */
+    std::uint64_t l3BytesPerSocket = 1ull << 20;
+    unsigned l3Ways = 16;
+    Cycles l3HitLatency = 40;
+
+    /** Remote-L3 probe (directory hit in the home socket's cache). */
+    bool remoteL3ProbeEnabled = true;
+    Cycles l3RemoteHitLatency = 300;
+};
+
+/** The full cache + DRAM timing model. */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(numa::Topology &topology, const HierarchyConfig &config);
+
+    /**
+     * Perform (and charge) one reference to physical address @p pa from
+     * @p core. Updates cache state and @p pc (if non-null).
+     *
+     * @return latency in cycles.
+     */
+    Cycles access(CoreId core, PhysAddr pa, bool is_write, AccessKind kind,
+                  PerfCounters *pc);
+
+    /**
+     * Drop all cached lines of frame @p pfn everywhere (page freed or
+     * page-table page torn down).
+     */
+    void invalidateFrame(Pfn pfn);
+
+    cache::SetAssocCache &l3Of(SocketId socket);
+    cache::SetAssocCache &l1dOf(CoreId core);
+    const HierarchyConfig &config() const { return cfg; }
+    numa::Topology &topology() { return topo; }
+
+  private:
+    numa::Topology &topo;
+    HierarchyConfig cfg;
+    std::vector<cache::SetAssocCache> l1d; //!< per core
+    std::vector<cache::SetAssocCache> l3;  //!< per socket
+};
+
+} // namespace mitosim::sim
+
+#endif // MITOSIM_SIM_MEMORY_HIERARCHY_H

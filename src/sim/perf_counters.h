@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Performance counters, the simulated analogue of the paper's perf
+ * measurements ("execution cycles and TLB load and store miss walk cycles,
+ * i.e. the cycles that the page walker is active for", §3.2).
+ */
+
+#ifndef MITOSIM_SIM_PERF_COUNTERS_H
+#define MITOSIM_SIM_PERF_COUNTERS_H
+
+#include <cstdint>
+
+#include "src/base/types.h"
+
+namespace mitosim::sim
+{
+
+/** Counter block; one per logical thread, aggregated for reporting. */
+struct PerfCounters
+{
+    /// @name Cycle accounting
+    /// @{
+    Cycles cycles = 0;        //!< total execution cycles
+    Cycles walkCycles = 0;    //!< cycles the page walker was active
+    Cycles dataStallCycles = 0; //!< cycles in the data-side hierarchy
+    Cycles kernelCycles = 0;  //!< cycles in fault/syscall handling
+    Cycles computeCycles = 0; //!< non-memory work charged by workloads
+    /// @}
+
+    /// @name TLB
+    /// @{
+    std::uint64_t accesses = 0;
+    std::uint64_t tlbL1Hits = 0;
+    std::uint64_t tlbL2Hits = 0;
+    std::uint64_t tlbMisses = 0;
+    /// @}
+
+    /// @name Page walks
+    /// @{
+    std::uint64_t walks = 0;
+    std::uint64_t walkMemRefs = 0;   //!< PT reads issued by the walker
+    std::uint64_t ptDramLocal = 0;   //!< walker refs served by local DRAM
+    std::uint64_t ptDramRemote = 0;  //!< walker refs served by remote DRAM
+    /// @}
+
+    /// @name Data side
+    /// @{
+    std::uint64_t dataDramLocal = 0;
+    std::uint64_t dataDramRemote = 0;
+    std::uint64_t l1dHits = 0;
+    std::uint64_t l3LocalHits = 0;
+    std::uint64_t l3RemoteHits = 0;
+    /// @}
+
+    /// @name OS events
+    /// @{
+    std::uint64_t pageFaults = 0;
+    std::uint64_t numaHintFaults = 0;
+    std::uint64_t dataPagesMigrated = 0;
+    std::uint64_t tlbShootdowns = 0;
+    /// @}
+
+    /** Fraction of cycles spent walking page-tables (hashed bars). */
+    double
+    walkFraction() const
+    {
+        return cycles ? static_cast<double>(walkCycles) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Fraction of walker DRAM refs that were remote. */
+    double
+    remotePtFraction() const
+    {
+        std::uint64_t total = ptDramLocal + ptDramRemote;
+        return total ? static_cast<double>(ptDramRemote) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    void
+    add(const PerfCounters &o)
+    {
+        cycles += o.cycles;
+        walkCycles += o.walkCycles;
+        dataStallCycles += o.dataStallCycles;
+        kernelCycles += o.kernelCycles;
+        computeCycles += o.computeCycles;
+        accesses += o.accesses;
+        tlbL1Hits += o.tlbL1Hits;
+        tlbL2Hits += o.tlbL2Hits;
+        tlbMisses += o.tlbMisses;
+        walks += o.walks;
+        walkMemRefs += o.walkMemRefs;
+        ptDramLocal += o.ptDramLocal;
+        ptDramRemote += o.ptDramRemote;
+        dataDramLocal += o.dataDramLocal;
+        dataDramRemote += o.dataDramRemote;
+        l1dHits += o.l1dHits;
+        l3LocalHits += o.l3LocalHits;
+        l3RemoteHits += o.l3RemoteHits;
+        pageFaults += o.pageFaults;
+        numaHintFaults += o.numaHintFaults;
+        dataPagesMigrated += o.dataPagesMigrated;
+        tlbShootdowns += o.tlbShootdowns;
+    }
+};
+
+} // namespace mitosim::sim
+
+#endif // MITOSIM_SIM_PERF_COUNTERS_H

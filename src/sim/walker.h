@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The hardware page-table walker.
+ *
+ * On a TLB miss the walker descends the radix tree starting from the
+ * deepest paging-structure-cache hit, issuing one memory reference per
+ * level through the cache hierarchy — this is where NUMA placement of
+ * page-table pages turns into cycles. It also sets Accessed/Dirty bits
+ * *directly in the replica it walks*, bypassing PV-Ops, exactly like
+ * real hardware (the behaviour that forces Mitosis to OR A/D bits across
+ * replicas when the OS reads them, §5.4).
+ */
+
+#ifndef MITOSIM_SIM_WALKER_H
+#define MITOSIM_SIM_WALKER_H
+
+#include "src/mem/physical_memory.h"
+#include "src/pt/pte.h"
+#include "src/sim/memory_hierarchy.h"
+#include "src/sim/perf_counters.h"
+#include "src/tlb/paging_structure_cache.h"
+#include "src/tlb/tlb.h"
+
+namespace mitosim::sim
+{
+
+/** Why a walk could not produce a translation. */
+enum class WalkFault
+{
+    None,
+    NotPresent, //!< demand-paging fault
+    NumaHint,   //!< AutoNUMA sampling fault (leaf had the hint bit)
+    Protection, //!< write to a read-only mapping
+};
+
+/** Everything a walk produces. */
+struct WalkOutcome
+{
+    WalkFault fault = WalkFault::None;
+    tlb::TlbEntry entry;  //!< valid when fault == None
+    Cycles latency = 0;   //!< cycles the walker was active
+    unsigned memRefs = 0; //!< PT references issued
+};
+
+/** One walker per core (state lives in the PWC owned by the core). */
+class PageWalker
+{
+  public:
+    PageWalker(mem::PhysicalMemory &physmem, MemoryHierarchy &hierarchy)
+        : mem(physmem), hier(hierarchy)
+    {
+    }
+
+    /**
+     * Walk @p va under root @p cr3 on behalf of @p core.
+     *
+     * @param pwc the core's paging-structure cache (probed and filled)
+     * @param is_write whether the faulting access is a store (Dirty bit)
+     * @param pc counters to update (may be null)
+     */
+    WalkOutcome walk(CoreId core, Pfn cr3, VirtAddr va, bool is_write,
+                     tlb::PagingStructureCache &pwc, PerfCounters *pc);
+
+  private:
+    mem::PhysicalMemory &mem;
+    MemoryHierarchy &hier;
+};
+
+} // namespace mitosim::sim
+
+#endif // MITOSIM_SIM_WALKER_H

@@ -1,0 +1,139 @@
+#include "paging_structure_cache.h"
+
+#include "src/base/logging.h"
+
+namespace mitosim::tlb
+{
+
+PagingStructureCache::Slot *
+PagingStructureCache::Level::find(Pfn cr3, VirtAddr va)
+{
+    std::uint64_t tag = va >> tagShift;
+    for (auto &s : slots) {
+        if (s.cr3 == cr3 && s.vaTag == tag)
+            return &s;
+    }
+    return nullptr;
+}
+
+void
+PagingStructureCache::Level::insert(Pfn cr3, VirtAddr va, Pfn table,
+                                    std::uint32_t now)
+{
+    std::uint64_t tag = va >> tagShift;
+    Slot *victim = &slots[0];
+    for (auto &s : slots) {
+        if (s.cr3 == cr3 && s.vaTag == tag) {
+            s.tablePfn = table;
+            s.lru = now;
+            return;
+        }
+        if (s.cr3 == InvalidPfn) {
+            victim = &s;
+            break;
+        }
+        if (s.lru < victim->lru)
+            victim = &s;
+    }
+    victim->cr3 = cr3;
+    victim->vaTag = tag;
+    victim->tablePfn = table;
+    victim->lru = now;
+}
+
+void
+PagingStructureCache::Level::invalidate(VirtAddr va)
+{
+    std::uint64_t tag = va >> tagShift;
+    for (auto &s : slots) {
+        if (s.vaTag == tag)
+            s.cr3 = InvalidPfn;
+    }
+}
+
+void
+PagingStructureCache::Level::flush()
+{
+    for (auto &s : slots)
+        s.cr3 = InvalidPfn;
+}
+
+PagingStructureCache::PagingStructureCache(const PwcConfig &config)
+{
+    MITOSIM_ASSERT(config.pml4eEntries > 0 && config.pdpteEntries > 0 &&
+                   config.pdeEntries > 0);
+    pml4e.slots.resize(config.pml4eEntries);
+    pml4e.tagShift = PageShift + 3 * PtIndexBits; // 39
+    pdpte.slots.resize(config.pdpteEntries);
+    pdpte.tagShift = PageShift + 2 * PtIndexBits; // 30
+    pde.slots.resize(config.pdeEntries);
+    pde.tagShift = PageShift + PtIndexBits; // 21
+}
+
+PagingStructureCache::Probe
+PagingStructureCache::lookup(Pfn cr3, VirtAddr va)
+{
+    Probe p;
+    if (Slot *s = pde.find(cr3, va)) {
+        s->lru = ++clock;
+        ++stats_.hits;
+        p.startLevel = 1;
+        p.tablePfn = s->tablePfn;
+        return p;
+    }
+    if (Slot *s = pdpte.find(cr3, va)) {
+        s->lru = ++clock;
+        ++stats_.hits;
+        p.startLevel = 2;
+        p.tablePfn = s->tablePfn;
+        return p;
+    }
+    if (Slot *s = pml4e.find(cr3, va)) {
+        s->lru = ++clock;
+        ++stats_.hits;
+        p.startLevel = 3;
+        p.tablePfn = s->tablePfn;
+        return p;
+    }
+    ++stats_.misses;
+    p.startLevel = 4;
+    p.tablePfn = cr3;
+    return p;
+}
+
+void
+PagingStructureCache::fill(Pfn cr3, VirtAddr va, int level, Pfn table_pfn)
+{
+    switch (level) {
+      case 3:
+        pml4e.insert(cr3, va, table_pfn, ++clock);
+        break;
+      case 2:
+        pdpte.insert(cr3, va, table_pfn, ++clock);
+        break;
+      case 1:
+        pde.insert(cr3, va, table_pfn, ++clock);
+        break;
+      default:
+        panic("PWC fill with bad level %d", level);
+    }
+}
+
+void
+PagingStructureCache::invalidate(VirtAddr va)
+{
+    pml4e.invalidate(va);
+    pdpte.invalidate(va);
+    pde.invalidate(va);
+}
+
+void
+PagingStructureCache::flushAll()
+{
+    pml4e.flush();
+    pdpte.flush();
+    pde.flush();
+    ++stats_.flushes;
+}
+
+} // namespace mitosim::tlb

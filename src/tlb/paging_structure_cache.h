@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Paging-structure caches (MMU caches), per core.
+ *
+ * x86 walkers cache upper-level entries (PML4E/PDPTE/PDE) so that a walk
+ * can skip levels [Barr et al., ISCA'10; Bhattacharjee, MICRO'13 — paper
+ * refs 19/24]. The paper's §3.1 notes "even though MMU caches help reduce
+ * some of the accesses, at least leaf-level PTEs have to be accessed" —
+ * modelling these caches is essential or the simulator would overstate
+ * upper-level walk traffic.
+ *
+ * Entries are tagged by (root pfn, va prefix), so switching CR3 (e.g. to a
+ * socket-local replica) naturally misses, and replicas are cached
+ * independently per core, as on real hardware.
+ */
+
+#ifndef MITOSIM_TLB_PAGING_STRUCTURE_CACHE_H
+#define MITOSIM_TLB_PAGING_STRUCTURE_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace mitosim::tlb
+{
+
+/** Per-level capacity; defaults are Haswell-like. */
+struct PwcConfig
+{
+    unsigned pml4eEntries = 2;  //!< caches L4 entries (skip to L3)
+    unsigned pdpteEntries = 4;  //!< caches L3 entries (skip to L2)
+    unsigned pdeEntries = 32;   //!< caches L2 entries (skip to L1)
+};
+
+/** PWC statistics. */
+struct PwcStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0; //!< lookups that found no prefix at all
+    std::uint64_t flushes = 0;
+};
+
+/**
+ * The three upper-level caches. Lookup returns the deepest cached level
+ * so the walker can start there.
+ */
+class PagingStructureCache
+{
+  public:
+    explicit PagingStructureCache(const PwcConfig &config = PwcConfig{});
+
+    /** Result of a probe: where to start the walk. */
+    struct Probe
+    {
+        /**
+         * Level of the *next table to read*: 1 means only the leaf PTE
+         * remains (PDE cached), 4 means start from the root.
+         */
+        int startLevel = 4;
+        /** pfn of the table to read at startLevel (root if 4). */
+        Pfn tablePfn = InvalidPfn;
+    };
+
+    /** Find the deepest cached prefix for @p va under root @p cr3. */
+    Probe lookup(Pfn cr3, VirtAddr va);
+
+    /**
+     * Record that under @p cr3 the table at @p level for @p va is
+     * @p table_pfn (called by the walker as it descends). @p level is the
+     * level of the table being *entered* (3, 2, or 1).
+     */
+    void fill(Pfn cr3, VirtAddr va, int level, Pfn table_pfn);
+
+    /** Invalidate all entries covering @p va (shootdown path). */
+    void invalidate(VirtAddr va);
+
+    /** Full flush (CR3 write without PCID). */
+    void flushAll();
+
+    const PwcStats &stats() const { return stats_; }
+    void resetStats() { stats_ = PwcStats{}; }
+
+  private:
+    struct Slot
+    {
+        Pfn cr3 = InvalidPfn;
+        std::uint64_t vaTag = ~0ull;
+        Pfn tablePfn = InvalidPfn;
+        std::uint32_t lru = 0;
+    };
+
+    /** Fully-associative array for one level. */
+    struct Level
+    {
+        std::vector<Slot> slots;
+        unsigned tagShift; //!< VA bits above this shift form the tag
+
+        Slot *find(Pfn cr3, VirtAddr va);
+        void insert(Pfn cr3, VirtAddr va, Pfn table, std::uint32_t now);
+        void invalidate(VirtAddr va);
+        void flush();
+    };
+
+    // pml4e cache: tag = va >> 39, yields L3 table (startLevel 3)
+    // pdpte cache: tag = va >> 30, yields L2 table (startLevel 2)
+    // pde cache:   tag = va >> 21, yields L1 table (startLevel 1)
+    Level pml4e;
+    Level pdpte;
+    Level pde;
+    std::uint32_t clock = 0;
+    PwcStats stats_;
+};
+
+} // namespace mitosim::tlb
+
+#endif // MITOSIM_TLB_PAGING_STRUCTURE_CACHE_H

@@ -1,0 +1,173 @@
+#include "tlb.h"
+
+#include "src/base/logging.h"
+
+namespace mitosim::tlb
+{
+
+namespace
+{
+
+std::uint64_t
+roundDownPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+/** Granularity marker mixed into unified-L2 tags to avoid collisions. */
+constexpr std::uint64_t LargeTagBit = 1ull << 63;
+
+} // namespace
+
+TwoLevelTlb::Array::Array(unsigned entries, unsigned ways)
+    : numWays(ways)
+{
+    MITOSIM_ASSERT(ways > 0 && entries >= ways);
+    sets = roundDownPow2(entries / ways);
+    slots.assign(sets * ways, Slot{});
+}
+
+TwoLevelTlb::Slot *
+TwoLevelTlb::Array::find(std::uint64_t tag)
+{
+    std::size_t base = static_cast<std::size_t>(tag & (sets - 1)) * numWays;
+    for (unsigned w = 0; w < numWays; ++w) {
+        if (slots[base + w].tag == tag)
+            return &slots[base + w];
+    }
+    return nullptr;
+}
+
+void
+TwoLevelTlb::Array::insert(std::uint64_t tag, const TlbEntry &entry,
+                           std::uint32_t now)
+{
+    std::size_t base = static_cast<std::size_t>(tag & (sets - 1)) * numWays;
+    std::size_t victim = base;
+    for (unsigned w = 0; w < numWays; ++w) {
+        Slot &s = slots[base + w];
+        if (s.tag == tag || s.tag == ~0ull) {
+            victim = base + w;
+            break;
+        }
+        if (slots[victim].lru > s.lru)
+            victim = base + w;
+    }
+    slots[victim].tag = tag;
+    slots[victim].entry = entry;
+    slots[victim].lru = now;
+}
+
+void
+TwoLevelTlb::Array::invalidate(std::uint64_t tag)
+{
+    if (Slot *s = find(tag))
+        s->tag = ~0ull;
+}
+
+void
+TwoLevelTlb::Array::flush()
+{
+    for (auto &s : slots)
+        s.tag = ~0ull;
+}
+
+TwoLevelTlb::TwoLevelTlb(const TlbConfig &config)
+    : cfg(config),
+      l1Small(cfg.l1Entries4K, cfg.l1Ways),
+      l1Large(cfg.l1Entries2M, cfg.l1Ways),
+      l2(cfg.l2Entries, cfg.l2Ways)
+{
+}
+
+TlbLookupResult
+TwoLevelTlb::lookup(VirtAddr va)
+{
+    TlbLookupResult res;
+
+    // L1, both size classes probed in parallel on real hardware.
+    if (Slot *s = l1Small.find(tag4K(va))) {
+        s->lru = ++clock;
+        ++stats_.l1Hits;
+        res.hit = true;
+        res.hitLevel = 1;
+        res.latency = cfg.l1HitLatency;
+        res.entry = s->entry;
+        return res;
+    }
+    if (Slot *s = l1Large.find(tag2M(va))) {
+        s->lru = ++clock;
+        ++stats_.l1Hits;
+        res.hit = true;
+        res.hitLevel = 1;
+        res.latency = cfg.l1HitLatency;
+        res.entry = s->entry;
+        return res;
+    }
+
+    // Unified L2: try the 4 KB-granule tag, then the 2 MB-granule tag.
+    if (Slot *s = l2.find(tag4K(va))) {
+        s->lru = ++clock;
+        ++stats_.l2Hits;
+        res.hit = true;
+        res.hitLevel = 2;
+        res.latency = cfg.l2HitLatency;
+        res.entry = s->entry;
+        l1Small.insert(tag4K(va), s->entry, ++clock);
+        return res;
+    }
+    if (cfg.l2Holds2M) {
+        if (Slot *s = l2.find(tag2M(va) | LargeTagBit)) {
+            s->lru = ++clock;
+            ++stats_.l2Hits;
+            res.hit = true;
+            res.hitLevel = 2;
+            res.latency = cfg.l2HitLatency;
+            res.entry = s->entry;
+            l1Large.insert(tag2M(va), s->entry, ++clock);
+            return res;
+        }
+    }
+
+    ++stats_.misses;
+    res.hit = false;
+    res.latency = cfg.l2HitLatency; // paid the full probe before missing
+    return res;
+}
+
+void
+TwoLevelTlb::insert(VirtAddr va, const TlbEntry &entry)
+{
+    if (entry.size == PageSizeKind::Base4K) {
+        l1Small.insert(tag4K(va), entry, ++clock);
+        l2.insert(tag4K(va), entry, ++clock);
+    } else {
+        l1Large.insert(tag2M(va), entry, ++clock);
+        if (cfg.l2Holds2M)
+            l2.insert(tag2M(va) | LargeTagBit, entry, ++clock);
+    }
+}
+
+void
+TwoLevelTlb::invalidatePage(VirtAddr va)
+{
+    l1Small.invalidate(tag4K(va));
+    l1Large.invalidate(tag2M(va));
+    l2.invalidate(tag4K(va));
+    l2.invalidate(tag2M(va) | LargeTagBit);
+    ++stats_.singleInvalidations;
+}
+
+void
+TwoLevelTlb::flushAll()
+{
+    l1Small.flush();
+    l1Large.flush();
+    l2.flush();
+    ++stats_.flushes;
+}
+
+} // namespace mitosim::tlb

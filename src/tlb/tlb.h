@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Per-core two-level TLB, modelled after the paper's platform (§8:
+ * "a per-core two-level TLB with 64+1024 entries").
+ *
+ * L1 is split by page size (64 entries for 4 KB, 32 for 2 MB, like
+ * Haswell's DTLB); L2 is a unified 1024-entry STLB. Entries are tagged
+ * with the translation's page size so a 2 MB entry covers its whole
+ * range. Replacement is true LRU within a set.
+ */
+
+#ifndef MITOSIM_TLB_TLB_H
+#define MITOSIM_TLB_TLB_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace mitosim::tlb
+{
+
+/** Sizing knobs; defaults match the paper's machine. */
+struct TlbConfig
+{
+    unsigned l1Entries4K = 64;
+    unsigned l1Entries2M = 32;
+    unsigned l1Ways = 4;
+    unsigned l2Entries = 1024;
+    unsigned l2Ways = 8;
+    Cycles l1HitLatency = 1;  //!< folded into the load latency
+    Cycles l2HitLatency = 7;  //!< STLB probe cost
+
+    /**
+     * Whether the unified L2 caches 2 MB translations. Haswell does
+     * (default); Sandy-Bridge-class STLBs are 4 KB-only. Scaled-down
+     * simulations disable this to keep the large-page-count : TLB-reach
+     * ratio of the paper's machine (see DESIGN.md).
+     */
+    bool l2Holds2M = true;
+};
+
+/** One cached translation. */
+struct TlbEntry
+{
+    Pfn pfn = InvalidPfn;          //!< 4 KB frame or 2 MB head frame
+    bool writable = false;
+    PageSizeKind size = PageSizeKind::Base4K;
+};
+
+/** Statistics for one TLB instance. */
+struct TlbStats
+{
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t singleInvalidations = 0;
+
+    std::uint64_t
+    lookups() const
+    {
+        return l1Hits + l2Hits + misses;
+    }
+
+    double
+    missRate() const
+    {
+        std::uint64_t n = lookups();
+        return n ? static_cast<double>(misses) / static_cast<double>(n)
+                 : 0.0;
+    }
+};
+
+/** Outcome of a lookup. */
+struct TlbLookupResult
+{
+    bool hit = false;
+    int hitLevel = 0; //!< 1 or 2 on hit, 0 on miss
+    Cycles latency = 0;
+    TlbEntry entry;
+};
+
+/** A two-level data TLB for one core. */
+class TwoLevelTlb
+{
+  public:
+    explicit TwoLevelTlb(const TlbConfig &config = TlbConfig{});
+
+    /**
+     * Probe for the translation of @p va. L1 by size class, then L2.
+     * A hit in L2 promotes into L1.
+     */
+    TlbLookupResult lookup(VirtAddr va);
+
+    /** Install a translation after a walk (fills L1 and L2). */
+    void insert(VirtAddr va, const TlbEntry &entry);
+
+    /** Invalidate any entry covering @p va (both levels). */
+    void invalidatePage(VirtAddr va);
+
+    /** Full flush, e.g. on CR3 load without PCID. */
+    void flushAll();
+
+    const TlbStats &stats() const { return stats_; }
+    void resetStats() { stats_ = TlbStats{}; }
+    const TlbConfig &config() const { return cfg; }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t tag = ~0ull; //!< page-aligned VA tag, ~0 = invalid
+        TlbEntry entry;
+        std::uint32_t lru = 0;
+    };
+
+    /** One set-associative array of slots. */
+    class Array
+    {
+      public:
+        Array(unsigned entries, unsigned ways);
+        Slot *find(std::uint64_t tag);
+        void insert(std::uint64_t tag, const TlbEntry &entry,
+                    std::uint32_t now);
+        void invalidate(std::uint64_t tag);
+        void flush();
+
+      private:
+        unsigned numWays;
+        std::uint64_t sets;
+        std::vector<Slot> slots;
+    };
+
+    static std::uint64_t tag4K(VirtAddr va) { return va >> PageShift; }
+    static std::uint64_t tag2M(VirtAddr va) { return va >> LargePageShift; }
+
+    TlbConfig cfg;
+    Array l1Small;
+    Array l1Large;
+    Array l2;     //!< unified; tags are 4K-granule with size in entry
+    std::uint32_t clock = 0;
+    TlbStats stats_;
+};
+
+} // namespace mitosim::tlb
+
+#endif // MITOSIM_TLB_TLB_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Guest-side virtual memory: the gVA -> gPA page-table (gPT), stored in
+ * guest-physical frames, with optional guest-level Mitosis replication
+ * across virtual sockets — the first dimension of §7.4's proposal to
+ * "replicate both guest page-tables and nested page-tables
+ * independently".
+ *
+ * Guest page-table placement mirrors the native story: a gPT page is
+ * allocated from the faulting vCPU's virtual socket (first touch).
+ * Replication allocates one copy per virtual socket, keeps a circular
+ * replica ring (guest struct-page analogue) and fixes upper-level
+ * gPA pointers per replica so every vsocket walks vsocket-local guest
+ * frames — which the VM's vNUMA pinning turns into host-local memory.
+ */
+
+#ifndef MITOSIM_VIRT_GUEST_SPACE_H
+#define MITOSIM_VIRT_GUEST_SPACE_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pt/pte.h"
+#include "src/pvops/pvops.h"
+#include "src/virt/virtual_machine.h"
+
+namespace mitosim::virt
+{
+
+/** Statistics for the guest-side Mitosis. */
+struct GuestSpaceStats
+{
+    std::uint64_t gptPages = 0;         //!< live gPT pages incl. replicas
+    std::uint64_t replicaPages = 0;     //!< extra replica pages
+    std::uint64_t eagerUpdates = 0;     //!< propagated gPTE stores
+    std::uint64_t guestFaults = 0;
+};
+
+/** The guest kernel's address-space manager. */
+class GuestAddressSpace
+{
+  public:
+    explicit GuestAddressSpace(VirtualMachine &vm);
+
+    /** Root gPT frame the vCPUs of @p vsocket load (guest CR3, §5.3). */
+    GuestPfn rootFor(int vsocket) const;
+
+    /** Whether gPT replication is active. */
+    bool replicated() const { return replicated_; }
+
+    /**
+     * Replicate the gPT onto every virtual socket (true) or tear the
+     * replicas down (false). The guest-side equivalent of
+     * numa_set_pgtable_replication_mask(all).
+     */
+    void setReplication(bool on, pvops::KernelCost *cost = nullptr);
+
+    /**
+     * Demand-fault @p gva from a vCPU on @p vsocket: allocates a data
+     * frame on the vsocket (guest first-touch) and maps it, allocating
+     * gPT pages as needed.
+     *
+     * @return kernel cycles spent.
+     */
+    Cycles handleGuestFault(GuestVa gva, int vsocket);
+
+    /** Software walk from @p vsocket's root (no timing). */
+    struct GuestWalk
+    {
+        bool mapped = false;
+        GuestPfn gpfn = InvalidGuestPfn;
+        bool writable = false;
+    };
+    GuestWalk walk(GuestVa gva, int vsocket) const;
+
+    /**
+     * Read one gPT entry by guest-physical location (used by the nested
+     * walker, which has already charged the memory access).
+     */
+    pt::Pte
+    readEntry(GuestPfn gpt_frame, unsigned index) const
+    {
+        return pt::Pte{tableOf(gpt_frame)[index]};
+    }
+
+    const GuestSpaceStats &stats() const { return stats_; }
+    VirtualMachine &vm() { return vm_; }
+
+  private:
+    /** Host-side storage for guest frames used as gPT pages. */
+    std::uint64_t *tableOf(GuestPfn gpfn) const;
+
+    GuestPfn allocGptPage(int vsocket);
+    void freeGptPage(GuestPfn gpfn);
+
+    /** Guest replica-ring metadata (guest struct page). */
+    GuestPfn ringNext(GuestPfn gpfn) const;
+    void ringLink(GuestPfn base, GuestPfn added);
+    void ringUnlink(GuestPfn gpfn);
+    GuestPfn replicaOn(GuestPfn gpfn, int vsocket) const;
+
+    /** Store @p value at (frame, index) and propagate to replicas. */
+    void setEntry(GuestPfn gpt_frame, unsigned index, pt::Pte value,
+                  int level);
+
+    GuestPfn replicateSubtree(GuestPfn src, int level, int vsocket);
+    void collectTreePages(std::vector<std::pair<GuestPfn, int>> &out) const;
+
+    VirtualMachine &vm_;
+    GuestPfn primaryRoot = InvalidGuestPfn;
+    std::vector<GuestPfn> rootPerVsocket;
+    bool replicated_ = false;
+
+    struct GptPage
+    {
+        std::unique_ptr<std::uint64_t[]> table;
+        GuestPfn ringNext = InvalidGuestPfn;
+        int level = 0;
+    };
+    std::unordered_map<GuestPfn, GptPage> gptPages;
+    GuestSpaceStats stats_;
+};
+
+} // namespace mitosim::virt
+
+#endif // MITOSIM_VIRT_GUEST_SPACE_H

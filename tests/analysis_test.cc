@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the analysis module: page-table snapshots (Figure 3/4
+ * machinery) and the Table 4 memory-overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/pt_dump.h"
+#include "src/core/mitosis.h"
+#include "src/os/kernel.h"
+#include "src/pvops/native_backend.h"
+#include "src/sim/machine.h"
+
+namespace mitosim::analysis
+{
+namespace
+{
+
+class AnalysisTest : public ::testing::Test
+{
+  protected:
+    AnalysisTest()
+        : machine([] {
+              auto cfg = sim::MachineConfig::tiny();
+              cfg.topo.numSockets = 4;
+              return cfg;
+          }()),
+          backend(machine.physmem()),
+          kernel(machine, backend),
+          analyzer(machine.physmem(), kernel.ptOps())
+    {
+    }
+
+    sim::Machine machine;
+    core::MitosisBackend backend;
+    os::Kernel kernel;
+    PtAnalyzer analyzer;
+};
+
+TEST_F(AnalysisTest, SnapshotCountsPagesPerLevel)
+{
+    os::Process &p = kernel.createProcess("a", 0);
+    kernel.setPtPlacement(p, pt::PtPlacement::Fixed, 0);
+    kernel.setDataPolicy(p, os::DataPolicy::Fixed, 0);
+    kernel.mmap(p, 4ull << 20, os::MmapOptions{.populate = true});
+    auto snap = analyzer.snapshot(p.roots());
+    EXPECT_EQ(snap.cell(4, 0).pages, 1u);
+    EXPECT_EQ(snap.cell(3, 0).pages, 1u);
+    EXPECT_EQ(snap.cell(2, 0).pages, 1u);
+    EXPECT_EQ(snap.cell(1, 0).pages, 2u); // 4 MiB = 2 leaf tables
+    EXPECT_EQ(snap.totalLeafPtes(), 1024u);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(AnalysisTest, AllLocalMeansZeroRemote)
+{
+    os::Process &p = kernel.createProcess("local", 0);
+    kernel.setPtPlacement(p, pt::PtPlacement::Fixed, 0);
+    kernel.setDataPolicy(p, os::DataPolicy::Fixed, 0);
+    kernel.mmap(p, 1ull << 20, os::MmapOptions{.populate = true});
+    auto snap = analyzer.snapshot(p.roots());
+    EXPECT_DOUBLE_EQ(snap.cell(1, 0).remoteFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(snap.remoteLeafFractionFrom(0), 0.0);
+    EXPECT_DOUBLE_EQ(snap.remoteLeafFractionFrom(1), 1.0);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(AnalysisTest, InterleavedDataMakesLeafPointersRemote)
+{
+    os::Process &p = kernel.createProcess("il", 0);
+    kernel.setPtPlacement(p, pt::PtPlacement::Fixed, 0);
+    kernel.setDataPolicy(p, os::DataPolicy::Interleave);
+    kernel.mmap(p, 4ull << 20, os::MmapOptions{.populate = true});
+    auto snap = analyzer.snapshot(p.roots());
+    // Leaf PTEs live on socket 0 but point at 4 sockets: 3/4 remote.
+    EXPECT_NEAR(snap.cell(1, 0).remoteFraction(), 0.75, 0.01);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(AnalysisTest, InterleavedPtSpreadsLeafPtes)
+{
+    os::Process &p = kernel.createProcess("ptil", 0);
+    kernel.setPtPlacement(p, pt::PtPlacement::Interleave);
+    kernel.setDataPolicy(p, os::DataPolicy::Fixed, 0);
+    kernel.mmap(p, 16ull << 21, os::MmapOptions{.populate = true});
+    auto snap = analyzer.snapshot(p.roots());
+    // Leaf tables spread: each socket sees (N-1)/N of leaf PTEs remote.
+    for (SocketId s = 0; s < 4; ++s) {
+        EXPECT_NEAR(snap.remoteLeafFractionFrom(s), 0.75, 0.05)
+            << "socket " << s;
+    }
+    kernel.destroyProcess(p);
+}
+
+TEST_F(AnalysisTest, SnapshotForReplicatedSocketShowsAllLocal)
+{
+    os::Process &p = kernel.createProcess("rep", 0);
+    kernel.setDataPolicy(p, os::DataPolicy::Fixed, 2);
+    kernel.mmap(p, 2ull << 20, os::MmapOptions{.populate = true});
+    ASSERT_TRUE(backend.setReplicationMask(p.roots(), p.id(),
+                                           SocketMask::all(4)));
+    // From socket 2's replica, every PT page is local to socket 2.
+    auto snap = analyzer.snapshotFor(p.roots(), 2);
+    std::uint64_t leaf_on_2 = snap.leafPtesOn(2);
+    EXPECT_EQ(leaf_on_2, snap.totalLeafPtes());
+    EXPECT_DOUBLE_EQ(snap.remoteLeafFractionFrom(2), 0.0);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(AnalysisTest, HugeLeavesCountIntoLeafMetrics)
+{
+    os::Process &p = kernel.createProcess("thp", 0);
+    kernel.setPtPlacement(p, pt::PtPlacement::Fixed, 1);
+    kernel.mmap(p, 4 * LargePageSize,
+                os::MmapOptions{.populate = true, .thp = true});
+    auto snap = analyzer.snapshot(p.roots());
+    EXPECT_EQ(snap.totalLeafPtes(), 4u);
+    EXPECT_EQ(snap.leafPtesOn(1), 4u); // L2 page on socket 1 holds them
+    kernel.destroyProcess(p);
+}
+
+TEST_F(AnalysisTest, StrRendersWithoutCrashing)
+{
+    os::Process &p = kernel.createProcess("str", 0);
+    kernel.mmap(p, 1ull << 20, os::MmapOptions{.populate = true});
+    auto snap = analyzer.snapshot(p.roots());
+    std::string s = snap.str();
+    EXPECT_NE(s.find("L4"), std::string::npos);
+    EXPECT_NE(s.find("Socket 0"), std::string::npos);
+    kernel.destroyProcess(p);
+}
+
+TEST(MemOverheadModel, PageTableBytesForCompactSpace)
+{
+    // 1 GiB footprint: 512 L1 pages + 1 each of L2/L3/L4 = 2.01 MB.
+    std::uint64_t bytes = pageTableBytes(1ull << 30);
+    EXPECT_EQ(bytes, (512u + 1 + 1 + 1) * PageSize);
+    // 1 MiB footprint: minimum one page per level.
+    EXPECT_EQ(pageTableBytes(1ull << 20), 4 * PageSize);
+}
+
+TEST(MemOverheadModel, MatchesPaperTable4)
+{
+    // Table 4 reference points (fraction overhead, +-10% relative):
+    // 1GB/2 replicas -> 1.002; 1TB/16 -> 1.029; 1MB/16 -> 1.231.
+    EXPECT_NEAR(replicationMemOverhead(1ull << 30, 2), 1.002, 0.001);
+    EXPECT_NEAR(replicationMemOverhead(1ull << 30, 4), 1.006, 0.001);
+    EXPECT_NEAR(replicationMemOverhead(1ull << 30, 16), 1.029, 0.002);
+    EXPECT_NEAR(replicationMemOverhead(1ull << 40, 16), 1.029, 0.002);
+    EXPECT_NEAR(replicationMemOverhead(1ull << 20, 16), 1.231, 0.02);
+    EXPECT_DOUBLE_EQ(replicationMemOverhead(1ull << 30, 1), 1.0);
+}
+
+TEST(MemOverheadModel, FourSocketOverheadIsTiny)
+{
+    // The paper: "our four-socket machine used just 0.6% additional
+    // memory".
+    double overhead = replicationMemOverhead(1ull << 40, 4) - 1.0;
+    EXPECT_LT(overhead, 0.01);
+    EXPECT_GT(overhead, 0.003);
+}
+
+} // namespace
+} // namespace mitosim::analysis

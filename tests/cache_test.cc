@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/base/logging.h"
+#include "src/cache/set_assoc_cache.h"
+
+namespace mitosim::cache
+{
+namespace
+{
+
+TEST(Cache, MissThenHitAfterInsert)
+{
+    SetAssocCache c(64 * 1024, 8);
+    EXPECT_FALSE(c.lookup(0x1000));
+    c.insert(0x1000);
+    EXPECT_TRUE(c.lookup(0x1000));
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetHits)
+{
+    SetAssocCache c(64 * 1024, 8);
+    c.insert(0x1000);
+    EXPECT_TRUE(c.lookup(0x103f)); // same 64B line
+    EXPECT_FALSE(c.lookup(0x1040)); // next line
+}
+
+TEST(Cache, CapacityAndGeometry)
+{
+    SetAssocCache c(1 << 20, 16);
+    EXPECT_EQ(c.capacityBytes(), 1u << 20);
+    EXPECT_EQ(c.associativity(), 16u);
+    EXPECT_EQ(c.numSets() * 16 * LineSize, 1u << 20);
+}
+
+TEST(Cache, EvictionReportsVictim)
+{
+    // Single-set cache: 4 ways of 64B = 256B.
+    SetAssocCache c(256, 4);
+    EXPECT_EQ(c.numSets(), 1u);
+    for (PhysAddr a = 0; a < 4 * LineSize; a += LineSize)
+        EXPECT_EQ(c.insert(a), ~0ull);
+    std::uint64_t victim = c.insert(4 * LineSize);
+    EXPECT_EQ(victim, 0u); // LRU line address 0
+    EXPECT_FALSE(c.lookup(0));
+    EXPECT_TRUE(c.lookup(4 * LineSize));
+}
+
+TEST(Cache, LruRefreshOnHit)
+{
+    SetAssocCache c(256, 4);
+    for (PhysAddr a = 0; a < 4 * LineSize; a += LineSize)
+        c.insert(a);
+    c.lookup(0); // refresh line 0
+    c.insert(4 * LineSize);
+    EXPECT_TRUE(c.lookup(0));       // survived
+    EXPECT_FALSE(c.lookup(LineSize)); // line 1 evicted instead
+}
+
+TEST(Cache, InsertExistingIsNoop)
+{
+    SetAssocCache c(256, 4);
+    c.insert(0x80);
+    EXPECT_EQ(c.insert(0x80), ~0ull);
+    EXPECT_EQ(c.stats().evictions, 0u);
+}
+
+TEST(Cache, InvalidateLine)
+{
+    SetAssocCache c(64 * 1024, 8);
+    c.insert(0x2000);
+    c.invalidateLine(0x2000);
+    EXPECT_FALSE(c.lookup(0x2000));
+    EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(Cache, InvalidateFrameDropsAllItsLines)
+{
+    SetAssocCache c(1 << 20, 16);
+    PhysAddr frame_base = 5 * PageSize;
+    for (unsigned i = 0; i < PageSize / LineSize; ++i)
+        c.insert(frame_base + i * LineSize);
+    c.invalidateFrame(5);
+    for (unsigned i = 0; i < PageSize / LineSize; ++i)
+        EXPECT_FALSE(c.lookup(frame_base + i * LineSize));
+}
+
+TEST(Cache, FlushEmptiesEverything)
+{
+    SetAssocCache c(64 * 1024, 8);
+    for (PhysAddr a = 0; a < 128 * LineSize; a += LineSize)
+        c.insert(a);
+    c.flush();
+    EXPECT_FALSE(c.lookup(0));
+}
+
+TEST(Cache, HitRateComputation)
+{
+    SetAssocCache c(64 * 1024, 8);
+    c.insert(0);
+    c.lookup(0);
+    c.lookup(LineSize);
+    EXPECT_NEAR(c.stats().hitRate(), 0.5, 1e-9);
+}
+
+TEST(Cache, DistinctSetsDontInterfere)
+{
+    SetAssocCache c(512, 4); // 2 sets
+    // Fill set 0 far beyond capacity.
+    for (int i = 0; i < 64; ++i)
+        c.insert(static_cast<PhysAddr>(i) * 2 * LineSize);
+    c.insert(LineSize); // set 1
+    EXPECT_TRUE(c.lookup(LineSize));
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(SetAssocCache(64, 0), SimError);
+    EXPECT_THROW(SetAssocCache(64, 16), SimError); // smaller than one set
+}
+
+} // namespace
+} // namespace mitosim::cache

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for os::ExecContext: thread pinning, counter plumbing, runtime
+ * aggregation and reset semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/os/exec_context.h"
+#include "src/os/kernel.h"
+#include "src/pvops/native_backend.h"
+#include "src/sim/machine.h"
+
+namespace mitosim::os
+{
+namespace
+{
+
+class ExecContextTest : public ::testing::Test
+{
+  protected:
+    ExecContextTest()
+        : machine(sim::MachineConfig::tiny()),
+          native(machine.physmem()),
+          kernel(machine, native),
+          proc(kernel.createProcess("x", 0)),
+          ctx(kernel, proc)
+    {
+        region = kernel.mmap(proc, 64 * PageSize,
+                             MmapOptions{.populate = true});
+    }
+
+    ~ExecContextTest() override { kernel.destroyProcess(proc); }
+
+    sim::Machine machine;
+    pvops::NativeBackend native;
+    Kernel kernel;
+    Process &proc;
+    ExecContext ctx;
+    Region region;
+};
+
+TEST_F(ExecContextTest, ThreadsPinToRequestedSockets)
+{
+    int t0 = ctx.addThread(0);
+    int t1 = ctx.addThread(1);
+    EXPECT_EQ(ctx.socketOf(t0), 0);
+    EXPECT_EQ(ctx.socketOf(t1), 1);
+    EXPECT_EQ(ctx.numThreads(), 2);
+}
+
+TEST_F(ExecContextTest, AccessChargesCycles)
+{
+    int tid = ctx.addThread(0);
+    Cycles lat = ctx.access(tid, region.start, false);
+    EXPECT_GT(lat, 0u);
+    EXPECT_EQ(ctx.threadCounters(tid).cycles, lat);
+    EXPECT_EQ(ctx.threadCounters(tid).accesses, 1u);
+}
+
+TEST_F(ExecContextTest, ComputeChargesCycles)
+{
+    int tid = ctx.addThread(0);
+    ctx.compute(tid, 123);
+    EXPECT_EQ(ctx.threadCounters(tid).cycles, 123u);
+    EXPECT_EQ(ctx.threadCounters(tid).computeCycles, 123u);
+}
+
+TEST_F(ExecContextTest, RuntimeIsMaxOverThreads)
+{
+    int t0 = ctx.addThread(0);
+    int t1 = ctx.addThread(1);
+    ctx.compute(t0, 100);
+    ctx.compute(t1, 250);
+    EXPECT_EQ(ctx.runtime(), 250u);
+    auto totals = ctx.totals();
+    EXPECT_EQ(totals.cycles, 350u);
+}
+
+TEST_F(ExecContextTest, ResetClearsCounters)
+{
+    int tid = ctx.addThread(0);
+    ctx.access(tid, region.start, true);
+    ctx.resetCounters();
+    EXPECT_EQ(ctx.totals().cycles, 0u);
+    EXPECT_EQ(ctx.runtime(), 0u);
+}
+
+TEST_F(ExecContextTest, TlbHitsAreCheaperThanMisses)
+{
+    int tid = ctx.addThread(0);
+    Cycles miss = ctx.access(tid, region.start, false);
+    Cycles hit = ctx.access(tid, region.start, false);
+    EXPECT_LT(hit, miss);
+    EXPECT_EQ(ctx.threadCounters(tid).tlbMisses, 1u);
+    EXPECT_EQ(ctx.threadCounters(tid).tlbL1Hits, 1u);
+}
+
+TEST_F(ExecContextTest, WalkFractionIsBetween0And1)
+{
+    int tid = ctx.addThread(0);
+    for (VirtAddr va = region.start; va < region.end(); va += PageSize)
+        ctx.access(tid, va, false);
+    double frac = ctx.walkFraction();
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LT(frac, 1.0);
+}
+
+} // namespace
+} // namespace mitosim::os

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit + property tests for mem::FrameAllocator: 4 KB and 2 MB paths,
+ * fragmentation injection, conservation invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/mem/frame_allocator.h"
+
+namespace mitosim::mem
+{
+namespace
+{
+
+constexpr std::uint64_t FramesPerBlock = 512;
+
+TEST(FrameAllocator, AllocReturnsOwnedUniqueFrames)
+{
+    FrameAllocator a(0, 4 * FramesPerBlock);
+    std::set<Pfn> seen;
+    for (int i = 0; i < 1000; ++i) {
+        auto pfn = a.allocFrame();
+        ASSERT_TRUE(pfn.has_value());
+        EXPECT_TRUE(a.owns(*pfn));
+        EXPECT_TRUE(seen.insert(*pfn).second) << "duplicate frame";
+    }
+    EXPECT_EQ(a.freeFrames(), 4 * FramesPerBlock - 1000);
+}
+
+TEST(FrameAllocator, ExhaustionReturnsNullopt)
+{
+    FrameAllocator a(0, FramesPerBlock);
+    for (std::uint64_t i = 0; i < FramesPerBlock; ++i)
+        ASSERT_TRUE(a.allocFrame().has_value());
+    EXPECT_FALSE(a.allocFrame().has_value());
+    EXPECT_EQ(a.freeFrames(), 0u);
+}
+
+TEST(FrameAllocator, FreeMakesFrameReusable)
+{
+    FrameAllocator a(0, FramesPerBlock);
+    std::vector<Pfn> all;
+    for (std::uint64_t i = 0; i < FramesPerBlock; ++i)
+        all.push_back(*a.allocFrame());
+    a.freeFrame(all[100]);
+    auto again = a.allocFrame();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, all[100]);
+}
+
+TEST(FrameAllocator, DoubleFreePanics)
+{
+    FrameAllocator a(0, FramesPerBlock);
+    Pfn pfn = *a.allocFrame();
+    a.freeFrame(pfn);
+    EXPECT_THROW(a.freeFrame(pfn), SimError);
+}
+
+TEST(FrameAllocator, FreeUnownedPanics)
+{
+    FrameAllocator a(1024, FramesPerBlock);
+    EXPECT_THROW(a.freeFrame(0), SimError);
+}
+
+TEST(FrameAllocator, LargeBlockIsAlignedAndContiguous)
+{
+    FrameAllocator a(0, 8 * FramesPerBlock);
+    auto head = a.allocLargeBlock();
+    ASSERT_TRUE(head.has_value());
+    EXPECT_EQ(*head % FramesPerBlock, 0u);
+    EXPECT_EQ(a.freeFrames(), 7 * FramesPerBlock);
+    for (Pfn p = *head; p < *head + FramesPerBlock; ++p)
+        EXPECT_TRUE(a.isAllocated(p));
+}
+
+TEST(FrameAllocator, SmallAllocationsPreferPartialBlocks)
+{
+    // 4 KB allocations must not break up pristine 2 MB blocks while a
+    // partially-used block still has room.
+    FrameAllocator a(0, 4 * FramesPerBlock);
+    (void)*a.allocFrame();
+    std::uint64_t before = a.freeLargeBlocks();
+    for (int i = 0; i < 100; ++i)
+        (void)*a.allocFrame();
+    EXPECT_EQ(a.freeLargeBlocks(), before);
+}
+
+TEST(FrameAllocator, LargeAllocFailsWhenAllBlocksDirty)
+{
+    FrameAllocator a(0, 2 * FramesPerBlock);
+    // Dirty both blocks with one small allocation each.
+    Pfn f1 = *a.allocFrame();
+    (void)f1;
+    // Force the second block dirty by allocating 512 more frames (fills
+    // block 0 entirely then starts block 1).
+    std::vector<Pfn> extra;
+    for (std::uint64_t i = 0; i < FramesPerBlock; ++i)
+        extra.push_back(*a.allocFrame());
+    EXPECT_FALSE(a.allocLargeBlock().has_value());
+    // Free everything in block 1 -> a large block becomes available.
+    for (Pfn p : extra) {
+        if (p >= FramesPerBlock)
+            a.freeFrame(p);
+    }
+    EXPECT_TRUE(a.allocLargeBlock().has_value());
+}
+
+TEST(FrameAllocator, FreeLargeBlockRestoresCapacity)
+{
+    FrameAllocator a(0, 2 * FramesPerBlock);
+    auto head = a.allocLargeBlock();
+    ASSERT_TRUE(head.has_value());
+    a.freeLargeBlock(*head);
+    EXPECT_EQ(a.freeFrames(), 2 * FramesPerBlock);
+    EXPECT_EQ(a.freeLargeBlocks(), 2u);
+}
+
+TEST(FrameAllocator, FreeLargeBlockOnPartialPanics)
+{
+    FrameAllocator a(0, FramesPerBlock);
+    (void)*a.allocFrame();
+    EXPECT_THROW(a.freeLargeBlock(0), SimError);
+}
+
+TEST(FrameAllocator, FragmentPinsInteriorFrames)
+{
+    FrameAllocator a(0, 16 * FramesPerBlock);
+    Rng rng(9);
+    auto pinned = a.fragment(1.0, rng); // every block
+    EXPECT_EQ(pinned.size(), 16u);
+    EXPECT_EQ(a.freeLargeBlocks(), 0u);
+    EXPECT_FALSE(a.allocLargeBlock().has_value());
+    // 4 KB allocations still fine.
+    EXPECT_TRUE(a.allocFrame().has_value());
+    // Unpinning restores large capacity.
+    for (Pfn p : pinned)
+        a.freeFrame(p);
+    EXPECT_GT(a.freeLargeBlocks(), 0u);
+}
+
+TEST(FrameAllocator, FragmentFractionIsRespected)
+{
+    FrameAllocator a(0, 64 * FramesPerBlock);
+    Rng rng(10);
+    auto pinned = a.fragment(0.5, rng);
+    EXPECT_GT(pinned.size(), 16u);
+    EXPECT_LT(pinned.size(), 48u);
+    EXPECT_EQ(a.freeLargeBlocks(), 64u - pinned.size());
+}
+
+TEST(FrameAllocator, RejectsUnalignedSizes)
+{
+    EXPECT_THROW(FrameAllocator(0, 100), SimError);
+    EXPECT_THROW(FrameAllocator(0, 0), SimError);
+}
+
+/** Property: random alloc/free sequences conserve frames exactly. */
+class FrameAllocatorProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FrameAllocatorProperty, RandomOpsConserveFrames)
+{
+    const std::uint64_t total = 8 * FramesPerBlock;
+    FrameAllocator a(0, total);
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    std::vector<Pfn> small;
+    std::vector<Pfn> large;
+
+    for (int step = 0; step < 4000; ++step) {
+        switch (rng.below(4)) {
+          case 0:
+            if (auto p = a.allocFrame())
+                small.push_back(*p);
+            break;
+          case 1:
+            if (auto p = a.allocLargeBlock())
+                large.push_back(*p);
+            break;
+          case 2:
+            if (!small.empty()) {
+                std::size_t i = rng.below(small.size());
+                a.freeFrame(small[i]);
+                small.erase(small.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            }
+            break;
+          default:
+            if (!large.empty()) {
+                std::size_t i = rng.below(large.size());
+                a.freeLargeBlock(large[i]);
+                large.erase(large.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            }
+            break;
+        }
+        ASSERT_EQ(a.freeFrames() + small.size() +
+                      large.size() * FramesPerBlock,
+                  total);
+    }
+
+    for (Pfn p : small)
+        a.freeFrame(p);
+    for (Pfn p : large)
+        a.freeLargeBlock(p);
+    EXPECT_EQ(a.freeFrames(), total);
+    EXPECT_EQ(a.freeLargeBlocks(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameAllocatorProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace mitosim::mem

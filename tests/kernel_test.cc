@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Unit tests for os::Kernel: process lifecycle, mmap/munmap/mprotect,
+ * demand paging through real core accesses, placement policies, THP,
+ * thread scheduling and TLB shootdowns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/base/logging.h"
+#include "src/os/exec_context.h"
+#include "src/os/kernel.h"
+#include "src/pvops/native_backend.h"
+#include "src/sim/machine.h"
+
+namespace mitosim::os
+{
+namespace
+{
+
+class KernelTest : public ::testing::Test
+{
+  protected:
+    KernelTest()
+        : machine(sim::MachineConfig::tiny()),
+          native(machine.physmem()),
+          kernel(machine, native)
+    {
+    }
+
+    sim::Machine machine;
+    pvops::NativeBackend native;
+    Kernel kernel;
+};
+
+TEST_F(KernelTest, CreateProcessBuildsRoot)
+{
+    Process &p = kernel.createProcess("test", 1);
+    EXPECT_NE(p.roots().primaryRoot, InvalidPfn);
+    EXPECT_EQ(machine.physmem().socketOf(p.roots().primaryRoot), 1);
+    EXPECT_EQ(kernel.homeSocket(p), 1);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, DestroyProcessReturnsAllMemory)
+{
+    auto &pm = machine.physmem();
+    std::uint64_t free0 = pm.freeFrames(0);
+    std::uint64_t free1 = pm.freeFrames(1);
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 1ull << 20, MmapOptions{.populate = true});
+    (void)region;
+    kernel.destroyProcess(p);
+    EXPECT_EQ(pm.freeFrames(0), free0);
+    EXPECT_EQ(pm.freeFrames(1), free1);
+}
+
+TEST_F(KernelTest, MmapWithoutPopulateMapsNothing)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 64 * PageSize, MmapOptions{});
+    EXPECT_FALSE(kernel.ptOps().walk(p.roots(), region.start).mapped);
+    EXPECT_NE(p.findVma(region.start), nullptr);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, PopulateMapsEveryPage)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 16 * PageSize,
+                              MmapOptions{.populate = true});
+    for (VirtAddr va = region.start; va < region.end(); va += PageSize)
+        EXPECT_TRUE(kernel.ptOps().walk(p.roots(), va).mapped);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, DemandFaultThroughCoreAccess)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 4 * PageSize, MmapOptions{});
+    ExecContext ctx(kernel, p);
+    int tid = ctx.addThread(0);
+    ctx.access(tid, region.start, true);
+    EXPECT_TRUE(kernel.ptOps().walk(p.roots(), region.start).mapped);
+    EXPECT_GT(ctx.threadCounters(tid).kernelCycles, 0u);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, SegfaultPanics)
+{
+    Process &p = kernel.createProcess("test", 0);
+    ExecContext ctx(kernel, p);
+    int tid = ctx.addThread(0);
+    EXPECT_THROW(ctx.access(tid, 0xdeadbeef000ull, false), SimError);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, FirstTouchPlacesDataOnFaultingSocket)
+{
+    Process &p = kernel.createProcess("test", 0);
+    kernel.setDataPolicy(p, DataPolicy::FirstTouch);
+    auto region = kernel.mmap(p, 2 * PageSize, MmapOptions{});
+    ExecContext ctx(kernel, p);
+    int t0 = ctx.addThread(0);
+    int t1 = ctx.addThread(1);
+    ctx.access(t0, region.start, true);
+    ctx.access(t1, region.start + PageSize, true);
+    auto &pm = machine.physmem();
+    auto leaf0 = kernel.ptOps().walk(p.roots(), region.start);
+    auto leaf1 = kernel.ptOps().walk(p.roots(), region.start + PageSize);
+    EXPECT_EQ(pm.socketOf(leaf0.leaf.pfn()), 0);
+    EXPECT_EQ(pm.socketOf(leaf1.leaf.pfn()), 1);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, InterleavePolicySpreadsData)
+{
+    Process &p = kernel.createProcess("test", 0);
+    kernel.setDataPolicy(p, DataPolicy::Interleave);
+    auto region = kernel.mmap(p, 8 * PageSize,
+                              MmapOptions{.populate = true});
+    auto &pm = machine.physmem();
+    int on0 = 0;
+    int on1 = 0;
+    for (VirtAddr va = region.start; va < region.end(); va += PageSize) {
+        auto leaf = kernel.ptOps().walk(p.roots(), va);
+        if (pm.socketOf(leaf.leaf.pfn()) == 0)
+            ++on0;
+        else
+            ++on1;
+    }
+    EXPECT_EQ(on0, 4);
+    EXPECT_EQ(on1, 4);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, FixedPolicyForcesSocket)
+{
+    Process &p = kernel.createProcess("test", 0);
+    kernel.setDataPolicy(p, DataPolicy::Fixed, 1);
+    kernel.setPtPlacement(p, pt::PtPlacement::Fixed, 1);
+    auto region = kernel.mmap(p, 8 * PageSize,
+                              MmapOptions{.populate = true});
+    auto &pm = machine.physmem();
+    for (VirtAddr va = region.start; va < region.end(); va += PageSize) {
+        auto leaf = kernel.ptOps().walk(p.roots(), va);
+        EXPECT_EQ(pm.socketOf(leaf.leaf.pfn()), 1);
+        EXPECT_EQ(pm.socketOf(leaf.loc.ptPfn), 1);
+    }
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, ThpFaultsMap2MPages)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 2 * LargePageSize,
+                              MmapOptions{.populate = true, .thp = true});
+    auto res = kernel.ptOps().walk(p.roots(), region.start);
+    EXPECT_TRUE(res.mapped);
+    EXPECT_EQ(res.size, PageSizeKind::Large2M);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, ThpFallsBackTo4KUnderFragmentation)
+{
+    Rng rng(11);
+    machine.physmem().fragment(0, 1.0, rng);
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, LargePageSize,
+                              MmapOptions{.populate = true, .thp = true});
+    auto res = kernel.ptOps().walk(p.roots(), region.start);
+    EXPECT_TRUE(res.mapped);
+    EXPECT_EQ(res.size, PageSizeKind::Base4K);
+    kernel.destroyProcess(p);
+    machine.physmem().defragment(0);
+}
+
+TEST_F(KernelTest, MunmapFreesDataAndUnmaps)
+{
+    auto &pm = machine.physmem();
+    Process &p = kernel.createProcess("test", 0);
+    std::uint64_t live_before = pm.stats(0).dataPages;
+    auto region = kernel.mmap(p, 8 * PageSize,
+                              MmapOptions{.populate = true});
+    EXPECT_GT(pm.stats(0).dataPages, live_before);
+    kernel.munmap(p, region.start, region.length);
+    EXPECT_EQ(pm.stats(0).dataPages, live_before);
+    EXPECT_FALSE(kernel.ptOps().walk(p.roots(), region.start).mapped);
+    EXPECT_EQ(p.findVma(region.start), nullptr);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, PartialMunmapSplitsVma)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 8 * PageSize,
+                              MmapOptions{.populate = true});
+    // Unmap the middle two pages.
+    kernel.munmap(p, region.start + 2 * PageSize, 2 * PageSize);
+    EXPECT_NE(p.findVma(region.start), nullptr);
+    EXPECT_EQ(p.findVma(region.start + 2 * PageSize), nullptr);
+    EXPECT_EQ(p.findVma(region.start + 3 * PageSize), nullptr);
+    EXPECT_NE(p.findVma(region.start + 4 * PageSize), nullptr);
+    EXPECT_EQ(p.vmas().size(), 2u);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, MunmapShootsDownTlbs)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, PageSize, MmapOptions{.populate = true});
+    ExecContext ctx(kernel, p);
+    int tid = ctx.addThread(0);
+    ctx.access(tid, region.start, false); // TLB now holds it
+    kernel.munmap(p, region.start, PageSize);
+    // A fresh access must fault (and panic: VMA gone).
+    EXPECT_THROW(ctx.access(tid, region.start, false), SimError);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, MprotectDropsWriteThenRestores)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 2 * PageSize,
+                              MmapOptions{.populate = true});
+    kernel.mprotect(p, region.start, region.length, ProtRead);
+    auto res = kernel.ptOps().walk(p.roots(), region.start);
+    EXPECT_FALSE(res.leaf.writable());
+    kernel.mprotect(p, region.start, region.length,
+                    ProtRead | ProtWrite);
+    res = kernel.ptOps().walk(p.roots(), region.start);
+    EXPECT_TRUE(res.leaf.writable());
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, WriteAfterMprotectUpgradeViaVmaSucceeds)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, PageSize, MmapOptions{.populate = true});
+    ExecContext ctx(kernel, p);
+    int tid = ctx.addThread(0);
+    // Leaf loses write permission but the VMA still allows writing:
+    // the protection fault upgrades the PTE.
+    kernel.ptOps().protect(p.roots(), region.start, 0, pt::PteWrite,
+                           nullptr);
+    kernel.flushProcess(p, nullptr);
+    ctx.access(tid, region.start, true);
+    EXPECT_TRUE(
+        kernel.ptOps().walk(p.roots(), region.start).leaf.writable());
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, WriteToReadOnlyVmaPanics)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, PageSize,
+                              MmapOptions{.populate = true,
+                                          .prot = ProtRead});
+    ExecContext ctx(kernel, p);
+    int tid = ctx.addThread(0);
+    EXPECT_THROW(ctx.access(tid, region.start, true), SimError);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, SpawnThreadLoadsCr3)
+{
+    Process &p = kernel.createProcess("test", 1);
+    kernel.spawnThread(p, 2); // core 2 = socket 1 on tiny machine
+    EXPECT_EQ(machine.core(2).cr3(), p.roots().primaryRoot);
+    EXPECT_EQ(kernel.processOnCore(2), &p);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, DoubleScheduleOnCorePanics)
+{
+    Process &a = kernel.createProcess("a", 0);
+    Process &b = kernel.createProcess("b", 0);
+    kernel.spawnThread(a, 0);
+    EXPECT_THROW(kernel.spawnThread(b, 0), SimError);
+    kernel.destroyProcess(a);
+    kernel.destroyProcess(b);
+}
+
+TEST_F(KernelTest, SpawnOnFullSocketFails)
+{
+    Process &p = kernel.createProcess("test", 0);
+    kernel.spawnThreadOnSocket(p, 0);
+    kernel.spawnThreadOnSocket(p, 0);
+    EXPECT_THROW(kernel.spawnThreadOnSocket(p, 0), SimError);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, MigrateProcessMovesThreadsAndData)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 8 * PageSize,
+                              MmapOptions{.populate = true});
+    ExecContext ctx(kernel, p);
+    int tid = ctx.addThread(0);
+    EXPECT_EQ(ctx.socketOf(tid), 0);
+
+    kernel.migrateProcess(p, 1, /*migrate_data=*/true);
+    EXPECT_EQ(ctx.socketOf(tid), 1);
+    EXPECT_EQ(kernel.homeSocket(p), 1);
+    auto &pm = machine.physmem();
+    for (VirtAddr va = region.start; va < region.end(); va += PageSize) {
+        auto leaf = kernel.ptOps().walk(p.roots(), va);
+        EXPECT_EQ(pm.socketOf(leaf.leaf.pfn()), 1);
+    }
+    // Native backend: page-tables did NOT move (the §3.2 problem).
+    EXPECT_EQ(pm.socketOf(p.roots().primaryRoot), 0);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, MigrateWithoutDataLeavesDataBehind)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 4 * PageSize,
+                              MmapOptions{.populate = true});
+    kernel.spawnThreadOnSocket(p, 0);
+    kernel.migrateProcess(p, 1, /*migrate_data=*/false);
+    auto &pm = machine.physmem();
+    auto leaf = kernel.ptOps().walk(p.roots(), region.start);
+    EXPECT_EQ(pm.socketOf(leaf.leaf.pfn()), 0);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, KernelCostChargedForVmaOps)
+{
+    Process &p = kernel.createProcess("test", 0);
+    pvops::KernelCost mmap_cost;
+    auto region = kernel.mmap(p, 16 * PageSize,
+                              MmapOptions{.populate = true}, &mmap_cost);
+    EXPECT_GT(mmap_cost.cycles, 0u);
+    EXPECT_GE(mmap_cost.pteWrites, 16u);
+
+    pvops::KernelCost protect_cost;
+    kernel.mprotect(p, region.start, region.length, ProtRead,
+                    &protect_cost);
+    EXPECT_GT(protect_cost.cycles, 0u);
+
+    pvops::KernelCost unmap_cost;
+    kernel.munmap(p, region.start, region.length, &unmap_cost);
+    EXPECT_GT(unmap_cost.cycles, 0u);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, ResidentPagesTracked)
+{
+    Process &p = kernel.createProcess("test", 0);
+    kernel.mmap(p, 10 * PageSize, MmapOptions{.populate = true});
+    EXPECT_EQ(p.residentPages, 10u);
+    kernel.destroyProcess(p);
+}
+
+} // namespace
+} // namespace mitosim::os

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Cross-cutting coverage: MAP_FIXED remapping, multi-process isolation,
+ * edge cases in masks/allocators/runners that the per-module suites do
+ * not reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/base/logging.h"
+#include "src/core/mitosis.h"
+#include "src/os/exec_context.h"
+#include "src/os/kernel.h"
+#include "src/pvops/native_backend.h"
+#include "src/sim/machine.h"
+#include "src/workloads/workload.h"
+
+namespace mitosim
+{
+namespace
+{
+
+class MiscTest : public ::testing::Test
+{
+  protected:
+    MiscTest()
+        : machine(sim::MachineConfig::tiny()),
+          native(machine.physmem()),
+          kernel(machine, native)
+    {
+    }
+
+    sim::Machine machine;
+    pvops::NativeBackend native;
+    os::Kernel kernel;
+};
+
+TEST_F(MiscTest, MmapFixedMapsAtExactAddress)
+{
+    os::Process &p = kernel.createProcess("fixed", 0);
+    VirtAddr want = 0x123400000ull;
+    auto region = kernel.mmapFixed(p, want, 4 * PageSize,
+                                   os::MmapOptions{.populate = true});
+    EXPECT_EQ(region.start, want);
+    EXPECT_TRUE(kernel.ptOps().walk(p.roots(), want).mapped);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(MiscTest, MmapFixedRejectsOverlap)
+{
+    os::Process &p = kernel.createProcess("fixed", 0);
+    auto region = kernel.mmap(p, 8 * PageSize, os::MmapOptions{});
+    EXPECT_THROW(kernel.mmapFixed(p, region.start + PageSize, PageSize,
+                                  os::MmapOptions{}),
+                 SimError);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(MiscTest, MmapFixedRejectsUnaligned)
+{
+    os::Process &p = kernel.createProcess("fixed", 0);
+    EXPECT_THROW(
+        kernel.mmapFixed(p, 0x1001, PageSize, os::MmapOptions{}),
+        SimError);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(MiscTest, MmapFixedRemapCycleReusesPageTables)
+{
+    // The Table 5 micro-benchmark pattern: munmap + mmapFixed at the
+    // same address must not allocate fresh page-table pages.
+    os::Process &p = kernel.createProcess("cycle", 0);
+    auto region = kernel.mmap(p, 16 * PageSize,
+                              os::MmapOptions{.populate = true});
+    kernel.munmap(p, region.start, region.length);
+
+    auto pt_pages = [&]() {
+        std::uint64_t n = 0;
+        for (SocketId s = 0; s < machine.numSockets(); ++s)
+            for (int l = 1; l <= 4; ++l)
+                n += machine.physmem().ptPagesAt(s, l);
+        return n;
+    };
+    std::uint64_t before = pt_pages();
+    for (int i = 0; i < 3; ++i) {
+        auto r = kernel.mmapFixed(p, region.start, region.length,
+                                  os::MmapOptions{.populate = true});
+        kernel.munmap(p, r.start, r.length);
+        EXPECT_EQ(pt_pages(), before);
+    }
+    kernel.destroyProcess(p);
+}
+
+TEST_F(MiscTest, ProcessesAreIsolated)
+{
+    os::Process &a = kernel.createProcess("a", 0);
+    os::Process &b = kernel.createProcess("b", 1);
+    auto ra = kernel.mmap(a, 8 * PageSize, os::MmapOptions{.populate = true});
+    auto rb = kernel.mmap(b, 8 * PageSize, os::MmapOptions{.populate = true});
+    EXPECT_NE(a.roots().primaryRoot, b.roots().primaryRoot);
+    // b's mappings are invisible through a's tree at a's addresses only.
+    EXPECT_TRUE(kernel.ptOps().walk(a.roots(), ra.start).mapped);
+    EXPECT_TRUE(kernel.ptOps().walk(b.roots(), rb.start).mapped);
+
+    std::uint64_t data_before = machine.physmem().stats(0).dataPages;
+    kernel.destroyProcess(a);
+    // a's frames are gone; b still works.
+    EXPECT_LT(machine.physmem().stats(0).dataPages, data_before);
+    EXPECT_TRUE(kernel.ptOps().walk(b.roots(), rb.start).mapped);
+    kernel.destroyProcess(b);
+}
+
+TEST_F(MiscTest, TwoThreadsSameSocketShareL3NotTlb)
+{
+    os::Process &p = kernel.createProcess("share", 0);
+    auto region = kernel.mmap(p, PageSize,
+                              os::MmapOptions{.populate = true});
+    os::ExecContext ctx(kernel, p);
+    int t0 = ctx.addThread(0);
+    int t1 = ctx.addThread(0); // second core, same socket
+    ctx.access(t0, region.start, false);
+    // t1's access misses its own TLB but hits the shared L3.
+    ctx.access(t1, region.start, false);
+    EXPECT_EQ(ctx.threadCounters(t1).tlbMisses, 1u);
+    EXPECT_GE(ctx.threadCounters(t1).l3LocalHits, 1u);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(MiscTest, RunInterleavedHandlesShortRuns)
+{
+    os::Process &p = kernel.createProcess("short", 0);
+    os::ExecContext ctx(kernel, p);
+    ctx.addThread(0);
+    workloads::WorkloadParams params;
+    params.footprint = 1ull << 20;
+    auto w = workloads::makeWorkload("gups", params);
+    w->setup(ctx);
+    ctx.resetCounters();
+    workloads::runInterleaved(ctx, *w, 5, /*chunk=*/64); // ops < chunk
+    EXPECT_EQ(ctx.totals().accesses, 5u);
+    kernel.destroyProcess(p);
+}
+
+TEST(SocketMaskEdge, HighBitsBehave)
+{
+    SocketMask m;
+    m.set(63);
+    EXPECT_TRUE(m.contains(63));
+    EXPECT_EQ(m.first(), 63);
+    EXPECT_EQ(m.nextAfter(63), InvalidSocket);
+    EXPECT_EQ(m.nextAfter(62), 63);
+    auto all = SocketMask::all(64);
+    EXPECT_EQ(all.count(), 64);
+}
+
+TEST(PtPlacementPolicyEdge, InterleaveWrapsAround)
+{
+    pt::PtPlacementPolicy policy;
+    policy.mode = pt::PtPlacement::Interleave;
+    std::vector<SocketId> got;
+    for (int i = 0; i < 8; ++i)
+        got.push_back(policy.chooseSocket(0, 4));
+    EXPECT_EQ(got, (std::vector<SocketId>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(MachineConfigEdge, TinyIsValid)
+{
+    sim::Machine machine(sim::MachineConfig::tiny());
+    EXPECT_EQ(machine.numSockets(), 2);
+    EXPECT_EQ(machine.numCores(), 4);
+    EXPECT_GT(machine.physmem().freeFrames(0), 0u);
+}
+
+TEST(KernelCostEdge, ChargeAccumulates)
+{
+    pvops::KernelCost c;
+    c.charge(10);
+    c.charge(5);
+    EXPECT_EQ(c.cycles, 15u);
+}
+
+} // namespace
+} // namespace mitosim

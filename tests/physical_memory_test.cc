@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for mem::PhysicalMemory: typed allocation, PageMeta, the
+ * replica circular list (Figure 8), PT reserve caches (§5.1), migration
+ * and fragmentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/mem/physical_memory.h"
+
+namespace mitosim::mem
+{
+namespace
+{
+
+numa::TopologyConfig
+smallTopo()
+{
+    numa::TopologyConfig cfg;
+    cfg.numSockets = 4;
+    cfg.coresPerSocket = 2;
+    cfg.memPerSocket = 16ull << 20;
+    return cfg;
+}
+
+class PhysicalMemoryTest : public ::testing::Test
+{
+  protected:
+    PhysicalMemoryTest() : topo(smallTopo()), pm(topo) {}
+
+    numa::Topology topo;
+    PhysicalMemory pm;
+};
+
+TEST_F(PhysicalMemoryTest, DataAllocHomesOnRequestedSocket)
+{
+    for (SocketId s = 0; s < 4; ++s) {
+        auto pfn = pm.allocData(s, 1);
+        ASSERT_TRUE(pfn.has_value());
+        EXPECT_EQ(pm.socketOf(*pfn), s);
+        EXPECT_EQ(pm.meta(*pfn).type, FrameType::Data);
+        EXPECT_EQ(pm.meta(*pfn).owner, 1);
+    }
+}
+
+TEST_F(PhysicalMemoryTest, DataAnyFallsBackWhenSocketFull)
+{
+    // Exhaust socket 0.
+    while (pm.allocData(0, 1))
+        ;
+    auto pfn = pm.allocDataAny(0, 1);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_NE(pm.socketOf(*pfn), 0);
+}
+
+TEST_F(PhysicalMemoryTest, LargeDataPageMarksHeadAndTails)
+{
+    auto head = pm.allocDataLarge(2, 7);
+    ASSERT_TRUE(head.has_value());
+    EXPECT_TRUE(pm.meta(*head).hasFlag(FrameFlagLargeHead));
+    EXPECT_TRUE(pm.meta(*head + 1).hasFlag(FrameFlagLargeTail));
+    EXPECT_TRUE(pm.meta(*head + 511).hasFlag(FrameFlagLargeTail));
+    EXPECT_EQ(pm.stats(2).dataLargePages, 1u);
+    pm.freeDataLarge(*head);
+    EXPECT_EQ(pm.stats(2).dataLargePages, 0u);
+    EXPECT_TRUE(pm.meta(*head).isFree());
+}
+
+TEST_F(PhysicalMemoryTest, FreeDataRejectsLargePages)
+{
+    auto head = pm.allocDataLarge(0, 1);
+    ASSERT_TRUE(head.has_value());
+    EXPECT_THROW(pm.freeData(*head), SimError);
+    EXPECT_THROW(pm.freeData(*head + 3), SimError);
+    pm.freeDataLarge(*head);
+}
+
+TEST_F(PhysicalMemoryTest, PtAllocIsZeroedAndSelfLinked)
+{
+    auto pfn = pm.allocPt(1, 3, 42);
+    ASSERT_TRUE(pfn.has_value());
+    const PageMeta &m = pm.meta(*pfn);
+    EXPECT_TRUE(m.isPageTable());
+    EXPECT_EQ(m.level, 3);
+    EXPECT_EQ(m.owner, 42);
+    EXPECT_EQ(m.replicaNext, *pfn);
+    const std::uint64_t *tbl = pm.table(*pfn);
+    for (unsigned i = 0; i < PtEntriesPerPage; ++i)
+        ASSERT_EQ(tbl[i], 0u);
+    EXPECT_EQ(pm.ptPagesAt(1, 3), 1u);
+    pm.freePt(*pfn);
+    EXPECT_EQ(pm.ptPagesAt(1, 3), 0u);
+}
+
+TEST_F(PhysicalMemoryTest, TableAccessOnDataFramePanics)
+{
+    auto pfn = pm.allocData(0, 1);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_THROW(pm.table(*pfn), SimError);
+}
+
+TEST_F(PhysicalMemoryTest, ReplicaListLinkUnlink)
+{
+    Pfn a = *pm.allocPt(0, 1, 1);
+    Pfn b = *pm.allocPt(1, 1, 1);
+    Pfn c = *pm.allocPt(2, 1, 1);
+    pm.linkReplica(a, b);
+    pm.linkReplica(a, c);
+    EXPECT_EQ(pm.replicaCount(a), 3);
+    EXPECT_EQ(pm.replicaCount(b), 3);
+
+    EXPECT_EQ(pm.replicaOnSocket(a, 0), a);
+    EXPECT_EQ(pm.replicaOnSocket(a, 1), b);
+    EXPECT_EQ(pm.replicaOnSocket(b, 2), c);
+    EXPECT_EQ(pm.replicaOnSocket(a, 3), InvalidPfn);
+
+    pm.unlinkReplica(b);
+    EXPECT_EQ(pm.replicaCount(a), 2);
+    EXPECT_EQ(pm.replicaCount(b), 1);
+    EXPECT_EQ(pm.replicaOnSocket(a, 1), InvalidPfn);
+
+    pm.unlinkReplica(c);
+    pm.freePt(a);
+    pm.freePt(b);
+    pm.freePt(c);
+}
+
+TEST_F(PhysicalMemoryTest, ForEachReplicaVisitsWholeRing)
+{
+    Pfn a = *pm.allocPt(0, 2, 1);
+    Pfn b = *pm.allocPt(1, 2, 1);
+    pm.linkReplica(a, b);
+    std::vector<Pfn> seen;
+    pm.forEachReplica(a, [&](Pfn p) { seen.push_back(p); });
+    EXPECT_EQ(seen.size(), 2u);
+    pm.unlinkReplica(b);
+    pm.freePt(a);
+    pm.freePt(b);
+}
+
+TEST_F(PhysicalMemoryTest, FreePtWhileLinkedPanics)
+{
+    Pfn a = *pm.allocPt(0, 1, 1);
+    Pfn b = *pm.allocPt(1, 1, 1);
+    pm.linkReplica(a, b);
+    EXPECT_THROW(pm.freePt(a), SimError);
+    pm.unlinkReplica(b);
+    pm.freePt(a);
+    pm.freePt(b);
+}
+
+TEST_F(PhysicalMemoryTest, PtCacheServesAllocationsUnderPressure)
+{
+    pm.setPtCacheTarget(0, 8);
+    EXPECT_EQ(pm.ptCacheSize(0), 8u);
+    // Exhaust socket 0 entirely.
+    while (pm.allocData(0, 1))
+        ;
+    // Strict allocation fails, but the reserve saves the day (§5.1).
+    auto pt = pm.allocPt(0, 1, 1);
+    ASSERT_TRUE(pt.has_value());
+    EXPECT_EQ(pm.socketOf(*pt), 0);
+    EXPECT_EQ(pm.ptCacheSize(0), 7u);
+    EXPECT_EQ(pm.stats(0).ptCacheHits, 1u);
+}
+
+TEST_F(PhysicalMemoryTest, FreePtRefillsCacheUpToTarget)
+{
+    pm.setPtCacheTarget(1, 2);
+    // Drain the cache by exhausting the socket and allocating PTs.
+    while (pm.allocData(1, 1))
+        ;
+    Pfn a = *pm.allocPt(1, 1, 1);
+    Pfn b = *pm.allocPt(1, 1, 1);
+    EXPECT_EQ(pm.ptCacheSize(1), 0u);
+    pm.freePt(a);
+    pm.freePt(b);
+    EXPECT_EQ(pm.ptCacheSize(1), 2u);
+}
+
+TEST_F(PhysicalMemoryTest, PtCacheShrinkReturnsFrames)
+{
+    std::uint64_t before = pm.freeFrames(2);
+    pm.setPtCacheTarget(2, 16);
+    EXPECT_EQ(pm.freeFrames(2), before - 16);
+    pm.setPtCacheTarget(2, 0);
+    EXPECT_EQ(pm.freeFrames(2), before);
+}
+
+TEST_F(PhysicalMemoryTest, PtAllocFailureIsCounted)
+{
+    while (pm.allocData(3, 1))
+        ;
+    EXPECT_FALSE(pm.allocPt(3, 1, 1).has_value());
+    EXPECT_EQ(pm.stats(3).ptAllocFailures, 1u);
+}
+
+TEST_F(PhysicalMemoryTest, MigrateDataMovesSocketAndPreservesOwner)
+{
+    auto pfn = pm.allocData(0, 5);
+    ASSERT_TRUE(pfn.has_value());
+    auto fresh = pm.migrateData(*pfn, 3);
+    ASSERT_TRUE(fresh.has_value());
+    EXPECT_EQ(pm.socketOf(*fresh), 3);
+    EXPECT_EQ(pm.meta(*fresh).owner, 5);
+    EXPECT_TRUE(pm.meta(*pfn).isFree());
+}
+
+TEST_F(PhysicalMemoryTest, MigrateLargeDataPage)
+{
+    auto head = pm.allocDataLarge(0, 5);
+    ASSERT_TRUE(head.has_value());
+    auto fresh = pm.migrateData(*head, 2);
+    ASSERT_TRUE(fresh.has_value());
+    EXPECT_EQ(pm.socketOf(*fresh), 2);
+    EXPECT_TRUE(pm.meta(*fresh).hasFlag(FrameFlagLargeHead));
+}
+
+TEST_F(PhysicalMemoryTest, FragmentationKillsLargeAllocsUntilDefrag)
+{
+    Rng rng(3);
+    pm.fragment(0, 1.0, rng);
+    EXPECT_FALSE(pm.allocDataLarge(0, 1).has_value());
+    EXPECT_TRUE(pm.allocData(0, 1).has_value());
+    pm.defragment(0);
+    EXPECT_TRUE(pm.allocDataLarge(0, 1).has_value());
+}
+
+TEST_F(PhysicalMemoryTest, StatsTrackLiveCounts)
+{
+    auto d = pm.allocData(0, 1);
+    auto p = pm.allocPt(0, 2, 1);
+    EXPECT_EQ(pm.stats(0).dataPages, 1u);
+    EXPECT_EQ(pm.stats(0).ptPages, 1u);
+    EXPECT_EQ(pm.stats(0).ptAllocs, 1u);
+    pm.freeData(*d);
+    pm.freePt(*p);
+    EXPECT_EQ(pm.stats(0).dataPages, 0u);
+    EXPECT_EQ(pm.stats(0).ptPages, 0u);
+}
+
+} // namespace
+} // namespace mitosim::mem

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the §7.4 virtualization extension: VM boot with vNUMA-pinned
+ * memory, guest frame allocation, gPT management and replication, the 2D
+ * nested walker's reference counts, and independent gPT/nPT replication
+ * effects on walk locality.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/mitosis.h"
+#include "src/virt/nested_walker.h"
+
+namespace mitosim::virt
+{
+namespace
+{
+
+sim::MachineConfig
+virtMachine()
+{
+    sim::MachineConfig cfg;
+    cfg.topo.numSockets = 2;
+    cfg.topo.coresPerSocket = 2;
+    cfg.topo.memPerSocket = 128ull << 20;
+    cfg.hier.l3BytesPerSocket = 64ull << 10;
+    return cfg;
+}
+
+class VirtTest : public ::testing::Test
+{
+  protected:
+    VirtTest()
+        : machine(virtMachine()),
+          backend(machine.physmem()),
+          kernel(machine, backend),
+          vm(kernel, VmConfig{.guestMemPerVSocket = 32ull << 20}),
+          gspace(vm)
+    {
+    }
+
+    sim::Machine machine;
+    core::MitosisBackend backend;
+    os::Kernel kernel;
+    VirtualMachine vm;
+    GuestAddressSpace gspace;
+};
+
+TEST_F(VirtTest, VmMemoryIsPinnedPerVSocket)
+{
+    // Every guest frame of vsocket v must be backed by host socket v.
+    auto &pm = machine.physmem();
+    auto &ops = kernel.ptOps();
+    for (int v = 0; v < vm.numVSockets(); ++v) {
+        GuestPfn gpfn = vm.allocGuestFrame(v);
+        ASSERT_NE(gpfn, InvalidGuestPfn);
+        VirtAddr hva = vm.hostVaOf(gpfn << PageShift);
+        auto leaf = ops.walk(vm.process().roots(), hva);
+        ASSERT_TRUE(leaf.mapped);
+        EXPECT_EQ(pm.socketOf(leaf.leaf.pfn()), vm.hostSocketOf(v));
+        vm.freeGuestFrame(gpfn);
+    }
+}
+
+TEST_F(VirtTest, GuestFrameAllocatorRespectsVSocketRanges)
+{
+    GuestPfn a = vm.allocGuestFrame(0);
+    GuestPfn b = vm.allocGuestFrame(1);
+    EXPECT_EQ(vm.vsocketOfGuestFrame(a), 0);
+    EXPECT_EQ(vm.vsocketOfGuestFrame(b), 1);
+    vm.freeGuestFrame(a);
+    vm.freeGuestFrame(b);
+}
+
+TEST_F(VirtTest, GuestFrameFreeListRecycles)
+{
+    std::uint64_t before = vm.freeGuestFrames(0);
+    GuestPfn a = vm.allocGuestFrame(0);
+    EXPECT_EQ(vm.freeGuestFrames(0), before - 1);
+    vm.freeGuestFrame(a);
+    EXPECT_EQ(vm.freeGuestFrames(0), before);
+    EXPECT_EQ(vm.allocGuestFrame(0), a);
+    vm.freeGuestFrame(a);
+}
+
+TEST_F(VirtTest, GuestFaultMapsPage)
+{
+    GuestVa gva = 0x1000;
+    EXPECT_FALSE(gspace.walk(gva, 0).mapped);
+    Cycles kc = gspace.handleGuestFault(gva, 0);
+    EXPECT_GT(kc, 0u);
+    auto w = gspace.walk(gva, 0);
+    EXPECT_TRUE(w.mapped);
+    EXPECT_EQ(vm.vsocketOfGuestFrame(w.gpfn), 0); // guest first-touch
+}
+
+TEST_F(VirtTest, GuestReplicationGivesVSocketLocalRoots)
+{
+    gspace.handleGuestFault(0x1000, 0);
+    gspace.handleGuestFault(0x40000000ull, 1);
+    pvops::KernelCost cost;
+    gspace.setReplication(true, &cost);
+    EXPECT_TRUE(gspace.replicated());
+    EXPECT_GT(cost.cycles, 0u);
+    for (int v = 0; v < vm.numVSockets(); ++v) {
+        GuestPfn root = gspace.rootFor(v);
+        EXPECT_EQ(vm.vsocketOfGuestFrame(root), v);
+        // Both mappings visible from every replica.
+        EXPECT_TRUE(gspace.walk(0x1000, v).mapped);
+        EXPECT_TRUE(gspace.walk(0x40000000ull, v).mapped);
+    }
+    // Same translation from every root.
+    EXPECT_EQ(gspace.walk(0x1000, 0).gpfn, gspace.walk(0x1000, 1).gpfn);
+}
+
+TEST_F(VirtTest, GuestReplicationPropagatesNewMappings)
+{
+    gspace.setReplication(true);
+    gspace.handleGuestFault(0x2000, 1);
+    for (int v = 0; v < vm.numVSockets(); ++v)
+        EXPECT_TRUE(gspace.walk(0x2000, v).mapped);
+    EXPECT_GT(gspace.stats().eagerUpdates, 0u);
+}
+
+TEST_F(VirtTest, GuestReplicationTeardownFreesReplicas)
+{
+    gspace.handleGuestFault(0x3000, 0);
+    std::uint64_t base_pages = gspace.stats().gptPages;
+    gspace.setReplication(true);
+    EXPECT_GT(gspace.stats().gptPages, base_pages);
+    gspace.setReplication(false);
+    EXPECT_EQ(gspace.stats().gptPages, base_pages);
+    EXPECT_EQ(gspace.stats().replicaPages, 0u);
+    EXPECT_TRUE(gspace.walk(0x3000, 0).mapped);
+}
+
+TEST_F(VirtTest, VCpuAccessFaultsThenHits)
+{
+    VCpu vcpu(vm, gspace, 0, machine.topology().firstCoreOf(0));
+    Cycles first = vcpu.access(0x5000, true);
+    EXPECT_EQ(vcpu.counters().pageFaults, 1u);
+    Cycles second = vcpu.access(0x5000, false);
+    EXPECT_LT(second, first);
+    EXPECT_EQ(vcpu.counters().tlbL1Hits, 1u);
+}
+
+TEST_F(VirtTest, TwoDimensionalWalkCostsUpTo24References)
+{
+    VCpu vcpu(vm, gspace, 0, machine.topology().firstCoreOf(0));
+    gspace.handleGuestFault(0x7000, 0);
+    vcpu.flushTranslations();
+    vcpu.resetCounters();
+    vcpu.access(0x7000, false);
+    // 4 gPT refs + up to 5 nested walks of <=4 refs each. With cold
+    // nested TLB and PWC the first walk must be far beyond a native
+    // 4-ref walk; the paper quotes up to 24 references.
+    EXPECT_GE(vcpu.counters().walkMemRefs, 8u);
+    EXPECT_LE(vcpu.counters().walkMemRefs, 24u);
+}
+
+TEST_F(VirtTest, NestedTlbShortensSubsequentWalks)
+{
+    VCpu vcpu(vm, gspace, 0, machine.topology().firstCoreOf(0));
+    // Touch pages sharing gPT pages so nested translations repeat.
+    for (GuestVa gva = 0; gva < 16 * PageSize; gva += PageSize)
+        gspace.handleGuestFault(gva, 0);
+    vcpu.flushTranslations();
+    vcpu.resetCounters();
+    vcpu.access(0, false);
+    std::uint64_t first_walk_refs = vcpu.counters().walkMemRefs;
+    vcpu.resetCounters();
+    vcpu.access(PageSize, false); // same gPT chain, nTLB warm
+    EXPECT_LT(vcpu.counters().walkMemRefs, first_walk_refs);
+}
+
+TEST_F(VirtTest, GptReplicationLocalizesGuestDimension)
+{
+    // Touch pages from vsocket 0 so the gPT lands there, then walk from
+    // a vsocket-1 vCPU: without gPT replication its gPT reads are
+    // remote; with it they are local.
+    for (GuestVa gva = 0; gva < 64 * PageSize; gva += PageSize)
+        gspace.handleGuestFault(gva, 0);
+
+    VCpu remote(vm, gspace, 1, machine.topology().firstCoreOf(1));
+    auto run = [&]() {
+        remote.flushTranslations();
+        remote.resetCounters();
+        for (GuestVa gva = 0; gva < 64 * PageSize; gva += PageSize)
+            remote.access(gva, false);
+        return remote.counters();
+    };
+
+    auto before = run();
+    EXPECT_GT(before.ptDramRemote, 0u);
+
+    gspace.setReplication(true);
+    auto after = run();
+    EXPECT_LT(after.ptDramRemote, before.ptDramRemote / 2);
+}
+
+TEST_F(VirtTest, NptReplicationLocalizesHostDimension)
+{
+    // All guest data on vsocket 0; a vsocket-1 vCPU's *nested* walks
+    // read nPT pages homed on socket 0 until the host replicates the
+    // nPT with stock Mitosis.
+    for (GuestVa gva = 0; gva < 64 * PageSize; gva += PageSize)
+        gspace.handleGuestFault(gva, 0);
+    gspace.setReplication(true); // isolate the nested dimension
+
+    VCpu remote(vm, gspace, 1, machine.topology().firstCoreOf(1));
+    auto run = [&]() {
+        remote.flushTranslations();
+        remote.resetCounters();
+        for (GuestVa gva = 0; gva < 64 * PageSize; gva += PageSize)
+            remote.access(gva, false);
+        return remote.counters();
+    };
+
+    auto before = run();
+    ASSERT_TRUE(backend.setReplicationMask(
+        vm.process().roots(), vm.process().id(),
+        SocketMask::all(machine.numSockets())));
+    auto after = run();
+    EXPECT_LT(after.ptDramRemote, before.ptDramRemote);
+}
+
+TEST_F(VirtTest, GuestOutOfMemoryIsFatal)
+{
+    VmConfig tiny;
+    tiny.guestMemPerVSocket = 2ull << 20; // 512 frames per vsocket
+    VirtualMachine small(kernel, tiny);
+    int v = 0;
+    while (small.allocGuestFrame(0) != InvalidGuestPfn)
+        ++v;
+    EXPECT_EQ(v, 512);
+    EXPECT_EQ(small.allocGuestFrame(0), InvalidGuestPfn);
+    EXPECT_GT(small.freeGuestFrames(1), 0u);
+}
+
+} // namespace
+} // namespace mitosim::virt
