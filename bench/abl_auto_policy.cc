@@ -80,6 +80,8 @@ main()
     setInformEnabled(false);
     printTitle("Ablation: automatic counter-based policy (§6.1) vs "
                "static on/off");
+    BenchReport report("abl_auto_policy");
+    describeMachine(report);
 
     std::printf("%-10s %12s %12s %12s   %s\n", "workload", "off", "on",
                 "auto", "auto chose");
@@ -92,8 +94,19 @@ main()
                     static_cast<double>(on.runtime) / b,
                     static_cast<double>(automatic.runtime) / b,
                     automatic.replicated ? "replicate" : "leave alone");
+        report.addRun(name)
+            .tag("workload", name)
+            .tag("auto_chose",
+                 automatic.replicated ? "replicate" : "leave alone")
+            .metric("norm_runtime_off", 1.0)
+            .metric("norm_runtime_on",
+                    static_cast<double>(on.runtime) / b)
+            .metric("norm_runtime_auto",
+                    static_cast<double>(automatic.runtime) / b)
+            .metric("runtime_cycles_off", b);
     }
     std::printf("\n(expected: auto tracks the better static choice per "
                 "workload)\n");
+    writeReport(report);
     return 0;
 }

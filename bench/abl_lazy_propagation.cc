@@ -74,6 +74,8 @@ main()
     setInformEnabled(false);
     printTitle("Ablation: eager (§5.2) vs lazy (§7.2) replica update "
                "propagation, 4-way replication");
+    BenchReport report("abl_lazy_propagation");
+    describeMachine(report);
 
     Outcome eager = run(false);
     Outcome lazy = run(true);
@@ -93,5 +95,23 @@ main()
                 (unsigned long long)lazy.queuedPeak);
     std::printf("\n(§7.2: message-based propagation avoids eager "
                 "cross-socket stores; faults process the messages)\n");
+    report.addRun("eager")
+        .tag("mode", "eager")
+        .metric("install_kcycles",
+                static_cast<double>(eager.installCycles))
+        .metric("first_touch_kcycles",
+                static_cast<double>(eager.firstTouch));
+    report.addRun("lazy")
+        .tag("mode", "lazy")
+        .metric("install_kcycles",
+                static_cast<double>(lazy.installCycles))
+        .metric("first_touch_kcycles",
+                static_cast<double>(lazy.firstTouch))
+        .metric("peak_queue_depth",
+                static_cast<double>(lazy.queuedPeak));
+    report.speedup("install eager/lazy",
+                   static_cast<double>(eager.installCycles) /
+                       static_cast<double>(lazy.installCycles));
+    writeReport(report);
     return 0;
 }

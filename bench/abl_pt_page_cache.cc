@@ -80,6 +80,7 @@ main()
     setInformEnabled(false);
     printTitle("Ablation: per-socket PT page reserve under memory "
                "pressure (socket 0 exhausted)");
+    BenchReport report("abl_pt_page_cache");
 
     std::printf("%-16s %10s %10s %12s\n", "reserve(frames)", "local_pt",
                 "remote_pt", "reserve_hits");
@@ -90,9 +91,16 @@ main()
                     (unsigned long long)out.localPt,
                     (unsigned long long)out.remotePt,
                     (unsigned long long)out.cacheHits);
+        report.addRun("reserve " + std::to_string(reserve))
+            .metric("reserve_frames", static_cast<double>(reserve))
+            .metric("local_pt_pages", static_cast<double>(out.localPt))
+            .metric("remote_pt_pages",
+                    static_cast<double>(out.remotePt))
+            .metric("reserve_hits", static_cast<double>(out.cacheHits));
     }
     std::printf("\n(expected: without a reserve, page-tables spill to "
                 "the remote socket; with it they stay local and "
                 "reserve_hits > 0)\n");
+    writeReport(report);
     return 0;
 }

@@ -9,6 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
+#include "bench/report.h"
 #include "src/core/mitosis.h"
 #include "src/mem/physical_memory.h"
 #include "src/pt/operations.h"
@@ -70,7 +74,8 @@ BM_ReplicaUpdate(benchmark::State &state)
     std::uint64_t sim_cycles = 0;
     for (auto _ : state) {
         pvops::KernelCost cost;
-        std::uint64_t flag = (toggles++ & 1) ? pt::PteNumaHint : 0;
+        std::uint64_t flag =
+            (toggles++ & 1) ? std::uint64_t{pt::PteNumaHint} : 0;
         rig.backend.setPte(rig.roots, rig.loc,
                            pt::Pte::make(7, pt::PtePresent | flag), 1,
                            &cost);
@@ -82,10 +87,67 @@ BM_ReplicaUpdate(benchmark::State &state)
                            static_cast<double>(state.iterations()));
 }
 
+/**
+ * Console output as usual, plus a copy of every run's counters so the
+ * binary can emit the repo-standard BENCH_<name>.json next to Google
+ * Benchmark's own table.
+ */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const Run &run : runs) {
+            bench::BenchRun &row = report_.addRun(run.benchmark_name());
+            row.metric("iterations",
+                       static_cast<double>(run.iterations));
+            row.metric("real_time_ns", run.GetAdjustedRealTime());
+            for (const auto &[name, counter] : run.counters)
+                row.metric(name, counter.value);
+        }
+    }
+
+    bench::BenchReport &report() { return report_; }
+
+  private:
+    bench::BenchReport report_{"abl_replica_update"};
+};
+
 } // namespace
 
 BENCHMARK(BM_ReplicaUpdate)
     ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
     ->ArgNames({"replicas", "walk_mode"});
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Substituting a display reporter would override --benchmark_format;
+    // only capture into BENCH_*.json for the default console output and
+    // let Google Benchmark's own json/csv formats pass through untouched.
+    bool console_format = true;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (const char *eq = std::strchr(arg, '=');
+            eq && std::strncmp(arg, "--benchmark_format",
+                               static_cast<std::size_t>(eq - arg)) == 0)
+            console_format = std::strcmp(eq + 1, "console") == 0;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    if (!console_format) {
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        return 0;
+    }
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (reporter.report().write())
+        std::printf("\n[report] %s\n",
+                    reporter.report().outputPath().c_str());
+    return 0;
+}

@@ -118,6 +118,9 @@ main()
         {"gPT+nPT", true, true},
     };
 
+    BenchReport report("ext_virt_2d");
+    describeMachine(report);
+
     double base = 0;
     std::printf("%-10s %12s %12s %12s\n", "config", "runtime",
                 "walk_frac", "remote_pt");
@@ -128,9 +131,18 @@ main()
         std::printf("%-10s %12.3f %11.0f%% %11.0f%%\n", c.name,
                     static_cast<double>(out.runtime) / base,
                     100.0 * out.walkFrac, 100.0 * out.remotePt);
+        report.addRun(c.name)
+            .tag("gpt_replicated", c.gpt ? "yes" : "no")
+            .tag("npt_replicated", c.npt ? "yes" : "no")
+            .metric("runtime_cycles", static_cast<double>(out.runtime))
+            .metric("norm_runtime",
+                    static_cast<double>(out.runtime) / base)
+            .metric("walk_fraction", out.walkFrac)
+            .metric("remote_pt_fraction", out.remotePt);
     }
     std::printf("\n(expected: walk traffic is remote in both dimensions "
                 "without replication; gPT and nPT replication each "
                 "remove part; together they localize 2D walks fully)\n");
+    writeReport(report);
     return 0;
 }

@@ -15,12 +15,15 @@ int
 main()
 {
     setInformEnabled(false);
+    BenchReport report("fig01_headline");
+    describeMachine(report);
 
     // Top-left table: % of local/remote leaf PTEs per observing socket
     // for Canneal (multi-socket, first-touch).
     printTitle("Figure 1 (top left): Canneal leaf-PTE locality per socket");
     ScenarioConfig canneal;
     canneal.workload = "canneal";
+    describeScenario(report, canneal);
     auto placement = analyzePlacement(canneal);
     std::printf("%-10s", "Sockets");
     for (std::size_t s = 0; s < placement.remoteLeafFraction.size(); ++s)
@@ -32,6 +35,9 @@ main()
     for (double f : placement.remoteLeafFraction)
         std::printf("%7.0f%%", 100.0 * (1.0 - f));
     std::printf("\n(paper: remote 86/68/71/75%%)\n");
+    recordPlacement(report, "canneal placement", placement)
+        .tag("workload", "canneal")
+        .tag("scenario", "multisocket");
 
     // Top-right table: GUPS after migration — all leaf PTEs remote.
     printTitle("Figure 1 (top right): GUPS single-socket after migration");
@@ -53,6 +59,10 @@ main()
         std::printf("Remote %6.0f%%   Local %6.0f%%   (paper: 100%% / 0%%)\n",
                     100.0 * snap.remoteLeafFractionFrom(0),
                     100.0 * (1.0 - snap.remoteLeafFractionFrom(0)));
+        report.addRun("gups post-migration")
+            .tag("workload", "gups")
+            .tag("scenario", "migration")
+            .metric("remote_leaf_socket0", snap.remoteLeafFractionFrom(0));
         kernel.destroyProcess(proc);
     }
 
@@ -69,6 +79,14 @@ main()
                  static_cast<double>(f.runtime),
              fm.walkFraction());
     printRow("speedup: %.2fx   (paper: 1.34x)", ms_speedup);
+    double ms_base = static_cast<double>(f.runtime);
+    recordOutcome(report, "canneal F", f, ms_base)
+        .tag("workload", "canneal")
+        .tag("config", "F");
+    recordOutcome(report, "canneal F+M", fm, ms_base)
+        .tag("workload", "canneal")
+        .tag("config", "F+M");
+    report.speedup("canneal F/F+M", ms_speedup);
 
     // Bottom-right: GUPS workload migration, local vs remote(interfere)
     // vs Mitosis.
@@ -88,5 +106,19 @@ main()
     printRow("speedup: %.2fx   (paper: 3.24x)",
              static_cast<double>(remote.runtime) /
                  static_cast<double>(mitosis.runtime));
+    double wm_base = static_cast<double>(local.runtime);
+    recordOutcome(report, "gups LP-LD", local, wm_base)
+        .tag("workload", "gups")
+        .tag("config", "LP-LD");
+    recordOutcome(report, "gups RPI-LD", remote, wm_base)
+        .tag("workload", "gups")
+        .tag("config", "RPI-LD");
+    recordOutcome(report, "gups RPI-LD+M", mitosis, wm_base)
+        .tag("workload", "gups")
+        .tag("config", "RPI-LD+M");
+    report.speedup("gups RPI-LD/RPI-LD+M",
+                   static_cast<double>(remote.runtime) /
+                       static_cast<double>(mitosis.runtime));
+    writeReport(report);
     return 0;
 }

@@ -19,8 +19,11 @@ main()
         "Figure 3: Memcached page-table dump (4KB, first-touch, no "
         "AutoNUMA)");
 
+    BenchReport report("fig03_pt_dump");
+    describeMachine(report);
     ScenarioConfig cfg;
     cfg.workload = "memcached";
+    describeScenario(report, cfg);
     auto placement = analyzePlacement(cfg);
     std::printf("%s", placement.figure3Dump.c_str());
 
@@ -29,5 +32,10 @@ main()
         std::printf("%5.0f%%", 100.0 * f);
     std::printf("\n(paper: L1 row ~67%% remote pointers on every socket; "
                 "each socket holds a similar number of L1 pages)\n");
+
+    recordPlacement(report, "memcached placement", placement)
+        .tag("workload", "memcached")
+        .tag("placement", "first-touch");
+    writeReport(report);
     return 0;
 }

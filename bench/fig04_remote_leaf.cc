@@ -20,9 +20,20 @@ main()
     setInformEnabled(false);
     printTitle("Figure 4: % remote leaf PTEs per observing socket "
                "(first-touch)");
+    BenchReport report("fig04_remote_leaf");
+    describeMachine(report);
 
     const char *workloads[] = {"canneal",  "memcached", "xsbench",
                                "graph500", "hashjoin",  "btree"};
+
+    auto record = [&report](const char *workload, const char *placement,
+                            const PlacementAnalysis &analysis) {
+        recordPlacement(report,
+                        std::string(workload) + " " + placement,
+                        analysis)
+            .tag("workload", workload)
+            .tag("placement", placement);
+    };
 
     std::printf("%-12s", "workload");
     for (int s = 0; s < 4; ++s)
@@ -33,6 +44,7 @@ main()
         ScenarioConfig cfg;
         cfg.workload = name;
         auto placement = analyzePlacement(cfg);
+        record(name, "first-touch", placement);
         std::printf("%-12s", name);
         for (double f : placement.remoteLeafFraction)
             std::printf("  %6.1f%%", 100.0 * f);
@@ -45,10 +57,12 @@ main()
         ScenarioConfig cfg;
         cfg.workload = name;
         auto placement = analyzePlacement(cfg, /*interleave=*/true);
+        record(name, "interleave", placement);
         std::printf("%-12s", name);
         for (double f : placement.remoteLeafFraction)
             std::printf("  %6.1f%%", 100.0 * f);
         std::printf("\n");
     }
+    writeReport(report);
     return 0;
 }

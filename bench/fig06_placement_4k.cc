@@ -20,6 +20,8 @@ main()
     setInformEnabled(false);
     printTitle("Figure 6: placement matrix, 4KB pages "
                "(runtime normalized to LP-LD)");
+    BenchReport report("fig06_placement_4k");
+    describeMachine(report);
 
     const char *workloads[] = {"gups",    "btree",    "hashjoin",
                                "redis",   "xsbench",  "pagerank",
@@ -42,11 +44,15 @@ main()
             auto out = runWorkloadMigration(cfg, wmPlacement(c));
             if (base == 0)
                 base = static_cast<double>(out.runtime);
+            recordOutcome(report, std::string(name) + " " + c, out, base)
+                .tag("workload", name)
+                .tag("config", c);
             std::printf(" %9.2f",
                         static_cast<double>(out.runtime) / base);
             walk_row += format(" %8.0f%%", 100.0 * out.walkFraction());
         }
         std::printf("\n%-11s%s\n", "  walk%", walk_row.c_str());
     }
+    writeReport(report);
     return 0;
 }

@@ -19,6 +19,8 @@ main()
     setInformEnabled(false);
     printTitle("Figure 9a: multi-socket scenario, 4KB pages "
                "(normalized to F)");
+    BenchReport report("fig09a_multisocket_4k");
+    describeMachine(report);
 
     const char *workloads[] = {"canneal",  "memcached", "xsbench",
                                "graph500", "hashjoin",  "btree"};
@@ -42,12 +44,23 @@ main()
                 base = static_cast<double>(out.runtime);
             results[i] = static_cast<double>(out.runtime) / base;
             walks[i] = out.walkFraction();
+            const char *config = msConfigName(configs[i], false);
+            recordOutcome(report,
+                          std::string(name) + " " + config, out, base)
+                .tag("workload", name)
+                .tag("config", config);
         }
         std::printf("%-11s", name);
         for (double r : results)
             std::printf(" %8.3f", r);
         std::printf("   %.2fx %.2fx %.2fx\n", results[0] / results[1],
                     results[2] / results[3], results[4] / results[5]);
+        report.speedup(std::string(name) + " F/F+M",
+                       results[0] / results[1]);
+        report.speedup(std::string(name) + " F-A/F-A+M",
+                       results[2] / results[3]);
+        report.speedup(std::string(name) + " I/I+M",
+                       results[4] / results[5]);
         std::printf("%-11s", "  walk%");
         for (double wf : walks)
             std::printf(" %7.0f%%", 100.0 * wf);
@@ -55,5 +68,6 @@ main()
     }
     std::printf("\n(paper best case: Canneal F->F+M = 1.34x; Mitosis "
                 "never slower)\n");
+    writeReport(report);
     return 0;
 }

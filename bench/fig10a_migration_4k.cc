@@ -19,6 +19,8 @@ main()
     setInformEnabled(false);
     printTitle("Figure 10a: workload migration, 4KB pages "
                "(normalized to LP-LD)");
+    BenchReport report("fig10a_migration_4k");
+    describeMachine(report);
 
     const char *workloads[] = {"gups",    "btree",    "hashjoin",
                                "redis",   "xsbench",  "pagerank",
@@ -39,9 +41,23 @@ main()
                     static_cast<double>(mitosis.runtime) / b,
                     static_cast<double>(remote.runtime) /
                         static_cast<double>(mitosis.runtime));
+        recordOutcome(report, std::string(name) + " LP-LD", base, b)
+            .tag("workload", name)
+            .tag("config", "LP-LD");
+        recordOutcome(report, std::string(name) + " RPI-LD", remote, b)
+            .tag("workload", name)
+            .tag("config", "RPI-LD");
+        recordOutcome(report, std::string(name) + " RPI-LD+M", mitosis,
+                      b)
+            .tag("workload", name)
+            .tag("config", "RPI-LD+M");
+        report.speedup(std::string(name) + " RPI-LD/RPI-LD+M",
+                       static_cast<double>(remote.runtime) /
+                           static_cast<double>(mitosis.runtime));
     }
     std::printf("\n(paper improvements: GUPS 3.24x, BTree 1.97x, "
                 "HashJoin 2.10x, Redis 1.80x, XSBench 1.44x, PageRank "
                 "1.83x, LibLinear 1.42x, Canneal 1.95x)\n");
+    writeReport(report);
     return 0;
 }

@@ -21,6 +21,9 @@ main()
     setInformEnabled(false);
     printTitle("Figure 10b: workload migration, 2MB pages "
                "(normalized to 4KB LP-LD)");
+    BenchReport report("fig10b_migration_2m");
+    describeMachine(report);
+    report.config("normalized_to", "4KB LP-LD");
 
     const char *workloads[] = {"gups",    "btree",    "hashjoin",
                                "redis",   "xsbench",  "pagerank",
@@ -48,9 +51,22 @@ main()
                     static_cast<double>(mito.runtime) / b,
                     static_cast<double>(trpi.runtime) /
                         static_cast<double>(mito.runtime));
+        recordOutcome(report, std::string(name) + " TLP-LD", tlp, b)
+            .tag("workload", name)
+            .tag("config", "TLP-LD");
+        recordOutcome(report, std::string(name) + " TRPI-LD", trpi, b)
+            .tag("workload", name)
+            .tag("config", "TRPI-LD");
+        recordOutcome(report, std::string(name) + " TRPI-LD+M", mito, b)
+            .tag("workload", name)
+            .tag("config", "TRPI-LD+M");
+        report.speedup(std::string(name) + " TRPI-LD/TRPI-LD+M",
+                       static_cast<double>(trpi.runtime) /
+                           static_cast<double>(mito.runtime));
     }
     std::printf("\n(paper improvements: GUPS 1.00x, BTree 1.02x, "
                 "HashJoin 1.00x, Redis 1.70x, XSBench 1.00x, PageRank "
                 "1.00x, LibLinear 1.31x, Canneal 2.35x)\n");
+    writeReport(report);
     return 0;
 }

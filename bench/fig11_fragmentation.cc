@@ -22,6 +22,9 @@ main()
     printTitle("Figure 11: THP under heavy fragmentation "
                "(normalized to fragmented TLP-LD; unfragmented cost "
                "shown separately)");
+    BenchReport report("fig11_fragmentation");
+    describeMachine(report);
+    report.config("fragmentation", 1.0);
 
     const char *workloads[] = {"xsbench", "redis", "gups"};
 
@@ -49,8 +52,22 @@ main()
                     static_cast<double>(trpi.runtime) /
                         static_cast<double>(mito.runtime),
                     fb / b);
+        recordOutcome(report, std::string(name) + " TLP-LD", tlp, fb)
+            .tag("workload", name)
+            .tag("config", "TLP-LD")
+            .metric("fallback_cost_vs_clean_thp", fb / b);
+        recordOutcome(report, std::string(name) + " TRPI-LD", trpi, fb)
+            .tag("workload", name)
+            .tag("config", "TRPI-LD");
+        recordOutcome(report, std::string(name) + " TRPI-LD+M", mito, fb)
+            .tag("workload", name)
+            .tag("config", "TRPI-LD+M");
+        report.speedup(std::string(name) + " TRPI-LD/TRPI-LD+M",
+                       static_cast<double>(trpi.runtime) /
+                           static_cast<double>(mito.runtime));
     }
     std::printf("\n(paper improvements under fragmentation: XSBench "
                 "2.73x, Redis 1.70x, GUPS 1.08x)\n");
+    writeReport(report);
     return 0;
 }

@@ -265,4 +265,68 @@ printRow(const char *fmt, ...)
     std::printf("\n");
 }
 
+void
+describeMachine(BenchReport &report)
+{
+    const sim::MachineConfig cfg = benchMachine();
+    report.config("num_sockets",
+                  static_cast<double>(cfg.topo.numSockets));
+    report.config("cores_per_socket",
+                  static_cast<double>(cfg.topo.coresPerSocket));
+    report.config("mem_per_socket_bytes",
+                  static_cast<double>(cfg.topo.memPerSocket));
+    report.config("l3_bytes_per_socket",
+                  static_cast<double>(cfg.hier.l3BytesPerSocket));
+    report.config("l1d_bytes", static_cast<double>(cfg.hier.l1dBytes));
+    report.config("dram_local_latency",
+                  static_cast<double>(cfg.topo.dramLocalLatency));
+    report.config("stlb_holds_2m", cfg.tlb.l2Holds2M ? "yes" : "no");
+}
+
+void
+describeScenario(BenchReport &report, const ScenarioConfig &scenario)
+{
+    report.config("footprint_bytes",
+                  static_cast<double>(scenario.footprint));
+    report.config("thp", scenario.thp ? "on" : "off");
+    report.config("warmup_ops", static_cast<double>(scenario.warmupOps));
+    report.config("measure_ops",
+                  static_cast<double>(scenario.measureOps));
+    report.config("seed", static_cast<double>(scenario.seed));
+    if (scenario.fragmentation > 0.0)
+        report.config("fragmentation", scenario.fragmentation);
+}
+
+BenchRun &
+recordOutcome(BenchReport &report, const std::string &label,
+              const RunOutcome &out, double normBase)
+{
+    BenchRun &run = report.addRun(label);
+    run.metric("runtime_cycles", static_cast<double>(out.runtime));
+    if (normBase > 0.0)
+        run.metric("norm_runtime",
+                   static_cast<double>(out.runtime) / normBase);
+    run.metric("walk_fraction", out.walkFraction());
+    run.metric("remote_pt_fraction", out.remotePtFraction());
+    return run;
+}
+
+BenchRun &
+recordPlacement(BenchReport &report, const std::string &label,
+                const PlacementAnalysis &analysis)
+{
+    BenchRun &run = report.addRun(label);
+    for (std::size_t s = 0; s < analysis.remoteLeafFraction.size(); ++s)
+        run.metric("remote_leaf_socket" + std::to_string(s),
+                   analysis.remoteLeafFraction[s]);
+    return run;
+}
+
+void
+writeReport(const BenchReport &report)
+{
+    if (report.write())
+        std::printf("\n[report] %s\n", report.outputPath().c_str());
+}
+
 } // namespace mitosim::bench

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/report.h"
 #include "src/analysis/pt_dump.h"
 #include "src/core/mitosis.h"
 #include "src/os/exec_context.h"
@@ -109,6 +110,34 @@ RunOutcome runWorkloadMigration(const ScenarioConfig &scenario,
 
 void printTitle(const std::string &title);
 void printRow(const char *fmt, ...);
+
+/// @}
+/// @name JSON result reporting (see report.h for the schema)
+/// @{
+
+/** Record benchMachine()'s shape in @p report's config section. */
+void describeMachine(BenchReport &report);
+
+/** Record @p scenario's workload-independent knobs in the config. */
+void describeScenario(BenchReport &report, const ScenarioConfig &scenario);
+
+/**
+ * Add @p out as a run: raw runtime plus walk / remote-PT fractions, and
+ * runtime normalized to @p normBase when normBase > 0. Returns the run
+ * so callers can attach tags and extra metrics.
+ */
+BenchRun &recordOutcome(BenchReport &report, const std::string &label,
+                        const RunOutcome &out, double normBase = 0.0);
+
+/**
+ * Add @p analysis as a run with one remote_leaf_socket<N> metric per
+ * observing socket. Returns the run for extra tags.
+ */
+BenchRun &recordPlacement(BenchReport &report, const std::string &label,
+                          const PlacementAnalysis &analysis);
+
+/** Write BENCH_<name>.json and note the path on stdout. */
+void writeReport(const BenchReport &report);
 
 /// @}
 

@@ -18,6 +18,7 @@ main()
     setInformEnabled(false);
     printTitle("Table 4: memory overhead of replication "
                "(multiplier vs 1 replica)");
+    BenchReport report("tab04_mem_overhead");
 
     struct Row
     {
@@ -41,10 +42,17 @@ main()
         std::uint64_t pt = analysis::pageTableBytes(row.footprint);
         std::printf("%-8s %7.2f MB", row.label,
                     static_cast<double>(pt) / (1024.0 * 1024.0));
-        for (int r : replica_counts)
-            std::printf(" %8.3f",
-                        analysis::replicationMemOverhead(row.footprint,
-                                                         r));
+        BenchRun &run = report.addRun(row.label);
+        run.tag("footprint", row.label)
+            .metric("footprint_bytes",
+                    static_cast<double>(row.footprint))
+            .metric("pt_bytes", static_cast<double>(pt));
+        for (int r : replica_counts) {
+            double overhead =
+                analysis::replicationMemOverhead(row.footprint, r);
+            std::printf(" %8.3f", overhead);
+            run.metric("overhead_x" + std::to_string(r), overhead);
+        }
         std::printf("\n");
     }
     std::printf("\n(paper row for 1 GB: 1.0 / 1.002 / 1.006 / 1.014 / "
@@ -79,6 +87,14 @@ main()
                 (unsigned long long)before, (unsigned long long)after,
                 measured,
                 analysis::replicationMemOverhead(64ull << 20, 4));
+    report.addRun("live cross-check 64 MiB x4")
+        .tag("kind", "live")
+        .metric("pt_pages_before", static_cast<double>(before))
+        .metric("pt_pages_after", static_cast<double>(after))
+        .metric("measured_overhead", measured)
+        .metric("model_overhead",
+                analysis::replicationMemOverhead(64ull << 20, 4));
     kernel.destroyProcess(proc);
+    writeReport(report);
     return 0;
 }

@@ -77,6 +77,9 @@ main()
     setInformEnabled(false);
     printTitle("Table 5: VMA operation overhead, 4-way replication "
                "(ratio Mitosis-on / Mitosis-off)");
+    BenchReport report("tab05_vma_ops");
+    describeMachine(report);
+    report.config("replicas", 4.0);
 
     struct Region
     {
@@ -104,6 +107,25 @@ main()
                             static_cast<double>(off.mprotectCycles);
         munmap_ratio[i] = static_cast<double>(on.munmapCycles) /
                           static_cast<double>(off.munmapCycles);
+        report.addRun(regions[i].label)
+            .tag("region", regions[i].label)
+            .metric("region_bytes",
+                    static_cast<double>(regions[i].bytes))
+            .metric("mmap_ratio", mmap_ratio[i])
+            .metric("mprotect_ratio", mprotect_ratio[i])
+            .metric("munmap_ratio", munmap_ratio[i])
+            .metric("mmap_cycles_off",
+                    static_cast<double>(off.mmapCycles))
+            .metric("mmap_cycles_on",
+                    static_cast<double>(on.mmapCycles))
+            .metric("mprotect_cycles_off",
+                    static_cast<double>(off.mprotectCycles))
+            .metric("mprotect_cycles_on",
+                    static_cast<double>(on.mprotectCycles))
+            .metric("munmap_cycles_off",
+                    static_cast<double>(off.munmapCycles))
+            .metric("munmap_cycles_on",
+                    static_cast<double>(on.munmapCycles));
     }
     std::printf("%-12s %-14.3f %-14.3f %-14.3f\n", "mmap",
                 mmap_ratio[0], mmap_ratio[1], mmap_ratio[2]);
@@ -114,5 +136,6 @@ main()
 
     std::printf("\n(paper: mmap 1.021/1.008/1.006, mprotect "
                 "1.121/3.238/3.279, munmap 1.043/1.354/1.393)\n");
+    writeReport(report);
     return 0;
 }

@@ -55,6 +55,9 @@ main()
     setInformEnabled(false);
     printTitle("Table 6: end-to-end runtime incl. initialization, "
                "LP-LD, Mitosis off vs on (replication disabled)");
+    BenchReport report("tab06_end_to_end");
+    describeMachine(report);
+    report.config("replication", "disabled");
 
     std::printf("%-10s %16s %16s %10s\n", "Workload", "Mitosis Off",
                 "Mitosis On", "Overhead");
@@ -67,7 +70,13 @@ main()
         std::printf("%-10s %16llu %16llu %9.2f%%\n", name,
                     (unsigned long long)off, (unsigned long long)on,
                     100.0 * overhead);
+        report.addRun(name)
+            .tag("workload", name)
+            .metric("runtime_cycles_off", static_cast<double>(off))
+            .metric("runtime_cycles_on", static_cast<double>(on))
+            .metric("overhead_fraction", overhead);
     }
     std::printf("\n(paper: GUPS 0.46%%, Redis 0.37%% — both < 0.5%%)\n");
+    writeReport(report);
     return 0;
 }

@@ -162,7 +162,8 @@ TEST_P(ReplicationProperty, RandomOpsPreserveInvariants)
             if (!pfn)
                 break;
             bool writable = rng.chance(0.7);
-            std::uint64_t flags = writable ? pt::PteWrite : 0;
+            std::uint64_t flags =
+                writable ? std::uint64_t{pt::PteWrite} : 0;
             ASSERT_TRUE(ops.map4K(roots, 1, va, *pfn, flags, policy,
                                   static_cast<SocketId>(rng.below(4)),
                                   nullptr));
@@ -188,10 +189,11 @@ TEST_P(ReplicationProperty, RandomOpsPreserveInvariants)
                 break;
             VirtAddr va = random_mapped_va();
             bool writable = rng.chance(0.5);
-            ASSERT_TRUE(ops.protect(roots, va,
-                                    writable ? pt::PteWrite : 0,
-                                    writable ? 0 : pt::PteWrite,
-                                    nullptr));
+            ASSERT_TRUE(
+                ops.protect(roots, va,
+                            writable ? std::uint64_t{pt::PteWrite} : 0,
+                            writable ? 0 : std::uint64_t{pt::PteWrite},
+                            nullptr));
             shadow[va].writable = writable;
             break;
           }
