@@ -10,6 +10,7 @@
 #include "bench/harness.h"
 
 #include "src/core/auto_policy.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
@@ -17,11 +18,13 @@ using namespace mitosim::bench;
 namespace
 {
 
-struct Outcome
+const std::vector<std::string> &
+policyWorkloads()
 {
-    Cycles runtime = 0;
-    bool replicated = false;
-};
+    static const std::vector<std::string> list = {"gups", "canneal",
+                                                  "stream", "liblinear"};
+    return list;
+}
 
 enum class Mode
 {
@@ -30,7 +33,9 @@ enum class Mode
     Auto,
 };
 
-Outcome
+constexpr const char *ModeNames[] = {"off", "on", "auto"};
+
+driver::JobResult
 run(const std::string &workload, Mode mode)
 {
     sim::Machine machine(benchMachine());
@@ -65,48 +70,61 @@ run(const std::string &workload, Mode mode)
 
     ctx.resetCounters();
     workloads::runInterleaved(ctx, *w, 6000);
-    Outcome out;
-    out.runtime = ctx.runtime();
-    out.replicated = proc.roots().replicated();
+    driver::JobResult result;
+    result.value("runtime_cycles", static_cast<double>(ctx.runtime()));
+    result.value("replicated", proc.roots().replicated() ? 1.0 : 0.0);
     kernel.destroyProcess(proc);
-    return out;
+    return result;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Ablation: automatic counter-based policy (§6.1) vs "
-               "static on/off");
-    BenchReport report("abl_auto_policy");
-    describeMachine(report);
-
-    std::printf("%-10s %12s %12s %12s   %s\n", "workload", "off", "on",
-                "auto", "auto chose");
-    for (const char *name : {"gups", "canneal", "stream", "liblinear"}) {
-        Outcome off = run(name, Mode::Off);
-        Outcome on = run(name, Mode::On);
-        Outcome automatic = run(name, Mode::Auto);
-        double b = static_cast<double>(off.runtime);
-        std::printf("%-10s %12.3f %12.3f %12.3f   %s\n", name, 1.0,
-                    static_cast<double>(on.runtime) / b,
-                    static_cast<double>(automatic.runtime) / b,
-                    automatic.replicated ? "replicate" : "leave alone");
-        report.addRun(name)
-            .tag("workload", name)
-            .tag("auto_chose",
-                 automatic.replicated ? "replicate" : "leave alone")
-            .metric("norm_runtime_off", 1.0)
-            .metric("norm_runtime_on",
-                    static_cast<double>(on.runtime) / b)
-            .metric("norm_runtime_auto",
-                    static_cast<double>(automatic.runtime) / b)
-            .metric("runtime_cycles_off", b);
-    }
-    std::printf("\n(expected: auto tracks the better static choice per "
-                "workload)\n");
-    writeReport(report);
-    return 0;
+    driver::BenchSpec spec;
+    spec.name = "abl_auto_policy";
+    spec.title = "Ablation: automatic counter-based policy (§6.1) vs "
+                 "static on/off";
+    spec.describe = [](BenchReport &report) { describeMachine(report); };
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        for (const std::string &name : policyWorkloads()) {
+            for (Mode mode : {Mode::Off, Mode::On, Mode::Auto}) {
+                registry.add(
+                    name + "/" + ModeNames[static_cast<int>(mode)],
+                    [name, mode] { return run(name, mode); });
+            }
+        }
+    };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        std::printf("%-10s %12s %12s %12s   %s\n", "workload", "off",
+                    "on", "auto", "auto chose");
+        std::size_t i = 0;
+        for (const std::string &name : policyWorkloads()) {
+            const driver::JobResult &off = results[i++];
+            const driver::JobResult &on = results[i++];
+            const driver::JobResult &automatic = results[i++];
+            double b = off.valueOf("runtime_cycles");
+            bool replicated = automatic.valueOf("replicated") != 0.0;
+            std::printf("%-10s %12.3f %12.3f %12.3f   %s\n",
+                        name.c_str(), 1.0,
+                        on.valueOf("runtime_cycles") / b,
+                        automatic.valueOf("runtime_cycles") / b,
+                        replicated ? "replicate" : "leave alone");
+            report.addRun(name)
+                .tag("workload", name)
+                .tag("auto_chose",
+                     replicated ? "replicate" : "leave alone")
+                .metric("norm_runtime_off", 1.0)
+                .metric("norm_runtime_on",
+                        on.valueOf("runtime_cycles") / b)
+                .metric("norm_runtime_auto",
+                        automatic.valueOf("runtime_cycles") / b)
+                .metric("runtime_cycles_off", b);
+        }
+        std::printf("\n(expected: auto tracks the better static choice "
+                    "per workload)\n");
+    };
+    return driver::benchMain(argc, argv, spec);
 }

@@ -14,6 +14,7 @@
 #include "bench/harness.h"
 
 #include "src/core/lazy_backend.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
@@ -21,14 +22,7 @@ using namespace mitosim::bench;
 namespace
 {
 
-struct Outcome
-{
-    Cycles installCycles = 0; //!< kernel cycles to map the region
-    Cycles firstTouch = 0;    //!< remote socket touching 1/8 of pages
-    std::uint64_t queuedPeak = 0;
-};
-
-Outcome
+driver::JobResult
 run(bool lazy)
 {
     sim::Machine machine(benchMachine());
@@ -57,61 +51,69 @@ run(bool lazy)
          va += 8 * PageSize)
         ctx.access(tid, va, false);
 
-    Outcome out;
-    out.installCycles = install_cost.cycles;
-    out.firstTouch = ctx.threadCounters(tid).kernelCycles;
+    driver::JobResult result;
+    result.value("install_kcycles",
+                 static_cast<double>(install_cost.cycles));
+    result.value("first_touch_kcycles",
+                 static_cast<double>(
+                     ctx.threadCounters(tid).kernelCycles));
     if (lazy)
-        out.queuedPeak = lazy_b.lazyStats().maxQueueDepth;
+        result.value("peak_queue_depth",
+                     static_cast<double>(
+                         lazy_b.lazyStats().maxQueueDepth));
     kernel.destroyProcess(proc);
-    return out;
+    return result;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Ablation: eager (§5.2) vs lazy (§7.2) replica update "
-               "propagation, 4-way replication");
-    BenchReport report("abl_lazy_propagation");
-    describeMachine(report);
+    driver::BenchSpec spec;
+    spec.name = "abl_lazy_propagation";
+    spec.title = "Ablation: eager (§5.2) vs lazy (§7.2) replica update "
+                 "propagation, 4-way replication";
+    spec.describe = [](BenchReport &report) { describeMachine(report); };
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        registry.add("eager", [] { return run(false); });
+        registry.add("lazy", [] { return run(true); });
+    };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        const driver::JobResult &eager = results[0];
+        const driver::JobResult &lazy = results[1];
+        double eager_install = eager.valueOf("install_kcycles");
+        double lazy_install = lazy.valueOf("install_kcycles");
 
-    Outcome eager = run(false);
-    Outcome lazy = run(true);
-
-    std::printf("%-24s %16s %16s\n", "", "eager", "lazy");
-    std::printf("%-24s %16llu %16llu   (%.2fx cheaper installs)\n",
-                "install kcycles",
-                (unsigned long long)eager.installCycles,
-                (unsigned long long)lazy.installCycles,
-                static_cast<double>(eager.installCycles) /
-                    static_cast<double>(lazy.installCycles));
-    std::printf("%-24s %16llu %16llu   (deferred work surfaces here)\n",
-                "remote 1st-touch kcycles",
-                (unsigned long long)eager.firstTouch,
-                (unsigned long long)lazy.firstTouch);
-    std::printf("%-24s %16s %16llu\n", "peak queue depth", "-",
-                (unsigned long long)lazy.queuedPeak);
-    std::printf("\n(§7.2: message-based propagation avoids eager "
-                "cross-socket stores; faults process the messages)\n");
-    report.addRun("eager")
-        .tag("mode", "eager")
-        .metric("install_kcycles",
-                static_cast<double>(eager.installCycles))
-        .metric("first_touch_kcycles",
-                static_cast<double>(eager.firstTouch));
-    report.addRun("lazy")
-        .tag("mode", "lazy")
-        .metric("install_kcycles",
-                static_cast<double>(lazy.installCycles))
-        .metric("first_touch_kcycles",
-                static_cast<double>(lazy.firstTouch))
-        .metric("peak_queue_depth",
-                static_cast<double>(lazy.queuedPeak));
-    report.speedup("install eager/lazy",
-                   static_cast<double>(eager.installCycles) /
-                       static_cast<double>(lazy.installCycles));
-    writeReport(report);
-    return 0;
+        std::printf("%-24s %16s %16s\n", "", "eager", "lazy");
+        std::printf("%-24s %16.0f %16.0f   (%.2fx cheaper installs)\n",
+                    "install kcycles", eager_install, lazy_install,
+                    eager_install / lazy_install);
+        std::printf("%-24s %16.0f %16.0f   (deferred work surfaces "
+                    "here)\n",
+                    "remote 1st-touch kcycles",
+                    eager.valueOf("first_touch_kcycles"),
+                    lazy.valueOf("first_touch_kcycles"));
+        std::printf("%-24s %16s %16.0f\n", "peak queue depth", "-",
+                    lazy.valueOf("peak_queue_depth"));
+        std::printf("\n(§7.2: message-based propagation avoids eager "
+                    "cross-socket stores; faults process the "
+                    "messages)\n");
+        report.addRun("eager")
+            .tag("mode", "eager")
+            .metric("install_kcycles", eager_install)
+            .metric("first_touch_kcycles",
+                    eager.valueOf("first_touch_kcycles"));
+        report.addRun("lazy")
+            .tag("mode", "lazy")
+            .metric("install_kcycles", lazy_install)
+            .metric("first_touch_kcycles",
+                    lazy.valueOf("first_touch_kcycles"))
+            .metric("peak_queue_depth",
+                    lazy.valueOf("peak_queue_depth"));
+        report.speedup("install eager/lazy",
+                       eager_install / lazy_install);
+    };
+    return driver::benchMain(argc, argv, spec);
 }

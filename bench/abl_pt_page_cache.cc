@@ -8,6 +8,7 @@
  */
 
 #include "bench/harness.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
@@ -15,14 +16,9 @@ using namespace mitosim::bench;
 namespace
 {
 
-struct Outcome
-{
-    std::uint64_t localPt = 0;
-    std::uint64_t remotePt = 0;
-    std::uint64_t cacheHits = 0;
-};
+constexpr std::uint64_t ReserveSizes[] = {0, 16, 64};
 
-Outcome
+driver::JobResult
 runWithReserve(std::uint64_t reserve_frames)
 {
     sim::MachineConfig mc;
@@ -62,45 +58,57 @@ runWithReserve(std::uint64_t reserve_frames)
         (void)r2;
     }
 
-    Outcome out;
+    driver::JobResult result;
+    std::uint64_t local = 0;
+    std::uint64_t remote = 0;
     for (int l = 1; l <= 4; ++l) {
-        out.localPt += pm.ptPagesAt(0, l);
-        out.remotePt += pm.ptPagesAt(1, l);
+        local += pm.ptPagesAt(0, l);
+        remote += pm.ptPagesAt(1, l);
     }
-    out.cacheHits = pm.stats(0).ptCacheHits;
+    result.value("reserve_frames", static_cast<double>(reserve_frames));
+    result.value("local_pt_pages", static_cast<double>(local));
+    result.value("remote_pt_pages", static_cast<double>(remote));
+    result.value("reserve_hits",
+                 static_cast<double>(pm.stats(0).ptCacheHits));
     kernel.destroyProcess(proc);
-    return out;
+    return result;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Ablation: per-socket PT page reserve under memory "
-               "pressure (socket 0 exhausted)");
-    BenchReport report("abl_pt_page_cache");
-
-    std::printf("%-16s %10s %10s %12s\n", "reserve(frames)", "local_pt",
-                "remote_pt", "reserve_hits");
-    for (std::uint64_t reserve : {0ull, 16ull, 64ull}) {
-        Outcome out = runWithReserve(reserve);
-        std::printf("%-16llu %10llu %10llu %12llu\n",
-                    (unsigned long long)reserve,
-                    (unsigned long long)out.localPt,
-                    (unsigned long long)out.remotePt,
-                    (unsigned long long)out.cacheHits);
-        report.addRun("reserve " + std::to_string(reserve))
-            .metric("reserve_frames", static_cast<double>(reserve))
-            .metric("local_pt_pages", static_cast<double>(out.localPt))
-            .metric("remote_pt_pages",
-                    static_cast<double>(out.remotePt))
-            .metric("reserve_hits", static_cast<double>(out.cacheHits));
-    }
-    std::printf("\n(expected: without a reserve, page-tables spill to "
-                "the remote socket; with it they stay local and "
-                "reserve_hits > 0)\n");
-    writeReport(report);
-    return 0;
+    driver::BenchSpec spec;
+    spec.name = "abl_pt_page_cache";
+    spec.title = "Ablation: per-socket PT page reserve under memory "
+                 "pressure (socket 0 exhausted)";
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        for (std::uint64_t reserve : ReserveSizes) {
+            registry.add("reserve/" + std::to_string(reserve),
+                         [reserve] { return runWithReserve(reserve); });
+        }
+    };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        std::printf("%-16s %10s %10s %12s\n", "reserve(frames)",
+                    "local_pt", "remote_pt", "reserve_hits");
+        std::size_t i = 0;
+        for (std::uint64_t reserve : ReserveSizes) {
+            const driver::JobResult &res = results[i++];
+            std::printf("%-16llu %10.0f %10.0f %12.0f\n",
+                        (unsigned long long)reserve,
+                        res.valueOf("local_pt_pages"),
+                        res.valueOf("remote_pt_pages"),
+                        res.valueOf("reserve_hits"));
+            BenchRun &run =
+                report.addRun("reserve " + std::to_string(reserve));
+            for (const auto &[key, value] : res.values)
+                run.metric(key, value);
+        }
+        std::printf("\n(expected: without a reserve, page-tables spill "
+                    "to the remote socket; with it they stay local and "
+                    "reserve_hits > 0)\n");
+    };
+    return driver::benchMain(argc, argv, spec);
 }

@@ -2,25 +2,26 @@
  * @file
  * Ablation (§5.2): cost of propagating one PTE store to all replicas,
  * circular struct-page list (2N references) vs walking every replica
- * tree (4N+N references), across replica counts. Google-benchmark
- * harness; the figure of merit is *simulated* kernel cycles per update,
- * reported as a counter (host time also measures the implementation).
+ * tree (4N+N references), across replica counts. The figure of merit is
+ * *simulated* kernel cycles per update — fully deterministic, so the
+ * matrix runs as ordinary driver jobs (host time would also measure the
+ * implementation, which is not the reproduction target).
  */
 
-#include <benchmark/benchmark.h>
+#include "bench/harness.h"
 
-#include <cstdio>
-#include <cstring>
-
-#include "bench/report.h"
-#include "src/core/mitosis.h"
+#include "src/driver/bench_main.h"
 #include "src/mem/physical_memory.h"
 #include "src/pt/operations.h"
+
+using namespace mitosim;
+using namespace mitosim::bench;
 
 namespace
 {
 
-using namespace mitosim;
+constexpr int ReplicaCounts[] = {1, 2, 4, 8};
+constexpr std::uint64_t Updates = 4096;
 
 struct Rig
 {
@@ -62,92 +63,89 @@ struct Rig
     pt::PteLoc loc;
 };
 
-void
-BM_ReplicaUpdate(benchmark::State &state)
+driver::JobResult
+replicaUpdateJob(int replicas, core::UpdateMode mode)
 {
-    int replicas = static_cast<int>(state.range(0));
-    auto mode = state.range(1) == 0 ? core::UpdateMode::CircularList
-                                    : core::UpdateMode::WalkReplicas;
     Rig rig(replicas, mode);
-
-    std::uint64_t toggles = 0;
     std::uint64_t sim_cycles = 0;
-    for (auto _ : state) {
+    for (std::uint64_t i = 0; i < Updates; ++i) {
         pvops::KernelCost cost;
         std::uint64_t flag =
-            (toggles++ & 1) ? std::uint64_t{pt::PteNumaHint} : 0;
+            (i & 1) ? std::uint64_t{pt::PteNumaHint} : 0;
         rig.backend.setPte(rig.roots, rig.loc,
                            pt::Pte::make(7, pt::PtePresent | flag), 1,
                            &cost);
         sim_cycles += cost.cycles;
-        benchmark::DoNotOptimize(cost.cycles);
     }
-    state.counters["sim_cycles_per_update"] =
-        benchmark::Counter(static_cast<double>(sim_cycles) /
-                           static_cast<double>(state.iterations()));
+    driver::JobResult result;
+    result.value("replicas", replicas);
+    result.value("updates", static_cast<double>(Updates));
+    result.value("sim_cycles_per_update",
+                 static_cast<double>(sim_cycles) /
+                     static_cast<double>(Updates));
+    return result;
 }
 
-/**
- * Console output as usual, plus a copy of every run's counters so the
- * binary can emit the repo-standard BENCH_<name>.json next to Google
- * Benchmark's own table.
- */
-class CaptureReporter : public benchmark::ConsoleReporter
+const char *
+modeName(core::UpdateMode mode)
 {
-  public:
-    void
-    ReportRuns(const std::vector<Run> &runs) override
-    {
-        benchmark::ConsoleReporter::ReportRuns(runs);
-        for (const Run &run : runs) {
-            bench::BenchRun &row = report_.addRun(run.benchmark_name());
-            row.metric("iterations",
-                       static_cast<double>(run.iterations));
-            row.metric("real_time_ns", run.GetAdjustedRealTime());
-            for (const auto &[name, counter] : run.counters)
-                row.metric(name, counter.value);
-        }
-    }
-
-    bench::BenchReport &report() { return report_; }
-
-  private:
-    bench::BenchReport report_{"abl_replica_update"};
-};
+    return mode == core::UpdateMode::CircularList ? "circular-list"
+                                                  : "walk-replicas";
+}
 
 } // namespace
-
-BENCHMARK(BM_ReplicaUpdate)
-    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
-    ->ArgNames({"replicas", "walk_mode"});
 
 int
 main(int argc, char **argv)
 {
-    // Substituting a display reporter would override --benchmark_format;
-    // only capture into BENCH_*.json for the default console output and
-    // let Google Benchmark's own json/csv formats pass through untouched.
-    bool console_format = true;
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (const char *eq = std::strchr(arg, '=');
-            eq && std::strncmp(arg, "--benchmark_format",
-                               static_cast<std::size_t>(eq - arg)) == 0)
-            console_format = std::strcmp(eq + 1, "console") == 0;
-    }
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
-        return 1;
-    if (!console_format) {
-        benchmark::RunSpecifiedBenchmarks();
-        benchmark::Shutdown();
-        return 0;
-    }
-    CaptureReporter reporter;
-    benchmark::RunSpecifiedBenchmarks(&reporter);
-    benchmark::Shutdown();
-    if (reporter.report().write())
-        std::printf("\n[report] %s\n",
-                    reporter.report().outputPath().c_str());
-    return 0;
+    driver::BenchSpec spec;
+    spec.name = "abl_replica_update";
+    spec.title = "Ablation: PTE-update propagation, circular "
+                 "struct-page list (2N refs) vs walking every replica "
+                 "tree (4N+N refs)";
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        for (int replicas : ReplicaCounts) {
+            for (core::UpdateMode mode :
+                 {core::UpdateMode::CircularList,
+                  core::UpdateMode::WalkReplicas}) {
+                registry.add(format("replicas=%d/%s", replicas,
+                                    modeName(mode)),
+                             [replicas, mode] {
+                                 return replicaUpdateJob(replicas,
+                                                         mode);
+                             });
+            }
+        }
+    };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        std::printf("%-10s %20s %20s %10s\n", "replicas",
+                    "circular-list", "walk-replicas", "ratio");
+        std::size_t i = 0;
+        for (int replicas : ReplicaCounts) {
+            const driver::JobResult &circular = results[i++];
+            const driver::JobResult &walk = results[i++];
+            double c = circular.valueOf("sim_cycles_per_update");
+            double w = walk.valueOf("sim_cycles_per_update");
+            std::printf("%-10d %20.1f %20.1f %9.2fx\n", replicas, c, w,
+                        w / c);
+            for (const driver::JobResult *res : {&circular, &walk}) {
+                BenchRun &run = report.addRun(format(
+                    "replicas=%d %s", replicas,
+                    res == &circular ? "circular-list"
+                                     : "walk-replicas"));
+                run.tag("mode", res == &circular ? "circular-list"
+                                                 : "walk-replicas");
+                for (const auto &[key, value] : res->values)
+                    run.metric(key, value);
+            }
+            report.speedup(format("replicas=%d walk/circular",
+                                  replicas),
+                           w / c);
+        }
+        std::printf("\n(sim cycles per update; circular list stays "
+                    "~2N references while walking replica trees pays "
+                    "4N+N)\n");
+    };
+    return driver::benchMain(argc, argv, spec);
 }

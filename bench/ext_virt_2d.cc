@@ -17,6 +17,7 @@
 
 #include "bench/harness.h"
 
+#include "src/driver/bench_main.h"
 #include "src/virt/nested_walker.h"
 
 using namespace mitosim;
@@ -25,14 +26,22 @@ using namespace mitosim::bench;
 namespace
 {
 
-struct Outcome
+struct Config
 {
-    Cycles runtime = 0;
-    double remotePt = 0.0;
-    double walkFrac = 0.0;
+    const char *name;
+    const char *slug; //!< job-name fragment
+    bool gpt;
+    bool npt;
 };
 
-Outcome
+constexpr Config Configs[] = {
+    {"none", "none", false, false},
+    {"gPT only", "gpt", true, false},
+    {"nPT only", "npt", false, true},
+    {"gPT+nPT", "gpt+npt", true, true},
+};
+
+driver::JobResult
 run(bool gpt_replicated, bool npt_replicated)
 {
     sim::Machine machine(benchMachine());
@@ -85,64 +94,57 @@ run(bool gpt_replicated, bool npt_replicated)
         v->resetCounters();
     one_round(6000, 18);
 
-    Outcome out;
-    sim::PerfCounters totals;
+    driver::RunOutcome out;
     for (auto &v : vcpus) {
-        totals.add(v->counters());
+        out.totals.add(v->counters());
         out.runtime = std::max(out.runtime, v->counters().cycles);
     }
-    out.remotePt = totals.remotePtFraction();
-    out.walkFrac = totals.walkFraction();
-    return out;
+    return driver::JobResult::of(out);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Extension (§7.4): 2D page-table replication in a VM "
-               "(normalized to no replication)");
-
-    struct Config
-    {
-        const char *name;
-        bool gpt;
-        bool npt;
+    driver::BenchSpec spec;
+    spec.name = "ext_virt_2d";
+    spec.title = "Extension (§7.4): 2D page-table replication in a VM "
+                 "(normalized to no replication)";
+    spec.describe = [](BenchReport &report) { describeMachine(report); };
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        for (const Config &c : Configs) {
+            registry.add(c.slug,
+                         [c] { return run(c.gpt, c.npt); });
+        }
     };
-    const Config configs[] = {
-        {"none", false, false},
-        {"gPT only", true, false},
-        {"nPT only", false, true},
-        {"gPT+nPT", true, true},
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        double base = 0;
+        std::printf("%-10s %12s %12s %12s\n", "config", "runtime",
+                    "walk_frac", "remote_pt");
+        std::size_t i = 0;
+        for (const Config &c : Configs) {
+            const driver::JobResult &res = results[i++];
+            if (base == 0)
+                base = res.runtime();
+            std::printf("%-10s %12.3f %11.0f%% %11.0f%%\n", c.name,
+                        res.runtime() / base,
+                        100.0 * res.outcome->walkFraction(),
+                        100.0 * res.outcome->remotePtFraction());
+            report.addRun(c.name)
+                .tag("gpt_replicated", c.gpt ? "yes" : "no")
+                .tag("npt_replicated", c.npt ? "yes" : "no")
+                .metric("runtime_cycles", res.runtime())
+                .metric("norm_runtime", res.runtime() / base)
+                .metric("walk_fraction", res.outcome->walkFraction())
+                .metric("remote_pt_fraction",
+                        res.outcome->remotePtFraction());
+        }
+        std::printf("\n(expected: walk traffic is remote in both "
+                    "dimensions without replication; gPT and nPT "
+                    "replication each remove part; together they "
+                    "localize 2D walks fully)\n");
     };
-
-    BenchReport report("ext_virt_2d");
-    describeMachine(report);
-
-    double base = 0;
-    std::printf("%-10s %12s %12s %12s\n", "config", "runtime",
-                "walk_frac", "remote_pt");
-    for (const Config &c : configs) {
-        Outcome out = run(c.gpt, c.npt);
-        if (base == 0)
-            base = static_cast<double>(out.runtime);
-        std::printf("%-10s %12.3f %11.0f%% %11.0f%%\n", c.name,
-                    static_cast<double>(out.runtime) / base,
-                    100.0 * out.walkFrac, 100.0 * out.remotePt);
-        report.addRun(c.name)
-            .tag("gpt_replicated", c.gpt ? "yes" : "no")
-            .tag("npt_replicated", c.npt ? "yes" : "no")
-            .metric("runtime_cycles", static_cast<double>(out.runtime))
-            .metric("norm_runtime",
-                    static_cast<double>(out.runtime) / base)
-            .metric("walk_fraction", out.walkFrac)
-            .metric("remote_pt_fraction", out.remotePt);
-    }
-    std::printf("\n(expected: walk traffic is remote in both dimensions "
-                "without replication; gPT and nPT replication each "
-                "remove part; together they localize 2D walks fully)\n");
-    writeReport(report);
-    return 0;
+    return driver::benchMain(argc, argv, spec);
 }

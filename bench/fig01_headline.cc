@@ -7,118 +7,150 @@
  */
 
 #include "bench/harness.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
 
-int
-main()
+namespace
 {
-    setInformEnabled(false);
-    BenchReport report("fig01_headline");
-    describeMachine(report);
 
-    // Top-left table: % of local/remote leaf PTEs per observing socket
-    // for Canneal (multi-socket, first-touch).
-    printTitle("Figure 1 (top left): Canneal leaf-PTE locality per socket");
+/** GUPS after an OS migration: data local, page-tables stranded. */
+driver::JobResult
+gupsPostMigrationJob()
+{
+    sim::Machine machine(benchMachine());
+    core::MitosisBackend backend(machine.physmem());
+    os::Kernel kernel(machine, backend);
+    os::Process &proc = kernel.createProcess("gups", 0);
+    kernel.setDataPolicy(proc, os::DataPolicy::Fixed, 0);
+    kernel.setPtPlacement(proc, pt::PtPlacement::Fixed, 1);
+    os::ExecContext ctx(kernel, proc);
+    ctx.addThread(0);
+    workloads::WorkloadParams params;
+    params.footprint = 128ull << 20;
+    auto w = workloads::makeWorkload("gups", params);
+    w->setup(ctx);
+    analysis::PtAnalyzer analyzer(machine.physmem(), kernel.ptOps());
+    auto snap = analyzer.snapshot(proc.roots());
+    driver::JobResult result;
+    result.value("remote_leaf_socket0", snap.remoteLeafFractionFrom(0));
+    kernel.destroyProcess(proc);
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
     ScenarioConfig canneal;
     canneal.workload = "canneal";
-    describeScenario(report, canneal);
-    auto placement = analyzePlacement(canneal);
-    std::printf("%-10s", "Sockets");
-    for (std::size_t s = 0; s < placement.remoteLeafFraction.size(); ++s)
-        std::printf("%8zu", s);
-    std::printf("\n%-10s", "Remote");
-    for (double f : placement.remoteLeafFraction)
-        std::printf("%7.0f%%", 100.0 * f);
-    std::printf("\n%-10s", "Local");
-    for (double f : placement.remoteLeafFraction)
-        std::printf("%7.0f%%", 100.0 * (1.0 - f));
-    std::printf("\n(paper: remote 86/68/71/75%%)\n");
-    recordPlacement(report, "canneal placement", placement)
-        .tag("workload", "canneal")
-        .tag("scenario", "multisocket");
+    ScenarioConfig gups;
+    gups.workload = "gups";
 
-    // Top-right table: GUPS after migration — all leaf PTEs remote.
-    printTitle("Figure 1 (top right): GUPS single-socket after migration");
-    {
-        sim::Machine machine(benchMachine());
-        core::MitosisBackend backend(machine.physmem());
-        os::Kernel kernel(machine, backend);
-        os::Process &proc = kernel.createProcess("gups", 0);
-        kernel.setDataPolicy(proc, os::DataPolicy::Fixed, 0);
-        kernel.setPtPlacement(proc, pt::PtPlacement::Fixed, 1);
-        os::ExecContext ctx(kernel, proc);
-        ctx.addThread(0);
-        workloads::WorkloadParams params;
-        params.footprint = 128ull << 20;
-        auto w = workloads::makeWorkload("gups", params);
-        w->setup(ctx);
-        analysis::PtAnalyzer analyzer(machine.physmem(), kernel.ptOps());
-        auto snap = analyzer.snapshot(proc.roots());
-        std::printf("Remote %6.0f%%   Local %6.0f%%   (paper: 100%% / 0%%)\n",
-                    100.0 * snap.remoteLeafFractionFrom(0),
-                    100.0 * (1.0 - snap.remoteLeafFractionFrom(0)));
+    driver::BenchSpec spec;
+    spec.name = "fig01_headline";
+    spec.describe = [canneal](BenchReport &report) {
+        describeMachine(report);
+        describeScenario(report, canneal);
+    };
+    spec.registerJobs = [canneal, gups](driver::JobRegistry &registry) {
+        registry.add("canneal/placement",
+                     [canneal] { return placementJob(canneal); });
+        registry.add("gups/post-migration", gupsPostMigrationJob);
+        registry.add("canneal/F", [canneal] {
+            return multiSocketJob(canneal, MsConfig::F);
+        });
+        registry.add("canneal/F+M", [canneal] {
+            return multiSocketJob(canneal, MsConfig::FM);
+        });
+        for (const char *placement : {"LP-LD", "RPI-LD", "RPI-LD+M"}) {
+            registry.add(std::string("gups/") + placement,
+                         [gups, placement] {
+                             return migrationJob(gups, placement);
+                         });
+        }
+    };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        // Top-left table: % of local/remote leaf PTEs per observing
+        // socket for Canneal (multi-socket, first-touch).
+        printTitle(
+            "Figure 1 (top left): Canneal leaf-PTE locality per socket");
+        const driver::JobResult &placement = results[0];
+        auto fractions = placementFractions(placement);
+        std::printf("%-10s", "Sockets");
+        for (std::size_t s = 0; s < fractions.size(); ++s)
+            std::printf("%8zu", s);
+        std::printf("\n%-10s", "Remote");
+        for (double f : fractions)
+            std::printf("%7.0f%%", 100.0 * f);
+        std::printf("\n%-10s", "Local");
+        for (double f : fractions)
+            std::printf("%7.0f%%", 100.0 * (1.0 - f));
+        std::printf("\n(paper: remote 86/68/71/75%%)\n");
+        recordPlacement(report, "canneal placement", placement)
+            .tag("workload", "canneal")
+            .tag("scenario", "multisocket");
+
+        // Top-right table: GUPS after migration — all leaf PTEs remote.
+        printTitle(
+            "Figure 1 (top right): GUPS single-socket after migration");
+        double gups_remote = results[1].valueOf("remote_leaf_socket0");
+        std::printf(
+            "Remote %6.0f%%   Local %6.0f%%   (paper: 100%% / 0%%)\n",
+            100.0 * gups_remote, 100.0 * (1.0 - gups_remote));
         report.addRun("gups post-migration")
             .tag("workload", "gups")
             .tag("scenario", "migration")
-            .metric("remote_leaf_socket0", snap.remoteLeafFractionFrom(0));
-        kernel.destroyProcess(proc);
-    }
+            .metric("remote_leaf_socket0", gups_remote);
 
-    // Bottom-left: Canneal multi-socket, first-touch vs +Mitosis.
-    printTitle("Figure 1 (bottom left): Canneal multi-socket");
-    auto f = runMultiSocket(canneal, MsConfig::F);
-    auto fm = runMultiSocket(canneal, MsConfig::FM);
-    double ms_speedup = static_cast<double>(f.runtime) /
-                        static_cast<double>(fm.runtime);
-    printRow("%-22s norm_runtime=%.3f walk_frac=%.2f", "first-touch", 1.0,
-             f.walkFraction());
-    printRow("%-22s norm_runtime=%.3f walk_frac=%.2f", "first-touch+Mitosis",
-             static_cast<double>(fm.runtime) /
-                 static_cast<double>(f.runtime),
-             fm.walkFraction());
-    printRow("speedup: %.2fx   (paper: 1.34x)", ms_speedup);
-    double ms_base = static_cast<double>(f.runtime);
-    recordOutcome(report, "canneal F", f, ms_base)
-        .tag("workload", "canneal")
-        .tag("config", "F");
-    recordOutcome(report, "canneal F+M", fm, ms_base)
-        .tag("workload", "canneal")
-        .tag("config", "F+M");
-    report.speedup("canneal F/F+M", ms_speedup);
+        // Bottom-left: Canneal multi-socket, first-touch vs +Mitosis.
+        printTitle("Figure 1 (bottom left): Canneal multi-socket");
+        const driver::JobResult &f = results[2];
+        const driver::JobResult &fm = results[3];
+        double ms_base = f.runtime();
+        double ms_speedup = f.runtime() / fm.runtime();
+        printRow("%-22s norm_runtime=%.3f walk_frac=%.2f", "first-touch",
+                 1.0, f.outcome->walkFraction());
+        printRow("%-22s norm_runtime=%.3f walk_frac=%.2f",
+                 "first-touch+Mitosis", fm.runtime() / ms_base,
+                 fm.outcome->walkFraction());
+        printRow("speedup: %.2fx   (paper: 1.34x)", ms_speedup);
+        recordOutcome(report, "canneal F", f, ms_base)
+            .tag("workload", "canneal")
+            .tag("config", "F");
+        recordOutcome(report, "canneal F+M", fm, ms_base)
+            .tag("workload", "canneal")
+            .tag("config", "F+M");
+        report.speedup("canneal F/F+M", ms_speedup);
 
-    // Bottom-right: GUPS workload migration, local vs remote(interfere)
-    // vs Mitosis.
-    printTitle("Figure 1 (bottom right): GUPS workload migration");
-    ScenarioConfig gups;
-    gups.workload = "gups";
-    auto local = runWorkloadMigration(gups, wmPlacement("LP-LD"));
-    auto remote = runWorkloadMigration(gups, wmPlacement("RPI-LD"));
-    auto mitosis = runWorkloadMigration(gups, wmPlacement("RPI-LD+M"));
-    printRow("%-22s norm_runtime=%.3f", "local (LP-LD)", 1.0);
-    printRow("%-22s norm_runtime=%.3f", "remote+interf (RPI-LD)",
-             static_cast<double>(remote.runtime) /
-                 static_cast<double>(local.runtime));
-    printRow("%-22s norm_runtime=%.3f", "Mitosis (RPI-LD+M)",
-             static_cast<double>(mitosis.runtime) /
-                 static_cast<double>(local.runtime));
-    printRow("speedup: %.2fx   (paper: 3.24x)",
-             static_cast<double>(remote.runtime) /
-                 static_cast<double>(mitosis.runtime));
-    double wm_base = static_cast<double>(local.runtime);
-    recordOutcome(report, "gups LP-LD", local, wm_base)
-        .tag("workload", "gups")
-        .tag("config", "LP-LD");
-    recordOutcome(report, "gups RPI-LD", remote, wm_base)
-        .tag("workload", "gups")
-        .tag("config", "RPI-LD");
-    recordOutcome(report, "gups RPI-LD+M", mitosis, wm_base)
-        .tag("workload", "gups")
-        .tag("config", "RPI-LD+M");
-    report.speedup("gups RPI-LD/RPI-LD+M",
-                   static_cast<double>(remote.runtime) /
-                       static_cast<double>(mitosis.runtime));
-    writeReport(report);
-    return 0;
+        // Bottom-right: GUPS workload migration, local vs
+        // remote(interfere) vs Mitosis.
+        printTitle("Figure 1 (bottom right): GUPS workload migration");
+        const driver::JobResult &local = results[4];
+        const driver::JobResult &remote = results[5];
+        const driver::JobResult &mitosis = results[6];
+        double wm_base = local.runtime();
+        printRow("%-22s norm_runtime=%.3f", "local (LP-LD)", 1.0);
+        printRow("%-22s norm_runtime=%.3f", "remote+interf (RPI-LD)",
+                 remote.runtime() / wm_base);
+        printRow("%-22s norm_runtime=%.3f", "Mitosis (RPI-LD+M)",
+                 mitosis.runtime() / wm_base);
+        printRow("speedup: %.2fx   (paper: 3.24x)",
+                 remote.runtime() / mitosis.runtime());
+        recordOutcome(report, "gups LP-LD", local, wm_base)
+            .tag("workload", "gups")
+            .tag("config", "LP-LD");
+        recordOutcome(report, "gups RPI-LD", remote, wm_base)
+            .tag("workload", "gups")
+            .tag("config", "RPI-LD");
+        recordOutcome(report, "gups RPI-LD+M", mitosis, wm_base)
+            .tag("workload", "gups")
+            .tag("config", "RPI-LD+M");
+        report.speedup("gups RPI-LD/RPI-LD+M",
+                       remote.runtime() / mitosis.runtime());
+    };
+    return driver::benchMain(argc, argv, spec);
 }

@@ -7,35 +7,46 @@
  */
 
 #include "bench/harness.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle(
+    driver::BenchSpec spec;
+    spec.name = "fig03_pt_dump";
+    spec.title =
         "Figure 3: Memcached page-table dump (4KB, first-touch, no "
-        "AutoNUMA)");
+        "AutoNUMA)";
+    spec.describe = [](BenchReport &report) {
+        describeMachine(report);
+        ScenarioConfig cfg;
+        cfg.workload = "memcached";
+        describeScenario(report, cfg);
+    };
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        ScenarioConfig cfg;
+        cfg.workload = "memcached";
+        registry.add("memcached/first-touch",
+                     [cfg] { return placementJob(cfg); });
+    };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        const driver::JobResult &res = results[0];
+        std::printf("%s", res.text.c_str());
 
-    BenchReport report("fig03_pt_dump");
-    describeMachine(report);
-    ScenarioConfig cfg;
-    cfg.workload = "memcached";
-    describeScenario(report, cfg);
-    auto placement = analyzePlacement(cfg);
-    std::printf("%s", placement.figure3Dump.c_str());
+        std::printf("\nRemote leaf PTEs per observing socket: ");
+        for (double f : placementFractions(res))
+            std::printf("%5.0f%%", 100.0 * f);
+        std::printf("\n(paper: L1 row ~67%% remote pointers on every "
+                    "socket; each socket holds a similar number of L1 "
+                    "pages)\n");
 
-    std::printf("\nRemote leaf PTEs per observing socket: ");
-    for (double f : placement.remoteLeafFraction)
-        std::printf("%5.0f%%", 100.0 * f);
-    std::printf("\n(paper: L1 row ~67%% remote pointers on every socket; "
-                "each socket holds a similar number of L1 pages)\n");
-
-    recordPlacement(report, "memcached placement", placement)
-        .tag("workload", "memcached")
-        .tag("placement", "first-touch");
-    writeReport(report);
-    return 0;
+        recordPlacement(report, "memcached placement", res)
+            .tag("workload", "memcached")
+            .tag("placement", "first-touch");
+    };
+    return driver::benchMain(argc, argv, spec);
 }

@@ -10,59 +10,85 @@
  */
 
 #include "bench/harness.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
 
-int
-main()
+namespace
 {
-    setInformEnabled(false);
-    printTitle("Figure 4: % remote leaf PTEs per observing socket "
-               "(first-touch)");
-    BenchReport report("fig04_remote_leaf");
-    describeMachine(report);
 
-    const char *workloads[] = {"canneal",  "memcached", "xsbench",
-                               "graph500", "hashjoin",  "btree"};
+const std::vector<std::string> &
+interleaveReferenceWorkloads()
+{
+    static const std::vector<std::string> list = {"canneal", "btree"};
+    return list;
+}
 
-    auto record = [&report](const char *workload, const char *placement,
-                            const PlacementAnalysis &analysis) {
-        recordPlacement(report,
-                        std::string(workload) + " " + placement,
-                        analysis)
-            .tag("workload", workload)
-            .tag("placement", placement);
-    };
-
-    std::printf("%-12s", "workload");
-    for (int s = 0; s < 4; ++s)
-        std::printf("  socket%-2d", s);
+void
+printFractionRow(const std::string &name,
+                 const driver::JobResult &result)
+{
+    std::printf("%-12s", name.c_str());
+    for (double f : placementFractions(result))
+        std::printf("  %6.1f%%", 100.0 * f);
     std::printf("\n");
+}
 
-    for (const char *name : workloads) {
-        ScenarioConfig cfg;
-        cfg.workload = name;
-        auto placement = analyzePlacement(cfg);
-        record(name, "first-touch", placement);
-        std::printf("%-12s", name);
-        for (double f : placement.remoteLeafFraction)
-            std::printf("  %6.1f%%", 100.0 * f);
-        std::printf("\n");
-    }
+} // namespace
 
-    std::printf("\nInterleaved placement for reference ((N-1)/N = 75%% "
-                "expected on every socket):\n");
-    for (const char *name : {"canneal", "btree"}) {
-        ScenarioConfig cfg;
-        cfg.workload = name;
-        auto placement = analyzePlacement(cfg, /*interleave=*/true);
-        record(name, "interleave", placement);
-        std::printf("%-12s", name);
-        for (double f : placement.remoteLeafFraction)
-            std::printf("  %6.1f%%", 100.0 * f);
+int
+main(int argc, char **argv)
+{
+    driver::BenchSpec spec;
+    spec.name = "fig04_remote_leaf";
+    spec.title = "Figure 4: % remote leaf PTEs per observing socket "
+                 "(first-touch)";
+    spec.describe = [](BenchReport &report) { describeMachine(report); };
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        for (const std::string &name : multiSocketWorkloads()) {
+            ScenarioConfig cfg;
+            cfg.workload = name;
+            registry.add(name + "/first-touch",
+                         [cfg] { return placementJob(cfg); });
+        }
+        for (const std::string &name : interleaveReferenceWorkloads()) {
+            ScenarioConfig cfg;
+            cfg.workload = name;
+            registry.add(name + "/interleave", [cfg] {
+                return placementJob(cfg, /*interleave=*/true);
+            });
+        }
+    };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        auto record = [&report](const std::string &workload,
+                                const char *placement,
+                                const driver::JobResult &result) {
+            recordPlacement(report, workload + " " + placement, result)
+                .tag("workload", workload)
+                .tag("placement", placement);
+        };
+
+        std::printf("%-12s", "workload");
+        for (int s = 0; s < 4; ++s)
+            std::printf("  socket%-2d", s);
         std::printf("\n");
-    }
-    writeReport(report);
-    return 0;
+
+        std::size_t i = 0;
+        for (const std::string &name : multiSocketWorkloads()) {
+            const driver::JobResult &res = results[i++];
+            record(name, "first-touch", res);
+            printFractionRow(name, res);
+        }
+
+        std::printf("\nInterleaved placement for reference ((N-1)/N = "
+                    "75%% expected on every socket):\n");
+        for (const std::string &name : interleaveReferenceWorkloads()) {
+            const driver::JobResult &res = results[i++];
+            record(name, "interleave", res);
+            printFractionRow(name, res);
+        }
+    };
+    return driver::benchMain(argc, argv, spec);
 }

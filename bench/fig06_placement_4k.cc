@@ -10,49 +10,49 @@
  */
 
 #include "bench/harness.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Figure 6: placement matrix, 4KB pages "
-               "(runtime normalized to LP-LD)");
-    BenchReport report("fig06_placement_4k");
-    describeMachine(report);
+    driver::BenchSpec spec;
+    spec.name = "fig06_placement_4k";
+    spec.title = "Figure 6: placement matrix, 4KB pages "
+                 "(runtime normalized to LP-LD)";
+    spec.describe = [](BenchReport &report) { describeMachine(report); };
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        registerWmMatrix(registry, migrationWorkloads(),
+                         wmMatrixPlacements());
+    };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        const auto &placements = wmMatrixPlacements();
+        std::printf("%-11s", "workload");
+        for (const std::string &placement : placements)
+            std::printf(" %9s", placement.c_str());
+        std::printf("\n");
 
-    const char *workloads[] = {"gups",    "btree",    "hashjoin",
-                               "redis",   "xsbench",  "pagerank",
-                               "liblinear", "canneal"};
-    const char *configs[] = {"LP-LD", "LP-RD", "LP-RDI", "RP-LD",
-                             "RPI-LD", "RP-RD", "RPI-RDI"};
-
-    std::printf("%-11s", "workload");
-    for (const char *c : configs)
-        std::printf(" %9s", c);
-    std::printf("\n");
-
-    for (const char *name : workloads) {
-        ScenarioConfig cfg;
-        cfg.workload = name;
-        double base = 0;
-        std::printf("%-11s", name);
-        std::string walk_row;
-        for (const char *c : configs) {
-            auto out = runWorkloadMigration(cfg, wmPlacement(c));
-            if (base == 0)
-                base = static_cast<double>(out.runtime);
-            recordOutcome(report, std::string(name) + " " + c, out, base)
-                .tag("workload", name)
-                .tag("config", c);
-            std::printf(" %9.2f",
-                        static_cast<double>(out.runtime) / base);
-            walk_row += format(" %8.0f%%", 100.0 * out.walkFraction());
+        std::size_t i = 0;
+        for (const std::string &name : migrationWorkloads()) {
+            double base = 0;
+            std::printf("%-11s", name.c_str());
+            std::string walk_row;
+            for (const std::string &placement : placements) {
+                const driver::JobResult &res = results[i++];
+                if (base == 0)
+                    base = res.runtime();
+                recordOutcome(report, name + " " + placement, res, base)
+                    .tag("workload", name)
+                    .tag("config", placement);
+                std::printf(" %9.2f", res.runtime() / base);
+                walk_row += format(
+                    " %8.0f%%", 100.0 * res.outcome->walkFraction());
+            }
+            std::printf("\n%-11s%s\n", "  walk%", walk_row.c_str());
         }
-        std::printf("\n%-11s%s\n", "  walk%", walk_row.c_str());
-    }
-    writeReport(report);
-    return 0;
+    };
+    return driver::benchMain(argc, argv, spec);
 }

@@ -9,65 +9,27 @@
  */
 
 #include "bench/harness.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Figure 9a: multi-socket scenario, 4KB pages "
-               "(normalized to F)");
-    BenchReport report("fig09a_multisocket_4k");
-    describeMachine(report);
-
-    const char *workloads[] = {"canneal",  "memcached", "xsbench",
-                               "graph500", "hashjoin",  "btree"};
-    const MsConfig configs[] = {MsConfig::F,  MsConfig::FM, MsConfig::FA,
-                                MsConfig::FAM, MsConfig::I, MsConfig::IM};
-
-    std::printf("%-11s", "workload");
-    for (MsConfig c : configs)
-        std::printf(" %8s", msConfigName(c, false));
-    std::printf("   speedups(+M)\n");
-
-    for (const char *name : workloads) {
-        ScenarioConfig cfg;
-        cfg.workload = name;
-        double results[6];
-        double walks[6];
-        double base = 0;
-        for (int i = 0; i < 6; ++i) {
-            auto out = runMultiSocket(cfg, configs[i]);
-            if (i == 0)
-                base = static_cast<double>(out.runtime);
-            results[i] = static_cast<double>(out.runtime) / base;
-            walks[i] = out.walkFraction();
-            const char *config = msConfigName(configs[i], false);
-            recordOutcome(report,
-                          std::string(name) + " " + config, out, base)
-                .tag("workload", name)
-                .tag("config", config);
-        }
-        std::printf("%-11s", name);
-        for (double r : results)
-            std::printf(" %8.3f", r);
-        std::printf("   %.2fx %.2fx %.2fx\n", results[0] / results[1],
-                    results[2] / results[3], results[4] / results[5]);
-        report.speedup(std::string(name) + " F/F+M",
-                       results[0] / results[1]);
-        report.speedup(std::string(name) + " F-A/F-A+M",
-                       results[2] / results[3]);
-        report.speedup(std::string(name) + " I/I+M",
-                       results[4] / results[5]);
-        std::printf("%-11s", "  walk%");
-        for (double wf : walks)
-            std::printf(" %7.0f%%", 100.0 * wf);
-        std::printf("\n");
-    }
-    std::printf("\n(paper best case: Canneal F->F+M = 1.34x; Mitosis "
-                "never slower)\n");
-    writeReport(report);
-    return 0;
+    driver::BenchSpec spec;
+    spec.name = "fig09a_multisocket_4k";
+    spec.title = "Figure 9a: multi-socket scenario, 4KB pages "
+                 "(normalized to F)";
+    spec.describe = [](BenchReport &report) { describeMachine(report); };
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        registerMsMatrix(registry, /*thp=*/false);
+    };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        emitMsMatrix(results, report, /*thp=*/false);
+        std::printf("\n(paper best case: Canneal F->F+M = 1.34x; "
+                    "Mitosis never slower)\n");
+    };
+    return driver::benchMain(argc, argv, spec);
 }

@@ -10,71 +10,30 @@
  */
 
 #include "bench/harness.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Figure 9b: multi-socket scenario, 2MB pages "
-               "(normalized to 4KB F)");
-    BenchReport report("fig09b_multisocket_2m");
-    describeMachine(report);
-    report.config("normalized_to", "4KB F");
-
-    const char *workloads[] = {"canneal",  "memcached", "xsbench",
-                               "graph500", "hashjoin",  "btree"};
-    const MsConfig configs[] = {MsConfig::F,  MsConfig::FM, MsConfig::FA,
-                                MsConfig::FAM, MsConfig::I, MsConfig::IM};
-
-    std::printf("%-11s", "workload");
-    for (MsConfig c : configs)
-        std::printf(" %8s", msConfigName(c, true));
-    std::printf("   speedups(+M)\n");
-
-    for (const char *name : workloads) {
-        ScenarioConfig cfg4k;
-        cfg4k.workload = name;
-        cfg4k.footprint = 4ull << 30;
-        auto base4k = runMultiSocket(cfg4k, MsConfig::F);
-        double base = static_cast<double>(base4k.runtime);
-
-        ScenarioConfig cfg;
-        cfg.workload = name;
-        cfg.footprint = 4ull << 30;
-        cfg.thp = true;
-        double results[6];
-        double walks[6];
-        for (int i = 0; i < 6; ++i) {
-            auto out = runMultiSocket(cfg, configs[i]);
-            results[i] = static_cast<double>(out.runtime) / base;
-            walks[i] = out.walkFraction();
-            const char *config = msConfigName(configs[i], true);
-            recordOutcome(report,
-                          std::string(name) + " " + config, out, base)
-                .tag("workload", name)
-                .tag("config", config);
-        }
-        std::printf("%-11s", name);
-        for (double r : results)
-            std::printf(" %8.3f", r);
-        std::printf("   %.2fx %.2fx %.2fx\n", results[0] / results[1],
-                    results[2] / results[3], results[4] / results[5]);
-        report.speedup(std::string(name) + " TF/TF+M",
-                       results[0] / results[1]);
-        report.speedup(std::string(name) + " TF-A/TF-A+M",
-                       results[2] / results[3]);
-        report.speedup(std::string(name) + " TI/TI+M",
-                       results[4] / results[5]);
-        std::printf("%-11s", "  walk%");
-        for (double wf : walks)
-            std::printf(" %7.0f%%", 100.0 * wf);
-        std::printf("\n");
-    }
-    std::printf("\n(paper: 2MB bars < 1.0 of 4KB-F; +M still up to "
-                "1.14-1.31x on some workloads, never slower)\n");
-    writeReport(report);
-    return 0;
+    driver::BenchSpec spec;
+    spec.name = "fig09b_multisocket_2m";
+    spec.title = "Figure 9b: multi-socket scenario, 2MB pages "
+                 "(normalized to 4KB F)";
+    spec.describe = [](BenchReport &report) {
+        describeMachine(report);
+        report.config("normalized_to", "4KB F");
+    };
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        registerMsMatrix(registry, /*thp=*/true);
+    };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        emitMsMatrix(results, report, /*thp=*/true);
+        std::printf("\n(paper: 2MB bars < 1.0 of 4KB-F; +M still up to "
+                    "1.14-1.31x on some workloads, never slower)\n");
+    };
+    return driver::benchMain(argc, argv, spec);
 }

@@ -9,55 +9,30 @@
  */
 
 #include "bench/harness.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Figure 10a: workload migration, 4KB pages "
-               "(normalized to LP-LD)");
-    BenchReport report("fig10a_migration_4k");
-    describeMachine(report);
+    const WmTrioSpec trio{migrationWorkloads(), WmBaseline::None};
 
-    const char *workloads[] = {"gups",    "btree",    "hashjoin",
-                               "redis",   "xsbench",  "pagerank",
-                               "liblinear", "canneal"};
-
-    std::printf("%-11s %9s %9s %9s   %s\n", "workload", "LP-LD", "RPI-LD",
-                "RPI-LD+M", "improvement(+M)");
-    for (const char *name : workloads) {
-        ScenarioConfig cfg;
-        cfg.workload = name;
-        auto base = runWorkloadMigration(cfg, wmPlacement("LP-LD"));
-        auto remote = runWorkloadMigration(cfg, wmPlacement("RPI-LD"));
-        auto mitosis =
-            runWorkloadMigration(cfg, wmPlacement("RPI-LD+M"));
-        double b = static_cast<double>(base.runtime);
-        std::printf("%-11s %9.2f %9.2f %9.2f   %.2fx\n", name, 1.0,
-                    static_cast<double>(remote.runtime) / b,
-                    static_cast<double>(mitosis.runtime) / b,
-                    static_cast<double>(remote.runtime) /
-                        static_cast<double>(mitosis.runtime));
-        recordOutcome(report, std::string(name) + " LP-LD", base, b)
-            .tag("workload", name)
-            .tag("config", "LP-LD");
-        recordOutcome(report, std::string(name) + " RPI-LD", remote, b)
-            .tag("workload", name)
-            .tag("config", "RPI-LD");
-        recordOutcome(report, std::string(name) + " RPI-LD+M", mitosis,
-                      b)
-            .tag("workload", name)
-            .tag("config", "RPI-LD+M");
-        report.speedup(std::string(name) + " RPI-LD/RPI-LD+M",
-                       static_cast<double>(remote.runtime) /
-                           static_cast<double>(mitosis.runtime));
-    }
-    std::printf("\n(paper improvements: GUPS 3.24x, BTree 1.97x, "
-                "HashJoin 2.10x, Redis 1.80x, XSBench 1.44x, PageRank "
-                "1.83x, LibLinear 1.42x, Canneal 1.95x)\n");
-    writeReport(report);
-    return 0;
+    driver::BenchSpec spec;
+    spec.name = "fig10a_migration_4k";
+    spec.title = "Figure 10a: workload migration, 4KB pages "
+                 "(normalized to LP-LD)";
+    spec.describe = [](BenchReport &report) { describeMachine(report); };
+    spec.registerJobs = [trio](driver::JobRegistry &registry) {
+        registerWmTrio(registry, trio);
+    };
+    spec.emit = [trio](const std::vector<driver::JobResult> &results,
+                       BenchReport &report) {
+        emitWmTrio(results, report, trio);
+        std::printf("\n(paper improvements: GUPS 3.24x, BTree 1.97x, "
+                    "HashJoin 2.10x, Redis 1.80x, XSBench 1.44x, "
+                    "PageRank 1.83x, LibLinear 1.42x, Canneal 1.95x)\n");
+    };
+    return driver::benchMain(argc, argv, spec);
 }

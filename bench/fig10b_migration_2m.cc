@@ -11,62 +11,33 @@
  */
 
 #include "bench/harness.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Figure 10b: workload migration, 2MB pages "
-               "(normalized to 4KB LP-LD)");
-    BenchReport report("fig10b_migration_2m");
-    describeMachine(report);
-    report.config("normalized_to", "4KB LP-LD");
+    const WmTrioSpec trio{migrationWorkloads(), WmBaseline::Base4k};
 
-    const char *workloads[] = {"gups",    "btree",    "hashjoin",
-                               "redis",   "xsbench",  "pagerank",
-                               "liblinear", "canneal"};
-
-    std::printf("%-11s %9s %9s %9s   %s\n", "workload", "TLP-LD",
-                "TRPI-LD", "TRPI-LD+M", "improvement(+M)");
-    for (const char *name : workloads) {
-        ScenarioConfig cfg4k;
-        cfg4k.workload = name;
-        cfg4k.footprint = 4ull << 30;
-        auto base4k = runWorkloadMigration(cfg4k, wmPlacement("LP-LD"));
-        double b = static_cast<double>(base4k.runtime);
-
-        ScenarioConfig cfg;
-        cfg.workload = name;
-        cfg.footprint = 4ull << 30;
-        cfg.thp = true;
-        auto tlp = runWorkloadMigration(cfg, wmPlacement("LP-LD"));
-        auto trpi = runWorkloadMigration(cfg, wmPlacement("RPI-LD"));
-        auto mito = runWorkloadMigration(cfg, wmPlacement("TRPI-LD+M"));
-        std::printf("%-11s %9.2f %9.2f %9.2f   %.2fx\n", name,
-                    static_cast<double>(tlp.runtime) / b,
-                    static_cast<double>(trpi.runtime) / b,
-                    static_cast<double>(mito.runtime) / b,
-                    static_cast<double>(trpi.runtime) /
-                        static_cast<double>(mito.runtime));
-        recordOutcome(report, std::string(name) + " TLP-LD", tlp, b)
-            .tag("workload", name)
-            .tag("config", "TLP-LD");
-        recordOutcome(report, std::string(name) + " TRPI-LD", trpi, b)
-            .tag("workload", name)
-            .tag("config", "TRPI-LD");
-        recordOutcome(report, std::string(name) + " TRPI-LD+M", mito, b)
-            .tag("workload", name)
-            .tag("config", "TRPI-LD+M");
-        report.speedup(std::string(name) + " TRPI-LD/TRPI-LD+M",
-                       static_cast<double>(trpi.runtime) /
-                           static_cast<double>(mito.runtime));
-    }
-    std::printf("\n(paper improvements: GUPS 1.00x, BTree 1.02x, "
-                "HashJoin 1.00x, Redis 1.70x, XSBench 1.00x, PageRank "
-                "1.00x, LibLinear 1.31x, Canneal 2.35x)\n");
-    writeReport(report);
-    return 0;
+    driver::BenchSpec spec;
+    spec.name = "fig10b_migration_2m";
+    spec.title = "Figure 10b: workload migration, 2MB pages "
+                 "(normalized to 4KB LP-LD)";
+    spec.describe = [](BenchReport &report) {
+        describeMachine(report);
+        report.config("normalized_to", "4KB LP-LD");
+    };
+    spec.registerJobs = [trio](driver::JobRegistry &registry) {
+        registerWmTrio(registry, trio);
+    };
+    spec.emit = [trio](const std::vector<driver::JobResult> &results,
+                       BenchReport &report) {
+        emitWmTrio(results, report, trio);
+        std::printf("\n(paper improvements: GUPS 1.00x, BTree 1.02x, "
+                    "HashJoin 1.00x, Redis 1.70x, XSBench 1.00x, "
+                    "PageRank 1.00x, LibLinear 1.31x, Canneal 2.35x)\n");
+    };
+    return driver::benchMain(argc, argv, spec);
 }

@@ -2,7 +2,7 @@
  * @file
  * Figure 11: THP under heavy physical-memory fragmentation for XSBench,
  * Redis and GUPS (TLP-LD / TRPI-LD / TRPI-LD+M, normalized to the
- * *unfragmented* TLP-LD).
+ * *fragmented* TLP-LD; the unfragmented cost is shown separately).
  *
  * Expected shape (paper): fragmentation makes 2 MB allocations fail so
  * workloads silently fall back to 4 KB pages; even workloads that showed
@@ -11,63 +11,34 @@
  */
 
 #include "bench/harness.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Figure 11: THP under heavy fragmentation "
-               "(normalized to fragmented TLP-LD; unfragmented cost "
-               "shown separately)");
-    BenchReport report("fig11_fragmentation");
-    describeMachine(report);
-    report.config("fragmentation", 1.0);
+    const WmTrioSpec trio{{"xsbench", "redis", "gups"},
+                          WmBaseline::CleanThp};
 
-    const char *workloads[] = {"xsbench", "redis", "gups"};
-
-    std::printf("%-11s %9s %9s %9s   %s\n", "workload", "TLP-LD",
-                "TRPI-LD", "TRPI-LD+M", "improvement(+M)");
-    for (const char *name : workloads) {
-        ScenarioConfig clean;
-        clean.workload = name;
-        clean.footprint = 4ull << 30;
-        clean.thp = true;
-        auto base = runWorkloadMigration(clean, wmPlacement("LP-LD"));
-        double b = static_cast<double>(base.runtime);
-
-        ScenarioConfig frag = clean;
-        frag.fragmentation = 1.0; // every 2MB block is broken
-        auto tlp = runWorkloadMigration(frag, wmPlacement("LP-LD"));
-        auto trpi = runWorkloadMigration(frag, wmPlacement("RPI-LD"));
-        auto mito =
-            runWorkloadMigration(frag, wmPlacement("TRPI-LD+M"));
-        double fb = static_cast<double>(tlp.runtime);
-        std::printf("%-11s %9.2f %9.2f %9.2f   %.2fx   (4KB-fallback "
-                    "cost vs clean THP: %.2fx)\n",
-                    name, 1.0, static_cast<double>(trpi.runtime) / fb,
-                    static_cast<double>(mito.runtime) / fb,
-                    static_cast<double>(trpi.runtime) /
-                        static_cast<double>(mito.runtime),
-                    fb / b);
-        recordOutcome(report, std::string(name) + " TLP-LD", tlp, fb)
-            .tag("workload", name)
-            .tag("config", "TLP-LD")
-            .metric("fallback_cost_vs_clean_thp", fb / b);
-        recordOutcome(report, std::string(name) + " TRPI-LD", trpi, fb)
-            .tag("workload", name)
-            .tag("config", "TRPI-LD");
-        recordOutcome(report, std::string(name) + " TRPI-LD+M", mito, fb)
-            .tag("workload", name)
-            .tag("config", "TRPI-LD+M");
-        report.speedup(std::string(name) + " TRPI-LD/TRPI-LD+M",
-                       static_cast<double>(trpi.runtime) /
-                           static_cast<double>(mito.runtime));
-    }
-    std::printf("\n(paper improvements under fragmentation: XSBench "
-                "2.73x, Redis 1.70x, GUPS 1.08x)\n");
-    writeReport(report);
-    return 0;
+    driver::BenchSpec spec;
+    spec.name = "fig11_fragmentation";
+    spec.title = "Figure 11: THP under heavy fragmentation "
+                 "(normalized to fragmented TLP-LD; unfragmented cost "
+                 "shown separately)";
+    spec.describe = [](BenchReport &report) {
+        describeMachine(report);
+        report.config("fragmentation", 1.0);
+    };
+    spec.registerJobs = [trio](driver::JobRegistry &registry) {
+        registerWmTrio(registry, trio);
+    };
+    spec.emit = [trio](const std::vector<driver::JobResult> &results,
+                       BenchReport &report) {
+        emitWmTrio(results, report, trio);
+        std::printf("\n(paper improvements under fragmentation: XSBench "
+                    "2.73x, Redis 1.70x, GUPS 1.08x)\n");
+    };
+    return driver::benchMain(argc, argv, spec);
 }

@@ -48,6 +48,9 @@ msConfigName(MsConfig config, bool thp)
 namespace
 {
 
+/** THP footprint of the Figure 9b/10b/11 runs (paper: 32-192 GB). */
+constexpr std::uint64_t ThpFootprint = 4ull << 30;
+
 /** Run ops with periodic AutoNUMA scan ticks when enabled. */
 void
 runMeasured(os::Kernel &kernel, os::ExecContext &ctx,
@@ -249,6 +252,270 @@ runWorkloadMigration(const ScenarioConfig &scenario, const WmPlacement &wm)
     return out;
 }
 
+/// @name Job factories
+/// @{
+
+driver::JobResult
+multiSocketJob(const ScenarioConfig &scenario, MsConfig config)
+{
+    return driver::JobResult::of(runMultiSocket(scenario, config));
+}
+
+driver::JobResult
+migrationJob(const ScenarioConfig &scenario, const std::string &placement)
+{
+    return driver::JobResult::of(
+        runWorkloadMigration(scenario, wmPlacement(placement)));
+}
+
+driver::JobResult
+placementJob(const ScenarioConfig &scenario, bool interleave)
+{
+    PlacementAnalysis analysis = analyzePlacement(scenario, interleave);
+    driver::JobResult result;
+    for (std::size_t s = 0; s < analysis.remoteLeafFraction.size(); ++s)
+        result.value("remote_leaf_socket" + std::to_string(s),
+                     analysis.remoteLeafFraction[s]);
+    result.text = analysis.figure3Dump;
+    return result;
+}
+
+std::vector<double>
+placementFractions(const driver::JobResult &result)
+{
+    std::vector<double> fractions;
+    for (const auto &[key, value] : result.values)
+        if (key.rfind("remote_leaf_socket", 0) == 0)
+            fractions.push_back(value);
+    return fractions;
+}
+
+/// @}
+/// @name Canonical matrices
+/// @{
+
+const std::vector<std::string> &
+multiSocketWorkloads()
+{
+    static const std::vector<std::string> list = {
+        "canneal", "memcached", "xsbench", "graph500", "hashjoin",
+        "btree"};
+    return list;
+}
+
+const std::vector<std::string> &
+migrationWorkloads()
+{
+    static const std::vector<std::string> list = {
+        "gups",    "btree",    "hashjoin",  "redis",
+        "xsbench", "pagerank", "liblinear", "canneal"};
+    return list;
+}
+
+const std::vector<MsConfig> &
+msMatrixConfigs()
+{
+    static const std::vector<MsConfig> list = {
+        MsConfig::F, MsConfig::FM, MsConfig::FA,
+        MsConfig::FAM, MsConfig::I, MsConfig::IM};
+    return list;
+}
+
+const std::vector<std::string> &
+wmMatrixPlacements()
+{
+    static const std::vector<std::string> list = {
+        "LP-LD", "LP-RD", "LP-RDI", "RP-LD", "RPI-LD", "RP-RD",
+        "RPI-RDI"};
+    return list;
+}
+
+void
+registerMsMatrix(driver::JobRegistry &registry, bool thp)
+{
+    for (const std::string &name : multiSocketWorkloads()) {
+        ScenarioConfig cfg;
+        cfg.workload = name;
+        if (thp) {
+            cfg.footprint = ThpFootprint;
+            // Figure 9b normalizes every THP bar to this 4 KB F run.
+            ScenarioConfig base = cfg;
+            registry.add(name + "/F-4k-base", [base] {
+                return multiSocketJob(base, MsConfig::F);
+            });
+            cfg.thp = true;
+        }
+        for (MsConfig config : msMatrixConfigs()) {
+            registry.add(name + "/" + msConfigName(config, thp),
+                         [cfg, config] {
+                             return multiSocketJob(cfg, config);
+                         });
+        }
+    }
+}
+
+void
+emitMsMatrix(const std::vector<driver::JobResult> &results,
+             BenchReport &report, bool thp)
+{
+    const auto &configs = msMatrixConfigs();
+
+    std::printf("%-11s", "workload");
+    for (MsConfig config : configs)
+        std::printf(" %8s", msConfigName(config, thp));
+    std::printf("   speedups(+M)\n");
+
+    std::size_t i = 0;
+    for (const std::string &name : multiSocketWorkloads()) {
+        double base = 0;
+        if (thp)
+            base = results[i++].runtime();
+        std::vector<double> norm(configs.size());
+        std::vector<double> walks(configs.size());
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const driver::JobResult &res = results[i++];
+            if (!thp && c == 0)
+                base = res.runtime();
+            norm[c] = res.runtime() / base;
+            walks[c] = res.outcome->walkFraction();
+            const char *config = msConfigName(configs[c], thp);
+            recordOutcome(report, name + " " + config, res, base)
+                .tag("workload", name)
+                .tag("config", config);
+        }
+        std::printf("%-11s", name.c_str());
+        for (double r : norm)
+            std::printf(" %8.3f", r);
+        // Each +M config directly follows its non-M partner, so the
+        // speedup pairs are consecutive (config, config+M) couples.
+        std::printf("  ");
+        for (std::size_t pair = 0; 2 * pair + 1 < configs.size();
+             ++pair) {
+            std::printf(" %.2fx", norm[2 * pair] / norm[2 * pair + 1]);
+            report.speedup(
+                format("%s %s/%s", name.c_str(),
+                       msConfigName(configs[2 * pair], thp),
+                       msConfigName(configs[2 * pair + 1], thp)),
+                norm[2 * pair] / norm[2 * pair + 1]);
+        }
+        std::printf("\n");
+        std::printf("%-11s", "  walk%");
+        for (double wf : walks)
+            std::printf(" %7.0f%%", 100.0 * wf);
+        std::printf("\n");
+    }
+}
+
+void
+registerWmMatrix(driver::JobRegistry &registry,
+                 const std::vector<std::string> &workloads,
+                 const std::vector<std::string> &placements)
+{
+    for (const std::string &name : workloads) {
+        ScenarioConfig cfg;
+        cfg.workload = name;
+        for (const std::string &placement : placements) {
+            registry.add(name + "/" + placement, [cfg, placement] {
+                return migrationJob(cfg, placement);
+            });
+        }
+    }
+}
+
+void
+registerWmTrio(driver::JobRegistry &registry, const WmTrioSpec &spec)
+{
+    const bool thp = spec.thp();
+    for (const std::string &name : spec.workloads) {
+        ScenarioConfig cfg;
+        cfg.workload = name;
+        if (thp) {
+            cfg.footprint = ThpFootprint;
+            cfg.thp = true;
+        }
+        if (spec.baseline == WmBaseline::Base4k) {
+            ScenarioConfig base = cfg;
+            base.thp = false;
+            registry.add(name + "/LP-LD-4k-base", [base] {
+                return migrationJob(base, "LP-LD");
+            });
+        } else if (spec.baseline == WmBaseline::CleanThp) {
+            ScenarioConfig base = cfg;
+            registry.add(name + "/TLP-LD-clean-base", [base] {
+                return migrationJob(base, "LP-LD");
+            });
+        }
+        ScenarioConfig run = cfg;
+        if (spec.baseline == WmBaseline::CleanThp)
+            run.fragmentation = 1.0; // every 2MB block is broken
+        const char *jobNames[3] = {thp ? "TLP-LD" : "LP-LD",
+                                   thp ? "TRPI-LD" : "RPI-LD",
+                                   thp ? "TRPI-LD+M" : "RPI-LD+M"};
+        const char *placements[3] = {"LP-LD", "RPI-LD",
+                                     thp ? "TRPI-LD+M" : "RPI-LD+M"};
+        for (int k = 0; k < 3; ++k) {
+            std::string placement = placements[k];
+            registry.add(name + "/" + jobNames[k], [run, placement] {
+                return migrationJob(run, placement);
+            });
+        }
+    }
+}
+
+void
+emitWmTrio(const std::vector<driver::JobResult> &results,
+           BenchReport &report, const WmTrioSpec &spec)
+{
+    const bool thp = spec.thp();
+    const char *cols[3] = {thp ? "TLP-LD" : "LP-LD",
+                           thp ? "TRPI-LD" : "RPI-LD",
+                           thp ? "TRPI-LD+M" : "RPI-LD+M"};
+    std::printf("%-11s %9s %9s %9s   %s\n", "workload", cols[0],
+                cols[1], cols[2], "improvement(+M)");
+
+    std::size_t i = 0;
+    for (const std::string &name : spec.workloads) {
+        double base = 0;
+        double clean = 0;
+        if (spec.baseline == WmBaseline::Base4k)
+            base = results[i++].runtime();
+        else if (spec.baseline == WmBaseline::CleanThp)
+            clean = results[i++].runtime();
+        const driver::JobResult &lp = results[i++];
+        const driver::JobResult &rpi = results[i++];
+        const driver::JobResult &mito = results[i++];
+        if (spec.baseline != WmBaseline::Base4k)
+            base = lp.runtime();
+
+        double improvement = rpi.runtime() / mito.runtime();
+        std::printf("%-11s %9.2f %9.2f %9.2f   %.2fx", name.c_str(),
+                    lp.runtime() / base, rpi.runtime() / base,
+                    mito.runtime() / base, improvement);
+        if (spec.baseline == WmBaseline::CleanThp)
+            std::printf("   (4KB-fallback cost vs clean THP: %.2fx)",
+                        base / clean);
+        std::printf("\n");
+
+        BenchRun &lp_run =
+            recordOutcome(report, name + " " + cols[0], lp, base)
+                .tag("workload", name)
+                .tag("config", cols[0]);
+        if (spec.baseline == WmBaseline::CleanThp)
+            lp_run.metric("fallback_cost_vs_clean_thp", base / clean);
+        recordOutcome(report, name + " " + cols[1], rpi, base)
+            .tag("workload", name)
+            .tag("config", cols[1]);
+        recordOutcome(report, name + " " + cols[2], mito, base)
+            .tag("workload", name)
+            .tag("config", cols[2]);
+        report.speedup(
+            format("%s %s/%s", name.c_str(), cols[1], cols[2]),
+            improvement);
+    }
+}
+
+/// @}
+
 void
 printTitle(const std::string &title)
 {
@@ -312,21 +579,23 @@ recordOutcome(BenchReport &report, const std::string &label,
 }
 
 BenchRun &
-recordPlacement(BenchReport &report, const std::string &label,
-                const PlacementAnalysis &analysis)
+recordOutcome(BenchReport &report, const std::string &label,
+              const driver::JobResult &result, double normBase)
 {
-    BenchRun &run = report.addRun(label);
-    for (std::size_t s = 0; s < analysis.remoteLeafFraction.size(); ++s)
-        run.metric("remote_leaf_socket" + std::to_string(s),
-                   analysis.remoteLeafFraction[s]);
-    return run;
+    if (!result.outcome)
+        fatal("recordOutcome: job '%s' carries no run outcome",
+              label.c_str());
+    return recordOutcome(report, label, *result.outcome, normBase);
 }
 
-void
-writeReport(const BenchReport &report)
+BenchRun &
+recordPlacement(BenchReport &report, const std::string &label,
+                const driver::JobResult &result)
 {
-    if (report.write())
-        std::printf("\n[report] %s\n", report.outputPath().c_str());
+    BenchRun &run = report.addRun(label);
+    for (const auto &[key, value] : result.values)
+        run.metric(key, value);
+    return run;
 }
 
 } // namespace mitosim::bench

@@ -3,6 +3,13 @@
  * Shared benchmark harness: the two experimental scenarios of the paper
  * (§3/§8) with their full configuration matrices, plus table printing.
  *
+ * The harness is expressed as *job factories* for the parallel
+ * experiment runner (src/driver): every config point of a figure/table
+ * becomes a named driver::Job whose thunk builds a private Machine +
+ * Kernel and returns a driver::JobResult, and the duplicated matrix
+ * loops of the fig09a/b, fig10a/b and fig11 binaries live here once
+ * as register/emit pairs.
+ *
  * Scaling: footprints are 128 MiB against a 64 KiB/socket L3, preserving
  * the paper's leaf-PTE-working-set : L3 ratio (~4:1) that makes 4 KB-page
  * walks DRAM-bound, and the paper's DRAM latencies (280/580 cycles).
@@ -15,10 +22,12 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/report.h"
 #include "src/analysis/pt_dump.h"
 #include "src/core/mitosis.h"
+#include "src/driver/job.h"
 #include "src/os/exec_context.h"
 #include "src/os/kernel.h"
 #include "src/sim/machine.h"
@@ -42,15 +51,8 @@ struct ScenarioConfig
     double fragmentation = 0.0; //!< pre-fragment all sockets (Fig 11)
 };
 
-/** What a run produced. */
-struct RunOutcome
-{
-    Cycles runtime = 0;
-    sim::PerfCounters totals;
-
-    double walkFraction() const { return totals.walkFraction(); }
-    double remotePtFraction() const { return totals.remotePtFraction(); }
-};
+/** What a run produced (defined with the driver's Job machinery). */
+using RunOutcome = driver::RunOutcome;
 
 /// @name Multi-socket scenario (Table 3 configs: F, F+M, F-A, F-A+M, I, I+M)
 /// @{
@@ -105,6 +107,86 @@ RunOutcome runWorkloadMigration(const ScenarioConfig &scenario,
                                 const WmPlacement &wm);
 
 /// @}
+/// @name Job factories (the scenario runs as driver jobs)
+/// @{
+
+/** runMultiSocket as a JobResult-returning config point. */
+driver::JobResult multiSocketJob(const ScenarioConfig &scenario,
+                                 MsConfig config);
+
+/** runWorkloadMigration for the Table 2 placement named @p placement. */
+driver::JobResult migrationJob(const ScenarioConfig &scenario,
+                               const std::string &placement);
+
+/**
+ * analyzePlacement as a job: one remote_leaf_socket<N> value per
+ * observing socket (in socket order) plus the Figure 3 dump as text.
+ */
+driver::JobResult placementJob(const ScenarioConfig &scenario,
+                               bool interleave = false);
+
+/** The remote-leaf fractions recorded by placementJob, socket order. */
+std::vector<double> placementFractions(const driver::JobResult &result);
+
+/// @}
+/// @name Canonical workload / config matrices (deduplicated from mains)
+/// @{
+
+/** Multi-socket scenario workloads (Figures 1/3/4/9). */
+const std::vector<std::string> &multiSocketWorkloads();
+
+/** Workload-migration scenario workloads (Figures 6/10). */
+const std::vector<std::string> &migrationWorkloads();
+
+/** The six Table 3 configs in figure order: F, F+M, F-A, F-A+M, I, I+M. */
+const std::vector<MsConfig> &msMatrixConfigs();
+
+/** The seven Table 2 placements in figure order: LP-LD ... RPI-RDI. */
+const std::vector<std::string> &wmMatrixPlacements();
+
+/**
+ * Register the Figure 9 matrix: for every multi-socket workload the six
+ * Table 3 configs ("<wl>/<config>"), preceded in THP mode by the 4 KB F
+ * baseline job ("<wl>/F-4k-base") that Figure 9b normalizes to.
+ */
+void registerMsMatrix(driver::JobRegistry &registry, bool thp);
+
+/** Print + record the matrix registered by registerMsMatrix. */
+void emitMsMatrix(const std::vector<driver::JobResult> &results,
+                  BenchReport &report, bool thp);
+
+/** One migration job per (workload, placement), named "<wl>/<pl>". */
+void registerWmMatrix(driver::JobRegistry &registry,
+                      const std::vector<std::string> &workloads,
+                      const std::vector<std::string> &placements);
+
+/** What the Figure 10/11 trio (LP-LD, RPI-LD, +M) is normalized to. */
+enum class WmBaseline
+{
+    None,     //!< Fig 10a: the trio's own LP-LD, 4 KB pages
+    Base4k,   //!< Fig 10b: a separate 4 KB LP-LD run; trio uses THP
+    CleanThp, //!< Fig 11: unfragmented TLP-LD; trio is fragmented THP
+};
+
+struct WmTrioSpec
+{
+    std::vector<std::string> workloads;
+    WmBaseline baseline = WmBaseline::None;
+
+    bool thp() const { return baseline != WmBaseline::None; }
+};
+
+/**
+ * Register the Figure 10/11 shape: per workload an optional baseline
+ * job followed by LP-LD / RPI-LD / RPI-LD+M (T-prefixed under THP).
+ */
+void registerWmTrio(driver::JobRegistry &registry, const WmTrioSpec &spec);
+
+/** Print + record the trio registered by registerWmTrio. */
+void emitWmTrio(const std::vector<driver::JobResult> &results,
+                BenchReport &report, const WmTrioSpec &spec);
+
+/// @}
 /// @name Output helpers
 /// @{
 
@@ -129,15 +211,17 @@ void describeScenario(BenchReport &report, const ScenarioConfig &scenario);
 BenchRun &recordOutcome(BenchReport &report, const std::string &label,
                         const RunOutcome &out, double normBase = 0.0);
 
+/** recordOutcome for a job result that must carry an outcome. */
+BenchRun &recordOutcome(BenchReport &report, const std::string &label,
+                        const driver::JobResult &result,
+                        double normBase = 0.0);
+
 /**
- * Add @p analysis as a run with one remote_leaf_socket<N> metric per
- * observing socket. Returns the run for extra tags.
+ * Add a placementJob result as a run with one remote_leaf_socket<N>
+ * metric per observing socket. Returns the run for extra tags.
  */
 BenchRun &recordPlacement(BenchReport &report, const std::string &label,
-                          const PlacementAnalysis &analysis);
-
-/** Write BENCH_<name>.json and note the path on stdout. */
-void writeReport(const BenchReport &report);
+                          const driver::JobResult &result);
 
 /// @}
 

@@ -88,6 +88,13 @@ class JsonValue
     /** Serialize; indent > 0 pretty-prints with that many spaces. */
     std::string str(int indent = 0) const;
 
+    /**
+     * Deep structural equality (member order is significant — the
+     * writer preserves insertion order). Lets tests compare a parallel
+     * run's report against a serial run's without string-diffing.
+     */
+    bool operator==(const JsonValue &other) const = default;
+
   private:
     void write(std::string &out, int indent, int depth) const;
 

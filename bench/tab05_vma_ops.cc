@@ -11,6 +11,7 @@
  */
 
 #include "bench/harness.h"
+#include "src/driver/bench_main.h"
 
 using namespace mitosim;
 using namespace mitosim::bench;
@@ -18,14 +19,20 @@ using namespace mitosim::bench;
 namespace
 {
 
-struct OpCosts
+struct Region
 {
-    Cycles mmapCycles = 0;
-    Cycles mprotectCycles = 0;
-    Cycles munmapCycles = 0;
+    const char *label;
+    const char *slug; //!< job-name fragment
+    std::uint64_t bytes;
 };
 
-OpCosts
+constexpr Region Regions[] = {
+    {"4KB region", "4KB", 4ull << 10},
+    {"8MB region", "8MB", 8ull << 20},
+    {"128MB region", "128MB", 128ull << 20}, // paper used 4GB; same shape
+};
+
+driver::JobResult
 measure(bool replicated, std::uint64_t region_bytes)
 {
     sim::Machine machine(benchMachine());
@@ -44,98 +51,97 @@ measure(bool replicated, std::uint64_t region_bytes)
                               os::MmapOptions{.populate = true});
     kernel.munmap(proc, region.start, region.length);
 
-    OpCosts costs;
+    Cycles mmap_cycles = 0;
+    Cycles mprotect_cycles = 0;
+    Cycles munmap_cycles = 0;
     constexpr int Iterations = 3;
     for (int i = 0; i < Iterations; ++i) {
         pvops::KernelCost mmap_cost;
         auto r = kernel.mmapFixed(proc, region.start, region_bytes,
                                   os::MmapOptions{.populate = true},
                                   &mmap_cost);
-        costs.mmapCycles += mmap_cost.cycles;
+        mmap_cycles += mmap_cost.cycles;
 
         pvops::KernelCost protect_cost;
         kernel.mprotect(proc, r.start, r.length, os::ProtRead,
                         &protect_cost);
-        costs.mprotectCycles += protect_cost.cycles;
+        mprotect_cycles += protect_cost.cycles;
 
         pvops::KernelCost unmap_cost;
         kernel.munmap(proc, r.start, r.length, &unmap_cost);
-        costs.munmapCycles += unmap_cost.cycles;
+        munmap_cycles += unmap_cost.cycles;
     }
-    costs.mmapCycles /= Iterations;
-    costs.mprotectCycles /= Iterations;
-    costs.munmapCycles /= Iterations;
     kernel.destroyProcess(proc);
-    return costs;
+
+    driver::JobResult result;
+    result.value("mmap_cycles",
+                 static_cast<double>(mmap_cycles / Iterations));
+    result.value("mprotect_cycles",
+                 static_cast<double>(mprotect_cycles / Iterations));
+    result.value("munmap_cycles",
+                 static_cast<double>(munmap_cycles / Iterations));
+    return result;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Table 5: VMA operation overhead, 4-way replication "
-               "(ratio Mitosis-on / Mitosis-off)");
-    BenchReport report("tab05_vma_ops");
-    describeMachine(report);
-    report.config("replicas", 4.0);
-
-    struct Region
-    {
-        const char *label;
-        std::uint64_t bytes;
+    driver::BenchSpec spec;
+    spec.name = "tab05_vma_ops";
+    spec.title = "Table 5: VMA operation overhead, 4-way replication "
+                 "(ratio Mitosis-on / Mitosis-off)";
+    spec.describe = [](BenchReport &report) {
+        describeMachine(report);
+        report.config("replicas", 4.0);
     };
-    const Region regions[] = {
-        {"4KB region", 4ull << 10},
-        {"8MB region", 8ull << 20},
-        {"128MB region", 128ull << 20}, // paper used 4GB; same shape
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        for (const Region &region : Regions) {
+            for (bool replicated : {false, true}) {
+                registry.add(format("%s/%s", region.slug,
+                                    replicated ? "on" : "off"),
+                             [region, replicated] {
+                                 return measure(replicated,
+                                                region.bytes);
+                             });
+            }
+        }
     };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        std::printf("%-12s %-14s %-14s %-14s\n", "Operation",
+                    Regions[0].label, Regions[1].label,
+                    Regions[2].label);
 
-    std::printf("%-12s %-14s %-14s %-14s\n", "Operation",
-                regions[0].label, regions[1].label, regions[2].label);
-
-    double mmap_ratio[3];
-    double mprotect_ratio[3];
-    double munmap_ratio[3];
-    for (int i = 0; i < 3; ++i) {
-        OpCosts off = measure(false, regions[i].bytes);
-        OpCosts on = measure(true, regions[i].bytes);
-        mmap_ratio[i] = static_cast<double>(on.mmapCycles) /
-                        static_cast<double>(off.mmapCycles);
-        mprotect_ratio[i] = static_cast<double>(on.mprotectCycles) /
-                            static_cast<double>(off.mprotectCycles);
-        munmap_ratio[i] = static_cast<double>(on.munmapCycles) /
-                          static_cast<double>(off.munmapCycles);
-        report.addRun(regions[i].label)
-            .tag("region", regions[i].label)
-            .metric("region_bytes",
-                    static_cast<double>(regions[i].bytes))
-            .metric("mmap_ratio", mmap_ratio[i])
-            .metric("mprotect_ratio", mprotect_ratio[i])
-            .metric("munmap_ratio", munmap_ratio[i])
-            .metric("mmap_cycles_off",
-                    static_cast<double>(off.mmapCycles))
-            .metric("mmap_cycles_on",
-                    static_cast<double>(on.mmapCycles))
-            .metric("mprotect_cycles_off",
-                    static_cast<double>(off.mprotectCycles))
-            .metric("mprotect_cycles_on",
-                    static_cast<double>(on.mprotectCycles))
-            .metric("munmap_cycles_off",
-                    static_cast<double>(off.munmapCycles))
-            .metric("munmap_cycles_on",
-                    static_cast<double>(on.munmapCycles));
-    }
-    std::printf("%-12s %-14.3f %-14.3f %-14.3f\n", "mmap",
-                mmap_ratio[0], mmap_ratio[1], mmap_ratio[2]);
-    std::printf("%-12s %-14.3f %-14.3f %-14.3f\n", "mprotect",
-                mprotect_ratio[0], mprotect_ratio[1], mprotect_ratio[2]);
-    std::printf("%-12s %-14.3f %-14.3f %-14.3f\n", "munmap",
-                munmap_ratio[0], munmap_ratio[1], munmap_ratio[2]);
-
-    std::printf("\n(paper: mmap 1.021/1.008/1.006, mprotect "
-                "1.121/3.238/3.279, munmap 1.043/1.354/1.393)\n");
-    writeReport(report);
-    return 0;
+        constexpr const char *Ops[] = {"mmap", "mprotect", "munmap"};
+        double ratios[3][3];
+        std::size_t i = 0;
+        for (int r = 0; r < 3; ++r) {
+            const driver::JobResult &off = results[i++];
+            const driver::JobResult &on = results[i++];
+            BenchRun &run = report.addRun(Regions[r].label);
+            run.tag("region", Regions[r].label)
+                .metric("region_bytes",
+                        static_cast<double>(Regions[r].bytes));
+            for (int op = 0; op < 3; ++op) {
+                std::string key = std::string(Ops[op]) + "_cycles";
+                ratios[op][r] = on.valueOf(key) / off.valueOf(key);
+                run.metric(std::string(Ops[op]) + "_ratio",
+                           ratios[op][r]);
+            }
+            for (int op = 0; op < 3; ++op) {
+                std::string key = std::string(Ops[op]) + "_cycles";
+                run.metric(key + "_off", off.valueOf(key));
+                run.metric(key + "_on", on.valueOf(key));
+            }
+        }
+        for (int op = 0; op < 3; ++op) {
+            std::printf("%-12s %-14.3f %-14.3f %-14.3f\n", Ops[op],
+                        ratios[op][0], ratios[op][1], ratios[op][2]);
+        }
+        std::printf("\n(paper: mmap 1.021/1.008/1.006, mprotect "
+                    "1.121/3.238/3.279, munmap 1.043/1.354/1.393)\n");
+    };
+    return driver::benchMain(argc, argv, spec);
 }

@@ -9,6 +9,7 @@
 
 #include "bench/harness.h"
 
+#include "src/driver/bench_main.h"
 #include "src/pvops/native_backend.h"
 
 using namespace mitosim;
@@ -17,7 +18,14 @@ using namespace mitosim::bench;
 namespace
 {
 
-Cycles
+const std::vector<std::string> &
+endToEndWorkloads()
+{
+    static const std::vector<std::string> list = {"gups", "redis"};
+    return list;
+}
+
+driver::JobResult
 endToEnd(bool mitosis_backend, const std::string &workload)
 {
     sim::Machine machine(benchMachine());
@@ -42,41 +50,53 @@ endToEnd(bool mitosis_backend, const std::string &workload)
     // as in the paper's Table 6 methodology.
     w->setup(ctx);
     workloads::runInterleaved(ctx, *w, 20000);
-    Cycles total = ctx.runtime();
+    driver::JobResult result;
+    result.value("runtime_cycles", static_cast<double>(ctx.runtime()));
     kernel.destroyProcess(proc);
-    return total;
+    return result;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    setInformEnabled(false);
-    printTitle("Table 6: end-to-end runtime incl. initialization, "
-               "LP-LD, Mitosis off vs on (replication disabled)");
-    BenchReport report("tab06_end_to_end");
-    describeMachine(report);
-    report.config("replication", "disabled");
-
-    std::printf("%-10s %16s %16s %10s\n", "Workload", "Mitosis Off",
-                "Mitosis On", "Overhead");
-    for (const char *name : {"gups", "redis"}) {
-        Cycles off = endToEnd(false, name);
-        Cycles on = endToEnd(true, name);
-        double overhead = (static_cast<double>(on) -
-                           static_cast<double>(off)) /
-                          static_cast<double>(off);
-        std::printf("%-10s %16llu %16llu %9.2f%%\n", name,
-                    (unsigned long long)off, (unsigned long long)on,
-                    100.0 * overhead);
-        report.addRun(name)
-            .tag("workload", name)
-            .metric("runtime_cycles_off", static_cast<double>(off))
-            .metric("runtime_cycles_on", static_cast<double>(on))
-            .metric("overhead_fraction", overhead);
-    }
-    std::printf("\n(paper: GUPS 0.46%%, Redis 0.37%% — both < 0.5%%)\n");
-    writeReport(report);
-    return 0;
+    driver::BenchSpec spec;
+    spec.name = "tab06_end_to_end";
+    spec.title = "Table 6: end-to-end runtime incl. initialization, "
+                 "LP-LD, Mitosis off vs on (replication disabled)";
+    spec.describe = [](BenchReport &report) {
+        describeMachine(report);
+        report.config("replication", "disabled");
+    };
+    spec.registerJobs = [](driver::JobRegistry &registry) {
+        for (const std::string &name : endToEndWorkloads()) {
+            for (bool on : {false, true}) {
+                registry.add(name + (on ? "/on" : "/off"), [name, on] {
+                    return endToEnd(on, name);
+                });
+            }
+        }
+    };
+    spec.emit = [](const std::vector<driver::JobResult> &results,
+                   BenchReport &report) {
+        std::printf("%-10s %16s %16s %10s\n", "Workload", "Mitosis Off",
+                    "Mitosis On", "Overhead");
+        std::size_t i = 0;
+        for (const std::string &name : endToEndWorkloads()) {
+            double off = results[i++].valueOf("runtime_cycles");
+            double on = results[i++].valueOf("runtime_cycles");
+            double overhead = (on - off) / off;
+            std::printf("%-10s %16.0f %16.0f %9.2f%%\n", name.c_str(),
+                        off, on, 100.0 * overhead);
+            report.addRun(name)
+                .tag("workload", name)
+                .metric("runtime_cycles_off", off)
+                .metric("runtime_cycles_on", on)
+                .metric("overhead_fraction", overhead);
+        }
+        std::printf(
+            "\n(paper: GUPS 0.46%%, Redis 0.37%% — both < 0.5%%)\n");
+    };
+    return driver::benchMain(argc, argv, spec);
 }

@@ -1,6 +1,8 @@
 #include "logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <vector>
 
 namespace mitosim
@@ -8,7 +10,31 @@ namespace mitosim
 
 namespace
 {
-bool informEnabled = true;
+
+std::atomic<bool> informEnabled{true};
+
+/** Serializes whole lines so parallel jobs never interleave mid-line. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+thread_local std::string threadTag;
+
+/** Emit one complete "<kind>: [tag] <msg>" line under the lock. */
+void
+emitLine(std::FILE *to, const char *kind, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    if (threadTag.empty())
+        std::fprintf(to, "%s: %s\n", kind, msg.c_str());
+    else
+        std::fprintf(to, "%s: [%s] %s\n", kind, threadTag.c_str(),
+                     msg.c_str());
+}
+
 } // namespace
 
 SimError::SimError(std::string kind, std::string message)
@@ -48,7 +74,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emitLine(stderr, "panic", msg);
     throw SimError("panic", msg);
 }
 
@@ -59,7 +85,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emitLine(stderr, "fatal", msg);
     throw SimError("fatal", msg);
 }
 
@@ -70,25 +96,37 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine(stderr, "warn", msg);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (!informEnabled)
+    if (!informEnabled.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emitLine(stdout, "info", msg);
 }
 
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+void
+setLogThreadTag(std::string tag)
+{
+    threadTag = std::move(tag);
+}
+
+const std::string &
+logThreadTag()
+{
+    return threadTag;
 }
 
 } // namespace mitosim

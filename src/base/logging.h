@@ -9,6 +9,12 @@
  *
  * All take printf-style format strings; formatting is done eagerly so the
  * functions stay out of hot paths.
+ *
+ * Output is thread-safe: lines are formatted outside the lock and
+ * emitted whole under a single mutex, so parallel driver jobs never
+ * interleave mid-line. A per-thread tag (setLogThreadTag, set by the
+ * driver to the running job's name) prefixes every line so interleaved
+ * output from a parallel run stays attributable.
  */
 
 #ifndef MITOSIM_BASE_LOGGING_H
@@ -52,6 +58,16 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Enable/disable inform() output (benches silence it). */
 void setInformEnabled(bool enabled);
+
+/**
+ * Tag every log line emitted by *this thread* with "[tag] " (empty
+ * clears it). The parallel experiment runner sets the active job's
+ * name around each run.
+ */
+void setLogThreadTag(std::string tag);
+
+/** This thread's current log tag (empty when untagged). */
+const std::string &logThreadTag();
 
 /** printf-style formatting into a std::string. */
 std::string vformat(const char *fmt, va_list ap);
