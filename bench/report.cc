@@ -563,6 +563,12 @@ BenchReport::speedup(const std::string &label, double value)
     speedups_.set(label, JsonValue::number(value));
 }
 
+void
+BenchReport::wallMs(const std::string &label, double ms)
+{
+    wallMs_.set(label, JsonValue::number(ms));
+}
+
 JsonValue
 BenchReport::toJson() const
 {
@@ -575,6 +581,8 @@ BenchReport::toJson() const
         runs.append(run->toJson());
     doc.set("runs", std::move(runs));
     doc.set("speedups", speedups_);
+    if (wallMs_.size())
+        doc.set("wall_ms", wallMs_);
     return doc;
 }
 

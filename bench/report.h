@@ -12,8 +12,17 @@
  *     "runs":    [ { "label":   "<row label>",
  *                    "tags":    { "<key>": "<string>", ... },
  *                    "metrics": { "<key>": <finite number>, ... } }, ... ],
- *     "speedups": { "<label>": <finite number>, ... }
+ *     "speedups": { "<label>": <finite number>, ... },
+ *     "wall_ms":  { "<job>": <number>, ..., "total": <number> }
  *   }
+ *
+ * "wall_ms" is host-side telemetry (per-job and total wall-clock,
+ * recorded by the driver) and is the ONE section excluded from metric
+ * comparisons: simulated results must be bit-identical across commits
+ * unless the model changed, while wall_ms is expected to drift with
+ * host load and to improve with host-side optimizations. Tools diffing
+ * reports must ignore it; it exists so wall-clock wins/regressions stay
+ * visible PR-to-PR via the CI artifacts.
  *
  * A minimal JSON value/writer/parser keeps the repo dependency-free; the
  * parser exists so tests and tools can round-trip what the writer emits.
@@ -150,6 +159,12 @@ class BenchReport
     /** Record a headline speedup (e.g. "canneal F/F+M"). */
     void speedup(const std::string &label, double value);
 
+    /**
+     * Record host wall-clock telemetry for @p label (a job name, or
+     * "total"). Kept outside "metrics" — excluded from comparisons.
+     */
+    void wallMs(const std::string &label, double ms);
+
     JsonValue toJson() const;
     std::string str() const { return toJson().str(2); }
 
@@ -167,6 +182,7 @@ class BenchReport
     JsonValue config_ = JsonValue::object();
     std::vector<std::unique_ptr<BenchRun>> runs_;
     JsonValue speedups_ = JsonValue::object();
+    JsonValue wallMs_ = JsonValue::object();
 };
 
 /// @}

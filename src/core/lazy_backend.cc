@@ -14,6 +14,31 @@ LazyMitosisBackend::LazyMitosisBackend(mem::PhysicalMemory &physmem,
 }
 
 void
+LazyMitosisBackend::propagateToReplica(Pfn replica, unsigned index,
+                                       pt::Pte value, int level,
+                                       bool charge_hop,
+                                       pvops::KernelCost *cost)
+{
+    // Installs are deferred as messages; changes to a present entry
+    // must stay eager (see header).
+    pt::Pte existing{mem.table(replica)[index]};
+    if (!existing.present() && value.present()) {
+        auto &q = queues[static_cast<std::size_t>(mem.socketOf(replica))];
+        q.push_back(Update{replica, index, value, level});
+        ++lstats.queued;
+        lstats.maxQueueDepth =
+            std::max<std::uint64_t>(lstats.maxQueueDepth, q.size());
+        if (charge_hop && cost)
+            cost->charge(pvops::ReplicaHopCost); // enqueue bookkeeping
+    } else {
+        if (charge_hop)
+            chargeLocate(cost);
+        writeReplicaEntry(replica, index, value, level, cost);
+        ++lstats.eagerFallbacks;
+    }
+}
+
+void
 LazyMitosisBackend::setPte(pt::RootSet &roots, pt::PteLoc loc,
                            pt::Pte value, int level,
                            pvops::KernelCost *cost)
@@ -24,40 +49,40 @@ LazyMitosisBackend::setPte(pt::RootSet &roots, pt::PteLoc loc,
         return;
     }
 
-    // Primary store with local child fixup, as in the eager base.
-    pt::Pte primary_value = value;
-    bool non_leaf = value.present() && level > 1 &&
-                    !(level == 2 && value.huge());
-    if (non_leaf && mem.meta(value.pfn()).isPageTable()) {
-        Pfn local_child = mem.replicaOnSocket(value.pfn(),
-                                              mem.socketOf(loc.ptPfn));
-        if (local_child != InvalidPfn)
-            primary_value = value.withPfn(local_child);
-    }
-    mem.table(loc.ptPfn)[loc.index] = primary_value.raw();
-    if (cost) {
-        cost->charge(pvops::PteWriteCost);
-        ++cost->pteWrites;
-    }
+    writePrimaryEntry(loc, value, level, cost);
 
-    // Per replica: installs are deferred as messages; changes to a
-    // present entry must stay eager (see header).
     Pfn p = mem.meta(loc.ptPfn).replicaNext;
     while (p != loc.ptPfn) {
-        pt::Pte existing{mem.table(p)[loc.index]};
-        if (!existing.present() && value.present()) {
-            auto &q = queues[static_cast<std::size_t>(mem.socketOf(p))];
-            q.push_back(Update{p, loc.index, value, level});
-            ++lstats.queued;
-            lstats.maxQueueDepth =
-                std::max<std::uint64_t>(lstats.maxQueueDepth, q.size());
-            if (cost)
-                cost->charge(pvops::ReplicaHopCost); // enqueue bookkeeping
-        } else {
-            chargeLocate(cost);
-            writeReplicaEntry(p, loc.index, value, level, cost);
-            ++lstats.eagerFallbacks;
+        propagateToReplica(p, loc.index, value, level,
+                           /*charge_hop=*/true, cost);
+        p = mem.meta(p).replicaNext;
+    }
+}
+
+void
+LazyMitosisBackend::setPtes(pt::RootSet &roots, pt::PteLoc loc,
+                            const pt::Pte *values, unsigned count,
+                            int level, pvops::KernelCost *cost)
+{
+    if (mem.meta(loc.ptPfn).replicaNext == loc.ptPfn) {
+        MitosisBackend::setPtes(roots, loc, values, count, level, cost);
+        return;
+    }
+
+    bool batched = config().updateMode == UpdateMode::Batched;
+    for (unsigned k = 0; k < count; ++k)
+        writePrimaryEntry(pt::PteLoc{loc.ptPfn, loc.index + k}, values[k],
+                          level, cost);
+
+    Pfn p = mem.meta(loc.ptPfn).replicaNext;
+    while (p != loc.ptPfn) {
+        if (batched && cost) {
+            cost->charge(pvops::ReplicaHopCost);
+            ++cost->replicaHops;
         }
+        for (unsigned k = 0; k < count; ++k)
+            propagateToReplica(p, loc.index + k, values[k], level,
+                               /*charge_hop=*/!batched, cost);
         p = mem.meta(p).replicaNext;
     }
 }

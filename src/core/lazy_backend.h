@@ -52,6 +52,16 @@ class LazyMitosisBackend : public MitosisBackend
     void setPte(pt::RootSet &roots, pt::PteLoc loc, pt::Pte value,
                 int level, pvops::KernelCost *cost) override;
 
+    /**
+     * Batched stores keep the lazy install/eager-fallback split per
+     * entry, but chase the replica ring once per table. Default modes
+     * charge exactly like per-entry setPte; UpdateMode::Batched charges
+     * the per-replica ring hop once per (replica, table).
+     */
+    void setPtes(pt::RootSet &roots, pt::PteLoc loc,
+                 const pt::Pte *values, unsigned count, int level,
+                 pvops::KernelCost *cost) override;
+
     /** Purges queued messages aimed at the freed replica set. */
     void releasePtPage(pt::RootSet &roots, Pfn pfn,
                        pvops::KernelCost *cost) override;
@@ -75,6 +85,15 @@ class LazyMitosisBackend : public MitosisBackend
         pt::Pte value;
         int level;
     };
+
+    /**
+     * Queue-or-eager decision for one replica entry. @p charge_hop
+     * controls whether the per-entry ring-hop cost is charged here
+     * (per-entry paths) or was already charged per table (Batched).
+     */
+    void propagateToReplica(Pfn replica, unsigned index, pt::Pte value,
+                            int level, bool charge_hop,
+                            pvops::KernelCost *cost);
 
     std::vector<std::deque<Update>> queues; //!< per socket
     LazyStats lstats;

@@ -134,9 +134,10 @@ MitosisBackend::chargeLocate(KernelCost *cost) const
 {
     if (!cost)
         return;
-    if (cfg.updateMode == UpdateMode::CircularList) {
+    if (cfg.updateMode != UpdateMode::WalkReplicas) {
         // One struct-page pointer chase per replica (2N total refs: N
-        // writes + N metadata reads, §5.2).
+        // writes + N metadata reads, §5.2). Batched mode pays the same
+        // per single update; it only amortizes inside setPtes.
         cost->charge(pvops::ReplicaHopCost);
         ++cost->replicaHops;
     } else {
@@ -150,30 +151,47 @@ MitosisBackend::writeReplicaEntry(Pfn replica, unsigned index,
                                   pt::Pte value, int level,
                                   KernelCost *cost)
 {
-    pt::Pte out = value;
     // Non-leaf present entries point at child page-table pages; each
     // replica must reference the child copy on its own socket (semantic
     // replication, §2.3). Leaf entries (L1, or L2 with PS) are copied
     // verbatim — data frames are shared by all replicas.
-    bool non_leaf = value.present() && level > 1 &&
-                    !(level == 2 && value.huge());
-    if (non_leaf) {
-        Pfn child = value.pfn();
-        if (mem.meta(child).isPageTable()) {
-            Pfn local_child =
-                mem.replicaOnSocket(child, mem.socketOf(replica));
-            if (local_child != InvalidPfn)
-                out = value.withPfn(local_child);
-            // else: degraded replica set; keep the cross-socket pointer.
-        }
-    }
-    mem.table(replica)[index] = out.raw();
+    mem.table(replica)[index] =
+        localizedValue(replica, value, level).raw();
     if (cost) {
         cost->charge(pvops::PteRemoteWriteCost);
         ++cost->replicaWrites;
     }
     ++stats_.eagerUpdates;
     ++stats_.replicaRefsOnUpdate;
+}
+
+pt::Pte
+MitosisBackend::localizedValue(Pfn table, pt::Pte value, int level) const
+{
+    // Replica trees are symmetric: the copy in @p table must reference
+    // the child replica local to *its* socket (the tree a core walks
+    // must never leave its socket when a local child exists).
+    bool non_leaf = value.present() && level > 1 &&
+                    !(level == 2 && value.huge());
+    if (non_leaf && mem.meta(value.pfn()).isPageTable()) {
+        Pfn local_child =
+            mem.replicaOnSocket(value.pfn(), mem.socketOf(table));
+        if (local_child != InvalidPfn)
+            return value.withPfn(local_child);
+    }
+    return value;
+}
+
+void
+MitosisBackend::writePrimaryEntry(pt::PteLoc loc, pt::Pte value, int level,
+                                  KernelCost *cost)
+{
+    mem.table(loc.ptPfn)[loc.index] =
+        localizedValue(loc.ptPfn, value, level).raw();
+    if (cost) {
+        cost->charge(pvops::PteWriteCost);
+        ++cost->pteWrites;
+    }
 }
 
 void
@@ -184,30 +202,59 @@ MitosisBackend::setPte(pt::RootSet &roots, pt::PteLoc loc, pt::Pte value,
     if (cost)
         cost->charge(IndirectionCost);
 
-    // Primary store. Replica trees are symmetric: the copy named by
-    // `loc` must also reference the child replica local to *its* socket
-    // (the tree a core walks must never leave its socket when a local
-    // child exists).
-    pt::Pte primary_value = value;
-    bool non_leaf = value.present() && level > 1 &&
-                    !(level == 2 && value.huge());
-    if (non_leaf && mem.meta(value.pfn()).isPageTable()) {
-        Pfn local_child = mem.replicaOnSocket(value.pfn(),
-                                              mem.socketOf(loc.ptPfn));
-        if (local_child != InvalidPfn)
-            primary_value = value.withPfn(local_child);
-    }
-    mem.table(loc.ptPfn)[loc.index] = primary_value.raw();
-    if (cost) {
-        cost->charge(pvops::PteWriteCost);
-        ++cost->pteWrites;
-    }
+    writePrimaryEntry(loc, value, level, cost);
 
     // Eager propagation along the circular list (Figure 8).
     Pfn p = mem.meta(loc.ptPfn).replicaNext;
     while (p != loc.ptPfn) {
         chargeLocate(cost);
         writeReplicaEntry(p, loc.index, value, level, cost);
+        p = mem.meta(p).replicaNext;
+    }
+}
+
+void
+MitosisBackend::setPtes(pt::RootSet &roots, pt::PteLoc loc,
+                        const pt::Pte *values, unsigned count, int level,
+                        KernelCost *cost)
+{
+    (void)roots;
+    bool batched = cfg.updateMode == UpdateMode::Batched;
+    if (cost)
+        cost->charge(batched ? IndirectionCost : IndirectionCost * count);
+
+    std::uint64_t *primary = mem.table(loc.ptPfn) + loc.index;
+    for (unsigned k = 0; k < count; ++k)
+        primary[k] = localizedValue(loc.ptPfn, values[k], level).raw();
+    if (cost) {
+        cost->charge(pvops::PteWriteCost * count);
+        cost->pteWrites += count;
+    }
+
+    // One ring traversal per table; each replica gets the whole run
+    // streamed. Under the default modes the locate is still charged per
+    // entry (metric parity with the per-entry path); Batched charges it
+    // once per (replica, table) — the range-op amortization.
+    Pfn p = mem.meta(loc.ptPfn).replicaNext;
+    while (p != loc.ptPfn) {
+        if (cost) {
+            unsigned locates = batched ? 1 : count;
+            if (cfg.updateMode != UpdateMode::WalkReplicas) {
+                cost->charge(pvops::ReplicaHopCost * locates);
+                cost->replicaHops += locates;
+            } else {
+                cost->charge(4 * pvops::ReplicaWalkStepCost * locates);
+            }
+        }
+        std::uint64_t *replica = mem.table(p) + loc.index;
+        for (unsigned k = 0; k < count; ++k)
+            replica[k] = localizedValue(p, values[k], level).raw();
+        if (cost) {
+            cost->charge(pvops::PteRemoteWriteCost * count);
+            cost->replicaWrites += count;
+        }
+        stats_.eagerUpdates += count;
+        stats_.replicaRefsOnUpdate += count;
         p = mem.meta(p).replicaNext;
     }
 }
@@ -233,6 +280,31 @@ MitosisBackend::readPte(const pt::RootSet &roots, pt::PteLoc loc,
             // PTE load itself.
             if (cost)
                 cost->charge(pvops::PteReadCost);
+            p = mem.meta(p).replicaNext;
+        }
+    }
+    return pt::Pte{raw};
+}
+
+pt::Pte
+MitosisBackend::readPteMany(const pt::RootSet &roots, pt::PteLoc loc,
+                            unsigned n, KernelCost *cost) const
+{
+    (void)roots;
+    if (n == 0)
+        return pt::Pte{};
+    if (cost)
+        cost->charge((IndirectionCost + pvops::PteReadCost) * n);
+
+    std::uint64_t raw = mem.table(loc.ptPfn)[loc.index];
+    Pfn p = mem.meta(loc.ptPfn).replicaNext;
+    if (p != loc.ptPfn) {
+        auto *self = const_cast<MitosisBackend *>(this);
+        self->stats_.adMergedReads += n;
+        while (p != loc.ptPfn) {
+            raw |= mem.table(p)[loc.index] & pt::PteAdMask;
+            if (cost)
+                cost->charge(pvops::PteReadCost * n);
             p = mem.meta(p).replicaNext;
         }
     }

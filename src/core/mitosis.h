@@ -49,6 +49,16 @@ enum class UpdateMode
 {
     CircularList, //!< struct-page list: 2N references per update (Fig 8)
     WalkReplicas, //!< walk each replica tree: 4N references (the strawman)
+
+    /**
+     * Range-op extension (not in the paper): batched setPtes calls
+     * charge the struct-page locate once per (replica, table) instead
+     * of once per entry — the "2 refs per table" amortization a
+     * range-first kernel makes possible. Single-entry updates behave
+     * exactly like CircularList, so only genuinely batched operations
+     * (munmap/mprotect/populate over ranges) get cheaper.
+     */
+    Batched,
 };
 
 /** Tunables. */
@@ -135,8 +145,22 @@ class MitosisBackend : public pvops::PvOps
     void setPte(pt::RootSet &roots, pt::PteLoc loc, pt::Pte value,
                 int level, pvops::KernelCost *cost) override;
 
+    /**
+     * Batched stores into one table: the replica ring is chased once
+     * per table and the entries streamed into each copy. Charged costs
+     * are per-entry-identical to looping setPte under CircularList /
+     * WalkReplicas; UpdateMode::Batched charges the locate per table.
+     */
+    void setPtes(pt::RootSet &roots, pt::PteLoc loc,
+                 const pt::Pte *values, unsigned count, int level,
+                 pvops::KernelCost *cost) override;
+
     pt::Pte readPte(const pt::RootSet &roots, pt::PteLoc loc,
                     pvops::KernelCost *cost) const override;
+
+    /** One ring traversal, n-fold readPte charges (A/D merge incl.). */
+    pt::Pte readPteMany(const pt::RootSet &roots, pt::PteLoc loc,
+                        unsigned n, pvops::KernelCost *cost) const override;
 
     void clearAccessedDirty(pt::RootSet &roots, pt::PteLoc loc,
                             std::uint64_t bits,
@@ -183,6 +207,16 @@ class MitosisBackend : public pvops::PvOps
 
     /** Charge the per-replica locate cost for the configured mode. */
     void chargeLocate(pvops::KernelCost *cost) const;
+
+    /**
+     * @p value with a non-leaf child pointer redirected to the child
+     * replica local to the socket holding @p table (no-op for leaves).
+     */
+    pt::Pte localizedValue(Pfn table, pt::Pte value, int level) const;
+
+    /** Primary store of one entry, charged like the setPte fast path. */
+    void writePrimaryEntry(pt::PteLoc loc, pt::Pte value, int level,
+                           pvops::KernelCost *cost);
 
     mem::PhysicalMemory &mem;
     MitosisConfig cfg;

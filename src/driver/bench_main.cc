@@ -1,6 +1,7 @@
 #include "bench_main.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -151,11 +152,23 @@ benchMain(int argc, char **argv, const BenchSpec &spec)
                     selected.size(),
                     static_cast<unsigned>(std::min<std::size_t>(
                         runner.threads(), selected.size())));
+        auto wall0 = std::chrono::steady_clock::now();
         auto results = runner.run(registry, selected);
+        double total_wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - wall0)
+                .count();
 
         bench::BenchReport report(spec.name);
         if (spec.describe)
             spec.describe(report);
+        // Host telemetry, outside "metrics" (see report.h): per-job
+        // thunk wall-clock plus this invocation's total. Recorded
+        // before emit() moves the results out.
+        for (std::size_t index : selected)
+            report.wallMs(registry.job(index).name,
+                          results[index]->wallMs);
+        report.wallMs("total", total_wall_ms);
         if (selected.size() == registry.size()) {
             std::vector<JobResult> full;
             full.reserve(results.size());

@@ -47,6 +47,15 @@ struct JobResult
     std::vector<std::pair<std::string, double>> values;
     std::string text;
 
+    /**
+     * Host wall-clock of the job's thunk, stamped by the Runner. Pure
+     * host-side telemetry (machine construction + simulation + op
+     * phases): it lands in the report's "wall_ms" section, never in
+     * "metrics", and is excluded from metric comparisons — simulated
+     * numbers must stay independent of host speed and thread count.
+     */
+    double wallMs = 0.0;
+
     JobResult &
     value(std::string key, double v)
     {

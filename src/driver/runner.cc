@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <thread>
@@ -49,7 +50,12 @@ Runner::run(const JobRegistry &registry,
             const Job &job = registry.job(selected[k]);
             setLogThreadTag(job.name);
             try {
+                auto t0 = std::chrono::steady_clock::now();
                 results[selected[k]] = job.run();
+                results[selected[k]]->wallMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
             } catch (const std::exception &e) {
                 failed[k] = 1;
                 failures[k] = e.what();

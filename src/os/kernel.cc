@@ -47,19 +47,14 @@ void
 Kernel::destroyProcess(Process &proc)
 {
     // Free all data frames referenced by the primary tree.
-    std::vector<pt::WalkResult> leaves;
+    std::vector<std::pair<pt::Pte, PageSizeKind>> leaves;
     ops.forEachLeaf(proc.roots(),
-                    [&](VirtAddr, pt::PteLoc loc, pt::Pte pte,
+                    [&](VirtAddr, pt::PteLoc, pt::Pte pte,
                         PageSizeKind size) {
-                        pt::WalkResult r;
-                        r.mapped = true;
-                        r.leaf = pte;
-                        r.loc = loc;
-                        r.size = size;
-                        leaves.push_back(r);
+                        leaves.emplace_back(pte, size);
                     });
-    for (const auto &leaf : leaves)
-        freeLeafData(leaf);
+    for (const auto &[pte, size] : leaves)
+        freeLeafData(pte, size);
 
     KernelCost cost;
     ops.destroy(proc.roots(), &cost);
@@ -119,17 +114,15 @@ Kernel::mmapFixed(Process &proc, VirtAddr start, std::uint64_t length,
     MITOSIM_ASSERT(length > 0, "mmap of zero length");
     MITOSIM_ASSERT((start & (PageSize - 1)) == 0, "mmapFixed: unaligned");
     std::uint64_t rounded = alignUp(length, PageSize);
-    for (const Vma &v : proc.vmas()) {
-        if (start < v.end && start + rounded > v.start)
-            fatal("mmapFixed: range overlaps an existing VMA");
-    }
+    if (proc.overlapsRange(start, start + rounded))
+        fatal("mmapFixed: range overlaps an existing VMA");
 
     Vma vma;
     vma.start = start;
     vma.end = start + rounded;
     vma.prot = opts.prot;
     vma.thpEnabled = opts.thp;
-    proc.vmas().push_back(vma);
+    proc.insertVma(vma);
 
     if (cost)
         cost->charge(pvops::VmaOpFixedCost);
@@ -144,30 +137,111 @@ Kernel::mmapFixed(Process &proc, VirtAddr start, std::uint64_t length,
 }
 
 void
+Kernel::populateVmaRange(Process &proc, const Vma &vma, VirtAddr start,
+                         VirtAddr end, CoreId core, KernelCost &cost)
+{
+    if (vma.thpEnabled) {
+        // THP ranges keep the per-page fault path: each page decides
+        // between a 2 MB and a 4 KB mapping against the current
+        // fragmentation state, exactly like the demand-fault handler
+        // (one faultIn per 2 MB in the common case).
+        VirtAddr va = start;
+        while (va < end) {
+            pt::WalkResult existing = ops.walk(proc.roots(), va);
+            PageSizeKind size = existing.size;
+            if (!existing.mapped) {
+                if (!faultIn(proc, core, va, cost, &size))
+                    fatal("populate: out of memory at va=0x%llx",
+                          (unsigned long long)va);
+            }
+            va += (size == PageSizeKind::Large2M)
+                      ? LargePageSize - (va & (LargePageSize - 1))
+                      : PageSize;
+        }
+        return;
+    }
+
+    // 4 KB ranges go through the leaf-table cursor: one descent per
+    // table instead of three per page, with the mapping streamed
+    // through the backend's batched hook.
+    SocketId faulting_socket = mach.topology().socketOfCore(core);
+    auto &physmem = mach.physmem();
+    std::uint64_t flags = pt::PteUser;
+    if (vma.prot & ProtWrite)
+        flags |= pt::PteWrite;
+
+    ops.mapRange4K(
+        proc.roots(), proc.id(), start, end, proc.ptPolicy,
+        faulting_socket,
+        [&](VirtAddr va) {
+            cost.charge(pvops::FaultFixedCost);
+            SocketId target =
+                chooseDataSocket(proc, va, faulting_socket, false);
+            auto pfn = physmem.allocData(target, proc.id());
+            if (!pfn)
+                pfn = physmem.allocDataAny(target, proc.id());
+            if (!pfn)
+                fatal("populate: out of memory at va=0x%llx",
+                      (unsigned long long)va);
+            cost.charge(pvops::PageAllocCost + pvops::PageZeroCost);
+            ++proc.residentPages;
+            return pt::Pte::make(*pfn, flags | pt::PtePresent);
+        },
+        &cost);
+}
+
+void
 Kernel::populate(Process &proc, VirtAddr start, std::uint64_t length,
                  CoreId core, KernelCost *cost)
 {
     KernelCost local;
     KernelCost &c = cost ? *cost : local;
-    VirtAddr va = start;
     VirtAddr end = start + length;
-    while (va < end) {
-        pt::WalkResult existing = ops.walk(proc.roots(), va);
-        if (existing.mapped) {
-            va += (existing.size == PageSizeKind::Large2M)
-                      ? LargePageSize - (va & (LargePageSize - 1))
-                      : PageSize;
-            continue;
-        }
-        if (!faultIn(proc, core, va, c))
-            fatal("populate: out of memory at va=0x%llx",
-                  (unsigned long long)va);
-        pt::WalkResult mapped = ops.walk(proc.roots(), va);
-        MITOSIM_ASSERT(mapped.mapped, "populate: fault-in did not map");
-        va += (mapped.size == PageSizeKind::Large2M)
-                  ? LargePageSize - (va & (LargePageSize - 1))
-                  : PageSize;
+
+    // A VMA-less gap is tolerated only if fully mapped (e.g. by hand
+    // through ptOps), as the per-page path would have skipped it; the
+    // first unmapped page in it is a segfault, as it was for faultIn.
+    auto checkGapMapped = [&](VirtAddr from, VirtAddr to) {
+        VirtAddr expect = from;
+        ops.forRange(proc.roots(), from, to,
+                     [&](VirtAddr va, pt::PteLoc, pt::Pte,
+                         PageSizeKind size) {
+                         if (std::max(va, from) > expect)
+                             return; // keep the *first* hole
+                         VirtAddr span =
+                             size == PageSizeKind::Large2M
+                                 ? LargePageSize
+                                 : PageSize;
+                         expect = std::max(expect, va + span);
+                     });
+        if (expect < to)
+            panic("segfault: pid %d touched unmapped va=0x%llx",
+                  proc.id(), (unsigned long long)expect);
+    };
+
+    // Collect the VMA-covered subranges first (populate never mutates
+    // the VMA tree), then sweep them in address order.
+    struct Segment
+    {
+        const Vma *vma;
+        VirtAddr start;
+        VirtAddr end;
+    };
+    std::vector<Segment> segments;
+    proc.forEachVmaIn(start, end, [&](const Vma &v) {
+        segments.push_back({&v, std::max(start, v.start),
+                            std::min(end, v.end)});
+    });
+
+    VirtAddr at = start;
+    for (const Segment &seg : segments) {
+        if (at < seg.start)
+            checkGapMapped(at, seg.start);
+        populateVmaRange(proc, *seg.vma, seg.start, seg.end, core, c);
+        at = seg.end;
     }
+    if (at < end)
+        checkGapMapped(at, end);
 }
 
 void
@@ -181,47 +255,20 @@ Kernel::munmap(Process &proc, VirtAddr start, std::uint64_t length,
     if (cost)
         cost->charge(pvops::VmaOpFixedCost);
 
-    std::uint64_t pages_touched = 0;
-    for (VirtAddr va = start; va < end;) {
-        pt::WalkResult res = ops.unmap(proc.roots(), va, cost);
-        if (!res.mapped) {
-            va += PageSize;
-            continue;
-        }
-        freeLeafData(res);
-        if (cost)
-            cost->charge(pvops::PageFreeCost);
-        ++pages_touched;
-        if (pages_touched <= FlushAllThresholdPages)
-            shootdown(proc, va, nullptr);
-        va += (res.size == PageSizeKind::Large2M)
-                  ? LargePageSize - (va & (LargePageSize - 1))
-                  : PageSize;
-    }
-    if (pages_touched > FlushAllThresholdPages)
-        flushProcess(proc, nullptr);
-    if (pages_touched > 0 && cost)
-        cost->charge(pvops::TlbShootdownCost);
+    std::vector<VirtAddr> invalidate;
+    std::uint64_t pages = ops.unmapRange(
+        proc.roots(), start, end,
+        [&](VirtAddr va, pt::Pte old, PageSizeKind size) {
+            freeLeafData(old, size);
+            if (cost)
+                cost->charge(pvops::PageFreeCost);
+            if (invalidate.size() <= FlushAllThresholdPages)
+                invalidate.push_back(std::max(va, start));
+        },
+        cost);
+    shootdownRange(proc, invalidate, pages, cost);
 
-    // Trim / split the VMA list.
-    std::vector<Vma> updated;
-    for (const Vma &v : proc.vmas()) {
-        if (v.end <= start || v.start >= end) {
-            updated.push_back(v);
-            continue;
-        }
-        if (v.start < start) {
-            Vma left = v;
-            left.end = start;
-            updated.push_back(left);
-        }
-        if (v.end > end) {
-            Vma right = v;
-            right.start = end;
-            updated.push_back(right);
-        }
-    }
-    proc.vmas() = std::move(updated);
+    proc.removeVmaRange(start, end);
 }
 
 void
@@ -242,30 +289,19 @@ Kernel::mprotect(Process &proc, VirtAddr start, std::uint64_t length,
     else
         clear |= pt::PteWrite;
 
-    std::uint64_t pages_touched = 0;
-    for (VirtAddr va = start; va < end;) {
-        pt::WalkResult res = ops.walk(proc.roots(), va);
-        if (!res.mapped) {
-            va += PageSize;
-            continue;
-        }
-        ops.protect(proc.roots(), va, set, clear, cost);
-        ++pages_touched;
-        if (pages_touched <= FlushAllThresholdPages)
-            shootdown(proc, va, nullptr);
-        va += (res.size == PageSizeKind::Large2M)
-                  ? LargePageSize - (va & (LargePageSize - 1))
-                  : PageSize;
-    }
-    if (pages_touched > FlushAllThresholdPages)
-        flushProcess(proc, nullptr);
-    if (pages_touched > 0 && cost)
-        cost->charge(pvops::TlbShootdownCost);
+    std::vector<VirtAddr> invalidate;
+    std::uint64_t pages = ops.protectRange(
+        proc.roots(), start, end, set, clear,
+        [&](VirtAddr va, PageSizeKind) {
+            if (invalidate.size() <= FlushAllThresholdPages)
+                invalidate.push_back(std::max(va, start));
+        },
+        cost);
+    shootdownRange(proc, invalidate, pages, cost);
 
-    for (Vma &v : proc.vmas()) {
-        if (v.start >= start && v.end <= end)
-            v.prot = prot;
-    }
+    // Split partially covered VMAs so the metadata matches the PTEs
+    // (the seed skipped them, leaving a stale prot).
+    proc.protectVmaRange(start, end, prot);
 }
 
 int
@@ -435,6 +471,30 @@ Kernel::flushProcess(Process &proc, KernelCost *cost)
         cost->charge(pvops::TlbShootdownCost);
 }
 
+void
+Kernel::shootdownRange(Process &proc, const std::vector<VirtAddr> &vas,
+                       std::uint64_t pages, KernelCost *cost)
+{
+    if (pages == 0)
+        return;
+    if (pages > FlushAllThresholdPages) {
+        // Beyond the single-page-flush ceiling one full flush is
+        // cheaper than per-page invalidations (Linux's heuristic).
+        flushProcess(proc, nullptr);
+    } else {
+        for (const auto &t : proc.threads()) {
+            auto &core = mach.core(t.core);
+            for (VirtAddr va : vas) {
+                core.tlb().invalidatePage(va);
+                core.pwc().invalidate(va);
+            }
+        }
+    }
+    // One IPI round per range op, attributed to the caller.
+    if (cost)
+        cost->charge(pvops::TlbShootdownCost);
+}
+
 SocketId
 Kernel::chooseDataSocket(Process &proc, VirtAddr va,
                          SocketId faulting_socket, bool large)
@@ -455,8 +515,11 @@ Kernel::chooseDataSocket(Process &proc, VirtAddr va,
 }
 
 bool
-Kernel::faultIn(Process &proc, CoreId core, VirtAddr va, KernelCost &cost)
+Kernel::faultIn(Process &proc, CoreId core, VirtAddr va, KernelCost &cost,
+                PageSizeKind *mapped_size)
 {
+    if (mapped_size)
+        *mapped_size = PageSizeKind::Base4K;
     const Vma *vma = proc.findVma(va);
     if (!vma)
         panic("segfault: pid %d touched unmapped va=0x%llx", proc.id(),
@@ -484,6 +547,8 @@ Kernel::faultIn(Process &proc, CoreId core, VirtAddr va, KernelCost &cost)
             if (ops.map2M(proc.roots(), proc.id(), huge_base, *head, flags,
                           proc.ptPolicy, faulting_socket, &cost)) {
                 proc.residentPages += FramesPerLargePage;
+                if (mapped_size)
+                    *mapped_size = PageSizeKind::Large2M;
                 return true;
             }
             physmem.freeDataLarge(*head);
@@ -510,13 +575,13 @@ Kernel::faultIn(Process &proc, CoreId core, VirtAddr va, KernelCost &cost)
 }
 
 void
-Kernel::freeLeafData(const pt::WalkResult &leaf)
+Kernel::freeLeafData(pt::Pte leaf, PageSizeKind size)
 {
     auto &physmem = mach.physmem();
-    if (leaf.size == PageSizeKind::Large2M)
-        physmem.freeDataLarge(leaf.leaf.pfn());
+    if (size == PageSizeKind::Large2M)
+        physmem.freeDataLarge(leaf.pfn());
     else
-        physmem.freeData(leaf.leaf.pfn());
+        physmem.freeData(leaf.pfn());
 }
 
 Cycles

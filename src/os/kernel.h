@@ -172,6 +172,17 @@ class Kernel
 
     /** Full TLB flush on every core running @p proc. */
     void flushProcess(Process &proc, pvops::KernelCost *cost);
+
+    /**
+     * One shootdown decision per range op: invalidate the (≤ threshold)
+     * collected @p vas individually, or flush every core's TLB outright
+     * when @p pages exceeds the single-page-flush ceiling. Exactly one
+     * IPI round (TlbShootdownCost) is charged to @p cost when any page
+     * was touched — the seed charged this blindly at each call site
+     * while its per-page shootdowns ran uncharged.
+     */
+    void shootdownRange(Process &proc, const std::vector<VirtAddr> &vas,
+                        std::uint64_t pages, pvops::KernelCost *cost);
     /// @}
 
     /** Fault service routine registered with the Machine. */
@@ -180,15 +191,25 @@ class Kernel
   private:
     friend class AutoNuma;
 
-    /** Demand-fault @p va into @p proc from @p core. */
+    /**
+     * Demand-fault @p va into @p proc from @p core. @p mapped_size (if
+     * non-null) reports what was installed, so range loops can step
+     * without re-walking the tree.
+     */
     bool faultIn(Process &proc, CoreId core, VirtAddr va,
-                 pvops::KernelCost &cost);
+                 pvops::KernelCost &cost,
+                 PageSizeKind *mapped_size = nullptr);
+
+    /** Populate one VMA-covered subrange of a populate() request. */
+    void populateVmaRange(Process &proc, const Vma &vma, VirtAddr start,
+                          VirtAddr end, CoreId core,
+                          pvops::KernelCost &cost);
 
     SocketId chooseDataSocket(Process &proc, VirtAddr va,
                               SocketId faulting_socket, bool large);
 
     /** Free the data frame behind a leaf (4 KB or 2 MB). */
-    void freeLeafData(const pt::WalkResult &leaf);
+    void freeLeafData(pt::Pte leaf, PageSizeKind size);
 
     CoreId findFreeCore(SocketId socket) const;
 

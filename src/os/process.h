@@ -2,16 +2,24 @@
  * @file
  * Processes, their address spaces (VMAs) and placement policies.
  *
- * The process owns a pt::RootSet (its CR3 array), a sorted VMA list, and
- * the data/page-table placement policies the paper's analysis varies
+ * The process owns a pt::RootSet (its CR3 array), an ordered VMA tree,
+ * and the data/page-table placement policies the paper's analysis varies
  * (first-touch vs interleave data placement, §3.1; forced page-table
  * sockets, §3.2).
+ *
+ * The VMA tree is keyed by start address (Linux's maple-tree role):
+ * findVma is O(log V), and mmap/munmap/mprotect manipulate exact ranges
+ * with Linux-style split/merge — a range op splits partially covered
+ * VMAs so the metadata always matches the PTEs, and adjacent non-THP
+ * VMAs with identical attributes merge back into one (see
+ * Vma::mergeableWith for why THP regions stay separate).
  */
 
 #ifndef MITOSIM_OS_PROCESS_H
 #define MITOSIM_OS_PROCESS_H
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -47,6 +55,20 @@ struct Vma
 
     bool contains(VirtAddr va) const { return va >= start && va < end; }
     std::uint64_t length() const { return end - start; }
+
+    /**
+     * May this VMA merge with adjacent @p o? Attributes must match,
+     * and THP VMAs never merge: a merged THP VMA would let a later
+     * fault install a 2 MB page spanning the old boundary, silently
+     * coupling the two mappings' lifetimes (an munmap of one region
+     * would tear down its neighbour's huge page) — behaviour the
+     * per-region seed semantics never allowed.
+     */
+    bool
+    mergeableWith(const Vma &o) const
+    {
+        return prot == o.prot && !thpEnabled && !o.thpEnabled;
+    }
 };
 
 /** A runnable thread pinned to one core. */
@@ -60,6 +82,9 @@ struct Thread
 class Process
 {
   public:
+    /** VMAs ordered by start address. */
+    using VmaMap = std::map<VirtAddr, Vma>;
+
     Process(ProcId id, std::string name) : pid(id), name_(std::move(name))
     {
     }
@@ -75,18 +100,17 @@ class Process
     pt::RootSet &roots() { return roots_; }
     const pt::RootSet &roots() const { return roots_; }
 
-    std::vector<Vma> &vmas() { return vmas_; }
-    const std::vector<Vma> &vmas() const { return vmas_; }
+    const VmaMap &vmas() const { return vmas_; }
 
-    /** VMA containing @p va, or nullptr. */
+    /** VMA containing @p va, or nullptr. O(log V). */
     const Vma *
     findVma(VirtAddr va) const
     {
-        for (const auto &v : vmas_) {
-            if (v.contains(va))
-                return &v;
-        }
-        return nullptr;
+        auto it = vmas_.upper_bound(va);
+        if (it == vmas_.begin())
+            return nullptr;
+        --it;
+        return it->second.contains(va) ? &it->second : nullptr;
     }
 
     Vma *
@@ -94,6 +118,135 @@ class Process
     {
         return const_cast<Vma *>(
             static_cast<const Process *>(this)->findVma(va));
+    }
+
+    /** Does any VMA intersect [start, end)? O(log V). */
+    bool
+    overlapsRange(VirtAddr start, VirtAddr end) const
+    {
+        auto it = vmas_.lower_bound(start);
+        if (it != vmas_.end() && it->second.start < end)
+            return true;
+        if (it == vmas_.begin())
+            return false;
+        --it;
+        return it->second.end > start;
+    }
+
+    /**
+     * Insert @p vma (must not overlap an existing VMA), merging with
+     * mergeable adjacent VMAs (same attributes, non-THP).
+     */
+    void
+    insertVma(Vma vma)
+    {
+        auto next = vmas_.lower_bound(vma.start);
+        if (next != vmas_.begin()) {
+            auto prev = std::prev(next);
+            if (prev->second.end == vma.start &&
+                prev->second.mergeableWith(vma)) {
+                vma.start = prev->second.start;
+                vmas_.erase(prev);
+            }
+        }
+        if (next != vmas_.end() && next->second.start == vma.end &&
+            next->second.mergeableWith(vma)) {
+            vma.end = next->second.end;
+            vmas_.erase(next);
+        }
+        vmas_.emplace(vma.start, vma);
+    }
+
+    /**
+     * Remove [start, end) from the VMA metadata: fully covered VMAs
+     * vanish, partially covered ones are split/trimmed to the exact
+     * boundary (what Linux's munmap does to the tree).
+     */
+    void
+    removeVmaRange(VirtAddr start, VirtAddr end)
+    {
+        auto it = vmas_.upper_bound(start);
+        if (it != vmas_.begin())
+            --it;
+        while (it != vmas_.end() && it->second.start < end) {
+            Vma v = it->second;
+            if (v.end <= start) {
+                ++it;
+                continue;
+            }
+            it = vmas_.erase(it);
+            if (v.start < start) {
+                Vma left = v;
+                left.end = start;
+                vmas_.emplace(left.start, left);
+            }
+            if (v.end > end) {
+                Vma right = v;
+                right.start = end;
+                it = vmas_.emplace(right.start, right).first;
+                ++it;
+            }
+        }
+    }
+
+    /**
+     * Set @p prot over exactly [start, end): partially covered VMAs are
+     * split at the boundary so the metadata matches the rewritten PTEs
+     * (the seed only updated fully-contained VMAs, leaving partial
+     * overlaps stale). Mergeable adjacent VMAs merge back.
+     */
+    void
+    protectVmaRange(VirtAddr start, VirtAddr end, std::uint64_t prot)
+    {
+        auto it = vmas_.upper_bound(start);
+        if (it != vmas_.begin())
+            --it;
+        while (it != vmas_.end() && it->second.start < end) {
+            Vma &v = it->second;
+            if (v.end <= start || v.prot == prot) {
+                ++it;
+                continue;
+            }
+            if (v.start < start) {
+                // Split off the uncovered head, then revisit the tail.
+                Vma left = v;
+                left.end = start;
+                Vma right = v;
+                right.start = start;
+                vmas_.erase(it);
+                vmas_.emplace(left.start, left);
+                it = vmas_.emplace(right.start, right).first;
+                continue;
+            }
+            if (v.end > end) {
+                Vma head = v;
+                head.end = end;
+                head.prot = prot;
+                Vma tail = v;
+                tail.start = end;
+                vmas_.erase(it);
+                vmas_.emplace(head.start, head);
+                it = vmas_.emplace(tail.start, tail).first;
+            } else {
+                v.prot = prot;
+                ++it;
+            }
+        }
+        mergeAdjacent(start, end);
+    }
+
+    /** Visit every VMA intersecting [start, end), in address order. */
+    template <typename Fn>
+    void
+    forEachVmaIn(VirtAddr start, VirtAddr end, Fn &&fn) const
+    {
+        auto it = vmas_.upper_bound(start);
+        if (it != vmas_.begin())
+            --it;
+        for (; it != vmas_.end() && it->second.start < end; ++it) {
+            if (it->second.end > start)
+                fn(it->second);
+        }
     }
 
     /** Bump-allocated mmap area; 2 MB aligned for THP friendliness. */
@@ -127,10 +280,31 @@ class Process
     std::uint64_t residentPages = 0;
 
   private:
+    /** Merge same-attribute neighbours around [from, to]. */
+    void
+    mergeAdjacent(VirtAddr from, VirtAddr to)
+    {
+        auto it = vmas_.lower_bound(from);
+        if (it != vmas_.begin())
+            --it;
+        while (it != vmas_.end() && it->second.start <= to) {
+            auto next = std::next(it);
+            if (next == vmas_.end())
+                break;
+            if (it->second.end == next->second.start &&
+                it->second.mergeableWith(next->second)) {
+                it->second.end = next->second.end;
+                vmas_.erase(next);
+            } else {
+                it = next;
+            }
+        }
+    }
+
     ProcId pid;
     std::string name_;
     pt::RootSet roots_;
-    std::vector<Vma> vmas_;
+    VmaMap vmas_;
     std::vector<Thread> threads_;
     VirtAddr nextMmap = 0x10000000000ull; //!< 1 TiB, clear of nullptr
 };

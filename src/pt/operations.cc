@@ -1,5 +1,7 @@
 #include "operations.h"
 
+#include <algorithm>
+#include <array>
 #include <vector>
 
 #include "src/base/logging.h"
@@ -7,6 +9,26 @@
 
 namespace mitosim::pt
 {
+
+namespace
+{
+
+/** First slot of @p table (entry va of slot 0 = @p base) in range. */
+unsigned
+firstSlotInRange(VirtAddr base, std::uint64_t span, VirtAddr start)
+{
+    return start > base ? static_cast<unsigned>((start - base) / span) : 0;
+}
+
+/** Is @p entry a leaf at @p level (L1, or a huge L2 entry)? */
+bool
+isLeafAt(Pte entry, int level)
+{
+    return entry.present() &&
+           (level == 1 || (level == 2 && entry.huge()));
+}
+
+} // namespace
 
 bool
 PageTableOps::createRoot(RootSet &roots, ProcId owner, SocketId socket,
@@ -160,6 +182,244 @@ PageTableOps::protect(RootSet &roots, VirtAddr va, std::uint64_t set_flags,
     Pte updated = cur.withFlags(set_flags, clear_flags);
     pv->setPte(roots, res.loc, updated, level, cost);
     return true;
+}
+
+void
+PageTableOps::forEachLeafRun(
+    Pfn table, int level, VirtAddr base, VirtAddr start, VirtAddr end,
+    const std::function<void(Pfn, int, VirtAddr, unsigned, unsigned)> &fn)
+    const
+{
+    const std::uint64_t *tbl = mem.table(table);
+    std::uint64_t span = bytesPerEntry(ptLevel(level));
+    unsigned i = firstSlotInRange(base, span, start);
+    while (i < PtEntriesPerPage && base + i * span < end) {
+        Pte entry{tbl[i]};
+        if (!entry.present()) {
+            ++i;
+            continue;
+        }
+        if (!isLeafAt(entry, level)) {
+            forEachLeafRun(entry.pfn(), level - 1, base + i * span,
+                           start, end, fn);
+            ++i;
+            continue;
+        }
+        unsigned run_start = i;
+        while (i < PtEntriesPerPage && base + i * span < end &&
+               isLeafAt(Pte{tbl[i]}, level))
+            ++i;
+        fn(table, level, base, run_start, i - run_start);
+    }
+}
+
+void
+PageTableOps::forRange(
+    const RootSet &roots, VirtAddr start, VirtAddr end,
+    const std::function<void(VirtAddr, PteLoc, Pte, PageSizeKind)> &fn)
+    const
+{
+    if (roots.primaryRoot == InvalidPfn || start >= end)
+        return;
+    forEachLeafRun(
+        roots.primaryRoot, 4, 0, start, end,
+        [&](Pfn table, int level, VirtAddr base, unsigned first,
+            unsigned n) {
+            const std::uint64_t *tbl = mem.table(table);
+            std::uint64_t span = bytesPerEntry(ptLevel(level));
+            for (unsigned k = first; k < first + n; ++k) {
+                fn(base + k * span, PteLoc{table, k}, Pte{tbl[k]},
+                   level == 1 ? PageSizeKind::Base4K
+                              : PageSizeKind::Large2M);
+            }
+        });
+}
+
+std::uint64_t
+PageTableOps::mapRange4K(RootSet &roots, ProcId owner, VirtAddr start,
+                         VirtAddr end, PtPlacementPolicy &pt_policy,
+                         SocketId faulting_socket,
+                         const std::function<Pte(VirtAddr)> &fill,
+                         pvops::KernelCost *cost)
+{
+    MITOSIM_ASSERT(roots.primaryRoot != InvalidPfn, "process has no root");
+    std::uint64_t mapped = 0;
+    std::array<Pte, PtEntriesPerPage> run;
+    int num_sockets = mem.topology().numSockets();
+
+    VirtAddr va = alignDown(start, PageSize);
+    while (va < end) {
+        VirtAddr chunk_end =
+            std::min(end, alignDown(va, LargePageSize) + LargePageSize);
+
+        // Descend once per leaf table, raw reads like walk(). The path
+        // slots are shared by every page of the chunk and are re-read
+        // through the backend per mapped page below, reproducing the
+        // per-page descendAlloc charges.
+        PteLoc path[3];
+        Pfn leaf_table = InvalidPfn;
+        int missing_level = 0; //!< levels missing_level..1 need tables
+        bool huge = false;
+        Pfn table = roots.primaryRoot;
+        for (int level = 4; level >= 2; --level) {
+            unsigned idx = ptIndex(va, ptLevel(level));
+            path[4 - level] = PteLoc{table, idx};
+            Pte entry{mem.table(table)[idx]};
+            if (!entry.present()) {
+                missing_level = level - 1;
+                break;
+            }
+            if (level == 2 && entry.huge()) {
+                huge = true;
+                break;
+            }
+            table = entry.pfn();
+        }
+        if (huge) {
+            va = chunk_end; // whole chunk mapped by a 2 MB leaf
+            continue;
+        }
+        if (!missing_level)
+            leaf_table = table;
+
+        unsigned run_start = 0;
+        unsigned run_len = 0;
+        std::uint64_t filled = 0;
+        auto flushRun = [&] {
+            if (run_len) {
+                pv->setPtes(roots, PteLoc{leaf_table, run_start},
+                            run.data(), run_len, 1, cost);
+                run_len = 0;
+            }
+        };
+
+        for (; va < chunk_end; va += PageSize) {
+            unsigned idx = ptIndex(va, PtLevel::L1);
+            if (leaf_table != InvalidPfn &&
+                Pte{mem.table(leaf_table)[idx]}.present()) {
+                flushRun();
+                continue;
+            }
+
+            Pte value = fill(va);
+
+            if (leaf_table == InvalidPfn) {
+                // First page under a missing subtree: allocate the
+                // chain top-down *after* fill(), so frame-allocation
+                // order matches the per-page fault path (data frame
+                // first, then tables).
+                for (int level = missing_level; level >= 1; --level) {
+                    PteLoc parent = path[3 - level];
+                    SocketId target = pt_policy.chooseSocket(
+                        faulting_socket, num_sockets);
+                    Pfn child = pv->allocPtPage(roots, owner, level,
+                                                target, cost);
+                    if (child == InvalidPfn)
+                        fatal("mapRange4K: out of memory for a "
+                              "level-%d table",
+                              level);
+                    pv->setPte(roots, parent,
+                               Pte::make(child, PtePresent | PteWrite |
+                                                    PteUser),
+                               level + 1, cost);
+                    if (level > 1) {
+                        path[4 - level] =
+                            PteLoc{child, ptIndex(va, ptLevel(level))};
+                    } else {
+                        leaf_table = child;
+                    }
+                }
+                missing_level = 0;
+            }
+
+            if (run_len == 0)
+                run_start = idx;
+            run[run_len++] = value;
+            ++filled;
+            ++mapped;
+        }
+        flushRun();
+
+        // Per-page descent charge: the per-page path paid one readPte
+        // per upper level for every page it mapped. All pages of the
+        // chunk share the same three path slots, so charge the n-fold
+        // reads in one backend call each.
+        if (filled) {
+            for (const PteLoc &slot : path)
+                pv->readPteMany(roots, slot,
+                                static_cast<unsigned>(filled), cost);
+        }
+    }
+    return mapped;
+}
+
+std::uint64_t
+PageTableOps::unmapRange(
+    RootSet &roots, VirtAddr start, VirtAddr end,
+    const std::function<void(VirtAddr, Pte, PageSizeKind)> &freed,
+    pvops::KernelCost *cost)
+{
+    if (roots.primaryRoot == InvalidPfn || start >= end)
+        return 0;
+    std::uint64_t cleared = 0;
+    std::array<Pte, PtEntriesPerPage> zeros{}; // shared batched value
+    std::array<Pte, PtEntriesPerPage> olds;
+
+    forEachLeafRun(
+        roots.primaryRoot, 4, 0, start, end,
+        [&](Pfn table, int level, VirtAddr base, unsigned first,
+            unsigned n) {
+            const std::uint64_t *tbl = mem.table(table);
+            std::uint64_t span = bytesPerEntry(ptLevel(level));
+            PageSizeKind size = level == 1 ? PageSizeKind::Base4K
+                                           : PageSizeKind::Large2M;
+            for (unsigned k = 0; k < n; ++k)
+                olds[k] = Pte{tbl[first + k]};
+            // One batched clear through the backend per run.
+            pv->setPtes(roots, PteLoc{table, first}, zeros.data(), n,
+                        level, cost);
+            for (unsigned k = 0; k < n; ++k)
+                freed(base + (first + k) * span, olds[k], size);
+            cleared += n;
+        });
+    return cleared;
+}
+
+std::uint64_t
+PageTableOps::protectRange(
+    RootSet &roots, VirtAddr start, VirtAddr end, std::uint64_t set_flags,
+    std::uint64_t clear_flags,
+    const std::function<void(VirtAddr, PageSizeKind)> &touched,
+    pvops::KernelCost *cost)
+{
+    if (roots.primaryRoot == InvalidPfn || start >= end)
+        return 0;
+    std::uint64_t rewritten = 0;
+    std::array<Pte, PtEntriesPerPage> values;
+
+    forEachLeafRun(
+        roots.primaryRoot, 4, 0, start, end,
+        [&](Pfn table, int level, VirtAddr base, unsigned first,
+            unsigned n) {
+            std::uint64_t span = bytesPerEntry(ptLevel(level));
+            PageSizeKind size = level == 1 ? PageSizeKind::Base4K
+                                           : PageSizeKind::Large2M;
+            // Read-modify-write the run; reads go through the backend
+            // (OR-ed A/D bits), the store is one batched setPtes.
+            for (unsigned k = 0; k < n; ++k) {
+                Pte cur = pv->readPte(roots, PteLoc{table, first + k},
+                                      cost);
+                values[k] = cur.withFlags(set_flags, clear_flags);
+            }
+            pv->setPtes(roots, PteLoc{table, first}, values.data(), n,
+                        level, cost);
+            if (touched) {
+                for (unsigned k = 0; k < n; ++k)
+                    touched(base + (first + k) * span, size);
+            }
+            rewritten += n;
+        });
+    return rewritten;
 }
 
 WalkResult

@@ -131,6 +131,75 @@ class PageTableOps
     bool clearAccessedDirty(RootSet &roots, VirtAddr va, std::uint64_t bits,
                             pvops::KernelCost *cost);
 
+    /// @name Range operations
+    /// @{
+    ///
+    /// The seed kernel executed every range syscall as a per-page loop
+    /// that re-descended the radix tree from CR3 for each 4 KB page.
+    /// These operations descend once per table instead and then sweep
+    /// its 512 slots, batching contiguous leaf stores through the
+    /// backend's setPtes hook. The *charged* cost model is kept
+    /// per-entry-identical to the per-page loops (each mapped page
+    /// still pays one readPte per upper level, each store the same
+    /// per-PTE charges) so that all reported metrics are unchanged;
+    /// only host wall-clock improves. See EXPERIMENTS.md
+    /// ("Range-based address-space operations").
+
+    /**
+     * Visit every present leaf whose entry intersects [start, end),
+     * in address order. Descends once per table (raw reads, uncharged,
+     * like walk()).
+     */
+    void forRange(const RootSet &roots, VirtAddr start, VirtAddr end,
+                  const std::function<void(VirtAddr, PteLoc, Pte,
+                                           PageSizeKind)> &fn) const;
+
+    /**
+     * Map every *unmapped* 4 KB slot in [start, end). @p fill(va)
+     * supplies the leaf to install (data frame + flags) and is invoked
+     * in ascending address order *before* any page-table page the
+     * mapping needs is allocated, so physical-frame allocation order
+     * matches the demand-fault path exactly. Missing intermediate
+     * tables are allocated top-down via @p pt_policy, as descendAlloc
+     * does. Slots already mapped (4 KB or huge) are skipped.
+     *
+     * @return the number of pages mapped.
+     */
+    std::uint64_t mapRange4K(RootSet &roots, ProcId owner, VirtAddr start,
+                             VirtAddr end, PtPlacementPolicy &pt_policy,
+                             SocketId faulting_socket,
+                             const std::function<Pte(VirtAddr)> &fill,
+                             pvops::KernelCost *cost);
+
+    /**
+     * Clear every present leaf intersecting [start, end). @p freed is
+     * invoked with each former leaf (entry-aligned va) after its slot
+     * run is cleared; intermediate tables are retained as in unmap().
+     *
+     * @return the number of leaf entries cleared.
+     */
+    std::uint64_t
+    unmapRange(RootSet &roots, VirtAddr start, VirtAddr end,
+               const std::function<void(VirtAddr, Pte, PageSizeKind)>
+                   &freed,
+               pvops::KernelCost *cost);
+
+    /**
+     * Read-modify-write the flags of every present leaf intersecting
+     * [start, end): set @p set_flags, clear @p clear_flags. @p touched
+     * (may be empty) observes each rewritten leaf's entry-aligned va.
+     *
+     * @return the number of leaf entries rewritten.
+     */
+    std::uint64_t
+    protectRange(RootSet &roots, VirtAddr start, VirtAddr end,
+                 std::uint64_t set_flags, std::uint64_t clear_flags,
+                 const std::function<void(VirtAddr, PageSizeKind)>
+                     &touched,
+                 pvops::KernelCost *cost);
+
+    /// @}
+
     /**
      * Visit every present leaf entry in the primary tree.
      * @param fn (va, level-1-or-2 loc, pte, size)
@@ -163,6 +232,18 @@ class PageTableOps
 
     /** Read-only descend; InvalidPfn if a level is missing. */
     Pfn descend(const RootSet &roots, VirtAddr va, int target_level) const;
+
+    /**
+     * The shared range-cursor skeleton: recursively visit [start, end)
+     * of the tree under @p table, invoking @p fn once per maximal run
+     * of contiguous present leaf entries (L1 slots, or huge L2 slots)
+     * with (table, level, table_base_va, first_slot, slot_count).
+     * forRange/unmapRange/protectRange all sit on this.
+     */
+    void forEachLeafRun(
+        Pfn table, int level, VirtAddr base, VirtAddr start, VirtAddr end,
+        const std::function<void(Pfn, int, VirtAddr, unsigned, unsigned)>
+            &fn) const;
 
     void destroyLevel(RootSet &roots, Pfn table, int level,
                       pvops::KernelCost *cost);

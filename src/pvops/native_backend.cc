@@ -51,6 +51,22 @@ NativeBackend::setPte(pt::RootSet &roots, pt::PteLoc loc, pt::Pte value,
     }
 }
 
+void
+NativeBackend::setPtes(pt::RootSet &roots, pt::PteLoc loc,
+                       const pt::Pte *values, unsigned count, int level,
+                       KernelCost *cost)
+{
+    (void)roots;
+    (void)level;
+    std::uint64_t *tbl = mem.table(loc.ptPfn) + loc.index;
+    for (unsigned k = 0; k < count; ++k)
+        tbl[k] = values[k].raw();
+    if (cost) {
+        cost->charge(PteWriteCost * count);
+        cost->pteWrites += count;
+    }
+}
+
 pt::Pte
 NativeBackend::readPte(const pt::RootSet &roots, pt::PteLoc loc,
                        KernelCost *cost) const
@@ -58,6 +74,16 @@ NativeBackend::readPte(const pt::RootSet &roots, pt::PteLoc loc,
     (void)roots;
     if (cost)
         cost->charge(PteReadCost);
+    return pt::Pte{mem.table(loc.ptPfn)[loc.index]};
+}
+
+pt::Pte
+NativeBackend::readPteMany(const pt::RootSet &roots, pt::PteLoc loc,
+                           unsigned n, KernelCost *cost) const
+{
+    (void)roots;
+    if (cost)
+        cost->charge(PteReadCost * n);
     return pt::Pte{mem.table(loc.ptPfn)[loc.index]};
 }
 

@@ -79,11 +79,52 @@ class PvOps
                         int level, KernelCost *cost) = 0;
 
     /**
+     * Batched set_pte: store @p values[0..count) into the @p count
+     * consecutive slots starting at @p loc. All slots live in the same
+     * page-table page (the caller guarantees
+     * loc.index + count <= PtEntriesPerPage), which is what lets
+     * replicating backends locate the replica set once per table and
+     * stream the stores instead of chasing the replica list per entry.
+     *
+     * The default forwards to setPte per entry, so every backend
+     * inherits correct semantics and the exact per-entry cost model.
+     * Overrides must keep the *charged* costs per-entry-identical under
+     * their default configuration; cheaper batched charging is opt-in
+     * (see core::UpdateMode::Batched).
+     */
+    virtual void
+    setPtes(pt::RootSet &roots, pt::PteLoc loc, const pt::Pte *values,
+            unsigned count, int level, KernelCost *cost)
+    {
+        for (unsigned k = 0; k < count; ++k) {
+            setPte(roots, pt::PteLoc{loc.ptPfn, loc.index + k}, values[k],
+                   level, cost);
+        }
+    }
+
+    /**
      * Read the PTE at @p loc for OS purposes. Backends with replicas must
      * OR the Accessed/Dirty bits across all replicas (§5.4).
      */
     virtual pt::Pte readPte(const pt::RootSet &roots, pt::PteLoc loc,
                             KernelCost *cost) const = 0;
+
+    /**
+     * Charge-equivalent of calling readPte(loc) @p n times (range ops
+     * re-reading the same upper-level slot once per page below it).
+     * The default loops; backends override to read once and charge the
+     * identical n-fold cost, so range operations keep per-page charge
+     * parity with the per-page walk without per-page host work.
+     */
+    virtual pt::Pte
+    readPteMany(const pt::RootSet &roots, pt::PteLoc loc, unsigned n,
+                KernelCost *cost) const
+    {
+        pt::Pte value;
+        for (unsigned k = 0; k < n; ++k)
+            value = readPte(roots, loc, cost);
+        return value;
+    }
 
     /** Clear Accessed/Dirty at @p loc in *all* replicas. */
     virtual void clearAccessedDirty(pt::RootSet &roots, pt::PteLoc loc,

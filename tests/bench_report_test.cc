@@ -170,6 +170,35 @@ TEST(BenchReport, SchemaKeysPresent)
     EXPECT_TRUE(doc.find("runs")->isArray());
     ASSERT_NE(doc.find("speedups"), nullptr);
     EXPECT_TRUE(doc.find("speedups")->isObject());
+    // Host telemetry is opt-in: absent unless wallMs() was recorded.
+    EXPECT_EQ(doc.find("wall_ms"), nullptr);
+}
+
+TEST(BenchReport, WallMsSectionIsSeparateFromMetrics)
+{
+    BenchReport report = sampleReport();
+    report.wallMs("canneal F", 12.5);
+    report.wallMs("canneal F+M", 8.25);
+    report.wallMs("total", 21.0);
+    JsonValue doc = roundTrip(report);
+
+    const JsonValue *wall = doc.find("wall_ms");
+    ASSERT_NE(wall, nullptr);
+    ASSERT_TRUE(wall->isObject());
+    EXPECT_EQ(wall->size(), 3u);
+    ASSERT_NE(wall->find("canneal F"), nullptr);
+    EXPECT_EQ(wall->find("canneal F")->asNumber(), 12.5);
+    EXPECT_EQ(wall->find("total")->asNumber(), 21.0);
+
+    // wall_ms never leaks into any run's metrics: metric-comparison
+    // tooling diffs "runs"/"speedups" and ignores "wall_ms" wholesale.
+    const JsonValue *runs = doc.find("runs");
+    ASSERT_NE(runs, nullptr);
+    for (std::size_t i = 0; i < runs->size(); ++i) {
+        const JsonValue *metrics = runs->at(i).find("metrics");
+        ASSERT_NE(metrics, nullptr);
+        EXPECT_EQ(metrics->find("wall_ms"), nullptr);
+    }
 }
 
 TEST(BenchReport, RunsCarryLabelTagsAndFiniteMetrics)

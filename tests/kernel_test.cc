@@ -10,6 +10,7 @@
 #include "src/base/logging.h"
 #include "src/os/exec_context.h"
 #include "src/os/kernel.h"
+#include "src/pvops/costs.h"
 #include "src/pvops/native_backend.h"
 #include "src/sim/machine.h"
 
@@ -215,6 +216,145 @@ TEST_F(KernelTest, MunmapShootsDownTlbs)
     kernel.munmap(p, region.start, PageSize);
     // A fresh access must fault (and panic: VMA gone).
     EXPECT_THROW(ctx.access(tid, region.start, false), SimError);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, MprotectPartialOverlapSplitsVma)
+{
+    // Regression: the seed only updated VMAs *fully contained* in the
+    // mprotect range, so a partially covered VMA kept its old prot
+    // while its PTEs were rewritten. The VMA must split so metadata
+    // matches the PTEs.
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 8 * PageSize,
+                              MmapOptions{.populate = true});
+    kernel.mprotect(p, region.start + 2 * PageSize, 2 * PageSize,
+                    ProtRead);
+
+    ASSERT_NE(p.findVma(region.start), nullptr);
+    EXPECT_EQ(p.findVma(region.start)->prot,
+              std::uint64_t{ProtRead | ProtWrite});
+    ASSERT_NE(p.findVma(region.start + 2 * PageSize), nullptr);
+    EXPECT_EQ(p.findVma(region.start + 2 * PageSize)->prot,
+              std::uint64_t{ProtRead});
+    EXPECT_EQ(p.findVma(region.start + 3 * PageSize)->prot,
+              std::uint64_t{ProtRead});
+    EXPECT_EQ(p.findVma(region.start + 4 * PageSize)->prot,
+              std::uint64_t{ProtRead | ProtWrite});
+    EXPECT_EQ(p.vmas().size(), 3u);
+
+    // VMA boundaries are exact.
+    const Vma *mid = p.findVma(region.start + 2 * PageSize);
+    EXPECT_EQ(mid->start, region.start + 2 * PageSize);
+    EXPECT_EQ(mid->end, region.start + 4 * PageSize);
+
+    // And the PTEs agree with the metadata.
+    EXPECT_TRUE(kernel.ptOps()
+                    .walk(p.roots(), region.start)
+                    .leaf.writable());
+    EXPECT_FALSE(kernel.ptOps()
+                     .walk(p.roots(), region.start + 2 * PageSize)
+                     .leaf.writable());
+
+    // Restoring the prot merges the split VMAs back into one.
+    kernel.mprotect(p, region.start + 2 * PageSize, 2 * PageSize,
+                    ProtRead | ProtWrite);
+    EXPECT_EQ(p.vmas().size(), 1u);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, MprotectHeadOfVmaSplitsAtBoundary)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 4 * PageSize,
+                              MmapOptions{.populate = true});
+    kernel.mprotect(p, region.start, 2 * PageSize, ProtRead);
+    EXPECT_EQ(p.vmas().size(), 2u);
+    EXPECT_EQ(p.findVma(region.start)->end,
+              region.start + 2 * PageSize);
+    EXPECT_EQ(p.findVma(region.start)->prot, std::uint64_t{ProtRead});
+    EXPECT_EQ(p.findVma(region.start + 2 * PageSize)->prot,
+              std::uint64_t{ProtRead | ProtWrite});
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, ShootdownCostAttributedToRangeOps)
+{
+    // Regression: the seed's per-page shootdowns ran with a null cost
+    // and the IPI charge was added blindly at the call site. The range
+    // path must attribute exactly one shootdown round to the caller
+    // when pages were touched, and none otherwise.
+    Process &p = kernel.createProcess("test", 0);
+    auto region = kernel.mmap(p, 4 * PageSize,
+                              MmapOptions{.populate = true});
+
+    pvops::KernelCost unmap_cost;
+    kernel.munmap(p, region.start, 2 * PageSize, &unmap_cost);
+    EXPECT_GE(unmap_cost.cycles,
+              pvops::VmaOpFixedCost + pvops::TlbShootdownCost);
+
+    // Unmapping an already-empty range: no pages, no IPI round.
+    pvops::KernelCost empty_cost;
+    kernel.munmap(p, region.start, 2 * PageSize, &empty_cost);
+    EXPECT_EQ(empty_cost.cycles, pvops::VmaOpFixedCost);
+
+    // mprotect of an unpopulated range likewise skips the shootdown.
+    auto lazy_region = kernel.mmap(p, 2 * PageSize, MmapOptions{});
+    pvops::KernelCost protect_cost;
+    kernel.mprotect(p, lazy_region.start, lazy_region.length, ProtRead,
+                    &protect_cost);
+    EXPECT_EQ(protect_cost.cycles, pvops::VmaOpFixedCost);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, AdjacentEqualVmasMerge)
+{
+    Process &p = kernel.createProcess("test", 0);
+    auto a = kernel.mmapFixed(p, 0x20000000000ull, 4 * PageSize,
+                              MmapOptions{});
+    auto b = kernel.mmapFixed(p, a.end(), 4 * PageSize, MmapOptions{});
+    EXPECT_EQ(p.vmas().size(), 1u);
+    EXPECT_EQ(p.findVma(a.start)->end, b.end());
+
+    // Different attributes must NOT merge.
+    kernel.mmapFixed(p, b.end(), 4 * PageSize,
+                     MmapOptions{.prot = ProtRead});
+    EXPECT_EQ(p.vmas().size(), 2u);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, ThpVmasNeverMerge)
+{
+    // A merged THP VMA would let populate install a 2 MB page spanning
+    // the old region boundary, coupling the two mappings' lifetimes
+    // (munmap of one region would tear down its neighbour's pages).
+    Process &p = kernel.createProcess("test", 0);
+    VirtAddr base = 0x20000000000ull; // 2 MB aligned
+    std::uint64_t half = LargePageSize / 2;
+    kernel.mmapFixed(p, base, half, MmapOptions{.thp = true});
+    kernel.mmapFixed(p, base + half, half, MmapOptions{.thp = true});
+    EXPECT_EQ(p.vmas().size(), 2u);
+
+    // Populating the first region must stay within it: the aligned
+    // 2 MB block does not fit either (unmerged) VMA, so 4 KB pages.
+    kernel.populate(p, base, half, 0, nullptr);
+    auto res = kernel.ptOps().walk(p.roots(), base);
+    EXPECT_TRUE(res.mapped);
+    EXPECT_EQ(res.size, PageSizeKind::Base4K);
+    EXPECT_FALSE(kernel.ptOps().walk(p.roots(), base + half).mapped);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, PopulateOverVmaHolePanics)
+{
+    Process &p = kernel.createProcess("test", 0);
+    VirtAddr base = 0x20000000000ull;
+    kernel.mmapFixed(p, base, 2 * PageSize, MmapOptions{});
+    kernel.mmapFixed(p, base + 4 * PageSize, 2 * PageSize,
+                     MmapOptions{});
+    // [base+2p, base+4p) has no VMA and no mappings: segfault.
+    EXPECT_THROW(kernel.populate(p, base, 6 * PageSize, 0, nullptr),
+                 SimError);
     kernel.destroyProcess(p);
 }
 

@@ -59,8 +59,8 @@ TEST_F(MigrationTest, MigratePageTablesMovesWholeTree)
     EXPECT_FALSE(p.roots().replicated());
 
     // Translations survive the move.
-    for (const auto &vma : p.vmas()) {
-        for (VirtAddr va = vma.start; va < vma.end; va += PageSize)
+    for (const auto &[start, vma] : p.vmas()) {
+        for (VirtAddr va = start; va < vma.end; va += PageSize)
             EXPECT_TRUE(kernel.ptOps().walk(p.roots(), va).mapped);
     }
     kernel.destroyProcess(p);
@@ -86,7 +86,7 @@ TEST_F(MigrationTest, LazyMigrationKeepsSourceAsReplica)
     EXPECT_TRUE(p.roots().replicaMask.contains(1));
 
     // Migrating back is cheap: the old tree is still consistent.
-    VirtAddr probe = p.vmas().front().start;
+    VirtAddr probe = p.vmas().begin()->second.start;
     k2.ptOps().unmap(p.roots(), probe, nullptr); // mutate while lazy
     ASSERT_TRUE(lazy.migratePageTables(p.roots(), p.id(), 0));
     EXPECT_FALSE(k2.ptOps().walk(p.roots(), probe).mapped);

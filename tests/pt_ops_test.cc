@@ -296,5 +296,47 @@ TEST_F(PtOpsTest, CreateRootTwicePanics)
     ops.destroy(other, nullptr);
 }
 
+TEST_F(PtOpsTest, ForRangeVisitsIntersectingLeavesInOrder)
+{
+    // Sparse layout crossing an L1-table boundary (2 MB), with a hole.
+    VirtAddr base = 0x40000000ull;
+    for (std::uint64_t page : {0ull, 1ull, 3ull, 511ull, 512ull}) {
+        ASSERT_TRUE(ops.map4K(roots, 1, base + page * PageSize,
+                              dataFrame(0), PteWrite, policy, 0,
+                              nullptr));
+    }
+
+    std::vector<VirtAddr> seen;
+    ops.forRange(roots, base + PageSize, base + 513 * PageSize,
+                 [&](VirtAddr va, PteLoc loc, Pte pte, PageSizeKind sz) {
+                     EXPECT_TRUE(pte.present());
+                     EXPECT_EQ(sz, PageSizeKind::Base4K);
+                     EXPECT_EQ(Pte{pm.table(loc.ptPfn)[loc.index]}, pte);
+                     seen.push_back(va);
+                 });
+    EXPECT_EQ(seen, (std::vector<VirtAddr>{base + 1 * PageSize,
+                                           base + 3 * PageSize,
+                                           base + 511 * PageSize,
+                                           base + 512 * PageSize}));
+
+    // A 2 MB leaf partially overlapped by the range is still visited.
+    VirtAddr huge_va = 0x80000000ull;
+    auto head = pm.allocDataLarge(1, 1);
+    ASSERT_TRUE(head.has_value());
+    ASSERT_TRUE(ops.map2M(roots, 1, huge_va, *head, PteWrite, policy, 0,
+                          nullptr));
+    int huge_seen = 0;
+    ops.forRange(roots, huge_va + LargePageSize / 2,
+                 huge_va + LargePageSize,
+                 [&](VirtAddr va, PteLoc, Pte, PageSizeKind sz) {
+                     EXPECT_EQ(va, huge_va);
+                     EXPECT_EQ(sz, PageSizeKind::Large2M);
+                     ++huge_seen;
+                 });
+    EXPECT_EQ(huge_seen, 1);
+    ops.unmap(roots, huge_va, nullptr);
+    pm.freeDataLarge(*head);
+}
+
 } // namespace
 } // namespace mitosim::pt
