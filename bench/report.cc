@@ -569,6 +569,17 @@ BenchReport::wallMs(const std::string &label, double ms)
     wallMs_.set(label, JsonValue::number(ms));
 }
 
+void
+BenchReport::schedStat(const std::string &label, const std::string &key,
+                       double value)
+{
+    JsonValue job = JsonValue::object();
+    if (const JsonValue *existing = schedStats_.find(label))
+        job = *existing;
+    job.set(key, JsonValue::number(value));
+    schedStats_.set(label, std::move(job));
+}
+
 JsonValue
 BenchReport::toJson() const
 {
@@ -583,6 +594,8 @@ BenchReport::toJson() const
     doc.set("speedups", speedups_);
     if (wallMs_.size())
         doc.set("wall_ms", wallMs_);
+    if (schedStats_.size())
+        doc.set("scheduler", schedStats_);
     return doc;
 }
 

@@ -13,15 +13,20 @@
  *                    "tags":    { "<key>": "<string>", ... },
  *                    "metrics": { "<key>": <finite number>, ... } }, ... ],
  *     "speedups": { "<label>": <finite number>, ... },
- *     "wall_ms":  { "<job>": <number>, ..., "total": <number> }
+ *     "wall_ms":  { "<job>": <number>, ..., "total": <number> },
+ *     "scheduler": { "<job>": { "<stat>": <number>, ... }, ... }
  *   }
  *
- * "wall_ms" is host-side telemetry (per-job and total wall-clock,
- * recorded by the driver) and is the ONE section excluded from metric
- * comparisons: simulated results must be bit-identical across commits
+ * Two sections are excluded from metric comparisons. "wall_ms" is
+ * host-side telemetry (per-job and total wall-clock, recorded by the
+ * driver): simulated results must be bit-identical across commits
  * unless the model changed, while wall_ms is expected to drift with
- * host load and to improve with host-side optimizations. Tools diffing
- * reports must ignore it; it exists so wall-clock wins/regressions stay
+ * host load and to improve with host-side optimizations. "scheduler"
+ * (present only for benches that run the time-sharing scheduler)
+ * carries per-job scheduling activity — context switches, preemptions,
+ * migrations — which is deterministic but diagnostic: it explains the
+ * metrics without being one. Tools diffing reports must ignore both;
+ * they exist so wall-clock trends and scheduling behaviour stay
  * visible PR-to-PR via the CI artifacts.
  *
  * A minimal JSON value/writer/parser keeps the repo dependency-free; the
@@ -165,6 +170,15 @@ class BenchReport
      */
     void wallMs(const std::string &label, double ms);
 
+    /**
+     * Record one scheduler activity counter for job @p label. The
+     * "scheduler" section only appears in the JSON when at least one
+     * stat was recorded, and — like "wall_ms" — is excluded from
+     * metric comparisons.
+     */
+    void schedStat(const std::string &label, const std::string &key,
+                   double value);
+
     JsonValue toJson() const;
     std::string str() const { return toJson().str(2); }
 
@@ -183,6 +197,7 @@ class BenchReport
     std::vector<std::unique_ptr<BenchRun>> runs_;
     JsonValue speedups_ = JsonValue::object();
     JsonValue wallMs_ = JsonValue::object();
+    JsonValue schedStats_ = JsonValue::object();
 };
 
 /// @}

@@ -62,7 +62,8 @@ run(pvops::PvOps &backend, bool interfere_on_source)
 
     // The scheduler decides to consolidate: move the process (and its
     // data, as NUMA balancing eventually would) to socket 1.
-    kernel.migrateProcess(proc, 1, /*migrate_data=*/true);
+    if (!kernel.migrateProcess(proc, 1, /*migrate_data=*/true))
+        fatal("socket 1 cannot seat the process");
 
     // Meanwhile another tenant starts hammering socket 0's memory.
     if (interfere_on_source)

@@ -42,6 +42,13 @@ using CoreId = int;
 /** Process identifier. */
 using ProcId = int;
 
+/**
+ * Address-space identifier tagging TLB/PWC entries (x86 PCID / Arm
+ * ASID). 0 is the boot/global address space; the scheduler hands out
+ * 1..4095 and recycles with a generation bump (see os/scheduler.h).
+ */
+using Asid = std::uint16_t;
+
 /** Sentinel for "no frame". */
 inline constexpr Pfn InvalidPfn = std::numeric_limits<Pfn>::max();
 

@@ -7,11 +7,12 @@ SocketMask
 AutoPolicyEngine::runningSockets(os::Kernel &kernel,
                                  const os::Process &proc)
 {
-    SocketMask mask;
-    const auto &topo = kernel.machine().topology();
-    for (const auto &t : proc.threads())
-        mask.set(topo.socketOfCore(t.core));
-    return mask;
+    // Sockets the scheduler has the process's threads assigned to —
+    // pinned cores, or run-queue homes under time sharing. Replicating
+    // onto exactly these is the counter-driven analogue of the §5.3
+    // schedule-driven path (which the Mitosis backend also walks per
+    // first timeslice when configured scheduleDriven).
+    return kernel.socketsOf(proc);
 }
 
 AutoPolicyAction

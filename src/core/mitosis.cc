@@ -39,8 +39,11 @@ MitosisBackend::effectiveMask(const pt::RootSet &roots) const
         cfg.policy == SystemPolicy::FixedSocket) {
         return SocketMask::none();
     }
-    if (cfg.policy == SystemPolicy::AllProcesses)
+    if (cfg.policy == SystemPolicy::AllProcesses && !cfg.scheduleDriven)
         return SocketMask::all(mem.topology().numSockets());
+    // Schedule-driven: new page-table pages replicate only onto the
+    // sockets the process has actually been scheduled on so far (the
+    // mask onThreadScheduled grows) — §5.3's lazy allocation.
     return roots.replicaMask;
 }
 
@@ -572,6 +575,29 @@ MitosisBackend::onProcessMigrated(pt::RootSet &roots, ProcId owner,
             return;
     }
     migratePageTables(roots, owner, to, cost);
+}
+
+void
+MitosisBackend::onThreadScheduled(pt::RootSet &roots, ProcId owner,
+                                  SocketId socket, KernelCost *cost)
+{
+    if (!cfg.scheduleDriven)
+        return;
+    if (cfg.policy == SystemPolicy::Disabled ||
+        cfg.policy == SystemPolicy::FixedSocket) {
+        return;
+    }
+    // PerProcess: only processes that opted in (non-empty mask) grow.
+    if (cfg.policy == SystemPolicy::PerProcess &&
+        roots.replicaMask.empty()) {
+        return;
+    }
+    if (roots.replicaMask.contains(socket))
+        return; // not the first timeslice here: the replica exists
+    SocketMask mask = roots.replicaMask;
+    mask.set(socket);
+    if (setReplicationMask(roots, owner, mask, cost))
+        ++stats_.scheduleReplications;
 }
 
 } // namespace mitosim::core

@@ -76,6 +76,19 @@ struct MitosisConfig
 
     /** Migrate page-tables when the kernel migrates a process. */
     bool migrateOnProcessMove = true;
+
+    /**
+     * §5.3 schedule-driven replication: instead of replicating to every
+     * socket up front, grow the replica set lazily — the first timeslice
+     * a thread gets on a new socket (onThreadScheduled) replicates the
+     * tree there. Under SystemPolicy::AllProcesses this narrows the
+     * eager "replicate everywhere" to "replicate where scheduled";
+     * under PerProcess it extends an explicitly opted-in process's
+     * mask to sockets the scheduler actually uses. Off by default:
+     * the pinned kernel never fires the hook and eager benches keep
+     * their up-front replica sets.
+     */
+    bool scheduleDriven = false;
 };
 
 /** Replication activity counters. */
@@ -89,6 +102,7 @@ struct MitosisStats
     std::uint64_t treeReplications = 0;  //!< full-tree replicate calls
     std::uint64_t treeMigrations = 0;    //!< §5.5 migrations
     std::uint64_t degradedAllocs = 0;    //!< replica alloc failures
+    std::uint64_t scheduleReplications = 0; //!< §5.3 first-timeslice builds
 };
 
 /** The Mitosis PV-Ops backend. */
@@ -170,6 +184,11 @@ class MitosisBackend : public pvops::PvOps
 
     void onProcessMigrated(pt::RootSet &roots, ProcId owner, SocketId from,
                            SocketId to, pvops::KernelCost *cost) override;
+
+    /** §5.3: first timeslice on a new socket grows the replica set. */
+    void onThreadScheduled(pt::RootSet &roots, ProcId owner,
+                           SocketId socket,
+                           pvops::KernelCost *cost) override;
 
     const char *name() const override { return "mitosis"; }
 

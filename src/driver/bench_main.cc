@@ -169,6 +169,12 @@ benchMain(int argc, char **argv, const BenchSpec &spec)
             report.wallMs(registry.job(index).name,
                           results[index]->wallMs);
         report.wallMs("total", total_wall_ms);
+        // Scheduler activity (context switches, preemptions, ...):
+        // deterministic but diagnostic — its own excluded section.
+        for (std::size_t index : selected) {
+            for (const auto &[key, value] : results[index]->sched)
+                report.schedStat(registry.job(index).name, key, value);
+        }
         if (selected.size() == registry.size()) {
             std::vector<JobResult> full;
             full.reserve(results.size());

@@ -56,10 +56,28 @@ struct JobResult
      */
     double wallMs = 0.0;
 
+    /**
+     * Scheduler activity counters (context switches, preemptions,
+     * migrations, ...) recorded by jobs that run the time-sharing
+     * scheduler. Deterministic simulated telemetry, but *diagnostic*
+     * rather than a benchmark result: the driver lands it in the
+     * report's "scheduler" section, which — like "wall_ms" — metric
+     * comparison tooling ignores. Keys the bench wants compared belong
+     * in values/metrics instead.
+     */
+    std::vector<std::pair<std::string, double>> sched;
+
     JobResult &
     value(std::string key, double v)
     {
         values.emplace_back(std::move(key), v);
+        return *this;
+    }
+
+    JobResult &
+    schedStat(std::string key, double v)
+    {
+        sched.emplace_back(std::move(key), v);
         return *this;
     }
 

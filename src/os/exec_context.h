@@ -1,12 +1,17 @@
 /**
  * @file
- * Execution context: N logical workload threads pinned to cores, with
- * per-thread performance counters.
+ * Execution context: N logical workload threads with per-thread
+ * performance counters, pinned to cores or (when the kernel runs the
+ * time-sharing scheduler) assigned to per-core run queues.
  *
  * Threads are simulated round-robin in small chunks so that same-socket
  * threads share L3 state roughly the way concurrent execution would.
- * The reported "runtime" of a parallel phase is the maximum per-thread
- * cycle count (threads run concurrently in the modelled machine).
+ * Under the scheduler every access/compute step also advances the
+ * scheduler clock: a step by a non-resident thread context-switches its
+ * core (costed through Scheduler::dispatch), which is how tenant
+ * processes interleave on shared cores and L3. The reported "runtime"
+ * of a parallel phase is the maximum per-thread cycle count (threads
+ * run concurrently in the modelled machine).
  */
 
 #ifndef MITOSIM_OS_EXEC_CONTEXT_H
@@ -14,6 +19,7 @@
 
 #include <vector>
 
+#include "src/base/logging.h"
 #include "src/os/kernel.h"
 #include "src/os/process.h"
 #include "src/sim/perf_counters.h"
@@ -27,11 +33,23 @@ class ExecContext
   public:
     ExecContext(Kernel &kernel, Process &proc) : k(kernel), proc_(proc) {}
 
-    /** Pin a new logical thread to a free core of @p socket. */
+    /** Start a new logical thread on @p socket (pinned: needs a free
+     *  core; time-shared: joins a run queue). */
     int
     addThread(SocketId socket)
     {
-        k.spawnThreadOnSocket(proc_, socket);
+        if (k.spawnThreadOnSocket(proc_, socket) < 0)
+            fatal("addThread: no free core on socket %d", socket);
+        counters.emplace_back();
+        return static_cast<int>(counters.size()) - 1;
+    }
+
+    /** Start a new logical thread on exactly @p core (time-shared mode
+     *  joins its queue; pinned mode claims it, which must be free). */
+    int
+    addThreadOnCore(CoreId core)
+    {
+        k.spawnThread(proc_, core);
         counters.emplace_back();
         return static_cast<int>(counters.size()) - 1;
     }
@@ -55,9 +73,18 @@ class ExecContext
     Cycles
     access(int tid, VirtAddr va, bool is_write)
     {
-        return k.machine()
-            .core(coreOf(tid))
-            .access(va, is_write, counters[static_cast<std::size_t>(tid)]);
+        auto &pc = counters[static_cast<std::size_t>(tid)];
+        Scheduler &sched = k.scheduler();
+        if (sched.timeShared()) {
+            // Running a step makes the thread resident (context
+            // switching if a competitor holds the core) and advances
+            // the core's timeslice clock by the simulated cycles.
+            CoreId core = sched.dispatch(proc_, tid, pc);
+            Cycles c = k.machine().core(core).access(va, is_write, pc);
+            sched.tick(core, c);
+            return c;
+        }
+        return k.machine().core(coreOf(tid)).access(va, is_write, pc);
     }
 
     /** Charge non-memory work to thread @p tid. */
@@ -65,6 +92,11 @@ class ExecContext
     compute(int tid, Cycles c)
     {
         auto &pc = counters[static_cast<std::size_t>(tid)];
+        Scheduler &sched = k.scheduler();
+        if (sched.timeShared()) {
+            CoreId core = sched.dispatch(proc_, tid, pc);
+            sched.tick(core, c);
+        }
         pc.cycles += c;
         pc.computeCycles += c;
     }

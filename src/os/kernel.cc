@@ -11,10 +11,16 @@ namespace mitosim::os
 using pvops::KernelCost;
 
 Kernel::Kernel(sim::Machine &machine, pvops::PvOps &backend)
-    : mach(machine), pv(&backend), ops(machine.physmem(), backend),
-      autonuma(*this),
-      coreOwner(static_cast<std::size_t>(machine.numCores()), -1)
+    : Kernel(machine, backend, KernelConfig{})
 {
+}
+
+Kernel::Kernel(sim::Machine &machine, pvops::PvOps &backend,
+               const KernelConfig &config)
+    : mach(machine), pv(&backend), ops(machine.physmem(), backend),
+      autonuma(*this), sched(machine, config.sched)
+{
+    sched.attachBackend(backend);
     mach.setFaultHandler(
         [this](CoreId core, const sim::FaultRequest &req) {
             return handleFault(core, req);
@@ -35,6 +41,8 @@ Kernel::createProcess(const std::string &name, SocketId home_socket)
                    home_socket < mach.numSockets());
     auto proc = std::make_unique<Process>(nextPid++, name);
     Process &ref = *proc;
+    ref.asid = sched.assignAsid();
+    ref.asidGeneration = sched.generationOf(ref.asid);
     KernelCost cost;
     if (!ops.createRoot(ref.roots(), ref.id(), home_socket, &cost))
         fatal("out of memory creating root table for '%s'", name.c_str());
@@ -56,11 +64,14 @@ Kernel::destroyProcess(Process &proc)
     for (const auto &[pte, size] : leaves)
         freeLeafData(pte, size);
 
+    // Dequeue the threads and park every core still holding this
+    // address space (the seed left dead CR3s loaded — see scheduler.h)
+    // — before ops.destroy wipes the RootSet the cores are matched
+    // against and frees the frames their CR3s point into.
+    sched.removeProcess(proc);
+
     KernelCost cost;
     ops.destroy(proc.roots(), &cost);
-
-    for (const auto &t : proc.threads())
-        coreOwner[static_cast<std::size_t>(t.core)] = -1;
 
     auto it = std::find_if(procs.begin(), procs.end(),
                            [&](const auto &p) { return p.get() == &proc; });
@@ -83,8 +94,17 @@ Process *
 Kernel::processOnCore(CoreId core)
 {
     MITOSIM_ASSERT(core >= 0 && core < mach.numCores());
-    ProcId pid = coreOwner[static_cast<std::size_t>(core)];
+    ProcId pid = sched.residentPid(core);
     return pid < 0 ? nullptr : findProcess(pid);
+}
+
+SocketMask
+Kernel::socketsOf(const Process &proc) const
+{
+    SocketMask mask;
+    for (const auto &t : proc.threads())
+        mask.set(mach.topology().socketOfCore(t.core));
+    return mask;
 }
 
 SocketId
@@ -308,55 +328,37 @@ int
 Kernel::spawnThread(Process &proc, CoreId core)
 {
     MITOSIM_ASSERT(core >= 0 && core < mach.numCores());
-    MITOSIM_ASSERT(coreOwner[static_cast<std::size_t>(core)] < 0,
-                   "core already occupied");
-    coreOwner[static_cast<std::size_t>(core)] = proc.id();
+    MITOSIM_ASSERT(sched.canAdmit(core), "core already occupied");
     Thread t;
     t.tid = nextTid++;
     t.core = core;
     proc.threads().push_back(t);
-    SocketId s = mach.topology().socketOfCore(core);
-    mach.core(core).loadCr3(pv->cr3For(proc.roots(), s));
+    sched.admitThread(proc,
+                      static_cast<int>(proc.threads().size()) - 1);
     return t.tid;
-}
-
-CoreId
-Kernel::findFreeCore(SocketId socket) const
-{
-    const auto &topo = mach.topology();
-    CoreId first = topo.firstCoreOf(socket);
-    for (CoreId c = first; c < first + topo.coresPerSocket(); ++c) {
-        if (coreOwner[static_cast<std::size_t>(c)] < 0)
-            return c;
-    }
-    return -1;
 }
 
 int
 Kernel::spawnThreadOnSocket(Process &proc, SocketId socket)
 {
-    CoreId core = findFreeCore(socket);
+    CoreId core = sched.pickCore(socket);
     if (core < 0)
-        fatal("no free core on socket %d", socket);
+        return -1; // pinned mode, socket full: recoverable
     return spawnThread(proc, core);
 }
 
-void
+bool
 Kernel::migrateProcess(Process &proc, SocketId target, bool migrate_data,
                        KernelCost *cost)
 {
     MITOSIM_ASSERT(target >= 0 && target < mach.numSockets());
     SocketId from = homeSocket(proc);
 
-    // Re-pin threads onto the target socket.
-    for (auto &t : proc.threads()) {
-        coreOwner[static_cast<std::size_t>(t.core)] = -1;
-        CoreId fresh = findFreeCore(target);
-        if (fresh < 0)
-            fatal("migrateProcess: no free core on socket %d", target);
-        coreOwner[static_cast<std::size_t>(fresh)] = proc.id();
-        t.core = fresh;
-    }
+    // Move the threads (pinned: re-pin, seed core-choice order;
+    // time-shared: re-queue on the target's cores). A full target
+    // socket fails cleanly before anything moved.
+    if (!sched.migrateThreads(proc, target))
+        return false;
     for (std::size_t i = 0; i < procs.size(); ++i) {
         if (procs[i].get() == &proc)
             homeSockets[i] = target;
@@ -405,14 +407,34 @@ Kernel::migrateProcess(Process &proc, SocketId target, bool migrate_data,
     reloadContexts(proc);
     if (cost)
         cost->charge(pvops::TlbShootdownCost);
+    return true;
 }
 
 void
 Kernel::reloadContexts(Process &proc)
 {
-    for (const auto &t : proc.threads()) {
-        SocketId s = mach.topology().socketOfCore(t.core);
-        mach.core(t.core).loadCr3(pv->cr3For(proc.roots(), s));
+    if (!sched.timeShared()) {
+        // Pinned: each thread owns its core; flush-all load, as seeded.
+        for (const auto &t : proc.threads()) {
+            SocketId s = mach.topology().socketOfCore(t.core);
+            mach.core(t.core).loadCr3(pv->cr3For(proc.roots(), s),
+                                      proc.asid, false);
+        }
+        return;
+    }
+    // Time-shared: a reload means the address space changed underneath
+    // the tags — data pages moved to fresh frames (migrate_data), or
+    // page-table pages were freed by the backend (§5.5 eager migration,
+    // replication-mask shrink). Tagged TLB/PWC survivors anywhere —
+    // including cores the process is *not* resident on — would point
+    // into freed, recyclable frames, and no ASID-generation mismatch
+    // protects against that (same owner, same generation). Drop them
+    // all, then re-arm the resident cores.
+    flushProcess(proc, nullptr);
+    for (CoreId c : sched.residentCores(proc)) {
+        SocketId s = mach.topology().socketOfCore(c);
+        mach.core(c).loadCr3(pv->cr3For(proc.roots(), s), proc.asid,
+                             sched.config().pcid);
     }
 }
 
@@ -450,11 +472,10 @@ Kernel::autoNumaTick(double sample_fraction, Rng &rng)
 void
 Kernel::shootdown(Process &proc, VirtAddr va, KernelCost *cost)
 {
-    for (const auto &t : proc.threads()) {
-        auto &core = mach.core(t.core);
+    forEachShootdownCore(proc, [&](sim::Core &core) {
         core.tlb().invalidatePage(va);
         core.pwc().invalidate(va);
-    }
+    });
     if (cost)
         cost->charge(pvops::TlbShootdownCost);
 }
@@ -462,11 +483,19 @@ Kernel::shootdown(Process &proc, VirtAddr va, KernelCost *cost)
 void
 Kernel::flushProcess(Process &proc, KernelCost *cost)
 {
-    for (const auto &t : proc.threads()) {
-        auto &core = mach.core(t.core);
-        core.tlb().flushAll();
-        core.pwc().flushAll();
-    }
+    // Pinned: the seed's MOV-CR3-style full flush on the owned cores.
+    // Time-shared: selective — drop only this tenant's tagged entries,
+    // wherever they linger; the other tenants sharing the cores keep
+    // theirs (INVPCID rather than a full flush).
+    bool selective = sched.timeShared();
+    forEachShootdownCore(proc, [&](sim::Core &core) {
+        if (selective) {
+            core.flushAsid(proc.asid);
+        } else {
+            core.tlb().flushAll();
+            core.pwc().flushAll();
+        }
+    });
     if (cost)
         cost->charge(pvops::TlbShootdownCost);
 }
@@ -482,13 +511,12 @@ Kernel::shootdownRange(Process &proc, const std::vector<VirtAddr> &vas,
         // cheaper than per-page invalidations (Linux's heuristic).
         flushProcess(proc, nullptr);
     } else {
-        for (const auto &t : proc.threads()) {
-            auto &core = mach.core(t.core);
+        forEachShootdownCore(proc, [&](sim::Core &core) {
             for (VirtAddr va : vas) {
                 core.tlb().invalidatePage(va);
                 core.pwc().invalidate(va);
             }
-        }
+        });
     }
     // One IPI round per range op, attributed to the caller.
     if (cost)

@@ -19,6 +19,7 @@
 
 #include "src/base/rng.h"
 #include "src/os/process.h"
+#include "src/os/scheduler.h"
 #include "src/pt/operations.h"
 #include "src/pvops/pvops.h"
 #include "src/sim/machine.h"
@@ -82,11 +83,24 @@ struct MmapOptions
     CoreId populateCore = -1; //!< first-touch context; -1 = home socket
 };
 
+/** Kernel-wide construction-time knobs. */
+struct KernelConfig
+{
+    /**
+     * Core scheduling: the default is the seed's pinning (one thread
+     * per core, flush-all CR3 loads); sched.timeShared opts into the
+     * run-queue scheduler with ASID-tagged context switches.
+     */
+    SchedulerConfig sched;
+};
+
 /** The kernel. */
 class Kernel
 {
   public:
     Kernel(sim::Machine &machine, pvops::PvOps &backend);
+    Kernel(sim::Machine &machine, pvops::PvOps &backend,
+           const KernelConfig &config);
     ~Kernel();
 
     Kernel(const Kernel &) = delete;
@@ -97,8 +111,18 @@ class Kernel
     Process &createProcess(const std::string &name, SocketId home_socket);
     void destroyProcess(Process &proc);
     Process *findProcess(ProcId pid);
+
+    /**
+     * Process currently *resident* on @p core (its CR3 loaded). Under
+     * pinning this is the core's owner; under the time-sharing
+     * scheduler it is whichever tenant ran most recently, and nullptr
+     * for a core whose queue exists but never dispatched.
+     */
     Process *processOnCore(CoreId core);
     SocketId homeSocket(const Process &proc) const;
+
+    /** Sockets on which @p proc has threads assigned (or pinned). */
+    SocketMask socketsOf(const Process &proc) const;
     /// @}
 
     /// @name VMA system calls
@@ -127,25 +151,50 @@ class Kernel
                   CoreId core, pvops::KernelCost *cost = nullptr);
     /// @}
 
-    /// @name Threads and migration
+    /// @name Threads and scheduling
     /// @{
 
-    /** Pin a new thread to @p core and load its CR3 there. */
+    /**
+     * Start a new thread on @p core: pinned mode claims the core (it
+     * must be free) and loads CR3; time-shared mode joins the core's
+     * run queue. Returns the tid.
+     */
     int spawnThread(Process &proc, CoreId core);
 
-    /** Pin a new thread to any free core of @p socket. */
-    int spawnThreadOnSocket(Process &proc, SocketId socket);
+    /**
+     * Start a new thread on @p socket. Pinned mode needs a free core
+     * and returns -1 when the socket is full (the seed fatal()ed);
+     * time-shared mode enqueues on the least-loaded core and cannot
+     * fail.
+     */
+    [[nodiscard]] int spawnThreadOnSocket(Process &proc, SocketId socket);
 
     /**
      * Move every thread of @p proc to @p target. Optionally migrates all
      * data pages (what stock NUMA balancing achieves over time); informs
      * the PV-Ops backend so Mitosis can migrate the page-tables (§5.5).
+     *
+     * @return false — with no state changed — when pinned mode cannot
+     *         seat every thread on @p target (the seed fatal()ed with
+     *         threads half moved). Time-shared mode always succeeds.
      */
-    void migrateProcess(Process &proc, SocketId target, bool migrate_data,
-                        pvops::KernelCost *cost = nullptr);
+    [[nodiscard]] bool migrateProcess(Process &proc, SocketId target,
+                                      bool migrate_data,
+                                      pvops::KernelCost *cost = nullptr);
 
-    /** Re-load each thread's CR3 (after replication-mask changes). */
+    /**
+     * Re-sync cores after @p proc's address space changed underneath
+     * them (replication-mask changes, migration): pinned mode reloads
+     * each thread core's CR3 with a full flush (seed behaviour);
+     * time-shared mode first drops the process's tagged TLB/PWC
+     * entries on every core — stale survivors could reference frames
+     * the change just freed — then reloads the resident cores.
+     */
     void reloadContexts(Process &proc);
+
+    /** The core scheduler (run queues, ASIDs, dispatch stats). */
+    Scheduler &scheduler() { return sched; }
+    const Scheduler &scheduler() const { return sched; }
     /// @}
 
     /// @name Policy knobs
@@ -211,16 +260,34 @@ class Kernel
     /** Free the data frame behind a leaf (4 KB or 2 MB). */
     void freeLeafData(pt::Pte leaf, PageSizeKind size);
 
-    CoreId findFreeCore(SocketId socket) const;
+    /**
+     * Cores an invalidation of @p proc's mappings must reach: exactly
+     * the pinned thread cores (the seed's targeting), or — time-shared,
+     * where descheduled tenants leave tagged entries behind — every
+     * core, like Linux's mm_cpumask broadcast over every CPU the mm
+     * ever ran on.
+     */
+    template <typename Fn>
+    void
+    forEachShootdownCore(Process &proc, Fn &&fn)
+    {
+        if (!sched.timeShared()) {
+            for (const auto &t : proc.threads())
+                fn(mach.core(t.core));
+        } else {
+            for (CoreId c = 0; c < mach.numCores(); ++c)
+                fn(mach.core(c));
+        }
+    }
 
     sim::Machine &mach;
     pvops::PvOps *pv;
     pt::PageTableOps ops;
     AutoNuma autonuma;
+    Scheduler sched;
 
     std::vector<std::unique_ptr<Process>> procs;
     std::vector<SocketId> homeSockets; // parallel to procs by pid index
-    std::vector<ProcId> coreOwner;     // -1 = idle core
     ProcId nextPid = 1;
     int nextTid = 1;
 

@@ -71,7 +71,11 @@ struct Vma
     }
 };
 
-/** A runnable thread pinned to one core. */
+/**
+ * A runnable thread and the core it is assigned to: its owned core
+ * under pinning, or the run queue it waits on under the time-sharing
+ * scheduler (which moves `core` when it rebalances).
+ */
 struct Thread
 {
     int tid = -1;
@@ -271,6 +275,18 @@ class Process
     /// @{
     std::vector<Thread> &threads() { return threads_; }
     const std::vector<Thread> &threads() const { return threads_; }
+
+    /**
+     * Address-space identifier the kernel assigned at creation; tags
+     * this process's TLB/PWC entries on time-shared cores. The
+     * generation distinguishes successive (or, under ASID pressure,
+     * concurrent) owners of the same recycled ASID: a core switching
+     * in compares the generation it last observed for the ASID and
+     * selectively flushes on mismatch, so an alias can never hit
+     * another owner's tagged entries.
+     */
+    Asid asid = 0;
+    std::uint64_t asidGeneration = 0;
     /// @}
 
     /** Round-robin rotor for interleaved data placement. */

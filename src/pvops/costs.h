@@ -59,6 +59,15 @@ inline constexpr Cycles FaultFixedCost = 450;
 /** Copying one 4 KB page during data migration. */
 inline constexpr Cycles PageCopyCost = 1500;
 
+/**
+ * One context switch on a core: trap, state save/restore, run-queue
+ * bookkeeping — everything *except* the CR3 write (the hardware-side
+ * sim::Core::Cr3LoadCost) and the TLB/PWC refill, which the simulation
+ * produces organically. Calibrated to the ~1-2 us direct cost measured
+ * on Linux.
+ */
+inline constexpr Cycles ContextSwitchCost = 2000;
+
 } // namespace mitosim::pvops
 
 #endif // MITOSIM_PVOPS_COSTS_H

@@ -147,6 +147,25 @@ class PvOps
                                    KernelCost *cost) = 0;
 
     /**
+     * Notification that a thread of the process owning @p roots has
+     * been switched in on a core of @p socket (§5.3: "Mitosis
+     * allocates a replica when the process is scheduled there"). The
+     * time-sharing scheduler fires this on every dispatch; backends
+     * doing schedule-driven replication build the socket's replica on
+     * the *first* timeslice there and no-op afterwards. The default —
+     * and the native backend — ignores it.
+     */
+    virtual void
+    onThreadScheduled(pt::RootSet &roots, ProcId owner, SocketId socket,
+                      KernelCost *cost)
+    {
+        (void)roots;
+        (void)owner;
+        (void)socket;
+        (void)cost;
+    }
+
+    /**
      * Pre-fault hook: a walk on @p socket faulted at @p va. Backends
      * with *lazy* replica propagation (the §7.2 library-OS design)
      * drain their pending update queue for that socket here and return

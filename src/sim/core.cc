@@ -14,12 +14,34 @@ Core::Core(CoreId id, MemoryHierarchy &hierarchy,
 {
 }
 
-void
-Core::loadCr3(Pfn root)
+Cycles
+Core::loadCr3(Pfn root, Asid asid, bool preserve_translations)
 {
     cr3_ = root;
+    asid_ = asid;
+    tlb_.setAsid(asid);
+    pwc_.setAsid(asid);
+    if (!preserve_translations) {
+        tlb_.flushAll();
+        pwc_.flushAll();
+    }
+    sinceSwitch_ = 0;
+    return Cr3LoadCost;
+}
+
+void
+Core::clearContext()
+{
+    cr3_ = InvalidPfn;
     tlb_.flushAll();
     pwc_.flushAll();
+}
+
+void
+Core::flushAsid(Asid asid)
+{
+    tlb_.flushAsid(asid);
+    pwc_.flushAsid(asid);
 }
 
 Cycles
@@ -27,6 +49,8 @@ Core::access(VirtAddr va, bool is_write, PerfCounters &pc)
 {
     MITOSIM_ASSERT(hasContext(), "access on a core with no CR3");
     ++pc.accesses;
+    bool in_window = sinceSwitch_ < PostSwitchWindow;
+    ++sinceSwitch_;
     Cycles total = 0;
 
     // A fault may need several service rounds (e.g. NUMA hint then a
@@ -70,6 +94,10 @@ Core::access(VirtAddr va, bool is_write, PerfCounters &pc)
         ++pc.tlbMisses;
         auto out = walker.walk(coreId, cr3_, va, is_write, pwc_, &pc);
         pc.walkCycles += out.latency;
+        if (in_window) {
+            ++pc.postSwitchTlbMisses;
+            pc.postSwitchWalkCycles += out.latency;
+        }
         total += out.latency;
 
         if (out.fault == WalkFault::None) {

@@ -48,10 +48,41 @@ class Core
     CoreId id() const { return coreId; }
     SocketId socket() const { return socketId; }
 
-    /** Context switch: load a page-table root, flushing TLB and PWC. */
-    void loadCr3(Pfn root);
+    /** The serializing CR3 write itself (pipeline drain). */
+    static constexpr Cycles Cr3LoadCost = 150;
+
+    /**
+     * Accesses after a CR3 load that count into the post-switch
+     * counters (PerfCounters::postSwitch*): the TLB-refill window whose
+     * misses are the direct price of the context switch.
+     */
+    static constexpr std::uint64_t PostSwitchWindow = 256;
+
+    /**
+     * Context-switch entry point: load a page-table root tagged with
+     * @p asid. With @p preserve_translations false (PCID off, or the
+     * OS decided the ASID was recycled) the TLB and PWC are flushed
+     * outright; with it true they are kept — entries of other address
+     * spaces are hidden by their ASID tags, and this space's survivors
+     * hit again. Returns the hardware cost of the CR3 write so the
+     * scheduler can charge it to the incoming thread.
+     */
+    Cycles loadCr3(Pfn root, Asid asid, bool preserve_translations);
+
+    /** Legacy single-context load: ASID 0, full flush (seed behaviour). */
+    void loadCr3(Pfn root) { loadCr3(root, 0, false); }
+
+    /**
+     * Park the core: drop the CR3 (hasContext() goes false) and flush,
+     * so a dead process's root can never be walked again.
+     */
+    void clearContext();
+
+    /** Selective INVPCID: drop @p asid's TLB and PWC entries. */
+    void flushAsid(Asid asid);
 
     Pfn cr3() const { return cr3_; }
+    Asid asid() const { return asid_; }
     bool hasContext() const { return cr3_ != InvalidPfn; }
 
     /**
@@ -78,6 +109,8 @@ class Core
     tlb::TwoLevelTlb tlb_;
     tlb::PagingStructureCache pwc_;
     Pfn cr3_ = InvalidPfn;
+    Asid asid_ = 0;
+    std::uint64_t sinceSwitch_ = 0; //!< accesses since the last CR3 load
     const FaultHandler *faultHandler = nullptr;
 };
 

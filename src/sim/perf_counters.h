@@ -58,6 +58,24 @@ struct PerfCounters
     std::uint64_t numaHintFaults = 0;
     std::uint64_t dataPagesMigrated = 0;
     std::uint64_t tlbShootdowns = 0;
+    /** Scheduler switch-ins of this thread — including same-process
+     *  handovers that keep CR3 loaded (Linux's same-mm fast path), so
+     *  not every switch opens a post-switch refill window. */
+    std::uint64_t contextSwitches = 0;
+    /// @}
+
+    /// @name Post-context-switch window (first accesses after a CR3 load)
+    /// @{
+
+    /**
+     * TLB misses and the walk cycles they cost within the first
+     * Core::PostSwitchWindow accesses after each CR3 load — the refill
+     * tax a context switch levies. PCID keeps tagged entries alive
+     * across switches and shrinks the miss count; page-table replicas
+     * make the walks that do happen local and shrink the cycles.
+     */
+    std::uint64_t postSwitchTlbMisses = 0;
+    Cycles postSwitchWalkCycles = 0;
     /// @}
 
     /** Fraction of cycles spent walking page-tables (hashed bars). */
@@ -104,6 +122,9 @@ struct PerfCounters
         numaHintFaults += o.numaHintFaults;
         dataPagesMigrated += o.dataPagesMigrated;
         tlbShootdowns += o.tlbShootdowns;
+        contextSwitches += o.contextSwitches;
+        postSwitchTlbMisses += o.postSwitchTlbMisses;
+        postSwitchWalkCycles += o.postSwitchWalkCycles;
     }
 };
 

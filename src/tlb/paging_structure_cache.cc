@@ -6,24 +6,24 @@ namespace mitosim::tlb
 {
 
 PagingStructureCache::Slot *
-PagingStructureCache::Level::find(Pfn cr3, VirtAddr va)
+PagingStructureCache::Level::find(Pfn cr3, Asid asid, VirtAddr va)
 {
     std::uint64_t tag = va >> tagShift;
     for (auto &s : slots) {
-        if (s.cr3 == cr3 && s.vaTag == tag)
+        if (s.cr3 == cr3 && s.asid == asid && s.vaTag == tag)
             return &s;
     }
     return nullptr;
 }
 
 void
-PagingStructureCache::Level::insert(Pfn cr3, VirtAddr va, Pfn table,
-                                    std::uint32_t now)
+PagingStructureCache::Level::insert(Pfn cr3, Asid asid, VirtAddr va,
+                                    Pfn table, std::uint32_t now)
 {
     std::uint64_t tag = va >> tagShift;
     Slot *victim = &slots[0];
     for (auto &s : slots) {
-        if (s.cr3 == cr3 && s.vaTag == tag) {
+        if (s.cr3 == cr3 && s.asid == asid && s.vaTag == tag) {
             s.tablePfn = table;
             s.lru = now;
             return;
@@ -36,6 +36,7 @@ PagingStructureCache::Level::insert(Pfn cr3, VirtAddr va, Pfn table,
             victim = &s;
     }
     victim->cr3 = cr3;
+    victim->asid = asid;
     victim->vaTag = tag;
     victim->tablePfn = table;
     victim->lru = now;
@@ -58,6 +59,15 @@ PagingStructureCache::Level::flush()
         s.cr3 = InvalidPfn;
 }
 
+void
+PagingStructureCache::Level::flushAsid(Asid asid)
+{
+    for (auto &s : slots) {
+        if (s.asid == asid)
+            s.cr3 = InvalidPfn;
+    }
+}
+
 PagingStructureCache::PagingStructureCache(const PwcConfig &config)
 {
     MITOSIM_ASSERT(config.pml4eEntries > 0 && config.pdpteEntries > 0 &&
@@ -74,21 +84,21 @@ PagingStructureCache::Probe
 PagingStructureCache::lookup(Pfn cr3, VirtAddr va)
 {
     Probe p;
-    if (Slot *s = pde.find(cr3, va)) {
+    if (Slot *s = pde.find(cr3, asid_, va)) {
         s->lru = ++clock;
         ++stats_.hits;
         p.startLevel = 1;
         p.tablePfn = s->tablePfn;
         return p;
     }
-    if (Slot *s = pdpte.find(cr3, va)) {
+    if (Slot *s = pdpte.find(cr3, asid_, va)) {
         s->lru = ++clock;
         ++stats_.hits;
         p.startLevel = 2;
         p.tablePfn = s->tablePfn;
         return p;
     }
-    if (Slot *s = pml4e.find(cr3, va)) {
+    if (Slot *s = pml4e.find(cr3, asid_, va)) {
         s->lru = ++clock;
         ++stats_.hits;
         p.startLevel = 3;
@@ -106,13 +116,13 @@ PagingStructureCache::fill(Pfn cr3, VirtAddr va, int level, Pfn table_pfn)
 {
     switch (level) {
       case 3:
-        pml4e.insert(cr3, va, table_pfn, ++clock);
+        pml4e.insert(cr3, asid_, va, table_pfn, ++clock);
         break;
       case 2:
-        pdpte.insert(cr3, va, table_pfn, ++clock);
+        pdpte.insert(cr3, asid_, va, table_pfn, ++clock);
         break;
       case 1:
-        pde.insert(cr3, va, table_pfn, ++clock);
+        pde.insert(cr3, asid_, va, table_pfn, ++clock);
         break;
       default:
         panic("PWC fill with bad level %d", level);
@@ -134,6 +144,15 @@ PagingStructureCache::flushAll()
     pdpte.flush();
     pde.flush();
     ++stats_.flushes;
+}
+
+void
+PagingStructureCache::flushAsid(Asid asid)
+{
+    pml4e.flushAsid(asid);
+    pdpte.flushAsid(asid);
+    pde.flushAsid(asid);
+    ++stats_.asidFlushes;
 }
 
 } // namespace mitosim::tlb

@@ -9,9 +9,15 @@
  * modelling these caches is essential or the simulator would overstate
  * upper-level walk traffic.
  *
- * Entries are tagged by (root pfn, va prefix), so switching CR3 (e.g. to a
- * socket-local replica) naturally misses, and replicas are cached
- * independently per core, as on real hardware.
+ * Entries are tagged by (root pfn, ASID, va prefix), so switching CR3
+ * (e.g. to a socket-local replica) naturally misses, and replicas are
+ * cached independently per core, as on real hardware. The ASID tag (set
+ * via setAsid on context switch, like the PCID field of CR3) exists for
+ * *selective invalidation*: flushAsid() removes one dead or recycled
+ * address space's entries without nuking the other tenants sharing the
+ * core — essential once root-page frames can be freed and reused, since
+ * a recycled root pfn would otherwise hit another process's stale
+ * upper-level entries.
  */
 
 #ifndef MITOSIM_TLB_PAGING_STRUCTURE_CACHE_H
@@ -39,6 +45,7 @@ struct PwcStats
     std::uint64_t hits = 0;
     std::uint64_t misses = 0; //!< lookups that found no prefix at all
     std::uint64_t flushes = 0;
+    std::uint64_t asidFlushes = 0; //!< selective flushAsid() calls
 };
 
 /**
@@ -62,6 +69,10 @@ class PagingStructureCache
         Pfn tablePfn = InvalidPfn;
     };
 
+    /** Current address space for lookups/fills (PCID field of CR3). */
+    void setAsid(Asid asid) { asid_ = asid; }
+    Asid asid() const { return asid_; }
+
     /** Find the deepest cached prefix for @p va under root @p cr3. */
     Probe lookup(Pfn cr3, VirtAddr va);
 
@@ -72,11 +83,14 @@ class PagingStructureCache
      */
     void fill(Pfn cr3, VirtAddr va, int level, Pfn table_pfn);
 
-    /** Invalidate all entries covering @p va (shootdown path). */
+    /** Invalidate all entries covering @p va, any ASID (shootdowns). */
     void invalidate(VirtAddr va);
 
     /** Full flush (CR3 write without PCID). */
     void flushAll();
+
+    /** Selective flush of every entry tagged @p asid. */
+    void flushAsid(Asid asid);
 
     const PwcStats &stats() const { return stats_; }
     void resetStats() { stats_ = PwcStats{}; }
@@ -85,6 +99,7 @@ class PagingStructureCache
     struct Slot
     {
         Pfn cr3 = InvalidPfn;
+        Asid asid = 0;
         std::uint64_t vaTag = ~0ull;
         Pfn tablePfn = InvalidPfn;
         std::uint32_t lru = 0;
@@ -96,10 +111,12 @@ class PagingStructureCache
         std::vector<Slot> slots;
         unsigned tagShift; //!< VA bits above this shift form the tag
 
-        Slot *find(Pfn cr3, VirtAddr va);
-        void insert(Pfn cr3, VirtAddr va, Pfn table, std::uint32_t now);
+        Slot *find(Pfn cr3, Asid asid, VirtAddr va);
+        void insert(Pfn cr3, Asid asid, VirtAddr va, Pfn table,
+                    std::uint32_t now);
         void invalidate(VirtAddr va);
         void flush();
+        void flushAsid(Asid asid);
     };
 
     // pml4e cache: tag = va >> 39, yields L3 table (startLevel 3)
@@ -108,6 +125,7 @@ class PagingStructureCache
     Level pml4e;
     Level pdpte;
     Level pde;
+    Asid asid_ = 0;
     std::uint32_t clock = 0;
     PwcStats stats_;
 };

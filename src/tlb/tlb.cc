@@ -31,25 +31,25 @@ TwoLevelTlb::Array::Array(unsigned entries, unsigned ways)
 }
 
 TwoLevelTlb::Slot *
-TwoLevelTlb::Array::find(std::uint64_t tag)
+TwoLevelTlb::Array::find(std::uint64_t tag, Asid asid)
 {
     std::size_t base = static_cast<std::size_t>(tag & (sets - 1)) * numWays;
     for (unsigned w = 0; w < numWays; ++w) {
-        if (slots[base + w].tag == tag)
+        if (slots[base + w].tag == tag && slots[base + w].asid == asid)
             return &slots[base + w];
     }
     return nullptr;
 }
 
 void
-TwoLevelTlb::Array::insert(std::uint64_t tag, const TlbEntry &entry,
-                           std::uint32_t now)
+TwoLevelTlb::Array::insert(std::uint64_t tag, Asid asid,
+                           const TlbEntry &entry, std::uint32_t now)
 {
     std::size_t base = static_cast<std::size_t>(tag & (sets - 1)) * numWays;
     std::size_t victim = base;
     for (unsigned w = 0; w < numWays; ++w) {
         Slot &s = slots[base + w];
-        if (s.tag == tag || s.tag == ~0ull) {
+        if ((s.tag == tag && s.asid == asid) || s.tag == ~0ull) {
             victim = base + w;
             break;
         }
@@ -57,6 +57,7 @@ TwoLevelTlb::Array::insert(std::uint64_t tag, const TlbEntry &entry,
             victim = base + w;
     }
     slots[victim].tag = tag;
+    slots[victim].asid = asid;
     slots[victim].entry = entry;
     slots[victim].lru = now;
 }
@@ -64,8 +65,13 @@ TwoLevelTlb::Array::insert(std::uint64_t tag, const TlbEntry &entry,
 void
 TwoLevelTlb::Array::invalidate(std::uint64_t tag)
 {
-    if (Slot *s = find(tag))
-        s->tag = ~0ull;
+    // Shootdowns broadcast: the same page may be cached under several
+    // ASIDs (one per tenant that touched it before a remap).
+    std::size_t base = static_cast<std::size_t>(tag & (sets - 1)) * numWays;
+    for (unsigned w = 0; w < numWays; ++w) {
+        if (slots[base + w].tag == tag)
+            slots[base + w].tag = ~0ull;
+    }
 }
 
 void
@@ -73,6 +79,15 @@ TwoLevelTlb::Array::flush()
 {
     for (auto &s : slots)
         s.tag = ~0ull;
+}
+
+void
+TwoLevelTlb::Array::flushAsid(Asid asid)
+{
+    for (auto &s : slots) {
+        if (s.asid == asid)
+            s.tag = ~0ull;
+    }
 }
 
 TwoLevelTlb::TwoLevelTlb(const TlbConfig &config)
@@ -89,7 +104,7 @@ TwoLevelTlb::lookup(VirtAddr va)
     TlbLookupResult res;
 
     // L1, both size classes probed in parallel on real hardware.
-    if (Slot *s = l1Small.find(tag4K(va))) {
+    if (Slot *s = l1Small.find(tag4K(va), asid_)) {
         s->lru = ++clock;
         ++stats_.l1Hits;
         res.hit = true;
@@ -98,7 +113,7 @@ TwoLevelTlb::lookup(VirtAddr va)
         res.entry = s->entry;
         return res;
     }
-    if (Slot *s = l1Large.find(tag2M(va))) {
+    if (Slot *s = l1Large.find(tag2M(va), asid_)) {
         s->lru = ++clock;
         ++stats_.l1Hits;
         res.hit = true;
@@ -109,25 +124,25 @@ TwoLevelTlb::lookup(VirtAddr va)
     }
 
     // Unified L2: try the 4 KB-granule tag, then the 2 MB-granule tag.
-    if (Slot *s = l2.find(tag4K(va))) {
+    if (Slot *s = l2.find(tag4K(va), asid_)) {
         s->lru = ++clock;
         ++stats_.l2Hits;
         res.hit = true;
         res.hitLevel = 2;
         res.latency = cfg.l2HitLatency;
         res.entry = s->entry;
-        l1Small.insert(tag4K(va), s->entry, ++clock);
+        l1Small.insert(tag4K(va), asid_, s->entry, ++clock);
         return res;
     }
     if (cfg.l2Holds2M) {
-        if (Slot *s = l2.find(tag2M(va) | LargeTagBit)) {
+        if (Slot *s = l2.find(tag2M(va) | LargeTagBit, asid_)) {
             s->lru = ++clock;
             ++stats_.l2Hits;
             res.hit = true;
             res.hitLevel = 2;
             res.latency = cfg.l2HitLatency;
             res.entry = s->entry;
-            l1Large.insert(tag2M(va), s->entry, ++clock);
+            l1Large.insert(tag2M(va), asid_, s->entry, ++clock);
             return res;
         }
     }
@@ -142,12 +157,12 @@ void
 TwoLevelTlb::insert(VirtAddr va, const TlbEntry &entry)
 {
     if (entry.size == PageSizeKind::Base4K) {
-        l1Small.insert(tag4K(va), entry, ++clock);
-        l2.insert(tag4K(va), entry, ++clock);
+        l1Small.insert(tag4K(va), asid_, entry, ++clock);
+        l2.insert(tag4K(va), asid_, entry, ++clock);
     } else {
-        l1Large.insert(tag2M(va), entry, ++clock);
+        l1Large.insert(tag2M(va), asid_, entry, ++clock);
         if (cfg.l2Holds2M)
-            l2.insert(tag2M(va) | LargeTagBit, entry, ++clock);
+            l2.insert(tag2M(va) | LargeTagBit, asid_, entry, ++clock);
     }
 }
 
@@ -168,6 +183,15 @@ TwoLevelTlb::flushAll()
     l1Large.flush();
     l2.flush();
     ++stats_.flushes;
+}
+
+void
+TwoLevelTlb::flushAsid(Asid asid)
+{
+    l1Small.flushAsid(asid);
+    l1Large.flushAsid(asid);
+    l2.flushAsid(asid);
+    ++stats_.asidFlushes;
 }
 
 } // namespace mitosim::tlb

@@ -7,6 +7,14 @@
  * Haswell's DTLB); L2 is a unified 1024-entry STLB. Entries are tagged
  * with the translation's page size so a 2 MB entry covers its whole
  * range. Replacement is true LRU within a set.
+ *
+ * Every entry additionally carries the ASID (x86 PCID) it was installed
+ * under: lookups only hit entries of the current address space (set via
+ * setAsid, the PCID field of a CR3 write), so a core time-sharing
+ * several processes keeps their translations apart without flushing.
+ * flushAsid() is the selective INVPCID path the scheduler uses when an
+ * ASID is recycled. A single-ASID user (the pinned default: one process
+ * per core, full flush on every CR3 load) behaves exactly as before.
  */
 
 #ifndef MITOSIM_TLB_TLB_H
@@ -57,6 +65,7 @@ struct TlbStats
     std::uint64_t misses = 0;
     std::uint64_t flushes = 0;
     std::uint64_t singleInvalidations = 0;
+    std::uint64_t asidFlushes = 0; //!< selective flushAsid() calls
 
     std::uint64_t
     lookups() const
@@ -89,19 +98,34 @@ class TwoLevelTlb
     explicit TwoLevelTlb(const TlbConfig &config = TlbConfig{});
 
     /**
-     * Probe for the translation of @p va. L1 by size class, then L2.
-     * A hit in L2 promotes into L1.
+     * Set the current address space (the PCID field of a CR3 write).
+     * Subsequent lookups hit only entries installed under this ASID;
+     * inserts tag new entries with it.
+     */
+    void setAsid(Asid asid) { asid_ = asid; }
+    Asid asid() const { return asid_; }
+
+    /**
+     * Probe for the translation of @p va under the current ASID. L1 by
+     * size class, then L2. A hit in L2 promotes into L1.
      */
     TlbLookupResult lookup(VirtAddr va);
 
     /** Install a translation after a walk (fills L1 and L2). */
     void insert(VirtAddr va, const TlbEntry &entry);
 
-    /** Invalidate any entry covering @p va (both levels). */
+    /**
+     * Invalidate any entry covering @p va in *every* address space
+     * (both levels) — the shootdown path is a broadcast, conservative
+     * across ASIDs like a kernel INVPCID type-0 loop.
+     */
     void invalidatePage(VirtAddr va);
 
     /** Full flush, e.g. on CR3 load without PCID. */
     void flushAll();
+
+    /** Selective flush of every entry tagged @p asid (INVPCID type 1). */
+    void flushAsid(Asid asid);
 
     const TlbStats &stats() const { return stats_; }
     void resetStats() { stats_ = TlbStats{}; }
@@ -111,6 +135,7 @@ class TwoLevelTlb
     struct Slot
     {
         std::uint64_t tag = ~0ull; //!< page-aligned VA tag, ~0 = invalid
+        Asid asid = 0;             //!< address space the entry belongs to
         TlbEntry entry;
         std::uint32_t lru = 0;
     };
@@ -120,11 +145,12 @@ class TwoLevelTlb
     {
       public:
         Array(unsigned entries, unsigned ways);
-        Slot *find(std::uint64_t tag);
-        void insert(std::uint64_t tag, const TlbEntry &entry,
+        Slot *find(std::uint64_t tag, Asid asid);
+        void insert(std::uint64_t tag, Asid asid, const TlbEntry &entry,
                     std::uint32_t now);
-        void invalidate(std::uint64_t tag);
+        void invalidate(std::uint64_t tag); //!< all ASIDs holding tag
         void flush();
+        void flushAsid(Asid asid);
 
       private:
         unsigned numWays;
@@ -139,6 +165,7 @@ class TwoLevelTlb
     Array l1Small;
     Array l1Large;
     Array l2;     //!< unified; tags are 4K-granule with size in entry
+    Asid asid_ = 0;
     std::uint32_t clock = 0;
     TlbStats stats_;
 };

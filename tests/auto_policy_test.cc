@@ -56,7 +56,7 @@ class AutoPolicyTest : public ::testing::Test
         os::Process &p = kernel.createProcess("p", 0);
         kernel.mmap(p, 8ull << 20, os::MmapOptions{.populate = true});
         for (SocketId s = 0; s < sockets; ++s)
-            kernel.spawnThreadOnSocket(p, s);
+            EXPECT_GE(kernel.spawnThreadOnSocket(p, s), 0);
         return p;
     }
 
@@ -138,8 +138,8 @@ TEST_F(AutoPolicyTest, SmallProcessesAreNeverReplicated)
 {
     os::Process &p = kernel.createProcess("tiny", 0);
     kernel.mmap(p, 64 * PageSize, os::MmapOptions{.populate = true});
-    kernel.spawnThreadOnSocket(p, 0);
-    kernel.spawnThreadOnSocket(p, 1);
+    ASSERT_GE(kernel.spawnThreadOnSocket(p, 0), 0);
+    ASSERT_GE(kernel.spawnThreadOnSocket(p, 1), 0);
     for (int i = 0; i < 4; ++i)
         engine.sample(kernel, p, window(0.9));
     EXPECT_FALSE(p.roots().replicated());

@@ -172,6 +172,37 @@ TEST(BenchReport, SchemaKeysPresent)
     EXPECT_TRUE(doc.find("speedups")->isObject());
     // Host telemetry is opt-in: absent unless wallMs() was recorded.
     EXPECT_EQ(doc.find("wall_ms"), nullptr);
+    // Likewise scheduler activity: only time-shared benches emit it.
+    EXPECT_EQ(doc.find("scheduler"), nullptr);
+}
+
+TEST(BenchReport, SchedulerSectionGroupsStatsPerJob)
+{
+    BenchReport report = sampleReport();
+    report.schedStat("tenants/pcid-on", "context_switches", 192.0);
+    report.schedStat("tenants/pcid-on", "preemptions", 40.0);
+    report.schedStat("tenants/pcid-off", "context_switches", 192.0);
+    JsonValue doc = roundTrip(report);
+
+    const JsonValue *sched = doc.find("scheduler");
+    ASSERT_NE(sched, nullptr);
+    ASSERT_TRUE(sched->isObject());
+    EXPECT_EQ(sched->size(), 2u);
+    const JsonValue *on = sched->find("tenants/pcid-on");
+    ASSERT_NE(on, nullptr);
+    ASSERT_NE(on->find("context_switches"), nullptr);
+    EXPECT_EQ(on->find("context_switches")->asNumber(), 192.0);
+    EXPECT_EQ(on->find("preemptions")->asNumber(), 40.0);
+
+    // Like wall_ms, scheduler stats stay out of every run's metrics:
+    // the section is diagnostic and excluded from metric comparisons.
+    const JsonValue *runs = doc.find("runs");
+    ASSERT_NE(runs, nullptr);
+    for (std::size_t i = 0; i < runs->size(); ++i) {
+        const JsonValue *metrics = runs->at(i).find("metrics");
+        ASSERT_NE(metrics, nullptr);
+        EXPECT_EQ(metrics->find("context_switches"), nullptr);
+    }
 }
 
 TEST(BenchReport, WallMsSectionIsSeparateFromMetrics)

@@ -128,7 +128,14 @@ tinySimJob(bool remote_pt, std::uint64_t seed)
     out.runtime = ctx.runtime();
     out.totals = ctx.totals();
     kernel.destroyProcess(proc);
-    return JobResult::of(out);
+    JobResult result = JobResult::of(out);
+    // Scheduler activity lands in the report's "scheduler" section
+    // (excluded from metric comparisons, like wall_ms) — deterministic,
+    // so serial and parallel runs must still emit it identically.
+    result.schedStat("enqueues",
+                     static_cast<double>(
+                         kernel.scheduler().stats().enqueues));
+    return result;
 }
 
 /** The tiny matrix: 2 placements x 2 seeds, all real simulations. */
@@ -283,13 +290,15 @@ TEST(DriverBenchMain, JobsFlagProducesIdenticalMetrics)
 
     // Every section except the host-telemetry "wall_ms" must be deeply
     // identical: thread count cannot change simulated results. wall_ms
-    // is the one legitimate difference between the two files.
+    // is the one legitimate difference between the two files — the
+    // "scheduler" section is simulated (deterministic) telemetry, so it
+    // is compared here even though metric-diffing tools skip it.
     auto a = bench::parseJson(serial);
     auto b = bench::parseJson(parallel);
     ASSERT_TRUE(a.has_value());
     ASSERT_TRUE(b.has_value());
     for (const char *key : {"schema_version", "bench", "config", "runs",
-                            "speedups"}) {
+                            "speedups", "scheduler"}) {
         const bench::JsonValue *va = a->find(key);
         const bench::JsonValue *vb = b->find(key);
         ASSERT_NE(va, nullptr) << key;
@@ -309,6 +318,16 @@ TEST(DriverBenchMain, JobsFlagProducesIdenticalMetrics)
         ASSERT_NE(total, nullptr);
         EXPECT_GT(total->asNumber(), 0.0);
         EXPECT_NE(wall->find("tiny/remote-pt/seed21"), nullptr);
+
+        // The driver grouped each job's schedStat()s under its name.
+        const bench::JsonValue *sched = doc->find("scheduler");
+        ASSERT_NE(sched, nullptr);
+        EXPECT_EQ(sched->size(), 4u); // one object per job
+        const bench::JsonValue *job =
+            sched->find("tiny/remote-pt/seed21");
+        ASSERT_NE(job, nullptr);
+        ASSERT_NE(job->find("enqueues"), nullptr);
+        EXPECT_EQ(job->find("enqueues")->asNumber(), 1.0);
     }
 }
 

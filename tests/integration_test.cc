@@ -225,7 +225,7 @@ TEST(MigrationScenario, TrueProcessMigrationEndToEnd)
     auto w = workloads::makeWorkload("gups", params);
     w->setup(ctx);
 
-    kernel.migrateProcess(proc, 2, /*migrate_data=*/true);
+    ASSERT_TRUE(kernel.migrateProcess(proc, 2, /*migrate_data=*/true));
     ctx.resetCounters();
     workloads::runInterleaved(ctx, *w, 2000);
     auto totals = ctx.totals();

@@ -421,13 +421,77 @@ TEST_F(KernelTest, DoubleScheduleOnCorePanics)
     kernel.destroyProcess(b);
 }
 
-TEST_F(KernelTest, SpawnOnFullSocketFails)
+TEST_F(KernelTest, SpawnOnFullSocketFailsRecoverably)
 {
+    // The seed fatal()ed here; a full socket is now a testable error.
     Process &p = kernel.createProcess("test", 0);
-    kernel.spawnThreadOnSocket(p, 0);
-    kernel.spawnThreadOnSocket(p, 0);
-    EXPECT_THROW(kernel.spawnThreadOnSocket(p, 0), SimError);
+    EXPECT_GE(kernel.spawnThreadOnSocket(p, 0), 0);
+    EXPECT_GE(kernel.spawnThreadOnSocket(p, 0), 0);
+    EXPECT_EQ(kernel.spawnThreadOnSocket(p, 0), -1);
+    EXPECT_EQ(p.threads().size(), 2u);
+    // The kernel is still usable: the other socket has free cores.
+    EXPECT_GE(kernel.spawnThreadOnSocket(p, 1), 0);
     kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, MigrateToFullSocketFailsWithoutMovingAnything)
+{
+    Process &hog = kernel.createProcess("hog", 1);
+    ASSERT_GE(kernel.spawnThreadOnSocket(hog, 1), 0);
+    ASSERT_GE(kernel.spawnThreadOnSocket(hog, 1), 0);
+
+    Process &p = kernel.createProcess("test", 0);
+    kernel.mmap(p, 4 * PageSize, MmapOptions{.populate = true});
+    ASSERT_GE(kernel.spawnThreadOnSocket(p, 0), 0);
+    CoreId before = p.threads()[0].core;
+
+    // Socket 1 is full: the seed fatal()ed mid-loop with the thread's
+    // core already released; now the call fails atomically.
+    EXPECT_FALSE(kernel.migrateProcess(p, 1, /*migrate_data=*/true));
+    EXPECT_EQ(p.threads()[0].core, before);
+    EXPECT_EQ(kernel.homeSocket(p), 0);
+    EXPECT_EQ(kernel.processOnCore(before), &p);
+
+    kernel.destroyProcess(p);
+    kernel.destroyProcess(hog);
+}
+
+TEST_F(KernelTest, MigrateParksVacatedCores)
+{
+    // The vacated core must not keep the CR3 loaded: under the Mitosis
+    // backend the migration eagerly frees the source page-table
+    // replicas, which would leave the old core walkable into freed
+    // frames.
+    Process &p = kernel.createProcess("test", 0);
+    ASSERT_GE(kernel.spawnThreadOnSocket(p, 0), 0);
+    CoreId old_core = p.threads()[0].core;
+    ASSERT_TRUE(kernel.migrateProcess(p, 1, /*migrate_data=*/false));
+    EXPECT_FALSE(machine.core(old_core).hasContext());
+    EXPECT_TRUE(machine.core(p.threads()[0].core).hasContext());
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, DestroyProcessParksCoreContexts)
+{
+    // Regression: the seed left a dead process's CR3 loaded on its
+    // former cores — hasContext() stayed true against freed page-table
+    // frames, so a stray access would walk a recycled root.
+    Process &p = kernel.createProcess("test", 0);
+    kernel.spawnThread(p, 0);
+    kernel.spawnThread(p, 1);
+    EXPECT_TRUE(machine.core(0).hasContext());
+    EXPECT_TRUE(machine.core(1).hasContext());
+    kernel.destroyProcess(p);
+    EXPECT_FALSE(machine.core(0).hasContext());
+    EXPECT_FALSE(machine.core(1).hasContext());
+    EXPECT_EQ(kernel.processOnCore(0), nullptr);
+    EXPECT_EQ(kernel.processOnCore(1), nullptr);
+
+    // A successor process can claim the cores cleanly.
+    Process &q = kernel.createProcess("next", 0);
+    kernel.spawnThread(q, 0);
+    EXPECT_EQ(machine.core(0).cr3(), q.roots().primaryRoot);
+    kernel.destroyProcess(q);
 }
 
 TEST_F(KernelTest, MigrateProcessMovesThreadsAndData)
@@ -439,7 +503,7 @@ TEST_F(KernelTest, MigrateProcessMovesThreadsAndData)
     int tid = ctx.addThread(0);
     EXPECT_EQ(ctx.socketOf(tid), 0);
 
-    kernel.migrateProcess(p, 1, /*migrate_data=*/true);
+    ASSERT_TRUE(kernel.migrateProcess(p, 1, /*migrate_data=*/true));
     EXPECT_EQ(ctx.socketOf(tid), 1);
     EXPECT_EQ(kernel.homeSocket(p), 1);
     auto &pm = machine.physmem();
@@ -457,8 +521,8 @@ TEST_F(KernelTest, MigrateWithoutDataLeavesDataBehind)
     Process &p = kernel.createProcess("test", 0);
     auto region = kernel.mmap(p, 4 * PageSize,
                               MmapOptions{.populate = true});
-    kernel.spawnThreadOnSocket(p, 0);
-    kernel.migrateProcess(p, 1, /*migrate_data=*/false);
+    ASSERT_GE(kernel.spawnThreadOnSocket(p, 0), 0);
+    ASSERT_TRUE(kernel.migrateProcess(p, 1, /*migrate_data=*/false));
     auto &pm = machine.physmem();
     auto leaf = kernel.ptOps().walk(p.roots(), region.start);
     EXPECT_EQ(pm.socketOf(leaf.leaf.pfn()), 0);

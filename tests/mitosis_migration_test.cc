@@ -104,7 +104,7 @@ TEST_F(MigrationTest, KernelMigrationTriggersPtMigrationViaHook)
     int tid = ctx.addThread(0);
     (void)tid;
 
-    kernel.migrateProcess(p, 1, /*migrate_data=*/true);
+    ASSERT_TRUE(kernel.migrateProcess(p, 1, /*migrate_data=*/true));
 
     // With Mitosis, page-tables follow the process (§5.5)...
     EXPECT_EQ(ptPagesOn(0), 0u);
@@ -126,9 +126,9 @@ TEST_F(MigrationTest, MigrationDisabledLeavesTablesBehind)
     os::Kernel k2(machine, off);
     os::Process &p = k2.createProcess("off", 0);
     k2.mmap(p, 64 * PageSize, os::MmapOptions{.populate = true});
-    k2.spawnThreadOnSocket(p, 0);
+    ASSERT_GE(k2.spawnThreadOnSocket(p, 0), 0);
     std::uint64_t on0 = ptPagesOn(0);
-    k2.migrateProcess(p, 1, true);
+    ASSERT_TRUE(k2.migrateProcess(p, 1, true));
     EXPECT_EQ(ptPagesOn(0), on0); // stock behaviour: PTs stranded
     k2.destroyProcess(p);
 }
@@ -139,9 +139,9 @@ TEST_F(MigrationTest, FullyReplicatedProcessNeedsNoMigration)
     kernel.mmap(p, 64 * PageSize, os::MmapOptions{.populate = true});
     ASSERT_TRUE(backend.setReplicationMask(
         p.roots(), p.id(), SocketMask::all(machine.numSockets())));
-    kernel.spawnThreadOnSocket(p, 0);
+    ASSERT_GE(kernel.spawnThreadOnSocket(p, 0), 0);
     std::uint64_t migrations_before = backend.stats().treeMigrations;
-    kernel.migrateProcess(p, 1, false);
+    ASSERT_TRUE(kernel.migrateProcess(p, 1, false));
     // Already replicated on the target: the hook performs no migration.
     EXPECT_EQ(backend.stats().treeMigrations, migrations_before);
     EXPECT_EQ(machine.physmem().socketOf(
