@@ -548,6 +548,13 @@ describeMachine(BenchReport &report)
     report.config("dram_local_latency",
                   static_cast<double>(cfg.topo.dramLocalLatency));
     report.config("stlb_holds_2m", cfg.tlb.l2Holds2M ? "yes" : "no");
+    // Physical contiguity capacity: fully-free 2 MB blocks per socket
+    // on the pristine machine. With the fragmentation knob in config
+    // (fig11 / ext_thp_aging) this pins down the physical state a run
+    // started from; live per-socket values are job metrics.
+    report.config("free_2m_blocks_per_socket",
+                  static_cast<double>(cfg.topo.memPerSocket /
+                                      LargePageSize));
 }
 
 void

@@ -580,6 +580,17 @@ BenchReport::schedStat(const std::string &label, const std::string &key,
     schedStats_.set(label, std::move(job));
 }
 
+void
+BenchReport::thpStat(const std::string &label, const std::string &key,
+                     double value)
+{
+    JsonValue job = JsonValue::object();
+    if (const JsonValue *existing = thpStats_.find(label))
+        job = *existing;
+    job.set(key, JsonValue::number(value));
+    thpStats_.set(label, std::move(job));
+}
+
 JsonValue
 BenchReport::toJson() const
 {
@@ -596,6 +607,8 @@ BenchReport::toJson() const
         doc.set("wall_ms", wallMs_);
     if (schedStats_.size())
         doc.set("scheduler", schedStats_);
+    if (thpStats_.size())
+        doc.set("thp", thpStats_);
     return doc;
 }
 

@@ -14,10 +14,11 @@
  *                    "metrics": { "<key>": <finite number>, ... } }, ... ],
  *     "speedups": { "<label>": <finite number>, ... },
  *     "wall_ms":  { "<job>": <number>, ..., "total": <number> },
- *     "scheduler": { "<job>": { "<stat>": <number>, ... }, ... }
+ *     "scheduler": { "<job>": { "<stat>": <number>, ... }, ... },
+ *     "thp":       { "<job>": { "<stat>": <number>, ... }, ... }
  *   }
  *
- * Two sections are excluded from metric comparisons. "wall_ms" is
+ * Three sections are excluded from metric comparisons. "wall_ms" is
  * host-side telemetry (per-job and total wall-clock, recorded by the
  * driver): simulated results must be bit-identical across commits
  * unless the model changed, while wall_ms is expected to drift with
@@ -25,9 +26,12 @@
  * (present only for benches that run the time-sharing scheduler)
  * carries per-job scheduling activity — context switches, preemptions,
  * migrations — which is deterministic but diagnostic: it explains the
- * metrics without being one. Tools diffing reports must ignore both;
- * they exist so wall-clock trends and scheduling behaviour stay
- * visible PR-to-PR via the CI artifacts.
+ * metrics without being one. "thp" (present only when the THP
+ * lifecycle daemons ran) carries per-job collapse/split/compaction and
+ * failed-allocation counters under the same rule. Tools diffing
+ * reports must ignore all three; they exist so wall-clock trends,
+ * scheduling and huge-page lifecycle behaviour stay visible PR-to-PR
+ * via the CI artifacts.
  *
  * A minimal JSON value/writer/parser keeps the repo dependency-free; the
  * parser exists so tests and tools can round-trip what the writer emits.
@@ -179,6 +183,16 @@ class BenchReport
     void schedStat(const std::string &label, const std::string &key,
                    double value);
 
+    /**
+     * Record one THP lifecycle counter (collapses, splits, compaction
+     * activity, failed allocations) for job @p label. The "thp"
+     * section only appears when the THP daemons actually ran and —
+     * like "scheduler" — is diagnostic, excluded from metric
+     * comparisons.
+     */
+    void thpStat(const std::string &label, const std::string &key,
+                 double value);
+
     JsonValue toJson() const;
     std::string str() const { return toJson().str(2); }
 
@@ -198,6 +212,7 @@ class BenchReport
     JsonValue speedups_ = JsonValue::object();
     JsonValue wallMs_ = JsonValue::object();
     JsonValue schedStats_ = JsonValue::object();
+    JsonValue thpStats_ = JsonValue::object();
 };
 
 /// @}

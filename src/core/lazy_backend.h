@@ -18,6 +18,15 @@
  * *present* replica entry (unmap, permission downgrade, frame
  * migration) is propagated eagerly — a stale present entry would keep
  * translating and never fault, which could leak freed frames.
+ *
+ * The THP lifecycle hooks (PvOps::collapseRange / splitHuge) need no
+ * override here: the rule above makes the base composition coherent by
+ * construction. Collapse rewrites a *present* L2 slot (eager in every
+ * replica) and then releases the leaf table, whose override purges any
+ * update messages still queued at the dying replica set; a split fills
+ * a fresh leaf table (pure installs — queued, drained at fault time)
+ * before the eager present→present L2 swing, so a replica that races
+ * ahead simply faults at L1 and drains its queue.
  */
 
 #ifndef MITOSIM_CORE_LAZY_BACKEND_H

@@ -262,6 +262,27 @@ MitosisBackend::setPtes(pt::RootSet &roots, pt::PteLoc loc,
     }
 }
 
+void
+MitosisBackend::collapseRange(pt::RootSet &roots, pt::PteLoc dir_loc,
+                              pt::Pte huge, Pfn leaf_table,
+                              KernelCost *cost)
+{
+    ++stats_.hugeCollapses;
+    PvOps::collapseRange(roots, dir_loc, huge, leaf_table, cost);
+}
+
+bool
+MitosisBackend::splitHuge(pt::RootSet &roots, ProcId owner,
+                          pt::PteLoc dir_loc, const pt::Pte *values,
+                          SocketId hint_socket, KernelCost *cost)
+{
+    if (!PvOps::splitHuge(roots, owner, dir_loc, values, hint_socket,
+                          cost))
+        return false;
+    ++stats_.hugeSplits;
+    return true;
+}
+
 pt::Pte
 MitosisBackend::readPte(const pt::RootSet &roots, pt::PteLoc loc,
                         KernelCost *cost) const

@@ -103,6 +103,8 @@ struct MitosisStats
     std::uint64_t treeMigrations = 0;    //!< §5.5 migrations
     std::uint64_t degradedAllocs = 0;    //!< replica alloc failures
     std::uint64_t scheduleReplications = 0; //!< §5.3 first-timeslice builds
+    std::uint64_t hugeCollapses = 0;     //!< THP collapses applied ring-wide
+    std::uint64_t hugeSplits = 0;        //!< THP demotions applied ring-wide
 };
 
 /** The Mitosis PV-Ops backend. */
@@ -168,6 +170,23 @@ class MitosisBackend : public pvops::PvOps
     void setPtes(pt::RootSet &roots, pt::PteLoc loc,
                  const pt::Pte *values, unsigned count, int level,
                  pvops::KernelCost *cost) override;
+
+    /**
+     * THP lifecycle hooks: the base-class composition over this
+     * backend's own setPte/setPtes/allocPtPage/releasePtPage already
+     * rewrites the leaf level in every replica (one ring locate per
+     * replica per table, the batched-update model) and frees/creates
+     * whole replica sets; these overrides only count the events so the
+     * per-replica view can be cross-checked against the OS-side
+     * ThpStats.
+     */
+    void collapseRange(pt::RootSet &roots, pt::PteLoc dir_loc,
+                       pt::Pte huge, Pfn leaf_table,
+                       pvops::KernelCost *cost) override;
+
+    bool splitHuge(pt::RootSet &roots, ProcId owner, pt::PteLoc dir_loc,
+                   const pt::Pte *values, SocketId hint_socket,
+                   pvops::KernelCost *cost) override;
 
     pt::Pte readPte(const pt::RootSet &roots, pt::PteLoc loc,
                     pvops::KernelCost *cost) const override;

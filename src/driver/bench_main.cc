@@ -175,6 +175,12 @@ benchMain(int argc, char **argv, const BenchSpec &spec)
             for (const auto &[key, value] : results[index]->sched)
                 report.schedStat(registry.job(index).name, key, value);
         }
+        // THP lifecycle activity (collapses, splits, compaction):
+        // emitted only when the daemons ran, same excluded contract.
+        for (std::size_t index : selected) {
+            for (const auto &[key, value] : results[index]->thp)
+                report.thpStat(registry.job(index).name, key, value);
+        }
         if (selected.size() == registry.size()) {
             std::vector<JobResult> full;
             full.reserve(results.size());

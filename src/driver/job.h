@@ -74,10 +74,26 @@ struct JobResult
         return *this;
     }
 
+    /**
+     * THP lifecycle counters (collapses, splits, compaction activity,
+     * failed allocations) recorded by jobs that ran the khugepaged /
+     * kcompactd daemons. Same contract as `sched`: deterministic
+     * diagnostic telemetry, landed in the report's "thp" section and
+     * excluded from metric comparisons.
+     */
+    std::vector<std::pair<std::string, double>> thp;
+
     JobResult &
     schedStat(std::string key, double v)
     {
         sched.emplace_back(std::move(key), v);
+        return *this;
+    }
+
+    JobResult &
+    thpStat(std::string key, double v)
+    {
+        thp.emplace_back(std::move(key), v);
         return *this;
     }
 

@@ -174,6 +174,53 @@ FrameAllocator::freeLargeBlocks() const
     return n;
 }
 
+double
+FrameAllocator::largeBlockFreeRatio() const
+{
+    return blocks.empty()
+               ? 0.0
+               : static_cast<double>(freeLargeBlocks()) /
+                     static_cast<double>(blocks.size());
+}
+
+std::uint32_t
+FrameAllocator::blockUsedCount(std::uint64_t index) const
+{
+    MITOSIM_ASSERT(index < blocks.size());
+    return blocks[index].usedCount;
+}
+
+std::optional<Pfn>
+FrameAllocator::allocFrameForCompaction(Pfn avoid)
+{
+    MITOSIM_ASSERT(owns(avoid));
+    std::uint64_t avoid_block = blockOf(avoid);
+    // The fullest partial block packs relocated frames densest, which
+    // is what turns scattered occupancy back into free 2 MB blocks.
+    std::uint64_t best = blocks.size();
+    std::uint32_t best_used = 0;
+    for (std::uint64_t i = 0; i < blocks.size(); ++i) {
+        const Block &b = blocks[i];
+        if (i == avoid_block || b.usedCount == 0 ||
+            b.usedCount >= framesPerBlock)
+            continue;
+        if (b.usedCount > best_used) {
+            best = i;
+            best_used = b.usedCount;
+        }
+    }
+    if (best == blocks.size())
+        return std::nullopt;
+    Block &b = blocks[best];
+    int slot = findFreeSlot(b);
+    MITOSIM_ASSERT(slot >= 0);
+    // A now-full block may leave a stale partialStack entry behind;
+    // pops verify against the block's actual state, as everywhere.
+    setSlot(b, static_cast<unsigned>(slot));
+    --freeCount;
+    return basePfn + best * 512ull + static_cast<unsigned>(slot);
+}
+
 bool
 FrameAllocator::isAllocated(Pfn pfn) const
 {

@@ -54,6 +54,43 @@ class FrameAllocator
     /** Number of fully-free 2 MB blocks (capacity for THP allocations). */
     std::uint64_t freeLargeBlocks() const;
 
+    /**
+     * Fragmentation observability: the fraction of this socket's 2 MB
+     * blocks that are fully free, i.e. the remaining allocLargeBlock()
+     * capacity (1.0 = pristine, 0.0 = every block broken).
+     */
+    double largeBlockFreeRatio() const;
+
+    /// @name Targeted relocation (kcompactd support)
+    /// @{
+
+    std::uint64_t numBlocks() const { return blocks.size(); }
+
+    /** Allocated-frame count of block @p index (0 = fully free). */
+    std::uint32_t blockUsedCount(std::uint64_t index) const;
+
+    /** Visit every allocated pfn of block @p index, ascending. */
+    template <typename Fn>
+    void
+    forEachAllocatedInBlock(std::uint64_t index, Fn &&fn) const
+    {
+        const Block &b = blocks[index];
+        for (unsigned slot = 0; slot < framesPerBlock; ++slot) {
+            if (testSlot(b, slot))
+                fn(basePfn + index * framesPerBlock + slot);
+        }
+    }
+
+    /**
+     * Compaction destination: allocate one frame from the *fullest*
+     * partially-used block other than @p avoid's block. Never splits a
+     * fully-free block — compaction must consume fragmentation, not
+     * create it. nullopt when no other partial block has room.
+     */
+    std::optional<Pfn> allocFrameForCompaction(Pfn avoid);
+
+    /// @}
+
     bool
     owns(Pfn pfn) const
     {

@@ -36,6 +36,8 @@ enum FrameFlags : std::uint16_t
     FrameFlagLargeHead = 1 << 0, //!< first frame of a 2 MB data page
     FrameFlagLargeTail = 1 << 1, //!< interior frame of a 2 MB data page
     FrameFlagPtReserve = 1 << 2, //!< lives in a per-socket PT page cache
+    FrameFlagFragPin = 1 << 3,   //!< fragmentation-injector filler
+                                 //!< (movable by kcompactd)
 };
 
 /**

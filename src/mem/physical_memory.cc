@@ -1,5 +1,6 @@
 #include "physical_memory.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -139,6 +140,91 @@ PhysicalMemory::migrateData(Pfn pfn, SocketId target)
     else
         freeData(pfn);
     return fresh;
+}
+
+void
+PhysicalMemory::splitLargeData(Pfn head)
+{
+    PageMeta &hm = meta(head);
+    MITOSIM_ASSERT(hm.type == FrameType::Data &&
+                       hm.hasFlag(FrameFlagLargeHead),
+                   "splitLargeData: not a large-page head");
+    for (Pfn p = head; p < head + FramesPerLargePage; ++p) {
+        PageMeta &m = meta(p);
+        m.flags = FrameFlagNone;
+        m.replicaNext = p;
+    }
+    auto &st = perSocket[static_cast<std::size_t>(socketOf(head))];
+    --st.dataLargePages;
+    st.dataPages += FramesPerLargePage;
+}
+
+std::optional<Pfn>
+PhysicalMemory::compactData(Pfn pfn)
+{
+    PageMeta &m = meta(pfn);
+    MITOSIM_ASSERT(m.type == FrameType::Data &&
+                       !m.hasFlag(FrameFlagLargeHead) &&
+                       !m.hasFlag(FrameFlagLargeTail),
+                   "compactData: not a small data frame");
+    SocketId s = socketOf(pfn);
+    auto dest = alloc(s).allocFrameForCompaction(pfn);
+    if (!dest)
+        return std::nullopt;
+    PageMeta &d = meta(*dest);
+    d.type = FrameType::Data;
+    d.owner = m.owner;
+    d.level = 0;
+    d.flags = FrameFlagNone;
+    d.replicaNext = *dest;
+    m.type = FrameType::Free;
+    m.owner = -1;
+    m.replicaNext = InvalidPfn;
+    alloc(s).freeFrame(pfn);
+    // dataPages is unchanged: one frame freed, one allocated, same
+    // socket.
+    return dest;
+}
+
+bool
+PhysicalMemory::isFragPinned(Pfn pfn) const
+{
+    const PageMeta &m = meta(pfn);
+    return m.type == FrameType::Reserved &&
+           m.hasFlag(FrameFlagFragPin);
+}
+
+bool
+PhysicalMemory::compactReservedPin(Pfn pfn)
+{
+    MITOSIM_ASSERT(isFragPinned(pfn),
+                   "compactReservedPin: not a fragmentation filler");
+    SocketId s = socketOf(pfn);
+    auto &list = fragPinned[static_cast<std::size_t>(s)];
+    auto it = std::find(list.begin(), list.end(), pfn);
+    MITOSIM_ASSERT(it != list.end());
+    auto dest = alloc(s).allocFrameForCompaction(pfn);
+    if (!dest)
+        return false;
+    PageMeta &d = meta(*dest);
+    d.type = FrameType::Reserved;
+    d.owner = -1;
+    d.level = 0;
+    d.flags = FrameFlagFragPin;
+    d.replicaNext = InvalidPfn;
+    PageMeta &m = meta(pfn);
+    m.type = FrameType::Free;
+    m.flags = FrameFlagNone;
+    m.replicaNext = InvalidPfn;
+    alloc(s).freeFrame(pfn);
+    *it = *dest;
+    return true;
+}
+
+double
+PhysicalMemory::largeBlockFreeRatio(SocketId socket) const
+{
+    return alloc(socket).largeBlockFreeRatio();
 }
 
 std::optional<Pfn>
@@ -375,7 +461,7 @@ PhysicalMemory::fragment(SocketId socket, double fraction, Rng &rng)
     for (Pfn pfn : pinned) {
         PageMeta &m = meta(pfn);
         m.type = FrameType::Reserved;
-        m.flags = FrameFlagNone;
+        m.flags = FrameFlagFragPin;
     }
     auto &list = fragPinned[static_cast<std::size_t>(socket)];
     list.insert(list.end(), pinned.begin(), pinned.end());
@@ -389,6 +475,7 @@ PhysicalMemory::defragment(SocketId socket)
         PageMeta &m = meta(pfn);
         MITOSIM_ASSERT(m.type == FrameType::Reserved);
         m.type = FrameType::Free;
+        m.flags = FrameFlagNone;
         alloc(socket).freeFrame(pfn);
     }
     list.clear();

@@ -72,6 +72,42 @@ class PhysicalMemory
     std::optional<Pfn> migrateData(Pfn pfn, SocketId target);
 
     /// @}
+    /// @name THP lifecycle support (collapse / split / compaction)
+    /// @{
+
+    /**
+     * Demote a live 2 MB data page into 512 individually-freeable 4 KB
+     * data frames (same pfns, same socket): the huge-head/tail flags
+     * are dropped and the per-socket accounting moves from
+     * dataLargePages to dataPages. The frame allocator's bitmap needs
+     * no change — the block stays fully allocated, it just becomes
+     * per-frame reclaimable.
+     */
+    void splitLargeData(Pfn head);
+
+    /**
+     * kcompactd: relocate one 4 KB data frame into another partial
+     * block on the *same* socket (never splitting a free block),
+     * freeing its slot so nearly-empty blocks can drain back to fully
+     * free. Returns the new pfn; the caller rewrites the PTE.
+     */
+    std::optional<Pfn> compactData(Pfn pfn);
+
+    /**
+     * kcompactd: relocate one fragmentation-injector filler frame
+     * (modelled as movable kernel memory) the same way. @p pfn must be
+     * a pinned filler of fragment(); the pin list is updated so
+     * defragment() stays balanced.
+     */
+    bool compactReservedPin(Pfn pfn);
+
+    /** Is @p pfn a fragmentation-injector filler (movable Reserved)? */
+    bool isFragPinned(Pfn pfn) const;
+
+    /** Fraction of @p socket's 2 MB blocks that are fully free. */
+    double largeBlockFreeRatio(SocketId socket) const;
+
+    /// @}
     /// @name Page-table frames
     /// @{
 
@@ -120,6 +156,12 @@ class PhysicalMemory
 
     std::uint64_t freeFrames(SocketId socket) const;
     std::uint64_t freeLargeBlocks(SocketId socket) const;
+
+    /** Read-only allocator view (kcompactd's block scan). */
+    const FrameAllocator &allocator(SocketId socket) const
+    {
+        return alloc(socket);
+    }
     const MemStats &stats(SocketId socket) const;
 
     /** Live PT frames on @p socket at @p level (analysis, Fig 3). */

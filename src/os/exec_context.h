@@ -75,16 +75,19 @@ class ExecContext
     {
         auto &pc = counters[static_cast<std::size_t>(tid)];
         Scheduler &sched = k.scheduler();
+        Cycles c;
         if (sched.timeShared()) {
             // Running a step makes the thread resident (context
             // switching if a competitor holds the core) and advances
             // the core's timeslice clock by the simulated cycles.
             CoreId core = sched.dispatch(proc_, tid, pc);
-            Cycles c = k.machine().core(core).access(va, is_write, pc);
+            c = k.machine().core(core).access(va, is_write, pc);
             sched.tick(core, c);
-            return c;
+        } else {
+            c = k.machine().core(coreOf(tid)).access(va, is_write, pc);
         }
-        return k.machine().core(coreOf(tid)).access(va, is_write, pc);
+        noteThpCycles(c);
+        return c;
     }
 
     /** Charge non-memory work to thread @p tid. */
@@ -99,6 +102,21 @@ class ExecContext
         }
         pc.cycles += c;
         pc.computeCycles += c;
+        noteThpCycles(c);
+    }
+
+    /**
+     * Tie the THP daemons to this context's execution clock: every
+     * @p period simulated cycles spent in access()/compute(), the
+     * kernel runs one khugepaged + kcompactd pass (Kernel::thpTick) —
+     * the same explicit-period pattern as the AutoNUMA scan ticks.
+     * 0 (the default) disables.
+     */
+    void
+    enableThpTicks(Cycles period)
+    {
+        thpTickPeriod = period;
+        thpTickCredit = 0;
     }
 
     sim::PerfCounters &
@@ -147,9 +165,23 @@ class ExecContext
     Process &process() { return proc_; }
 
   private:
+    void
+    noteThpCycles(Cycles c)
+    {
+        if (!thpTickPeriod)
+            return;
+        thpTickCredit += c;
+        while (thpTickCredit >= thpTickPeriod) {
+            thpTickCredit -= thpTickPeriod;
+            k.thpTick();
+        }
+    }
+
     Kernel &k;
     Process &proc_;
     std::vector<sim::PerfCounters> counters;
+    Cycles thpTickPeriod = 0; //!< 0 = no daemon ticks from this context
+    Cycles thpTickCredit = 0;
 };
 
 } // namespace mitosim::os

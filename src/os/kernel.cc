@@ -18,7 +18,8 @@ Kernel::Kernel(sim::Machine &machine, pvops::PvOps &backend)
 Kernel::Kernel(sim::Machine &machine, pvops::PvOps &backend,
                const KernelConfig &config)
     : mach(machine), pv(&backend), ops(machine.physmem(), backend),
-      autonuma(*this), sched(machine, config.sched)
+      autonuma(*this), sched(machine, config.sched),
+      thpMgr(*this, config.thp)
 {
     sched.attachBackend(backend);
     mach.setFaultHandler(
@@ -69,6 +70,7 @@ Kernel::destroyProcess(Process &proc)
     // — before ops.destroy wipes the RootSet the cores are matched
     // against and frees the frames their CR3s point into.
     sched.removeProcess(proc);
+    thpMgr.onProcessDestroyed(proc.id());
 
     KernelCost cost;
     ops.destroy(proc.roots(), &cost);
@@ -275,6 +277,14 @@ Kernel::munmap(Process &proc, VirtAddr start, std::uint64_t length,
     if (cost)
         cost->charge(pvops::VmaOpFixedCost);
 
+    // Seed semantics zapped a partially-covered huge leaf whole (2 MB
+    // of data for a one-page unmap); the gated split path demotes it
+    // to 4 KB PTEs first so only the requested range goes away.
+    if (thpMgr.config().splitPartial) {
+        splitStraddlingHuge(proc, start, cost);
+        splitStraddlingHuge(proc, end, cost);
+    }
+
     std::vector<VirtAddr> invalidate;
     std::uint64_t pages = ops.unmapRange(
         proc.roots(), start, end,
@@ -302,6 +312,14 @@ Kernel::mprotect(Process &proc, VirtAddr start, std::uint64_t length,
     if (cost)
         cost->charge(pvops::VmaOpFixedCost);
 
+    // As in munmap: don't rewrite 2 MB of permissions for a partial
+    // request — demote the boundary huge pages first when the split
+    // path is on (the VMA tree splits at the same boundaries below).
+    if (thpMgr.config().splitPartial) {
+        splitStraddlingHuge(proc, start, cost);
+        splitStraddlingHuge(proc, end, cost);
+    }
+
     std::uint64_t set = 0;
     std::uint64_t clear = 0;
     if (prot & ProtWrite)
@@ -322,6 +340,54 @@ Kernel::mprotect(Process &proc, VirtAddr start, std::uint64_t length,
     // Split partially covered VMAs so the metadata matches the PTEs
     // (the seed skipped them, leaving a stale prot).
     proc.protectVmaRange(start, end, prot);
+}
+
+void
+Kernel::splitStraddlingHuge(Process &proc, VirtAddr boundary,
+                            KernelCost *cost)
+{
+    if ((boundary & (LargePageSize - 1)) == 0)
+        return; // an aligned boundary cannot cut a huge page
+    VirtAddr base = alignDown(boundary, LargePageSize);
+    pt::WalkResult res = ops.walk(proc.roots(), base);
+    if (!res.mapped || res.size != PageSizeKind::Large2M)
+        return;
+    if (!thpMgr.splitAt(proc, boundary, cost))
+        fatal("out of memory splitting huge page at va=0x%llx",
+              (unsigned long long)base);
+}
+
+void
+Kernel::madvise(Process &proc, VirtAddr start, std::uint64_t length,
+                Madvise advice, KernelCost *cost)
+{
+    MITOSIM_ASSERT((start & (PageSize - 1)) == 0, "madvise: unaligned");
+    MITOSIM_ASSERT(length > 0, "madvise of zero length");
+    std::uint64_t rounded = alignUp(length, PageSize);
+    VirtAddr end = start + rounded;
+
+    if (cost)
+        cost->charge(pvops::VmaOpFixedCost);
+
+    // A huge page straddling an eligibility boundary would couple the
+    // two sides' lifetimes across the VMA split below; demote it
+    // unconditionally (madvise is new API — no legacy charge parity).
+    splitStraddlingHuge(proc, start, cost);
+    splitStraddlingHuge(proc, end, cost);
+
+    proc.adviseThpRange(start, end, advice == Madvise::Huge);
+}
+
+void
+Kernel::thpTick()
+{
+    if (!thpMgr.enabled())
+        return;
+    std::vector<Process *> list;
+    list.reserve(procs.size());
+    for (auto &p : procs)
+        list.push_back(p.get());
+    thpMgr.tick(list);
 }
 
 int
@@ -563,9 +629,20 @@ Kernel::faultIn(Process &proc, CoreId core, VirtAddr va, KernelCost &cost,
 
     // THP path: map a whole 2 MB page when the aligned block fits the VMA
     // and a contiguous run is available (falls back under fragmentation,
-    // the Figure 11 effect).
+    // the Figure 11 effect). Linux's pmd_none rule applies: the L2 slot
+    // must be *vacant* — a range already holding 4 KB mappings is
+    // promoted by khugepaged's collapse, never by the fault handler,
+    // which would otherwise orphan the live leaf table (and its data
+    // frames) and leave stale PWC entries pointing into it.
     VirtAddr huge_base = alignDown(va, LargePageSize);
-    if (vma->thpEnabled && huge_base >= vma->start &&
+    bool slot_vacant = true;
+    if (Pfn dir = ops.tableFor(proc.roots(), huge_base, 2);
+        dir != InvalidPfn) {
+        pt::Pte slot{
+            mach.physmem().table(dir)[ptIndex(huge_base, PtLevel::L2)]};
+        slot_vacant = !slot.present();
+    }
+    if (vma->thpEnabled && slot_vacant && huge_base >= vma->start &&
         huge_base + LargePageSize <= vma->end) {
         SocketId target = chooseDataSocket(proc, huge_base,
                                            faulting_socket, true);

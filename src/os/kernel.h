@@ -20,6 +20,7 @@
 #include "src/base/rng.h"
 #include "src/os/process.h"
 #include "src/os/scheduler.h"
+#include "src/os/thp/thp.h"
 #include "src/pt/operations.h"
 #include "src/pvops/pvops.h"
 #include "src/sim/machine.h"
@@ -83,6 +84,13 @@ struct MmapOptions
     CoreId populateCore = -1; //!< first-touch context; -1 = home socket
 };
 
+/** madvise() advice values the kernel understands. */
+enum class Madvise
+{
+    Huge,   //!< MADV_HUGEPAGE: make the range THP-eligible
+    NoHuge, //!< MADV_NOHUGEPAGE: stop backing the range with 2 MB pages
+};
+
 /** Kernel-wide construction-time knobs. */
 struct KernelConfig
 {
@@ -92,6 +100,13 @@ struct KernelConfig
      * run-queue scheduler with ASID-tagged context switches.
      */
     SchedulerConfig sched;
+
+    /**
+     * THP lifecycle: khugepaged collapse, kcompactd compaction and the
+     * partial-op huge-page split path. All off by default — a default
+     * kernel is charge-identical to one without the subsystem.
+     */
+    thp::ThpConfig thp;
 };
 
 /** The kernel. */
@@ -145,6 +160,16 @@ class Kernel
 
     void mprotect(Process &proc, VirtAddr start, std::uint64_t length,
                   std::uint64_t prot, pvops::KernelCost *cost = nullptr);
+
+    /**
+     * Toggle THP eligibility over [start, start + length) after mmap
+     * (madvise(MADV_HUGEPAGE / MADV_NOHUGEPAGE)). VMAs split/merge at
+     * the exact boundaries through the tree ops; a huge page straddling
+     * a boundary is demoted first so no 2 MB mapping ever spans two
+     * VMAs (the lifetime-coupling hazard Vma::mergeableWith documents).
+     */
+    void madvise(Process &proc, VirtAddr start, std::uint64_t length,
+                 Madvise advice, pvops::KernelCost *cost = nullptr);
 
     /** Touch every page of a range from @p core (first-touch context). */
     void populate(Process &proc, VirtAddr start, std::uint64_t length,
@@ -209,6 +234,17 @@ class Kernel
     /** One AutoNUMA period: scan every opted-in process. */
     void autoNumaTick(double sample_fraction, Rng &rng);
 
+    /**
+     * One THP daemon period: kcompactd reconstitutes 2 MB blocks, then
+     * khugepaged collapses eligible ranges, over every live process.
+     * No-op unless KernelConfig::thp enabled a daemon.
+     */
+    void thpTick();
+
+    /** The THP lifecycle manager (collapse/split/compact mechanics). */
+    thp::ThpManager &thp() { return thpMgr; }
+    const thp::ThpManager &thp() const { return thpMgr; }
+
     /// @name Internals exposed for the Mitosis manager and analysis
     /// @{
     pt::PageTableOps &ptOps() { return ops; }
@@ -261,6 +297,15 @@ class Kernel
     void freeLeafData(pt::Pte leaf, PageSizeKind size);
 
     /**
+     * Demote the huge page straddling @p boundary, if one exists (the
+     * boundary is interior to a mapped 2 MB range). Used by madvise
+     * always, and by munmap/mprotect when ThpConfig::splitPartial opts
+     * out of the seed's whole-leaf zap.
+     */
+    void splitStraddlingHuge(Process &proc, VirtAddr boundary,
+                             pvops::KernelCost *cost);
+
+    /**
      * Cores an invalidation of @p proc's mappings must reach: exactly
      * the pinned thread cores (the seed's targeting), or — time-shared,
      * where descheduled tenants leave tagged entries behind — every
@@ -285,6 +330,7 @@ class Kernel
     pt::PageTableOps ops;
     AutoNuma autonuma;
     Scheduler sched;
+    thp::ThpManager thpMgr;
 
     std::vector<std::unique_ptr<Process>> procs;
     std::vector<SocketId> homeSockets; // parallel to procs by pid index

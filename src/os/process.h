@@ -239,6 +239,54 @@ class Process
         mergeAdjacent(start, end);
     }
 
+    /**
+     * Set THP eligibility over exactly [start, end) — the tree half of
+     * madvise(MADV_HUGEPAGE / MADV_NOHUGEPAGE): partially covered VMAs
+     * split at the boundary, and newly-non-THP neighbours with matching
+     * attributes merge back (THP VMAs never merge, see mergeableWith).
+     * The caller must demote any huge page straddling a boundary first
+     * (Kernel::madvise does) so no 2 MB mapping ever spans two VMAs.
+     */
+    void
+    adviseThpRange(VirtAddr start, VirtAddr end, bool enable)
+    {
+        auto it = vmas_.upper_bound(start);
+        if (it != vmas_.begin())
+            --it;
+        while (it != vmas_.end() && it->second.start < end) {
+            Vma &v = it->second;
+            if (v.end <= start || v.thpEnabled == enable) {
+                ++it;
+                continue;
+            }
+            if (v.start < start) {
+                // Split off the uncovered head, then revisit the tail.
+                Vma left = v;
+                left.end = start;
+                Vma right = v;
+                right.start = start;
+                vmas_.erase(it);
+                vmas_.emplace(left.start, left);
+                it = vmas_.emplace(right.start, right).first;
+                continue;
+            }
+            if (v.end > end) {
+                Vma head = v;
+                head.end = end;
+                head.thpEnabled = enable;
+                Vma tail = v;
+                tail.start = end;
+                vmas_.erase(it);
+                vmas_.emplace(head.start, head);
+                it = vmas_.emplace(tail.start, tail).first;
+            } else {
+                v.thpEnabled = enable;
+                ++it;
+            }
+        }
+        mergeAdjacent(start, end);
+    }
+
     /** Visit every VMA intersecting [start, end), in address order. */
     template <typename Fn>
     void

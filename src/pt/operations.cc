@@ -422,6 +422,59 @@ PageTableOps::protectRange(
     return rewritten;
 }
 
+Pfn
+PageTableOps::tableFor(const RootSet &roots, VirtAddr va, int level) const
+{
+    return descend(roots, va, level);
+}
+
+bool
+PageTableOps::collapse2M(RootSet &roots, VirtAddr va, Pte huge,
+                         pvops::KernelCost *cost)
+{
+    MITOSIM_ASSERT((va & (LargePageSize - 1)) == 0,
+                   "collapse2M: va not 2MB aligned");
+    MITOSIM_ASSERT(huge.present() && huge.huge(),
+                   "collapse2M: replacement is not a huge leaf");
+    Pfn dir_table = descend(roots, va, 2);
+    if (dir_table == InvalidPfn)
+        return false;
+    unsigned idx = ptIndex(va, PtLevel::L2);
+    Pte entry{mem.table(dir_table)[idx]};
+    if (!entry.present() || entry.huge())
+        return false; // nothing to collapse (hole, or already huge)
+    pv->collapseRange(roots, PteLoc{dir_table, idx}, huge, entry.pfn(),
+                      cost);
+    return true;
+}
+
+bool
+PageTableOps::split2M(RootSet &roots, ProcId owner, VirtAddr va,
+                      PtPlacementPolicy &pt_policy,
+                      SocketId faulting_socket, pvops::KernelCost *cost)
+{
+    VirtAddr base = alignDown(va, LargePageSize);
+    Pfn dir_table = descend(roots, base, 2);
+    if (dir_table == InvalidPfn)
+        return false;
+    unsigned idx = ptIndex(base, PtLevel::L2);
+    Pte huge{mem.table(dir_table)[idx]};
+    if (!huge.present() || !huge.huge())
+        return false;
+
+    std::uint64_t flags = huge.raw() & ~PtePfnMask &
+                          ~static_cast<std::uint64_t>(PteHuge);
+    std::array<Pte, PtEntriesPerPage> values;
+    for (unsigned k = 0; k < PtEntriesPerPage; ++k)
+        values[k] = Pte::make(huge.pfn() + k, flags);
+
+    SocketId target =
+        pt_policy.chooseSocket(faulting_socket,
+                               mem.topology().numSockets());
+    return pv->splitHuge(roots, owner, PteLoc{dir_table, idx},
+                         values.data(), target, cost);
+}
+
 WalkResult
 PageTableOps::readLeaf(const RootSet &roots, VirtAddr va,
                        pvops::KernelCost *cost) const

@@ -200,6 +200,43 @@ class PageTableOps
 
     /// @}
 
+    /// @name THP lifecycle (collapse / split)
+    /// @{
+
+    /**
+     * Primary-tree table containing @p va's entry at @p level, or
+     * InvalidPfn when the path is missing (or covered by a huge leaf
+     * above @p level). Read-only, uncharged, like walk().
+     */
+    Pfn tableFor(const RootSet &roots, VirtAddr va, int level) const;
+
+    /**
+     * Collapse the fully-populated leaf table under @p va (2 MB
+     * aligned) into the single huge leaf @p huge: the backend's
+     * collapseRange hook rewrites the L2 slot in *every* replica and
+     * releases the dead leaf table's whole replica set. Data-frame
+     * bookkeeping (copy, free) is the caller's job.
+     *
+     * @return false when @p va is not currently backed by a leaf table.
+     */
+    bool collapse2M(RootSet &roots, VirtAddr va, Pte huge,
+                    pvops::KernelCost *cost);
+
+    /**
+     * Demote the huge leaf at @p va into 512 4 KB PTEs mapping the same
+     * frames (flags preserved, PS dropped; hardware-written A/D bits
+     * are inherited by every small PTE, the conservative Linux
+     * choice). The fresh leaf table is placed via @p pt_policy.
+     *
+     * @return false when @p va has no huge leaf, or the table
+     *         allocation failed (mapping left intact).
+     */
+    bool split2M(RootSet &roots, ProcId owner, VirtAddr va,
+                 PtPlacementPolicy &pt_policy, SocketId faulting_socket,
+                 pvops::KernelCost *cost);
+
+    /// @}
+
     /**
      * Visit every present leaf entry in the primary tree.
      * @param fn (va, level-1-or-2 loc, pte, size)

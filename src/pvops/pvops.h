@@ -103,6 +103,58 @@ class PvOps
     }
 
     /**
+     * THP collapse (khugepaged): store @p huge — a PS=1 L2 leaf — at
+     * @p dir_loc, the L2 slot currently referencing the fully-populated
+     * leaf table @p leaf_table, then release that leaf table. The
+     * default composes the existing hooks, which is what keeps *every*
+     * backend replica-coherent without a per-backend rewrite: setPte
+     * rewrites the slot in each ring member (huge leaves copy verbatim;
+     * one replica-locate per ring, the batched-update model) and
+     * releasePtPage frees every linked replica of the dead leaf table.
+     * Lazily-propagating backends inherit correctness too: the
+     * present→present slot rewrite is eager by their own rule, and
+     * their releasePtPage override purges update messages aimed at the
+     * freed replica set.
+     */
+    virtual void
+    collapseRange(pt::RootSet &roots, pt::PteLoc dir_loc, pt::Pte huge,
+                  Pfn leaf_table, KernelCost *cost)
+    {
+        setPte(roots, dir_loc, huge, 2, cost);
+        releasePtPage(roots, leaf_table, cost);
+    }
+
+    /**
+     * THP demotion: split the huge leaf at @p dir_loc into 512 4 KB
+     * PTEs. @p values[0..PtEntriesPerPage) map the huge page's
+     * constituent frames; a fresh leaf table is allocated on
+     * @p hint_socket (replica sets included), the values streamed into
+     * it through the batched store hook, and only then is @p dir_loc
+     * swung from the huge leaf to the new table — the Linux ordering
+     * (populate the pmd-less table, then pmd_populate), so no replica
+     * ever exposes a partially-filled leaf level.
+     *
+     * @return false when no leaf table could be allocated; the huge
+     *         mapping is left intact.
+     */
+    virtual bool
+    splitHuge(pt::RootSet &roots, ProcId owner, pt::PteLoc dir_loc,
+              const pt::Pte *values, SocketId hint_socket,
+              KernelCost *cost)
+    {
+        Pfn table = allocPtPage(roots, owner, 1, hint_socket, cost);
+        if (table == InvalidPfn)
+            return false;
+        setPtes(roots, pt::PteLoc{table, 0}, values, PtEntriesPerPage, 1,
+                cost);
+        setPte(roots, dir_loc,
+               pt::Pte::make(table,
+                             pt::PtePresent | pt::PteWrite | pt::PteUser),
+               2, cost);
+        return true;
+    }
+
+    /**
      * Read the PTE at @p loc for OS purposes. Backends with replicas must
      * OR the Accessed/Dirty bits across all replicas (§5.4).
      */

@@ -174,6 +174,37 @@ TEST(BenchReport, SchemaKeysPresent)
     EXPECT_EQ(doc.find("wall_ms"), nullptr);
     // Likewise scheduler activity: only time-shared benches emit it.
     EXPECT_EQ(doc.find("scheduler"), nullptr);
+    // And THP lifecycle counters: only daemon-running benches emit it.
+    EXPECT_EQ(doc.find("thp"), nullptr);
+}
+
+TEST(BenchReport, ThpSectionGroupsStatsPerJobAndStaysOutOfMetrics)
+{
+    BenchReport report = sampleReport();
+    report.thpStat("gups/native-on", "collapses", 1024.0);
+    report.thpStat("gups/native-on", "splits", 3.0);
+    report.thpStat("gups/mitosis-on", "collapses", 1024.0);
+    JsonValue doc = roundTrip(report);
+
+    const JsonValue *thp = doc.find("thp");
+    ASSERT_NE(thp, nullptr);
+    ASSERT_TRUE(thp->isObject());
+    EXPECT_EQ(thp->size(), 2u);
+    const JsonValue *job = thp->find("gups/native-on");
+    ASSERT_NE(job, nullptr);
+    ASSERT_NE(job->find("collapses"), nullptr);
+    EXPECT_EQ(job->find("collapses")->asNumber(), 1024.0);
+    EXPECT_EQ(job->find("splits")->asNumber(), 3.0);
+
+    // Diagnostic section, excluded from metric comparisons: never
+    // mirrored into any run's metrics.
+    const JsonValue *runs = doc.find("runs");
+    ASSERT_NE(runs, nullptr);
+    for (std::size_t i = 0; i < runs->size(); ++i) {
+        const JsonValue *metrics = runs->at(i).find("metrics");
+        ASSERT_NE(metrics, nullptr);
+        EXPECT_EQ(metrics->find("collapses"), nullptr);
+    }
 }
 
 TEST(BenchReport, SchedulerSectionGroupsStatsPerJob)

@@ -154,6 +154,95 @@ TEST(FrameAllocator, FragmentFractionIsRespected)
     EXPECT_EQ(a.freeLargeBlocks(), 64u - pinned.size());
 }
 
+TEST(FrameAllocator, LargeBlockFreeRatioTracksCapacity)
+{
+    FrameAllocator a(0, 4 * FramesPerBlock);
+    EXPECT_EQ(a.largeBlockFreeRatio(), 1.0);
+    auto head = a.allocLargeBlock();
+    ASSERT_TRUE(head.has_value());
+    EXPECT_EQ(a.largeBlockFreeRatio(), 0.75);
+    auto single = a.allocFrame(); // splits another block
+    ASSERT_TRUE(single.has_value());
+    EXPECT_EQ(a.largeBlockFreeRatio(), 0.5);
+    a.freeLargeBlock(*head);
+    EXPECT_EQ(a.largeBlockFreeRatio(), 0.75);
+}
+
+TEST(FrameAllocator, BlockEnumerationSeesAllocatedFrames)
+{
+    FrameAllocator a(0, 2 * FramesPerBlock);
+    Rng rng(5);
+    auto pinned = a.fragment(1.0, rng);
+    ASSERT_EQ(pinned.size(), 2u);
+    for (std::uint64_t b = 0; b < a.numBlocks(); ++b) {
+        EXPECT_EQ(a.blockUsedCount(b), 1u);
+        std::vector<Pfn> seen;
+        a.forEachAllocatedInBlock(b, [&](Pfn p) { seen.push_back(p); });
+        ASSERT_EQ(seen.size(), 1u);
+        EXPECT_EQ(seen[0], pinned[b]);
+    }
+}
+
+TEST(FrameAllocator, CompactionAllocAvoidsSourceAndFreeBlocks)
+{
+    FrameAllocator a(0, 4 * FramesPerBlock);
+    Rng rng(5);
+    auto pinned = a.fragment(1.0, rng); // every block: one pin
+    ASSERT_EQ(pinned.size(), 4u);
+
+    // The destination must be a *different* partial block, never a
+    // fully-free one (there are none here), preferring the fullest.
+    auto dest = a.allocFrameForCompaction(pinned[0]);
+    ASSERT_TRUE(dest.has_value());
+    EXPECT_NE(*dest / FramesPerBlock, pinned[0] / FramesPerBlock);
+
+    // Drain block 0 by relocating its pin: the block goes fully free.
+    a.freeFrame(pinned[0]);
+    EXPECT_EQ(a.freeLargeBlocks(), 1u);
+
+    // With only fully-free and source blocks left, compaction must
+    // refuse rather than split a free block.
+    FrameAllocator b(0, 2 * FramesPerBlock);
+    auto lone = b.allocFrame();
+    ASSERT_TRUE(lone.has_value());
+    EXPECT_FALSE(b.allocFrameForCompaction(*lone).has_value());
+}
+
+TEST(FrameAllocator, CompactionAllocPrefersFullestPartial)
+{
+    FrameAllocator a(0, 4 * FramesPerBlock);
+    // Block 0: 1 frame; block 1: 3 frames (fuller).
+    auto f0 = a.allocFrame();
+    ASSERT_TRUE(f0.has_value());
+    auto blk1 = a.allocLargeBlock();
+    ASSERT_TRUE(blk1.has_value());
+    a.freeLargeBlock(*blk1);
+    // Build the second partial block by hand: allocate 4 frames and
+    // free the first, leaving 3 in what became the partial block.
+    std::vector<Pfn> more;
+    for (int i = 0; i < 3; ++i) {
+        auto f = a.allocFrame();
+        ASSERT_TRUE(f.has_value());
+        more.push_back(*f);
+    }
+    // All three went into block 0 (the existing partial): relocate
+    // target for a frame of block 0 must then be... no other partial
+    // exists, so it must refuse.
+    for (Pfn p : more)
+        EXPECT_EQ(p / FramesPerBlock, *f0 / FramesPerBlock);
+    EXPECT_FALSE(a.allocFrameForCompaction(*f0).has_value());
+
+    // Now create a second, emptier partial block and verify the
+    // fuller one (block of f0, 4 frames) wins as destination.
+    auto far = a.allocLargeBlock();
+    ASSERT_TRUE(far.has_value());
+    for (Pfn p = *far + 1; p < *far + FramesPerBlock; ++p)
+        a.freeFrame(p); // leaves 1 frame in that block
+    auto dest = a.allocFrameForCompaction(*far);
+    ASSERT_TRUE(dest.has_value());
+    EXPECT_EQ(*dest / FramesPerBlock, *f0 / FramesPerBlock);
+}
+
 TEST(FrameAllocator, RejectsUnalignedSizes)
 {
     EXPECT_THROW(FrameAllocator(0, 100), SimError);

@@ -345,6 +345,76 @@ TEST_F(KernelTest, ThpVmasNeverMerge)
     kernel.destroyProcess(p);
 }
 
+TEST_F(KernelTest, MadviseHugeSplitsVmaAtExactBoundaries)
+{
+    Process &p = kernel.createProcess("test", 0);
+    VirtAddr base = 0x20000000000ull;
+    kernel.mmapFixed(p, base, 4 * LargePageSize, MmapOptions{});
+    ASSERT_EQ(p.vmas().size(), 1u);
+
+    pvops::KernelCost cost;
+    kernel.madvise(p, base + LargePageSize, LargePageSize,
+                   Madvise::Huge, &cost);
+    EXPECT_GE(cost.cycles, pvops::VmaOpFixedCost);
+    ASSERT_EQ(p.vmas().size(), 3u);
+    EXPECT_FALSE(p.findVma(base)->thpEnabled);
+    const Vma *mid = p.findVma(base + LargePageSize);
+    ASSERT_NE(mid, nullptr);
+    EXPECT_TRUE(mid->thpEnabled);
+    EXPECT_EQ(mid->start, base + LargePageSize);
+    EXPECT_EQ(mid->end, base + 2 * LargePageSize);
+    EXPECT_FALSE(p.findVma(base + 2 * LargePageSize)->thpEnabled);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, MadviseNoHugeMergesBackAndGatesFaults)
+{
+    Process &p = kernel.createProcess("test", 0);
+    VirtAddr base = 0x20000000000ull;
+    kernel.mmapFixed(p, base, 2 * LargePageSize, MmapOptions{});
+    kernel.madvise(p, base, LargePageSize, Madvise::Huge);
+    ASSERT_EQ(p.vmas().size(), 2u);
+
+    // A fault in the advised half maps 2 MB; the other half 4 KB.
+    kernel.populate(p, base, PageSize, 0);
+    EXPECT_EQ(kernel.ptOps().walk(p.roots(), base).size,
+              PageSizeKind::Large2M);
+    kernel.populate(p, base + LargePageSize, PageSize, 0);
+    EXPECT_EQ(kernel.ptOps().walk(p.roots(), base + LargePageSize).size,
+              PageSizeKind::Base4K);
+
+    // Toggling back off merges the VMAs again (both non-THP, same
+    // prot) — the existing huge mapping stays, as in Linux.
+    kernel.madvise(p, base, LargePageSize, Madvise::NoHuge);
+    EXPECT_EQ(p.vmas().size(), 1u);
+    EXPECT_EQ(kernel.ptOps().walk(p.roots(), base).size,
+              PageSizeKind::Large2M);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(KernelTest, MadviseUnalignedBoundaryDemotesStraddlingHugePage)
+{
+    Process &p = kernel.createProcess("test", 0);
+    VirtAddr base = 0x20000000000ull;
+    kernel.mmapFixed(p, base, LargePageSize,
+                     MmapOptions{.populate = true, .thp = true});
+    ASSERT_EQ(kernel.ptOps().walk(p.roots(), base).size,
+              PageSizeKind::Large2M);
+
+    // The advice boundary cuts through the live huge page: it must be
+    // demoted so no 2 MB mapping spans two VMAs.
+    kernel.madvise(p, base, LargePageSize / 4, Madvise::NoHuge);
+    EXPECT_EQ(p.vmas().size(), 2u);
+    EXPECT_EQ(kernel.ptOps().walk(p.roots(), base).size,
+              PageSizeKind::Base4K);
+    EXPECT_EQ(kernel.thp().stats().splits, 1u);
+    // Every page is still mapped onto the same physical frames.
+    EXPECT_TRUE(kernel.ptOps()
+                    .walk(p.roots(), base + LargePageSize - PageSize)
+                    .mapped);
+    kernel.destroyProcess(p);
+}
+
 TEST_F(KernelTest, PopulateOverVmaHolePanics)
 {
     Process &p = kernel.createProcess("test", 0);

@@ -182,8 +182,18 @@ class RefExecutor
         if (vma->prot & ProtWrite)
             flags |= pt::PteWrite;
 
+        // Mirror the kernel's pmd_none rule: a huge fault needs a
+        // vacant L2 slot (promotion of partially-4K ranges is
+        // khugepaged's job).
         VirtAddr huge_base = alignDown(va, LargePageSize);
-        if (vma->thpEnabled && huge_base >= vma->start &&
+        bool slot_vacant = true;
+        if (Pfn dir = k.ptOps().tableFor(p.roots(), huge_base, 2);
+            dir != InvalidPfn) {
+            pt::Pte slot{m.physmem().table(dir)[ptIndex(
+                huge_base, PtLevel::L2)]};
+            slot_vacant = !slot.present();
+        }
+        if (vma->thpEnabled && slot_vacant && huge_base >= vma->start &&
             huge_base + LargePageSize <= vma->end) {
             SocketId target = chooseDataSocket(huge_base, fs, true);
             if (auto head = pm.allocDataLarge(target, p.id())) {
