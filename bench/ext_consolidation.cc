@@ -189,6 +189,9 @@ run(bool use_mitosis, bool pcid)
 
     for (auto &t : tenants)
         kernel.destroyProcess(*t.proc);
+    // Under MITOSIM_CHECK=1 CI runs this bench and asserts that the
+    // report's "check" section shows zero violations per job.
+    recordCheckStats(kernel, res);
     return res;
 }
 

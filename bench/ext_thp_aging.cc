@@ -26,9 +26,9 @@
  * walks — the two mechanisms compose instead of competing.
  *
  * Replica-coherence acceptance check: for the mitosis jobs every
- * per-socket replica root must agree with the primary on the leaf-PTE
- * population after all collapses (verified via pt_dump on every
- * replica root), and the backend's ring-wide collapse count must equal
+ * per-socket replica tree must agree with the primary entry-for-entry
+ * after all collapses (verified by vmcheck's coherence sweep,
+ * src/check/), and the backend's ring-wide collapse count must equal
  * the OS-side count.
  */
 
@@ -37,6 +37,7 @@
 #include <memory>
 
 #include "src/base/logging.h"
+#include "src/check/vmcheck.h"
 #include "src/driver/bench_main.h"
 #include "src/pvops/native_backend.h"
 
@@ -185,34 +186,31 @@ run(const std::string &workload, bool use_mitosis, bool daemon)
                 static_cast<double>(ts.daemonCycles));
 
     if (mitosis) {
-        // Acceptance: every replica root must agree with the primary
-        // on the leaf population after the collapses, and the backend
-        // must have applied exactly one ring-wide collapse per OS-side
-        // collapse.
-        analysis::PtAnalyzer analyzer(machine.physmem(),
-                                      kernel.ptOps());
-        std::uint64_t primary_leaves =
-            analyzer.snapshot(proc.roots()).totalLeafPtes();
-        for (SocketId s = 0; s < machine.numSockets(); ++s) {
-            std::uint64_t replica_leaves =
-                analyzer.snapshotFor(proc.roots(), s).totalLeafPtes();
-            if (replica_leaves != primary_leaves) {
-                fatal("replica root on socket %d disagrees with the "
-                      "primary after collapse: %llu vs %llu leaves",
-                      s, (unsigned long long)replica_leaves,
-                      (unsigned long long)primary_leaves);
-            }
-        }
+        // Acceptance: every replica table must agree with the primary
+        // entry-for-entry after the collapses. vmcheck's coherence
+        // sweep (class 1) is strictly stronger than the old leaf-count
+        // comparison — it descends every (primary, replica) pair in
+        // lockstep and diffs flags and ring membership too. The
+        // default fail-fast config fatal()s with full context
+        // (process, VA range, socket) on the first divergence.
+        check::Checker coherence(kernel, check::CheckConfig{});
+        coherence.checkReplicaCoherence();
+        // And the backend must have applied exactly one ring-wide
+        // collapse/split per OS-side lifecycle event.
         if (mitosis->stats().hugeCollapses != ts.collapses ||
             mitosis->stats().hugeSplits != ts.splits) {
             fatal("backend collapse/split counts diverge from the "
                   "OS-side lifecycle counts");
         }
+        analysis::PtAnalyzer analyzer(machine.physmem(),
+                                      kernel.ptOps());
         res.value("replica_leaf_ptes",
-                  static_cast<double>(primary_leaves));
+                  static_cast<double>(
+                      analyzer.snapshot(proc.roots()).totalLeafPtes()));
     }
 
     kernel.destroyProcess(proc);
+    recordCheckStats(kernel, res);
     return res;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdarg>
 
 #include "src/base/logging.h"
+#include "src/check/vmcheck.h"
 
 namespace mitosim::bench
 {
@@ -78,7 +79,8 @@ runMeasured(os::Kernel &kernel, os::ExecContext &ctx,
 } // namespace
 
 RunOutcome
-runMultiSocket(const ScenarioConfig &scenario, MsConfig config)
+runMultiSocket(const ScenarioConfig &scenario, MsConfig config,
+               driver::JobResult *sink)
 {
     sim::Machine machine(benchMachine());
     core::MitosisBackend backend(machine.physmem());
@@ -136,6 +138,8 @@ runMultiSocket(const ScenarioConfig &scenario, MsConfig config)
     out.runtime = ctx.runtime();
     out.totals = ctx.totals();
     kernel.destroyProcess(proc);
+    if (sink)
+        recordCheckStats(kernel, *sink);
     return out;
 }
 
@@ -200,7 +204,8 @@ wmPlacement(const std::string &name)
 }
 
 RunOutcome
-runWorkloadMigration(const ScenarioConfig &scenario, const WmPlacement &wm)
+runWorkloadMigration(const ScenarioConfig &scenario, const WmPlacement &wm,
+                     driver::JobResult *sink)
 {
     sim::Machine machine(benchMachine());
     core::MitosisBackend backend(machine.physmem());
@@ -249,6 +254,8 @@ runWorkloadMigration(const ScenarioConfig &scenario, const WmPlacement &wm)
     if (wm.interference)
         machine.topology().removeInterferer(SocketB);
     kernel.destroyProcess(proc);
+    if (sink)
+        recordCheckStats(kernel, *sink);
     return out;
 }
 
@@ -258,14 +265,18 @@ runWorkloadMigration(const ScenarioConfig &scenario, const WmPlacement &wm)
 driver::JobResult
 multiSocketJob(const ScenarioConfig &scenario, MsConfig config)
 {
-    return driver::JobResult::of(runMultiSocket(scenario, config));
+    driver::JobResult result;
+    result.outcome = runMultiSocket(scenario, config, &result);
+    return result;
 }
 
 driver::JobResult
 migrationJob(const ScenarioConfig &scenario, const std::string &placement)
 {
-    return driver::JobResult::of(
-        runWorkloadMigration(scenario, wmPlacement(placement)));
+    driver::JobResult result;
+    result.outcome =
+        runWorkloadMigration(scenario, wmPlacement(placement), &result);
+    return result;
 }
 
 driver::JobResult
@@ -603,6 +614,27 @@ recordPlacement(BenchReport &report, const std::string &label,
     for (const auto &[key, value] : result.values)
         run.metric(key, value);
     return run;
+}
+
+void
+recordCheckStats(os::Kernel &kernel, driver::JobResult &res)
+{
+    check::Checker *chk = kernel.checker();
+    if (!chk)
+        return;
+    // Fires the whole battery one last time on the final machine
+    // state; with the default fail-fast config a violation fatal()s
+    // here, so the stats below only ever describe a passing run.
+    chk->atEndOfRun();
+    const check::CheckStats &s = chk->stats();
+    res.checkStat("checkpoints", static_cast<double>(s.checkpoints));
+    res.checkStat("checks_run", static_cast<double>(s.checksRun));
+    res.checkStat("violations", static_cast<double>(s.violations));
+    res.checkStat("replica_tables_compared",
+                  static_cast<double>(s.replicaTablesCompared));
+    res.checkStat("leaves_checked", static_cast<double>(s.leavesChecked));
+    res.checkStat("frames_accounted",
+                  static_cast<double>(s.framesAccounted));
 }
 
 } // namespace mitosim::bench

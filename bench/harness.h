@@ -69,8 +69,15 @@ enum class MsConfig
 
 const char *msConfigName(MsConfig config, bool thp);
 
-/** Threads on every socket; returns aggregate counters + runtime. */
-RunOutcome runMultiSocket(const ScenarioConfig &scenario, MsConfig config);
+/**
+ * Threads on every socket; returns aggregate counters + runtime. When
+ * @p sink is non-null and the kernel ran with vmcheck enabled
+ * (MITOSIM_CHECK=1 or a Debug build with MITOSIM_CHECK_DEFAULT), the
+ * end-of-run invariant battery fires and its counters land in
+ * @p sink's "check" section (see recordCheckStats).
+ */
+RunOutcome runMultiSocket(const ScenarioConfig &scenario, MsConfig config,
+                          driver::JobResult *sink = nullptr);
 
 /**
  * Remote-leaf-PTE percentages per observing socket for a multi-socket
@@ -102,9 +109,10 @@ struct WmPlacement
 /** The seven Table 2 placements by name: LP-LD ... RPI-RDI. */
 WmPlacement wmPlacement(const std::string &name);
 
-/** Single thread on socket A; placement per @p wm. */
+/** Single thread on socket A; placement per @p wm. @p sink as above. */
 RunOutcome runWorkloadMigration(const ScenarioConfig &scenario,
-                                const WmPlacement &wm);
+                                const WmPlacement &wm,
+                                driver::JobResult *sink = nullptr);
 
 /// @}
 /// @name Job factories (the scenario runs as driver jobs)
@@ -215,6 +223,16 @@ BenchRun &recordOutcome(BenchReport &report, const std::string &label,
 BenchRun &recordOutcome(BenchReport &report, const std::string &label,
                         const driver::JobResult &result,
                         double normBase = 0.0);
+
+/**
+ * Run @p kernel's end-of-run vmcheck battery (if checking is enabled)
+ * and copy the checker's counters into @p res's "check" section. A
+ * no-op when the kernel has no checker, so every bench can call it
+ * unconditionally before its kernel dies; violations fatal() unless
+ * the checker was configured otherwise, so a report that carries a
+ * "check" section with violations == 0 really did pass the battery.
+ */
+void recordCheckStats(os::Kernel &kernel, driver::JobResult &res);
 
 /**
  * Add a placementJob result as a run with one remote_leaf_socket<N>

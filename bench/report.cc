@@ -591,6 +591,17 @@ BenchReport::thpStat(const std::string &label, const std::string &key,
     thpStats_.set(label, std::move(job));
 }
 
+void
+BenchReport::checkStat(const std::string &label, const std::string &key,
+                       double value)
+{
+    JsonValue job = JsonValue::object();
+    if (const JsonValue *existing = checkStats_.find(label))
+        job = *existing;
+    job.set(key, JsonValue::number(value));
+    checkStats_.set(label, std::move(job));
+}
+
 JsonValue
 BenchReport::toJson() const
 {
@@ -609,6 +620,8 @@ BenchReport::toJson() const
         doc.set("scheduler", schedStats_);
     if (thpStats_.size())
         doc.set("thp", thpStats_);
+    if (checkStats_.size())
+        doc.set("check", checkStats_);
     return doc;
 }
 

@@ -193,6 +193,17 @@ class BenchReport
     void thpStat(const std::string &label, const std::string &key,
                  double value);
 
+    /**
+     * Record one vmcheck invariant-checker counter (checkpoints,
+     * checks run, violations, ...) for job @p label. The "check"
+     * section only appears when a job's kernel ran with checking
+     * enabled and — like "scheduler" and "thp" — is diagnostic,
+     * excluded from metric comparisons. CI asserts violations == 0
+     * on every entry of this section.
+     */
+    void checkStat(const std::string &label, const std::string &key,
+                   double value);
+
     JsonValue toJson() const;
     std::string str() const { return toJson().str(2); }
 
@@ -213,6 +224,7 @@ class BenchReport
     JsonValue wallMs_ = JsonValue::object();
     JsonValue schedStats_ = JsonValue::object();
     JsonValue thpStats_ = JsonValue::object();
+    JsonValue checkStats_ = JsonValue::object();
 };
 
 /// @}

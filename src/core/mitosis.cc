@@ -86,10 +86,12 @@ MitosisBackend::allocPtPage(pt::RootSet &roots, ProcId owner, int level,
     SocketId primary_socket =
         mask.contains(hint_socket) ? hint_socket : mask.first();
 
+    // Only the non-primary copies count as replica pages, matching
+    // releasePtPage / freeOtherReplicas on the free side — the counters
+    // must conserve against the live ring population (vmcheck class 5).
     Pfn primary = allocSingle(owner, level, primary_socket, cost);
     if (primary == InvalidPfn)
         return InvalidPfn;
-    ++stats_.replicaPagesCreated;
 
     for (SocketId s = mask.first(); s != InvalidSocket;
          s = mask.nextAfter(s)) {

@@ -181,6 +181,13 @@ benchMain(int argc, char **argv, const BenchSpec &spec)
             for (const auto &[key, value] : results[index]->thp)
                 report.thpStat(registry.job(index).name, key, value);
         }
+        // vmcheck invariant battery: emitted only when a job's kernel
+        // ran with checking enabled, same excluded contract. CI greps
+        // this section for violations == 0.
+        for (std::size_t index : selected) {
+            for (const auto &[key, value] : results[index]->check)
+                report.checkStat(registry.job(index).name, key, value);
+        }
         if (selected.size() == registry.size()) {
             std::vector<JobResult> full;
             full.reserve(results.size());

@@ -83,6 +83,17 @@ struct JobResult
      */
     std::vector<std::pair<std::string, double>> thp;
 
+    /**
+     * vmcheck invariant-checker counters (checkpoints reached, checks
+     * run, violations found, ...) recorded by jobs whose kernel ran
+     * with checking enabled (src/check/). Same contract as `sched` and
+     * `thp`: deterministic diagnostic telemetry, landed in the
+     * report's "check" section and excluded from metric comparisons.
+     * A clean checked run reports violations == 0 here; CI asserts on
+     * exactly that.
+     */
+    std::vector<std::pair<std::string, double>> check;
+
     JobResult &
     schedStat(std::string key, double v)
     {
@@ -94,6 +105,13 @@ struct JobResult
     thpStat(std::string key, double v)
     {
         thp.emplace_back(std::move(key), v);
+        return *this;
+    }
+
+    JobResult &
+    checkStat(std::string key, double v)
+    {
+        check.emplace_back(std::move(key), v);
         return *this;
     }
 

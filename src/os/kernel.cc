@@ -26,6 +26,17 @@ Kernel::Kernel(sim::Machine &machine, pvops::PvOps &backend,
         [this](CoreId core, const sim::FaultRequest &req) {
             return handleFault(core, req);
         });
+
+    check::CheckConfig cc = config.check;
+#ifdef MITOSIM_CHECK_DEFAULT
+    cc.enabled = true; // -DMITOSIM_CHECK_DEFAULT=ON build: on unless
+                       // MITOSIM_CHECK=0 overrides below
+#endif
+    cc = check::CheckConfig::fromEnv(cc);
+    if (cc.enabled) {
+        chk = std::make_unique<check::Checker>(*this, cc);
+        sched.setDispatchHook([this] { chk->atDispatch(); });
+    }
 }
 
 Kernel::~Kernel()
@@ -49,6 +60,7 @@ Kernel::createProcess(const std::string &name, SocketId home_socket)
         fatal("out of memory creating root table for '%s'", name.c_str());
     procs.push_back(std::move(proc));
     homeSockets.push_back(home_socket);
+    checkpoint("createProcess");
     return ref;
 }
 
@@ -80,6 +92,7 @@ Kernel::destroyProcess(Process &proc)
     MITOSIM_ASSERT(it != procs.end(), "destroyProcess: unknown process");
     homeSockets.erase(homeSockets.begin() + (it - procs.begin()));
     procs.erase(it);
+    checkpoint("destroyProcess");
 }
 
 Process *
@@ -155,6 +168,7 @@ Kernel::mmapFixed(Process &proc, VirtAddr start, std::uint64_t length,
             core = mach.topology().firstCoreOf(homeSocket(proc));
         populate(proc, start, rounded, core, cost);
     }
+    checkpoint("mmap");
     return Region{start, rounded};
 }
 
@@ -264,6 +278,7 @@ Kernel::populate(Process &proc, VirtAddr start, std::uint64_t length,
     }
     if (at < end)
         checkGapMapped(at, end);
+    checkpoint("populate");
 }
 
 void
@@ -299,6 +314,7 @@ Kernel::munmap(Process &proc, VirtAddr start, std::uint64_t length,
     shootdownRange(proc, invalidate, pages, cost);
 
     proc.removeVmaRange(start, end);
+    checkpoint("munmap");
 }
 
 void
@@ -340,6 +356,7 @@ Kernel::mprotect(Process &proc, VirtAddr start, std::uint64_t length,
     // Split partially covered VMAs so the metadata matches the PTEs
     // (the seed skipped them, leaving a stale prot).
     proc.protectVmaRange(start, end, prot);
+    checkpoint("mprotect");
 }
 
 void
@@ -376,6 +393,7 @@ Kernel::madvise(Process &proc, VirtAddr start, std::uint64_t length,
     splitStraddlingHuge(proc, end, cost);
 
     proc.adviseThpRange(start, end, advice == Madvise::Huge);
+    checkpoint("madvise");
 }
 
 void
@@ -383,11 +401,9 @@ Kernel::thpTick()
 {
     if (!thpMgr.enabled())
         return;
-    std::vector<Process *> list;
-    list.reserve(procs.size());
-    for (auto &p : procs)
-        list.push_back(p.get());
-    thpMgr.tick(list);
+    thpMgr.tick(liveProcesses());
+    if (chk)
+        chk->atThpTick();
 }
 
 int
@@ -473,6 +489,7 @@ Kernel::migrateProcess(Process &proc, SocketId target, bool migrate_data,
     reloadContexts(proc);
     if (cost)
         cost->charge(pvops::TlbShootdownCost);
+    checkpoint("migrateProcess");
     return true;
 }
 
@@ -698,24 +715,38 @@ Kernel::handleFault(CoreId core, const sim::FaultRequest &req)
 
     KernelCost cost;
     SocketId fault_socket = mach.topology().socketOfCore(core);
+    // Each case banks its cycles into a per-kind vmcheck bucket; the
+    // conservation check verifies the buckets sum to the total banked
+    // at return, so a future fault path cannot silently go uncharged.
     switch (req.kind) {
       case sim::WalkFault::NotPresent:
         if (pv->onTranslationFault(proc->roots(), fault_socket, req.va,
                                    &cost)) {
+            if (chk)
+                chk->noteFaultCharge(check::FaultCharge::LazyDrain,
+                                     cost.cycles);
             break; // lazy replica updates applied; the access retries
         }
         if (!faultIn(*proc, core, req.va, cost))
             fatal("out of memory demand-faulting va=0x%llx",
                   (unsigned long long)req.va);
+        if (chk)
+            chk->noteFaultCharge(check::FaultCharge::Demand, cost.cycles);
         break;
 
       case sim::WalkFault::NumaHint:
         cost.charge(autonuma.onHintFault(*proc, core, req.va));
+        if (chk)
+            chk->noteFaultCharge(check::FaultCharge::NumaHint,
+                                 cost.cycles);
         break;
 
       case sim::WalkFault::Protection: {
         if (pv->onTranslationFault(proc->roots(), fault_socket, req.va,
                                    &cost)) {
+            if (chk)
+                chk->noteFaultCharge(check::FaultCharge::LazyDrain,
+                                     cost.cycles);
             break; // a pending permission upgrade was applied
         }
         const Vma *vma = proc->findVma(req.va);
@@ -727,12 +758,17 @@ Kernel::handleFault(CoreId core, const sim::FaultRequest &req)
         cost.charge(pvops::FaultFixedCost);
         ops.protect(proc->roots(), req.va, pt::PteWrite, 0, &cost);
         shootdown(*proc, req.va, &cost);
+        if (chk)
+            chk->noteFaultCharge(check::FaultCharge::Upgrade,
+                                 cost.cycles);
         break;
       }
 
       case sim::WalkFault::None:
         panic("handleFault called with WalkFault::None");
     }
+    if (chk)
+        chk->noteFaultTotal(cost.cycles);
     return cost.cycles;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/check/vmcheck.h"
 #include "src/os/process.h"
 #include "src/os/scheduler.h"
 #include "src/os/thp/thp.h"
@@ -107,6 +108,14 @@ struct KernelConfig
      * kernel is charge-identical to one without the subsystem.
      */
     thp::ThpConfig thp;
+
+    /**
+     * vmcheck: whole-machine invariant checking at syscall/dispatch/THP
+     * checkpoints. Off by default (zero cost, zero metric impact); the
+     * MITOSIM_CHECK environment overrides whatever is set here, and a
+     * MITOSIM_CHECK_DEFAULT build flips the default on (Debug CI).
+     */
+    check::CheckConfig check;
 };
 
 /** The kernel. */
@@ -245,6 +254,23 @@ class Kernel
     thp::ThpManager &thp() { return thpMgr; }
     const thp::ThpManager &thp() const { return thpMgr; }
 
+    /**
+     * The invariant checker, or nullptr when checking is off (the
+     * default). Drivers call checker()->atEndOfRun() before teardown
+     * and copy checker()->stats() into the per-job "check" report.
+     */
+    check::Checker *checker() { return chk.get(); }
+
+    /** Every live process, in creation order (vmcheck sweeps these). */
+    std::vector<Process *> liveProcesses()
+    {
+        std::vector<Process *> list;
+        list.reserve(procs.size());
+        for (auto &p : procs)
+            list.push_back(p.get());
+        return list;
+    }
+
     /// @name Internals exposed for the Mitosis manager and analysis
     /// @{
     pt::PageTableOps &ptOps() { return ops; }
@@ -325,12 +351,21 @@ class Kernel
         }
     }
 
+    /** Syscall-boundary vmcheck checkpoint; no-op when checking is off. */
+    void
+    checkpoint(const char *what)
+    {
+        if (chk)
+            chk->atSyscall(what);
+    }
+
     sim::Machine &mach;
     pvops::PvOps *pv;
     pt::PageTableOps ops;
     AutoNuma autonuma;
     Scheduler sched;
     thp::ThpManager thpMgr;
+    std::unique_ptr<check::Checker> chk;
 
     std::vector<std::unique_ptr<Process>> procs;
     std::vector<SocketId> homeSockets; // parallel to procs by pid index

@@ -289,6 +289,8 @@ Scheduler::dispatch(Process &proc, int tid, sim::PerfCounters &pc)
     }
     pc.cycles += cost;
     pc.kernelCycles += cost;
+    if (dispatchHook)
+        dispatchHook();
     return core;
 }
 

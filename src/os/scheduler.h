@@ -42,6 +42,7 @@
 #define MITOSIM_OS_SCHEDULER_H
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "src/os/process.h"
@@ -93,6 +94,16 @@ class Scheduler
 
     /** Late-bound: the Kernel's PV-Ops backend (CR3 values, §5.3 hook). */
     void attachBackend(pvops::PvOps &backend) { pv = &backend; }
+
+    /**
+     * Invoked after every real (cross-address-space) context switch,
+     * once the incoming CR3 is loaded. The Kernel points this at the
+     * vmcheck dispatch checkpoint when checking is enabled.
+     */
+    void setDispatchHook(std::function<void()> hook)
+    {
+        dispatchHook = std::move(hook);
+    }
 
     bool timeShared() const { return cfg.timeShared; }
     const SchedulerConfig &config() const { return cfg; }
@@ -216,6 +227,7 @@ class Scheduler
     sim::Machine &mach;
     SchedulerConfig cfg;
     pvops::PvOps *pv = nullptr;
+    std::function<void()> dispatchHook;
     std::vector<CoreState> cores;
     std::vector<std::uint64_t> asidGen; //!< generation per ASID
     int nextAsid = 1; //!< round-robin cursor; 0 is the kernel/boot space

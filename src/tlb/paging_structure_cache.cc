@@ -155,4 +155,13 @@ PagingStructureCache::flushAsid(Asid asid)
     ++stats_.asidFlushes;
 }
 
+void
+PagingStructureCache::forEachEntry(
+    const std::function<void(Pfn, Asid, int, Pfn)> &fn) const
+{
+    pml4e.forEach([&](const Slot &s) { fn(s.cr3, s.asid, 3, s.tablePfn); });
+    pdpte.forEach([&](const Slot &s) { fn(s.cr3, s.asid, 2, s.tablePfn); });
+    pde.forEach([&](const Slot &s) { fn(s.cr3, s.asid, 1, s.tablePfn); });
+}
+
 } // namespace mitosim::tlb

@@ -24,6 +24,7 @@
 #define MITOSIM_TLB_PAGING_STRUCTURE_CACHE_H
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/base/types.h"
@@ -95,6 +96,15 @@ class PagingStructureCache
     const PwcStats &stats() const { return stats_; }
     void resetStats() { stats_ = PwcStats{}; }
 
+    /**
+     * Visit every valid entry as (cr3, asid, level, table pfn), where
+     * @p level is the level of the cached table — 3 for PML4E entries,
+     * 2 for PDPTEs, 1 for PDEs, matching Probe::startLevel. Diagnostic/
+     * validation hook (vmcheck); not part of the timed path.
+     */
+    void forEachEntry(
+        const std::function<void(Pfn, Asid, int, Pfn)> &fn) const;
+
   private:
     struct Slot
     {
@@ -117,6 +127,16 @@ class PagingStructureCache
         void invalidate(VirtAddr va);
         void flush();
         void flushAsid(Asid asid);
+
+        template <typename Fn>
+        void
+        forEach(Fn &&fn) const
+        {
+            for (const Slot &s : slots) {
+                if (s.cr3 != InvalidPfn)
+                    fn(s);
+            }
+        }
     };
 
     // pml4e cache: tag = va >> 39, yields L3 table (startLevel 3)

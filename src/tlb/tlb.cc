@@ -194,4 +194,21 @@ TwoLevelTlb::flushAsid(Asid asid)
     ++stats_.asidFlushes;
 }
 
+void
+TwoLevelTlb::forEachEntry(
+    const std::function<void(VirtAddr, Asid, const TlbEntry &)> &fn) const
+{
+    // The VA is recoverable from the tag: 2 MB entries tag at 2 MB
+    // granularity (with LargeTagBit mixed in for the unified L2).
+    auto visit = [&](const Slot &s) {
+        VirtAddr va = s.entry.size == PageSizeKind::Large2M
+                          ? ((s.tag & ~LargeTagBit) << LargePageShift)
+                          : (s.tag << PageShift);
+        fn(va, s.asid, s.entry);
+    };
+    l1Small.forEach(visit);
+    l1Large.forEach(visit);
+    l2.forEach(visit);
+}
+
 } // namespace mitosim::tlb

@@ -21,6 +21,7 @@
 #define MITOSIM_TLB_TLB_H
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -131,6 +132,15 @@ class TwoLevelTlb
     void resetStats() { stats_ = TlbStats{}; }
     const TlbConfig &config() const { return cfg; }
 
+    /**
+     * Visit every valid entry across both levels as (va, asid, entry).
+     * A translation resident in L1 and L2 is visited once per copy.
+     * Diagnostic/validation hook (vmcheck); not part of the timed path.
+     */
+    void forEachEntry(
+        const std::function<void(VirtAddr, Asid, const TlbEntry &)> &fn)
+        const;
+
   private:
     struct Slot
     {
@@ -151,6 +161,16 @@ class TwoLevelTlb
         void invalidate(std::uint64_t tag); //!< all ASIDs holding tag
         void flush();
         void flushAsid(Asid asid);
+
+        template <typename Fn>
+        void
+        forEach(Fn &&fn) const
+        {
+            for (const Slot &s : slots) {
+                if (s.tag != ~0ull)
+                    fn(s);
+            }
+        }
 
       private:
         unsigned numWays;

@@ -176,6 +176,37 @@ TEST(BenchReport, SchemaKeysPresent)
     EXPECT_EQ(doc.find("scheduler"), nullptr);
     // And THP lifecycle counters: only daemon-running benches emit it.
     EXPECT_EQ(doc.find("thp"), nullptr);
+    // And vmcheck counters: only checked runs emit it.
+    EXPECT_EQ(doc.find("check"), nullptr);
+}
+
+TEST(BenchReport, CheckSectionGroupsStatsPerJobAndStaysOutOfMetrics)
+{
+    BenchReport report = sampleReport();
+    report.checkStat("gups/F", "checkpoints", 34.0);
+    report.checkStat("gups/F", "violations", 0.0);
+    report.checkStat("gups/F+M", "violations", 0.0);
+    JsonValue doc = roundTrip(report);
+
+    const JsonValue *check = doc.find("check");
+    ASSERT_NE(check, nullptr);
+    ASSERT_TRUE(check->isObject());
+    EXPECT_EQ(check->size(), 2u);
+    const JsonValue *job = check->find("gups/F");
+    ASSERT_NE(job, nullptr);
+    ASSERT_NE(job->find("checkpoints"), nullptr);
+    EXPECT_EQ(job->find("checkpoints")->asNumber(), 34.0);
+    EXPECT_EQ(job->find("violations")->asNumber(), 0.0);
+
+    // Diagnostic section, excluded from metric comparisons: never
+    // mirrored into any run's metrics.
+    const JsonValue *runs = doc.find("runs");
+    ASSERT_NE(runs, nullptr);
+    for (std::size_t i = 0; i < runs->size(); ++i) {
+        const JsonValue *metrics = runs->at(i).find("metrics");
+        ASSERT_NE(metrics, nullptr);
+        EXPECT_EQ(metrics->find("violations"), nullptr);
+    }
 }
 
 TEST(BenchReport, ThpSectionGroupsStatsPerJobAndStaysOutOfMetrics)

@@ -1,0 +1,482 @@
+/**
+ * @file
+ * vmcheck deliberate-corruption tests: for each invariant class, mutate
+ * kernel state *behind* the API (the exact bug shapes past PRs shipped:
+ * stale CR3s, orphaned frames, skipped replica updates, mis-protected
+ * VMAs, uncharged fault work) and assert the checker reports precisely
+ * that violation class — plus clean-machine runs proving zero false
+ * positives on healthy state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/base/logging.h"
+#include "src/check/vmcheck.h"
+#include "src/core/mitosis.h"
+#include "src/os/kernel.h"
+#include "src/pvops/native_backend.h"
+#include "src/sim/machine.h"
+
+namespace mitosim::check
+{
+namespace
+{
+
+/**
+ * The suite drives its own Checker instances against deliberately
+ * corrupted kernels; an environment-enabled in-kernel checker would
+ * fatal() at the teardown syscalls before the assertions run.
+ */
+sim::MachineConfig
+tinyNoEnvCheck()
+{
+    unsetenv("MITOSIM_CHECK");
+    return sim::MachineConfig::tiny();
+}
+
+CheckConfig
+collectAll()
+{
+    CheckConfig cfg;
+    cfg.enabled = true;
+    cfg.failFast = false;
+    return cfg;
+}
+
+int
+countClass(const Checker &chk, CheckClass cls)
+{
+    int n = 0;
+    for (const Violation &v : chk.violations()) {
+        if (v.cls == cls)
+            ++n;
+    }
+    return n;
+}
+
+class CheckTest : public ::testing::Test
+{
+  protected:
+    CheckTest()
+        : machine(tinyNoEnvCheck()),
+          native(machine.physmem()),
+          kernel(machine, native)
+    {
+    }
+
+    sim::Machine machine;
+    pvops::NativeBackend native;
+    os::Kernel kernel;
+};
+
+TEST_F(CheckTest, CleanMachinePasses)
+{
+    os::Process &p = kernel.createProcess("clean", 0);
+    kernel.mmap(p, 4ull << 20, os::MmapOptions{.populate = true});
+    Checker chk(kernel, collectAll());
+    EXPECT_EQ(chk.runAll("test"), 0u);
+    EXPECT_TRUE(chk.violations().empty());
+    EXPECT_EQ(chk.stats().checkpoints, 1u);
+    EXPECT_EQ(chk.stats().checksRun, 5u);
+    EXPECT_GT(chk.stats().leavesChecked, 0u);
+    EXPECT_GT(chk.stats().framesAccounted, 0u);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(CheckTest, MisProtectedVmaTrips)
+{
+    os::Process &p = kernel.createProcess("rw", 0);
+    auto region =
+        kernel.mmap(p, 16 * PageSize, os::MmapOptions{.populate = true});
+
+    // PR 3's bug shape: VMA metadata flips to read-only but the PTEs
+    // keep PteWrite (here: mutate the tree behind the kernel's back).
+    p.protectVmaRange(region.start, region.end(), os::ProtRead);
+
+    Checker chk(kernel, collectAll());
+    chk.checkVmaPteAgreement();
+    EXPECT_GT(countClass(chk, CheckClass::VmaPteAgreement), 0);
+    const Violation &v = chk.violations().front();
+    EXPECT_EQ(v.pid, p.id());
+    EXPECT_GE(v.vaStart, region.start);
+
+    // The other classes stay quiet: the corruption is VMA-metadata only.
+    chk.clearViolations();
+    chk.checkReplicaCoherence();
+    chk.checkFrameAccounting();
+    chk.checkCr3AsidLiveness();
+    chk.checkChargeConservation();
+    EXPECT_TRUE(chk.violations().empty());
+
+    p.protectVmaRange(region.start, region.end(),
+                      os::ProtRead | os::ProtWrite);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(CheckTest, LeafOutsideAnyVmaTrips)
+{
+    os::Process &p = kernel.createProcess("handmap", 0);
+    // Map a page through the pt-ops layer with no VMA over it.
+    VirtAddr va = 0x500000000ull;
+    auto pfn = machine.physmem().allocData(0, p.id());
+    ASSERT_TRUE(pfn.has_value());
+    ASSERT_TRUE(kernel.ptOps().map4K(p.roots(), p.id(), va, *pfn,
+                                     pt::PteWrite, p.ptPolicy, 0,
+                                     nullptr));
+
+    Checker chk(kernel, collectAll());
+    chk.checkVmaPteAgreement();
+    EXPECT_EQ(countClass(chk, CheckClass::VmaPteAgreement), 1);
+    EXPECT_EQ(chk.violations().front().vaStart, va);
+
+    kernel.destroyProcess(p); // destroy frees the hand-mapped leaf too
+}
+
+TEST_F(CheckTest, OrphanedFrameTrips)
+{
+    os::Process &p = kernel.createProcess("orphan", 0);
+    kernel.mmap(p, 8 * PageSize, os::MmapOptions{.populate = true});
+
+    // PR 5's pmd_none bug shape: a frame charged to a live process that
+    // no page-table reaches any more.
+    auto orphan = machine.physmem().allocData(0, p.id());
+    ASSERT_TRUE(orphan.has_value());
+
+    Checker chk(kernel, collectAll());
+    chk.checkFrameAccounting();
+    EXPECT_EQ(countClass(chk, CheckClass::FrameAccounting), 1);
+    EXPECT_EQ(chk.violations().front().pid, p.id());
+    EXPECT_EQ(chk.violations().front().socket, 0);
+
+    machine.physmem().freeData(*orphan);
+    chk.clearViolations();
+    chk.checkFrameAccounting();
+    EXPECT_TRUE(chk.violations().empty());
+    kernel.destroyProcess(p);
+}
+
+TEST_F(CheckTest, DoubleOwnedFrameTrips)
+{
+    os::Process &p = kernel.createProcess("double", 0);
+    auto region =
+        kernel.mmap(p, 4 * PageSize, os::MmapOptions{.populate = true});
+
+    // Alias one data frame at a second VA behind the kernel's back.
+    pt::WalkResult w = kernel.ptOps().walk(p.roots(), region.start);
+    ASSERT_TRUE(w.mapped);
+    VirtAddr alias = 0x600000000ull;
+    ASSERT_TRUE(kernel.ptOps().map4K(p.roots(), p.id(), alias,
+                                     w.leaf.pfn(), pt::PteWrite,
+                                     p.ptPolicy, 0, nullptr));
+
+    Checker chk(kernel, collectAll());
+    chk.checkFrameAccounting();
+    EXPECT_GT(countClass(chk, CheckClass::FrameAccounting), 0);
+
+    // Drop the alias without freeing the (shared) data frame, so
+    // destroyProcess doesn't double-free it.
+    kernel.ptOps().unmapRange(p.roots(), alias, alias + PageSize,
+                              [](VirtAddr, pt::Pte, PageSizeKind) {},
+                              nullptr);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(CheckTest, StaleCr3Trips)
+{
+    os::Process &p = kernel.createProcess("dying", 0);
+    kernel.mmap(p, 4 * PageSize, os::MmapOptions{.populate = true});
+    Pfn root = p.roots().primaryRoot;
+    kernel.destroyProcess(p);
+
+    // PR 4's bug shape: a core still holding a dead process's root.
+    machine.core(0).loadCr3(root);
+
+    Checker chk(kernel, collectAll());
+    chk.checkCr3AsidLiveness();
+    EXPECT_GT(countClass(chk, CheckClass::Cr3AsidLiveness), 0);
+
+    machine.core(0).clearContext();
+    chk.clearViolations();
+    chk.checkCr3AsidLiveness();
+    EXPECT_TRUE(chk.violations().empty());
+}
+
+TEST_F(CheckTest, UnbalancedFaultLedgerTrips)
+{
+    Checker chk(kernel, collectAll());
+    chk.checkChargeConservation();
+    EXPECT_TRUE(chk.violations().empty()); // 0 == 0 conserves
+
+    // A fault path that banked cycles into a kind bucket but never the
+    // total (or vice versa) is exactly a missed-charge bug.
+    chk.noteFaultCharge(FaultCharge::Demand, 1234);
+    chk.checkChargeConservation();
+    EXPECT_EQ(countClass(chk, CheckClass::ChargeConservation), 1);
+
+    chk.noteFaultTotal(1234);
+    chk.clearViolations();
+    chk.checkChargeConservation();
+    EXPECT_TRUE(chk.violations().empty());
+}
+
+TEST_F(CheckTest, FailFastThrowsOnViolation)
+{
+    os::Process &p = kernel.createProcess("fatal", 0);
+    auto region =
+        kernel.mmap(p, 4 * PageSize, os::MmapOptions{.populate = true});
+    p.protectVmaRange(region.start, region.end(), os::ProtRead);
+
+    CheckConfig cfg = collectAll();
+    cfg.failFast = true;
+    Checker chk(kernel, cfg);
+    EXPECT_THROW(chk.runAll("test"), SimError);
+    EXPECT_FALSE(chk.violations().empty()); // recorded before the throw
+
+    p.protectVmaRange(region.start, region.end(),
+                      os::ProtRead | os::ProtWrite);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(CheckTest, EnvConfigParsing)
+{
+    setenv("MITOSIM_CHECK", "1", 1);
+    setenv("MITOSIM_CHECK_LEVEL", "end", 1);
+    setenv("MITOSIM_CHECK_FAILFAST", "0", 1);
+    CheckConfig cfg = CheckConfig::fromEnv(CheckConfig{});
+    EXPECT_TRUE(cfg.enabled);
+    EXPECT_FALSE(cfg.atSyscalls);
+    EXPECT_FALSE(cfg.atThpTicks);
+    EXPECT_FALSE(cfg.atDispatch);
+    EXPECT_FALSE(cfg.failFast);
+
+    setenv("MITOSIM_CHECK_LEVEL", "dispatch", 1);
+    cfg = CheckConfig::fromEnv(CheckConfig{});
+    EXPECT_TRUE(cfg.atSyscalls);
+    EXPECT_TRUE(cfg.atDispatch);
+
+    setenv("MITOSIM_CHECK", "0", 1);
+    cfg = CheckConfig::fromEnv(CheckConfig{});
+    EXPECT_FALSE(cfg.enabled);
+
+    unsetenv("MITOSIM_CHECK");
+    unsetenv("MITOSIM_CHECK_LEVEL");
+    unsetenv("MITOSIM_CHECK_FAILFAST");
+}
+
+TEST_F(CheckTest, KernelRunsCheckpointsWhenConfigured)
+{
+    os::KernelConfig kc;
+    kc.check.enabled = true;
+    os::Kernel checked(machine, native, kc);
+    ASSERT_NE(checked.checker(), nullptr);
+    os::Process &p = checked.createProcess("ok", 0);
+    checked.mmap(p, 4 * PageSize, os::MmapOptions{.populate = true});
+    EXPECT_GE(checked.checker()->stats().checkpoints, 2u);
+    EXPECT_EQ(checked.checker()->stats().violations, 0u);
+    checked.destroyProcess(p);
+    checked.checker()->atEndOfRun();
+    EXPECT_TRUE(checked.checker()->violations().empty());
+}
+
+TEST_F(CheckTest, KernelWithoutConfigHasNoChecker)
+{
+    EXPECT_EQ(kernel.checker(), nullptr);
+}
+
+/** Mitosis-backend fixture: replicated page-tables to corrupt. */
+class MitosisCheckTest : public ::testing::Test
+{
+  protected:
+    MitosisCheckTest()
+        : machine(tinyNoEnvCheck()),
+          backend(machine.physmem()),
+          kernel(machine, backend)
+    {
+    }
+
+    sim::Machine machine;
+    core::MitosisBackend backend;
+    os::Kernel kernel;
+};
+
+TEST_F(MitosisCheckTest, CleanReplicatedTreePasses)
+{
+    os::Process &p = kernel.createProcess("repl", 0);
+    SocketMask mask;
+    mask.set(0);
+    mask.set(1);
+    ASSERT_TRUE(backend.setReplicationMask(p.roots(), p.id(), mask,
+                                           nullptr));
+    kernel.mmap(p, 4ull << 20, os::MmapOptions{.populate = true});
+
+    Checker chk(kernel, collectAll());
+    EXPECT_EQ(chk.runAll("test"), 0u);
+    EXPECT_GT(chk.stats().replicaTablesCompared, 0u);
+    kernel.destroyProcess(p);
+}
+
+TEST_F(MitosisCheckTest, SkippedReplicaUpdateTrips)
+{
+    os::Process &p = kernel.createProcess("repl", 0);
+    SocketMask mask;
+    mask.set(0);
+    mask.set(1);
+    ASSERT_TRUE(backend.setReplicationMask(p.roots(), p.id(), mask,
+                                           nullptr));
+    auto region =
+        kernel.mmap(p, 16 * PageSize, os::MmapOptions{.populate = true});
+
+    // The §4 strawman bug: an update applied to the primary leaf but
+    // never propagated — here forged by flipping PteWrite in socket 1's
+    // replica of the leaf table only.
+    pt::WalkResult w = kernel.ptOps().walk(p.roots(), region.start);
+    ASSERT_TRUE(w.mapped);
+    Pfn replica_l1 =
+        machine.physmem().replicaOnSocket(w.loc.ptPfn, 1);
+    ASSERT_NE(replica_l1, w.loc.ptPfn); // distinct socket-1 copy
+    std::uint64_t &slot =
+        machine.physmem().table(replica_l1)[w.loc.index];
+    slot ^= pt::PteWrite;
+
+    Checker chk(kernel, collectAll());
+    chk.checkReplicaCoherence();
+    EXPECT_EQ(countClass(chk, CheckClass::ReplicaCoherence), 1);
+    const Violation &v = chk.violations().front();
+    EXPECT_EQ(v.pid, p.id());
+    EXPECT_EQ(v.socket, 1);
+    EXPECT_EQ(v.vaStart, region.start);
+
+    slot ^= pt::PteWrite; // repair
+    chk.clearViolations();
+    chk.checkReplicaCoherence();
+    EXPECT_TRUE(chk.violations().empty());
+    kernel.destroyProcess(p);
+}
+
+TEST_F(MitosisCheckTest, MissingReplicaEntryTrips)
+{
+    os::Process &p = kernel.createProcess("repl", 0);
+    SocketMask mask;
+    mask.set(0);
+    mask.set(1);
+    ASSERT_TRUE(backend.setReplicationMask(p.roots(), p.id(), mask,
+                                           nullptr));
+    auto region =
+        kernel.mmap(p, 16 * PageSize, os::MmapOptions{.populate = true});
+
+    pt::WalkResult w = kernel.ptOps().walk(p.roots(), region.start);
+    ASSERT_TRUE(w.mapped);
+    Pfn replica_l1 =
+        machine.physmem().replicaOnSocket(w.loc.ptPfn, 1);
+    std::uint64_t &slot =
+        machine.physmem().table(replica_l1)[w.loc.index];
+    std::uint64_t saved = slot;
+    slot = 0; // replica never saw the install
+
+    Checker chk(kernel, collectAll());
+    chk.checkReplicaCoherence();
+    EXPECT_EQ(countClass(chk, CheckClass::ReplicaCoherence), 1);
+
+    slot = saved;
+    kernel.destroyProcess(p);
+}
+
+TEST_F(MitosisCheckTest, AccessedDirtyDivergenceIsLegal)
+{
+    os::Process &p = kernel.createProcess("repl", 0);
+    SocketMask mask;
+    mask.set(0);
+    mask.set(1);
+    ASSERT_TRUE(backend.setReplicationMask(p.roots(), p.id(), mask,
+                                           nullptr));
+    auto region =
+        kernel.mmap(p, 16 * PageSize, os::MmapOptions{.populate = true});
+
+    // §5.4: hardware walkers set A/D in whichever replica they walked;
+    // the read path ORs. Divergent A/D must NOT be a violation.
+    pt::WalkResult w = kernel.ptOps().walk(p.roots(), region.start);
+    ASSERT_TRUE(w.mapped);
+    Pfn replica_l1 =
+        machine.physmem().replicaOnSocket(w.loc.ptPfn, 1);
+    machine.physmem().table(replica_l1)[w.loc.index] |=
+        pt::PteAccessed | pt::PteDirty;
+
+    Checker chk(kernel, collectAll());
+    chk.checkReplicaCoherence();
+    EXPECT_TRUE(chk.violations().empty());
+    kernel.destroyProcess(p);
+}
+
+/** Time-shared fixture: entry-level TLB/PWC liveness applies. */
+class TimeSharedCheckTest : public ::testing::Test
+{
+  protected:
+    TimeSharedCheckTest()
+        : machine(tinyNoEnvCheck()), native(machine.physmem())
+    {
+        os::KernelConfig kc;
+        kc.sched.timeShared = true;
+        kernel = std::make_unique<os::Kernel>(machine, native, kc);
+    }
+
+    sim::Machine machine;
+    pvops::NativeBackend native;
+    std::unique_ptr<os::Kernel> kernel;
+};
+
+TEST_F(TimeSharedCheckTest, DeadAsidTlbEntryTrips)
+{
+    os::Process &p = kernel->createProcess("tenant", 0);
+    kernel->mmap(p, 4 * PageSize, os::MmapOptions{.populate = true});
+
+    // A TLB entry whose ASID no live process owns: the state
+    // removeProcess's selective flushes exist to prevent.
+    auto &tlb = machine.core(0).tlb();
+    Asid saved = tlb.asid();
+    tlb.setAsid(3333);
+    tlb.insert(0x7000000000ull,
+               tlb::TlbEntry{42, true, PageSizeKind::Base4K});
+    tlb.setAsid(saved);
+
+    Checker chk(*kernel, collectAll());
+    chk.checkCr3AsidLiveness();
+    // Once per resident copy (insert fills both L1 and L2).
+    EXPECT_GT(countClass(chk, CheckClass::Cr3AsidLiveness), 0);
+
+    tlb.flushAsid(3333);
+    chk.clearViolations();
+    chk.checkCr3AsidLiveness();
+    EXPECT_TRUE(chk.violations().empty());
+    kernel->destroyProcess(p);
+}
+
+TEST_F(TimeSharedCheckTest, StaleTlbTranslationTrips)
+{
+    os::Process &p = kernel->createProcess("tenant", 0);
+    auto region =
+        kernel->mmap(p, 4 * PageSize, os::MmapOptions{.populate = true});
+    pt::WalkResult w = kernel->ptOps().walk(p.roots(), region.start);
+    ASSERT_TRUE(w.mapped);
+
+    // An entry the shootdown protocol missed: live ASID, but mapping a
+    // frame the PTE no longer references.
+    auto &tlb = machine.core(0).tlb();
+    Asid saved = tlb.asid();
+    tlb.setAsid(p.asid);
+    tlb.insert(region.start,
+               tlb::TlbEntry{w.leaf.pfn() + 1, false,
+                             PageSizeKind::Base4K});
+    tlb.setAsid(saved);
+
+    Checker chk(*kernel, collectAll());
+    chk.checkCr3AsidLiveness();
+    EXPECT_GT(countClass(chk, CheckClass::Cr3AsidLiveness), 0);
+
+    tlb.flushAsid(p.asid);
+    kernel->destroyProcess(p);
+}
+
+} // namespace
+} // namespace mitosim::check

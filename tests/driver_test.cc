@@ -135,6 +135,9 @@ tinySimJob(bool remote_pt, std::uint64_t seed)
     result.schedStat("enqueues",
                      static_cast<double>(
                          kernel.scheduler().stats().enqueues));
+    // vmcheck counters land in the "check" section under the same
+    // excluded-from-comparison contract.
+    result.checkStat("violations", 0.0);
     return result;
 }
 
@@ -328,6 +331,16 @@ TEST(DriverBenchMain, JobsFlagProducesIdenticalMetrics)
         ASSERT_NE(job, nullptr);
         ASSERT_NE(job->find("enqueues"), nullptr);
         EXPECT_EQ(job->find("enqueues")->asNumber(), 1.0);
+
+        // ... and each job's checkStat()s under "check".
+        const bench::JsonValue *check = doc->find("check");
+        ASSERT_NE(check, nullptr);
+        EXPECT_EQ(check->size(), 4u);
+        const bench::JsonValue *cjob =
+            check->find("tiny/remote-pt/seed21");
+        ASSERT_NE(cjob, nullptr);
+        ASSERT_NE(cjob->find("violations"), nullptr);
+        EXPECT_EQ(cjob->find("violations")->asNumber(), 0.0);
     }
 }
 
