@@ -61,7 +61,7 @@ run(bool lazy)
         result.value("peak_queue_depth",
                      static_cast<double>(
                          lazy_b.lazyStats().maxQueueDepth));
-    kernel.destroyProcess(proc);
+    kernel.finalizeProcess(proc);
     return result;
 }
 

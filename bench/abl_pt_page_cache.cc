@@ -70,7 +70,7 @@ runWithReserve(std::uint64_t reserve_frames)
     result.value("remote_pt_pages", static_cast<double>(remote));
     result.value("reserve_hits",
                  static_cast<double>(pm.stats(0).ptCacheHits));
-    kernel.destroyProcess(proc);
+    kernel.finalizeProcess(proc);
     return result;
 }
 

@@ -188,7 +188,7 @@ run(bool use_mitosis, bool pcid)
     res.schedStat("enqueues", static_cast<double>(ss.enqueues));
 
     for (auto &t : tenants)
-        kernel.destroyProcess(*t.proc);
+        kernel.finalizeProcess(*t.proc);
     // Under MITOSIM_CHECK=1 CI runs this bench and asserts that the
     // report's "check" section shows zero violations per job.
     recordCheckStats(kernel, res);

@@ -73,43 +73,37 @@ constexpr Config Configs[] = {
 driver::JobResult
 run(const std::string &workload, bool use_mitosis, bool daemon)
 {
-    sim::Machine machine(benchMachine());
+    PhaseTimer phases;
 
-    std::unique_ptr<pvops::PvOps> backend;
-    core::MitosisBackend *mitosis = nullptr;
-    if (use_mitosis) {
-        auto owned =
-            std::make_unique<core::MitosisBackend>(machine.physmem());
-        mitosis = owned.get();
-        backend = std::move(owned);
-    } else {
-        backend =
-            std::make_unique<pvops::NativeBackend>(machine.physmem());
-    }
+    // The daemon flags only act through thpTick() during measurement,
+    // so the daemon-on and daemon-off jobs of one (workload, backend)
+    // pair share a populate snapshot — the spec (and hence the cache
+    // key) carries everything that ages the machine: fragmentation
+    // 1.0 before any allocation (the fig11 injector), the THP-eligible
+    // 4 KB-degraded setup, splitPartial.
+    PopulateSpec spec;
+    spec.machine = benchMachine();
+    spec.backend = use_mitosis ? snapshot::BackendKind::Mitosis
+                               : snapshot::BackendKind::Native;
+    spec.kernelCfg.thp.splitPartial = true;
+    spec.kernelCfg.thp.khugepaged = daemon;
+    spec.kernelCfg.thp.kcompactd = daemon;
+    spec.workload = workload;
+    spec.params.footprint = Footprint;
+    spec.params.seed = Seed;
+    spec.params.thp = true; // eligible, but every 2 MB allocation fails
+    spec.fragmentation = 1.0;
+    spec.fragSeed = Seed ^ 0xf7a6ull;
+    for (SocketId s = 0; s < spec.machine.topo.numSockets; ++s)
+        spec.threadSockets.push_back(s);
 
-    os::KernelConfig kcfg;
-    kcfg.thp.splitPartial = true;
-    kcfg.thp.khugepaged = daemon;
-    kcfg.thp.kcompactd = daemon;
-    os::Kernel kernel(machine, *backend, kcfg);
-
-    // Age the machine before anything is allocated: one unmovable-
-    // looking filler in every free 2 MB block, the fig11 injector.
-    Rng frag_rng(Seed ^ 0xf7a6ull);
-    for (SocketId s = 0; s < machine.numSockets(); ++s)
-        machine.physmem().fragment(s, 1.0, frag_rng);
-
-    os::Process &proc = kernel.createProcess(workload, 0);
-    os::ExecContext ctx(kernel, proc);
-    for (SocketId s = 0; s < machine.numSockets(); ++s)
-        ctx.addThread(s);
-
-    workloads::WorkloadParams params;
-    params.footprint = Footprint;
-    params.seed = Seed;
-    params.thp = true; // eligible, but every 2 MB allocation fails
-    auto w = workloads::makeWorkload(workload, params);
-    w->setup(ctx);
+    auto u = preparePopulated(spec);
+    sim::Machine &machine = u->machine;
+    os::Kernel &kernel = u->kernel;
+    os::Process &proc = *u->proc;
+    os::ExecContext &ctx = *u->ctx;
+    workloads::Workload &w = *u->workload;
+    core::MitosisBackend *mitosis = use_mitosis ? &u->mitosis() : nullptr;
 
     if (mitosis) {
         mitosis->setReplicationMask(
@@ -117,8 +111,9 @@ run(const std::string &workload, bool use_mitosis, bool daemon)
             SocketMask::all(machine.numSockets()));
         kernel.reloadContexts(proc);
     }
+    phases.populateDone();
 
-    workloads::runInterleaved(ctx, *w, WarmupOps);
+    workloads::runInterleaved(ctx, w, WarmupOps);
     ctx.resetCounters();
 
     driver::JobResult res;
@@ -133,7 +128,7 @@ run(const std::string &workload, bool use_mitosis, bool daemon)
     Cycles first_phase_walk = 0;
     Cycles last_phase_walk = 0;
     for (int phase = 0; phase < Phases; ++phase) {
-        workloads::runInterleaved(ctx, *w, MeasureOps / Phases);
+        workloads::runInterleaved(ctx, w, MeasureOps / Phases);
         for (int t = 0; t < TicksPerPhase; ++t)
             kernel.thpTick();
 
@@ -152,6 +147,7 @@ run(const std::string &workload, bool use_mitosis, bool daemon)
         res.value("phase_cycles" + suffix,
                   static_cast<double>(cycles));
     }
+    phases.runDone();
     res.value("coverage_final", thp.coverage(proc));
     res.value("walk_recovery",
               last_phase_walk
@@ -209,8 +205,9 @@ run(const std::string &workload, bool use_mitosis, bool daemon)
                       analyzer.snapshot(proc.roots()).totalLeafPtes()));
     }
 
-    kernel.destroyProcess(proc);
+    u->finalize();
     recordCheckStats(kernel, res);
+    phases.stamp(res);
     return res;
 }
 

@@ -35,7 +35,7 @@ gupsPostMigrationJob()
     auto snap = analyzer.snapshot(proc.roots());
     driver::JobResult result;
     result.value("remote_leaf_socket0", snap.remoteLeafFractionFrom(0));
-    kernel.destroyProcess(proc);
+    kernel.finalizeProcess(proc);
     return result;
 }
 

@@ -76,106 +76,176 @@ runMeasured(os::Kernel &kernel, os::ExecContext &ctx,
     }
 }
 
+/**
+ * Serialize everything in @p s that influences populate into the
+ * snapshot-cache key. Op counts and post-populate config (masks,
+ * daemons, interferers, AutoNUMA) are deliberately absent — sharing
+ * donors across them is the whole point.
+ */
+std::string
+populateKey(const PopulateSpec &s)
+{
+    const sim::MachineConfig &m = s.machine;
+    std::string key = format(
+        "%s|fp=%llu|seed=%llu|thp=%d|init=%d.%d|frag=%g@%llu|home=%d|"
+        "data=%d.%d|pt=%d.%d|be=%d|mi=%d.%d.%d.%d.%d|"
+        "kc=%d.%d.%llu.%d.%d|ma=%d.%d.%llu.%llu.%llu.%d",
+        s.workload.c_str(),
+        static_cast<unsigned long long>(s.params.footprint),
+        static_cast<unsigned long long>(s.params.seed),
+        s.params.thp ? 1 : 0, static_cast<int>(s.params.initMode),
+        s.params.initModeOverridden ? 1 : 0, s.fragmentation,
+        static_cast<unsigned long long>(s.fragSeed), s.homeSocket,
+        static_cast<int>(s.dataPolicy), s.dataFixedSocket,
+        static_cast<int>(s.ptPlacement), s.ptFixedSocket,
+        static_cast<int>(s.backend),
+        static_cast<int>(s.mitosisCfg.policy), s.mitosisCfg.fixedSocket,
+        static_cast<int>(s.mitosisCfg.updateMode),
+        s.mitosisCfg.eagerFreeOnMigration ? 1 : 0,
+        s.mitosisCfg.migrateOnProcessMove ? 1 : 0,
+        s.kernelCfg.sched.timeShared ? 1 : 0,
+        s.kernelCfg.sched.pcid ? 1 : 0,
+        static_cast<unsigned long long>(s.kernelCfg.sched.timeslice),
+        s.kernelCfg.sched.maxAsids,
+        s.kernelCfg.thp.splitPartial ? 1 : 0, m.topo.numSockets,
+        m.topo.coresPerSocket,
+        static_cast<unsigned long long>(m.topo.memPerSocket),
+        static_cast<unsigned long long>(m.hier.l3BytesPerSocket),
+        static_cast<unsigned long long>(m.hier.l1dBytes),
+        m.tlb.l2Holds2M ? 1 : 0);
+    key += "|th=";
+    for (SocketId t : s.threadSockets)
+        key += std::to_string(t) + ",";
+    return key;
+}
+
 } // namespace
+
+std::unique_ptr<snapshot::Universe>
+preparePopulated(const PopulateSpec &spec)
+{
+    auto build = [&spec]() {
+        auto u = std::make_unique<snapshot::Universe>(
+            spec.machine, spec.backend, spec.mitosisCfg, spec.kernelCfg);
+        if (spec.fragmentation > 0.0) {
+            Rng frag_rng(spec.fragSeed);
+            for (SocketId s = 0; s < u->machine.numSockets(); ++s)
+                u->machine.physmem().fragment(s, spec.fragmentation,
+                                              frag_rng);
+        }
+        u->proc = &u->kernel.createProcess(spec.workload,
+                                           spec.homeSocket);
+        u->kernel.setDataPolicy(*u->proc, spec.dataPolicy,
+                                spec.dataFixedSocket);
+        u->kernel.setPtPlacement(*u->proc, spec.ptPlacement,
+                                 spec.ptFixedSocket);
+        u->ctx = std::make_unique<os::ExecContext>(u->kernel, *u->proc);
+        for (SocketId s : spec.threadSockets)
+            u->ctx->addThread(s);
+        u->workload = workloads::makeWorkload(spec.workload, spec.params);
+        u->workload->setup(*u->ctx);
+        return u;
+    };
+    return snapshot::SnapshotCache::instance().populated(
+        populateKey(spec), spec.kernelCfg, build);
+}
 
 RunOutcome
 runMultiSocket(const ScenarioConfig &scenario, MsConfig config,
                driver::JobResult *sink)
 {
-    sim::Machine machine(benchMachine());
-    core::MitosisBackend backend(machine.physmem());
-    os::Kernel kernel(machine, backend);
-
-    if (scenario.fragmentation > 0.0) {
-        Rng frag_rng(scenario.seed ^ 0xf7a6ull);
-        for (SocketId s = 0; s < machine.numSockets(); ++s)
-            machine.physmem().fragment(s, scenario.fragmentation,
-                                       frag_rng);
-    }
-
-    os::Process &proc =
-        kernel.createProcess(scenario.workload, 0);
+    PhaseTimer phases;
 
     bool interleave = config == MsConfig::I || config == MsConfig::IM;
     bool mitosis = config == MsConfig::FM || config == MsConfig::FAM ||
                    config == MsConfig::IM;
     bool autonuma = config == MsConfig::FA || config == MsConfig::FAM;
 
+    PopulateSpec spec;
+    spec.machine = benchMachine();
+    spec.workload = scenario.workload;
+    spec.params.footprint = scenario.footprint;
+    spec.params.seed = scenario.seed;
+    spec.params.thp = scenario.thp;
+    spec.fragmentation = scenario.fragmentation;
+    spec.fragSeed = scenario.seed ^ 0xf7a6ull;
     if (interleave) {
-        kernel.setDataPolicy(proc, os::DataPolicy::Interleave);
-        kernel.setPtPlacement(proc, pt::PtPlacement::Interleave);
-    } else {
-        kernel.setDataPolicy(proc, os::DataPolicy::FirstTouch);
-        kernel.setPtPlacement(proc, pt::PtPlacement::FirstTouch);
+        spec.dataPolicy = os::DataPolicy::Interleave;
+        spec.ptPlacement = pt::PtPlacement::Interleave;
     }
+    for (SocketId s = 0; s < spec.machine.topo.numSockets; ++s)
+        spec.threadSockets.push_back(s);
+
+    auto u = preparePopulated(spec);
+    os::Kernel &kernel = u->kernel;
+    os::Process &proc = *u->proc;
+
+    // Post-populate config: the AutoNUMA flag only matters once scan
+    // ticks run, and the replication mask diverges the configs — both
+    // act on the shared populate state, so forks stay byte-identical
+    // to a from-scratch run.
     kernel.enableAutoNuma(proc, autonuma);
-
-    os::ExecContext ctx(kernel, proc);
-    for (SocketId s = 0; s < machine.numSockets(); ++s)
-        ctx.addThread(s);
-
-    workloads::WorkloadParams params;
-    params.footprint = scenario.footprint;
-    params.seed = scenario.seed;
-    params.thp = scenario.thp;
-    auto w = workloads::makeWorkload(scenario.workload, params);
-    w->setup(ctx);
-
     if (mitosis) {
-        backend.setReplicationMask(
+        u->mitosis().setReplicationMask(
             proc.roots(), proc.id(),
-            SocketMask::all(machine.numSockets()));
+            SocketMask::all(u->machine.numSockets()));
         kernel.reloadContexts(proc);
     }
+    phases.populateDone();
 
-    runMeasured(kernel, ctx, *w, scenario.warmupOps, autonuma,
-                scenario.seed);
-    ctx.resetCounters();
-    runMeasured(kernel, ctx, *w, scenario.measureOps, autonuma,
-                scenario.seed + 1);
+    runMeasured(kernel, *u->ctx, *u->workload, scenario.warmupOps,
+                autonuma, scenario.seed);
+    u->ctx->resetCounters();
+    runMeasured(kernel, *u->ctx, *u->workload, scenario.measureOps,
+                autonuma, scenario.seed + 1);
+    phases.runDone();
 
     RunOutcome out;
-    out.runtime = ctx.runtime();
-    out.totals = ctx.totals();
-    kernel.destroyProcess(proc);
-    if (sink)
+    out.runtime = u->ctx->runtime();
+    out.totals = u->ctx->totals();
+    u->finalize();
+    if (sink) {
         recordCheckStats(kernel, *sink);
+        phases.stamp(*sink);
+    }
     return out;
 }
 
 PlacementAnalysis
 analyzePlacement(const ScenarioConfig &scenario, bool interleave)
 {
-    sim::Machine machine(benchMachine());
-    core::MitosisBackend backend(machine.physmem());
-    os::Kernel kernel(machine, backend);
-    os::Process &proc = kernel.createProcess(scenario.workload, 0);
+    PhaseTimer phases;
+
+    PopulateSpec spec;
+    spec.machine = benchMachine();
+    spec.workload = scenario.workload;
+    spec.params.footprint = scenario.footprint;
+    spec.params.seed = scenario.seed;
+    spec.params.thp = scenario.thp;
     if (interleave) {
-        kernel.setDataPolicy(proc, os::DataPolicy::Interleave);
-        kernel.setPtPlacement(proc, pt::PtPlacement::Interleave);
+        spec.dataPolicy = os::DataPolicy::Interleave;
+        spec.ptPlacement = pt::PtPlacement::Interleave;
     }
+    for (SocketId s = 0; s < spec.machine.topo.numSockets; ++s)
+        spec.threadSockets.push_back(s);
 
-    os::ExecContext ctx(kernel, proc);
-    for (SocketId s = 0; s < machine.numSockets(); ++s)
-        ctx.addThread(s);
-
-    workloads::WorkloadParams params;
-    params.footprint = scenario.footprint;
-    params.seed = scenario.seed;
-    params.thp = scenario.thp;
-    auto w = workloads::makeWorkload(scenario.workload, params);
-    w->setup(ctx);
+    auto u = preparePopulated(spec);
+    phases.populateDone();
     // A short run so access-driven effects (faults, AutoNUMA) settle.
-    workloads::runInterleaved(ctx, *w, scenario.warmupOps);
+    workloads::runInterleaved(*u->ctx, *u->workload, scenario.warmupOps);
+    phases.runDone();
 
-    analysis::PtAnalyzer analyzer(machine.physmem(), kernel.ptOps());
-    auto snap = analyzer.snapshot(proc.roots());
+    analysis::PtAnalyzer analyzer(u->machine.physmem(),
+                                  u->kernel.ptOps());
+    auto snap = analyzer.snapshot(u->proc->roots());
 
     PlacementAnalysis out;
-    for (SocketId s = 0; s < machine.numSockets(); ++s)
+    out.wallPopulateMs = phases.populateMs();
+    out.wallRunMs = phases.runMs();
+    for (SocketId s = 0; s < u->machine.numSockets(); ++s)
         out.remoteLeafFraction.push_back(snap.remoteLeafFractionFrom(s));
     out.figure3Dump = snap.str();
-    kernel.destroyProcess(proc);
+    u->finalize();
     return out;
 }
 
@@ -207,55 +277,55 @@ RunOutcome
 runWorkloadMigration(const ScenarioConfig &scenario, const WmPlacement &wm,
                      driver::JobResult *sink)
 {
-    sim::Machine machine(benchMachine());
-    core::MitosisBackend backend(machine.physmem());
-    os::Kernel kernel(machine, backend);
+    PhaseTimer phases;
 
     constexpr SocketId SocketA = 0;
     constexpr SocketId SocketB = 1;
 
-    if (scenario.fragmentation > 0.0) {
-        Rng frag_rng(scenario.seed ^ 0xf7a6ull);
-        for (SocketId s = 0; s < machine.numSockets(); ++s)
-            machine.physmem().fragment(s, scenario.fragmentation,
-                                       frag_rng);
-    }
+    PopulateSpec spec;
+    spec.machine = benchMachine();
+    spec.workload = scenario.workload;
+    spec.params.footprint = scenario.footprint;
+    spec.params.seed = scenario.seed;
+    spec.params.thp = scenario.thp;
+    spec.fragmentation = scenario.fragmentation;
+    spec.fragSeed = scenario.seed ^ 0xf7a6ull;
+    spec.homeSocket = SocketA;
+    spec.dataPolicy = os::DataPolicy::Fixed;
+    spec.dataFixedSocket = wm.remoteData ? SocketB : SocketA;
+    spec.ptPlacement = pt::PtPlacement::Fixed;
+    spec.ptFixedSocket = wm.remotePt ? SocketB : SocketA;
+    spec.threadSockets.push_back(SocketA);
 
-    os::Process &proc = kernel.createProcess(scenario.workload, SocketA);
-    kernel.setDataPolicy(proc, os::DataPolicy::Fixed,
-                         wm.remoteData ? SocketB : SocketA);
-    kernel.setPtPlacement(proc, pt::PtPlacement::Fixed,
-                          wm.remotePt ? SocketB : SocketA);
+    auto u = preparePopulated(spec);
+    os::Kernel &kernel = u->kernel;
+    os::Process &proc = *u->proc;
 
-    os::ExecContext ctx(kernel, proc);
-    ctx.addThread(SocketA);
-
-    workloads::WorkloadParams params;
-    params.footprint = scenario.footprint;
-    params.seed = scenario.seed;
-    params.thp = scenario.thp;
-    auto w = workloads::makeWorkload(scenario.workload, params);
-    w->setup(ctx);
-
+    // Post-populate config: +M migration and the bandwidth interferer
+    // are what distinguish the Table 2 placements sharing a populate.
     if (wm.mitosisMigrate) {
-        backend.migratePageTables(proc.roots(), proc.id(), SocketA);
+        u->mitosis().migratePageTables(proc.roots(), proc.id(), SocketA);
         kernel.reloadContexts(proc);
     }
     if (wm.interference)
-        machine.topology().addInterferer(SocketB);
+        u->machine.topology().addInterferer(SocketB);
+    phases.populateDone();
 
-    workloads::runInterleaved(ctx, *w, scenario.warmupOps);
-    ctx.resetCounters();
-    workloads::runInterleaved(ctx, *w, scenario.measureOps);
+    workloads::runInterleaved(*u->ctx, *u->workload, scenario.warmupOps);
+    u->ctx->resetCounters();
+    workloads::runInterleaved(*u->ctx, *u->workload, scenario.measureOps);
+    phases.runDone();
 
     RunOutcome out;
-    out.runtime = ctx.runtime();
-    out.totals = ctx.totals();
+    out.runtime = u->ctx->runtime();
+    out.totals = u->ctx->totals();
     if (wm.interference)
-        machine.topology().removeInterferer(SocketB);
-    kernel.destroyProcess(proc);
-    if (sink)
+        u->machine.topology().removeInterferer(SocketB);
+    u->finalize();
+    if (sink) {
         recordCheckStats(kernel, *sink);
+        phases.stamp(*sink);
+    }
     return out;
 }
 
@@ -288,6 +358,8 @@ placementJob(const ScenarioConfig &scenario, bool interleave)
         result.value("remote_leaf_socket" + std::to_string(s),
                      analysis.remoteLeafFraction[s]);
     result.text = analysis.figure3Dump;
+    result.wallPopulateMs = analysis.wallPopulateMs;
+    result.wallRunMs = analysis.wallRunMs;
     return result;
 }
 

@@ -20,6 +20,7 @@
 #ifndef MITOSIM_BENCH_HARNESS_H
 #define MITOSIM_BENCH_HARNESS_H
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "src/os/exec_context.h"
 #include "src/os/kernel.h"
 #include "src/sim/machine.h"
+#include "src/snapshot/snapshot.h"
 #include "src/workloads/workload.h"
 
 namespace mitosim::bench
@@ -54,6 +56,98 @@ struct ScenarioConfig
 /** What a run produced (defined with the driver's Job machinery). */
 using RunOutcome = driver::RunOutcome;
 
+/**
+ * Host wall-clock phase stamps for the report's wall_ms breakdown.
+ * Construct at job entry, call populateDone() once the simulated
+ * machine is built and populated (setup complete, replication applied),
+ * runDone() after the last simulated operation, then stamp() the
+ * result. Whatever wall-clock the job spends after runDone() —
+ * teardown, end-of-run checks, analysis — lands in the derived
+ * "report" phase (total - populate - run).
+ */
+class PhaseTimer
+{
+  public:
+    PhaseTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    void populateDone() { populateMs_ = elapsedMs(); }
+    void runDone() { runMs_ = elapsedMs(); }
+
+    double populateMs() const { return populateMs_; }
+    double
+    runMs() const
+    {
+        return runMs_ > populateMs_ ? runMs_ - populateMs_ : 0.0;
+    }
+
+    void
+    stamp(driver::JobResult &res) const
+    {
+        res.wallPopulateMs = populateMs();
+        res.wallRunMs = runMs();
+    }
+
+  private:
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    std::chrono::steady_clock::time_point start_;
+    double populateMs_ = 0.0;
+    double runMs_ = 0.0;
+};
+
+/// @name Shared populate path (snapshot-cached)
+/// @{
+
+/**
+ * Everything that determines the state of a populated universe: one
+ * spec = one deterministic populate = one snapshot-cache key. The
+ * matrix runners and ext_thp_aging all build their machine through
+ * this single helper, so config points that share a populate (e.g.
+ * the six Table 3 configs of one workload, or a daemon-on/off pair)
+ * fork one cached donor instead of re-faulting the footprint.
+ *
+ * Deliberately *not* part of the spec (and of the key): anything that
+ * acts only after populate — AutoNUMA enablement, the Mitosis
+ * replication mask, page-table migration, bandwidth interferers, THP
+ * daemon settings, warmup/measure op counts. Callers apply those to
+ * the returned fork. The determinism rule: a job run from a fork must
+ * be byte-identical to the same job run from a fresh populate
+ * (MITOSIM_SNAPSHOTS=0), which CI enforces.
+ */
+struct PopulateSpec
+{
+    sim::MachineConfig machine;
+    snapshot::BackendKind backend = snapshot::BackendKind::Mitosis;
+    core::MitosisConfig mitosisCfg;
+    os::KernelConfig kernelCfg;
+    std::string workload;
+    workloads::WorkloadParams params;
+    double fragmentation = 0.0; //!< fragment all sockets before populate
+    std::uint64_t fragSeed = 0;
+    SocketId homeSocket = 0;
+    os::DataPolicy dataPolicy = os::DataPolicy::FirstTouch;
+    SocketId dataFixedSocket = 0;
+    pt::PtPlacement ptPlacement = pt::PtPlacement::FirstTouch;
+    SocketId ptFixedSocket = 0;
+    std::vector<SocketId> threadSockets; //!< one addThread per entry
+};
+
+/**
+ * A populated universe per @p spec: a fork of the process-wide cached
+ * donor (built on first use), or a fresh build when MITOSIM_SNAPSHOTS=0.
+ * The caller owns the result, applies its post-populate config, runs,
+ * records metrics, then calls Universe::finalize().
+ */
+std::unique_ptr<snapshot::Universe>
+preparePopulated(const PopulateSpec &spec);
+
+/// @}
 /// @name Multi-socket scenario (Table 3 configs: F, F+M, F-A, F-A+M, I, I+M)
 /// @{
 
@@ -88,6 +182,8 @@ struct PlacementAnalysis
 {
     std::vector<double> remoteLeafFraction; //!< per observing socket
     std::string figure3Dump;
+    double wallPopulateMs = 0.0; //!< host phase stamps (see PhaseTimer)
+    double wallRunMs = 0.0;
 };
 
 PlacementAnalysis analyzePlacement(const ScenarioConfig &scenario,

@@ -570,6 +570,23 @@ BenchReport::wallMs(const std::string &label, double ms)
 }
 
 void
+BenchReport::wallMsPhases(const std::string &label, double total,
+                          double populate, double run)
+{
+    if (populate <= 0.0 && run <= 0.0) {
+        wallMs(label, total);
+        return;
+    }
+    double report = total - populate - run;
+    JsonValue entry = JsonValue::object();
+    entry.set("total", JsonValue::number(total));
+    entry.set("populate", JsonValue::number(populate));
+    entry.set("run", JsonValue::number(run));
+    entry.set("report", JsonValue::number(report > 0.0 ? report : 0.0));
+    wallMs_.set(label, std::move(entry));
+}
+
+void
 BenchReport::schedStat(const std::string &label, const std::string &key,
                        double value)
 {

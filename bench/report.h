@@ -13,7 +13,9 @@
  *                    "tags":    { "<key>": "<string>", ... },
  *                    "metrics": { "<key>": <finite number>, ... } }, ... ],
  *     "speedups": { "<label>": <finite number>, ... },
- *     "wall_ms":  { "<job>": <number>, ..., "total": <number> },
+ *     "wall_ms":  { "<job>": { "total": <number>, "populate": <number>,
+ *                              "run": <number>, "report": <number> }
+ *                           | <number>, ..., "total": <number> },
  *     "scheduler": { "<job>": { "<stat>": <number>, ... }, ... },
  *     "thp":       { "<job>": { "<stat>": <number>, ... }, ... }
  *   }
@@ -173,6 +175,17 @@ class BenchReport
      * "total"). Kept outside "metrics" — excluded from comparisons.
      */
     void wallMs(const std::string &label, double ms);
+
+    /**
+     * Record a job's wall-clock with its phase breakdown: the entry
+     * becomes {"total", "populate", "run", "report"} where "report" is
+     * the remainder (teardown + end-of-run checks + analysis). Jobs
+     * that never stamped phases (populate == run == 0) fall back to
+     * the scalar form. The whole section stays excluded from metric
+     * comparisons either way.
+     */
+    void wallMsPhases(const std::string &label, double total,
+                      double populate, double run);
 
     /**
      * Record one scheduler activity counter for job @p label. The

@@ -114,7 +114,7 @@ measureLarge(bool thp, LargeBackend kind)
                     &protect_cost);
     pvops::KernelCost unmap_cost;
     kernel.munmap(proc, r.start, r.length, &unmap_cost);
-    kernel.destroyProcess(proc);
+    kernel.finalizeProcess(proc);
 
     driver::JobResult result;
     result.value("mmap_cycles", static_cast<double>(mmap_cost.cycles));
@@ -166,7 +166,7 @@ measure(bool replicated, std::uint64_t region_bytes)
         kernel.munmap(proc, r.start, r.length, &unmap_cost);
         munmap_cycles += unmap_cost.cycles;
     }
-    kernel.destroyProcess(proc);
+    kernel.finalizeProcess(proc);
 
     driver::JobResult result;
     result.value("mmap_cycles",

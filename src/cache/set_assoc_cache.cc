@@ -29,50 +29,6 @@ SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, unsigned ways)
     lines.assign(sets * ways, Line{});
 }
 
-bool
-SetAssocCache::lookup(PhysAddr pa)
-{
-    std::uint64_t line = lineAddr(pa);
-    std::size_t base = setOf(line) * numWays;
-    for (unsigned w = 0; w < numWays; ++w) {
-        if (lines[base + w].tag == line) {
-            lines[base + w].lru = ++clock;
-            ++stats_.hits;
-            return true;
-        }
-    }
-    ++stats_.misses;
-    return false;
-}
-
-std::uint64_t
-SetAssocCache::insert(PhysAddr pa)
-{
-    std::uint64_t line = lineAddr(pa);
-    std::size_t base = setOf(line) * numWays;
-    std::size_t victim = base;
-    for (unsigned w = 0; w < numWays; ++w) {
-        Line &l = lines[base + w];
-        if (l.tag == line) { // already present
-            l.lru = ++clock;
-            return ~0ull;
-        }
-        if (l.tag == ~0ull) { // free way
-            victim = base + w;
-            l.tag = line;
-            l.lru = ++clock;
-            return ~0ull;
-        }
-        if (lines[victim].lru > l.lru)
-            victim = base + w;
-    }
-    std::uint64_t evicted = lines[victim].tag;
-    lines[victim].tag = line;
-    lines[victim].lru = ++clock;
-    ++stats_.evictions;
-    return evicted;
-}
-
 void
 SetAssocCache::invalidateLine(PhysAddr pa)
 {

@@ -55,13 +55,96 @@ class SetAssocCache
      * Look up the line containing @p pa; on hit, refresh LRU.
      * @return true on hit.
      */
-    bool lookup(PhysAddr pa);
+    bool
+    lookup(PhysAddr pa)
+    {
+        std::uint64_t line = lineAddr(pa);
+        std::size_t base = setOf(line) * numWays;
+        for (unsigned w = 0; w < numWays; ++w) {
+            if (lines[base + w].tag == line) {
+                lines[base + w].lru = ++clock;
+                ++stats_.hits;
+                return true;
+            }
+        }
+        ++stats_.misses;
+        return false;
+    }
 
     /**
      * Insert the line containing @p pa (no-op if present; refreshes LRU).
      * @return the evicted line address, or ~0ull if none.
      */
-    std::uint64_t insert(PhysAddr pa);
+    std::uint64_t
+    insert(PhysAddr pa)
+    {
+        std::uint64_t line = lineAddr(pa);
+        std::size_t base = setOf(line) * numWays;
+        std::size_t victim = base;
+        for (unsigned w = 0; w < numWays; ++w) {
+            Line &l = lines[base + w];
+            if (l.tag == line) { // already present
+                l.lru = ++clock;
+                return ~0ull;
+            }
+            if (l.tag == ~0ull) { // free way
+                victim = base + w;
+                l.tag = line;
+                l.lru = ++clock;
+                return ~0ull;
+            }
+            if (lines[victim].lru > l.lru)
+                victim = base + w;
+        }
+        std::uint64_t evicted = lines[victim].tag;
+        lines[victim].tag = line;
+        lines[victim].lru = ++clock;
+        ++stats_.evictions;
+        return evicted;
+    }
+
+    /**
+     * Fused lookup() + insert(): probe the set once and, on a miss,
+     * install the line during the same scan. Replacement decision, LRU
+     * stamps and statistics are identical to lookup(pa) followed by
+     * insert(pa) — this exists because the hierarchy's miss path always
+     * does exactly that pair, and the second set scan was pure waste.
+     * @return true on hit.
+     */
+    bool
+    probeInsert(PhysAddr pa)
+    {
+        std::uint64_t line = lineAddr(pa);
+        std::size_t base = setOf(line) * numWays;
+        std::size_t victim = base;
+        bool free_way = false;
+        for (unsigned w = 0; w < numWays; ++w) {
+            Line &l = lines[base + w];
+            if (l.tag == line) {
+                l.lru = ++clock;
+                ++stats_.hits;
+                return true;
+            }
+            // Victim choice mirrors insert(): first free way wins, else
+            // oldest LRU, earliest way on ties. A free way freezes the
+            // choice but the match scan must continue — invalidations
+            // can leave holes before a still-resident line.
+            if (!free_way) {
+                if (l.tag == ~0ull) {
+                    victim = base + w;
+                    free_way = true;
+                } else if (lines[victim].lru > l.lru) {
+                    victim = base + w;
+                }
+            }
+        }
+        ++stats_.misses;
+        if (!free_way)
+            ++stats_.evictions;
+        lines[victim].tag = line;
+        lines[victim].lru = ++clock;
+        return false;
+    }
 
     /** Drop the line containing @p pa if present. */
     void invalidateLine(PhysAddr pa);

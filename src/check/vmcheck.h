@@ -190,6 +190,24 @@ class Checker
     void noteFaultTotal(Cycles cycles);
     /// @}
 
+    /**
+     * Snapshot restore: adopt the accumulated ledger of @p src —
+     * violations, stats, dispatch count and fault-charge buckets — so
+     * a forked kernel reports exactly what a from-scratch populate
+     * would have. Both checkers must share one CheckConfig.
+     */
+    void
+    cloneStateFrom(const Checker &src)
+    {
+        found = src.found;
+        stats_ = src.stats_;
+        where_ = src.where_;
+        dispatchCount = src.dispatchCount;
+        for (int i = 0; i < static_cast<int>(FaultCharge::NumKinds); ++i)
+            faultBuckets[i] = src.faultBuckets[i];
+        faultTotal = src.faultTotal;
+    }
+
   private:
     void report(Violation v);
 

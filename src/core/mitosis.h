@@ -217,6 +217,13 @@ class MitosisBackend : public pvops::PvOps
     void resetStats() { stats_ = MitosisStats{}; }
     const MitosisConfig &config() const { return cfg; }
 
+    /**
+     * Snapshot restore: adopt the cumulative counters of @p src (the
+     * backend's only state — page-table contents live in the
+     * PhysicalMemory the fork restores separately).
+     */
+    void cloneStateFrom(const MitosisBackend &src) { stats_ = src.stats_; }
+
   protected:
     /** Mask in force for new PT pages of a process. */
     SocketMask effectiveMask(const pt::RootSet &roots) const;

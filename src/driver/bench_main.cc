@@ -8,6 +8,7 @@
 
 #include "src/base/logging.h"
 #include "src/driver/runner.h"
+#include "src/sim/sharded.h"
 
 namespace mitosim::driver
 {
@@ -31,6 +32,10 @@ printUsage(std::FILE *to, const char *prog)
         "                    table\n"
         "  --jobs=N          worker threads (default: $MITOSIM_JOBS,\n"
         "                    else hardware concurrency)\n"
+        "  --sim-threads=N   host threads sharding each job's\n"
+        "                    simulation (default:\n"
+        "                    $MITOSIM_SIM_THREADS, else 1 = serial);\n"
+        "                    results are byte-identical at any value\n"
         "  --help            this message\n"
         "\n"
         "Jobs are independent config points (each simulates a private\n"
@@ -101,6 +106,16 @@ parseBenchArgs(int argc, char *const *argv, std::string &error)
                 return std::nullopt;
             }
             opts.jobs = static_cast<unsigned>(n);
+        } else if (!std::strncmp(arg, "--sim-threads=", 14)) {
+            char *end = nullptr;
+            long n = std::strtol(arg + 14, &end, 10);
+            if (!end || *end != '\0' || n <= 0) {
+                error = format("--sim-threads wants a positive "
+                               "integer, got '%s'",
+                               arg + 14);
+                return std::nullopt;
+            }
+            opts.simThreads = static_cast<unsigned>(n);
         } else {
             error = format("unknown option '%s'", arg);
             return std::nullopt;
@@ -124,6 +139,15 @@ benchMain(int argc, char **argv, const BenchSpec &spec)
         printUsage(stdout, prog);
         return 0;
     }
+
+    unsigned sim_threads = opts->simThreads;
+    if (!sim_threads) {
+        if (const char *env = std::getenv("MITOSIM_SIM_THREADS"))
+            if (long n = std::strtol(env, nullptr, 10); n > 0)
+                sim_threads = static_cast<unsigned>(n);
+    }
+    if (sim_threads)
+        sim::setSimThreads(static_cast<int>(sim_threads));
 
     setInformEnabled(false);
     try {
@@ -163,11 +187,14 @@ benchMain(int argc, char **argv, const BenchSpec &spec)
         if (spec.describe)
             spec.describe(report);
         // Host telemetry, outside "metrics" (see report.h): per-job
-        // thunk wall-clock plus this invocation's total. Recorded
-        // before emit() moves the results out.
-        for (std::size_t index : selected)
-            report.wallMs(registry.job(index).name,
-                          results[index]->wallMs);
+        // thunk wall-clock (with the populate/run/report phase split
+        // when the job stamped one) plus this invocation's total.
+        // Recorded before emit() moves the results out.
+        for (std::size_t index : selected) {
+            const JobResult &res = *results[index];
+            report.wallMsPhases(registry.job(index).name, res.wallMs,
+                                res.wallPopulateMs, res.wallRunMs);
+        }
         report.wallMs("total", total_wall_ms);
         // Scheduler activity (context switches, preemptions, ...):
         // deterministic but diagnostic — its own excluded section.

@@ -57,6 +57,19 @@ struct JobResult
     double wallMs = 0.0;
 
     /**
+     * Host wall-clock phase breakdown, stamped by the job body itself
+     * (bench::PhaseTimer): time spent building + populating the
+     * simulated machine (construction, fragmentation, process setup,
+     * replication) and time spent running simulated operations. The
+     * remainder of wallMs is the report phase (teardown, end-of-run
+     * checks, analysis). Same contract as wallMs: host telemetry,
+     * excluded from metric comparisons. Zero when a job never stamps
+     * phases.
+     */
+    double wallPopulateMs = 0.0;
+    double wallRunMs = 0.0;
+
+    /**
      * Scheduler activity counters (context switches, preemptions,
      * migrations, ...) recorded by jobs that run the time-sharing
      * scheduler. Deterministic simulated telemetry, but *diagnostic*

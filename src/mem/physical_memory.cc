@@ -11,7 +11,8 @@ namespace mitosim::mem
 
 PhysicalMemory::PhysicalMemory(const numa::Topology &topology)
     : topo(topology),
-      metas(topo.totalFrames()),
+      totalFrames_(topo.totalFrames()),
+      metaChunks((topo.totalFrames() + MetaChunkSize - 1) >> MetaChunkShift),
       perSocket(static_cast<std::size_t>(topo.numSockets())),
       ptCache(static_cast<std::size_t>(topo.numSockets())),
       ptCacheTarget(static_cast<std::size_t>(topo.numSockets()), 0),
@@ -335,22 +336,6 @@ PhysicalMemory::ptCacheSize(SocketId socket) const
     return ptCache[static_cast<std::size_t>(socket)].size();
 }
 
-std::uint64_t *
-PhysicalMemory::table(Pfn pfn)
-{
-    PageMeta &m = meta(pfn);
-    MITOSIM_ASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
-    return m.table.get();
-}
-
-const std::uint64_t *
-PhysicalMemory::table(Pfn pfn) const
-{
-    const PageMeta &m = meta(pfn);
-    MITOSIM_ASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
-    return m.table.get();
-}
-
 void
 PhysicalMemory::linkReplica(Pfn base, Pfn added)
 {
@@ -412,20 +397,6 @@ PhysicalMemory::forEachReplica(Pfn pfn,
     } while (p != pfn);
 }
 
-PageMeta &
-PhysicalMemory::meta(Pfn pfn)
-{
-    MITOSIM_ASSERT(pfn < metas.size(), "meta(): pfn out of range");
-    return metas[pfn];
-}
-
-const PageMeta &
-PhysicalMemory::meta(Pfn pfn) const
-{
-    MITOSIM_ASSERT(pfn < metas.size(), "meta(): pfn out of range");
-    return metas[pfn];
-}
-
 std::uint64_t
 PhysicalMemory::freeFrames(SocketId socket) const
 {
@@ -479,6 +450,61 @@ PhysicalMemory::defragment(SocketId socket)
         alloc(socket).freeFrame(pfn);
     }
     list.clear();
+}
+
+
+PhysicalMemory::ChunkPtr
+PhysicalMemory::newChunk()
+{
+    // Not make_shared: libstdc++ 12's array make_shared requires
+    // copy-constructible elements, and PageMeta owns a unique_ptr.
+    PageMeta *raw = new PageMeta[MetaChunkSize];
+    return ChunkPtr(raw);
+}
+
+void
+PhysicalMemory::detachChunk(ChunkPtr &chunk)
+{
+    ChunkPtr copy = newChunk();
+    for (std::uint64_t i = 0; i < MetaChunkSize; ++i) {
+        const PageMeta &m = chunk[i];
+        PageMeta &d = copy[i];
+        d.replicaNext = m.replicaNext;
+        d.owner = m.owner;
+        d.type = m.type;
+        d.level = m.level;
+        d.flags = m.flags;
+        if (m.table) {
+            d.table =
+                std::make_unique<std::uint64_t[]>(PtEntriesPerPage);
+            std::copy(m.table.get(), m.table.get() + PtEntriesPerPage,
+                      d.table.get());
+        }
+    }
+    // Keep the shared original alive for this instance's lifetime:
+    // callers may still hold const meta() references into it, and the
+    // donor owning it can be evicted at any time.
+    retired_.push_back(std::move(chunk));
+    chunk = std::move(copy);
+}
+
+void
+PhysicalMemory::cloneStateFrom(const PhysicalMemory &src)
+{
+    MITOSIM_ASSERT(totalFrames_ == src.totalFrames_ &&
+                       allocators.size() == src.allocators.size(),
+                   "cloneStateFrom: machine shape mismatch");
+    allocators = src.allocators;
+    perSocket = src.perSocket;
+    ptCache = src.ptCache;
+    ptCacheTarget = src.ptCacheTarget;
+    fragPinned = src.fragPinned;
+    ptLive = src.ptLive;
+    // Share every materialized chunk copy-on-write: the first mutable
+    // meta() touch detaches a private copy, so neither side can ever
+    // observe the other's subsequent writes.
+    metaChunks = src.metaChunks;
+    retired_.clear();
 }
 
 } // namespace mitosim::mem

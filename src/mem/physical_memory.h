@@ -15,12 +15,15 @@
 #ifndef MITOSIM_MEM_PHYSICAL_MEMORY_H
 #define MITOSIM_MEM_PHYSICAL_MEMORY_H
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/base/types.h"
 #include "src/mem/frame_allocator.h"
@@ -125,8 +128,21 @@ class PhysicalMemory
     std::uint64_t ptCacheSize(SocketId socket) const;
 
     /** Backing storage of a PT frame (512 entries). */
-    std::uint64_t *table(Pfn pfn);
-    const std::uint64_t *table(Pfn pfn) const;
+    std::uint64_t *
+    table(Pfn pfn)
+    {
+        PageMeta &m = meta(pfn);
+        MITOSIM_ASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
+        return m.table.get();
+    }
+
+    const std::uint64_t *
+    table(Pfn pfn) const
+    {
+        const PageMeta &m = meta(pfn);
+        MITOSIM_ASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
+        return m.table.get();
+    }
 
     /// @}
     /// @name Replica circular list (Figure 8)
@@ -150,8 +166,42 @@ class PhysicalMemory
 
     /// @}
 
-    PageMeta &meta(Pfn pfn);
-    const PageMeta &meta(Pfn pfn) const;
+    /**
+     * Metadata of frame @p pfn. Storage is chunked and materialized on
+     * first (mutable) touch: a multi-TiB simulated machine costs host
+     * memory only for the frames actually used, and constructing /
+     * destroying a PhysicalMemory is O(chunks touched), not O(frames).
+     *
+     * Chunks are copy-on-write: cloneStateFrom (snapshot forking)
+     * shares the donor's chunks by reference, and the first mutable
+     * touch of a shared chunk detaches a private deep copy. Every
+     * metadata or PTE write reaches the chunk through this accessor
+     * (the non-const table() overload included), so a clone can never
+     * write through to its donor.
+     */
+    PageMeta &
+    meta(Pfn pfn)
+    {
+        MITOSIM_ASSERT(pfn < totalFrames_, "meta(): pfn out of range");
+        auto &chunk = metaChunks[pfn >> MetaChunkShift];
+        if (!chunk) [[unlikely]]
+            chunk = newChunk();
+        else if (chunk.use_count() > 1) [[unlikely]]
+            detachChunk(chunk);
+        return chunk[pfn & (MetaChunkSize - 1)];
+    }
+
+    /** Read-only view; an untouched frame reads as pristine Free. */
+    const PageMeta &
+    meta(Pfn pfn) const
+    {
+        MITOSIM_ASSERT(pfn < totalFrames_, "meta(): pfn out of range");
+        const auto &chunk = metaChunks[pfn >> MetaChunkShift];
+        if (!chunk) [[unlikely]]
+            return pristineMeta;
+        return chunk[pfn & (MetaChunkSize - 1)];
+    }
+
     SocketId socketOf(Pfn pfn) const { return topo.socketOfPfn(pfn); }
 
     std::uint64_t freeFrames(SocketId socket) const;
@@ -167,20 +217,67 @@ class PhysicalMemory
     /** Live PT frames on @p socket at @p level (analysis, Fig 3). */
     std::uint64_t ptPagesAt(SocketId socket, int level) const;
 
+    /**
+     * Snapshot restore: copy the full frame state of @p src —
+     * allocators, stats, PT reserve caches and fragmentation pins are
+     * copied eagerly; metadata chunks (including the host-backed
+     * 512-entry page-table storage) are shared copy-on-write, so a
+     * fork pays for a chunk only when it first writes to it. @p src
+     * must describe the same topology.
+     */
+    void cloneStateFrom(const PhysicalMemory &src);
+
     /// @name Fragmentation injection (Figure 11)
     /// @{
     void fragment(SocketId socket, double fraction, Rng &rng);
     void defragment(SocketId socket);
     /// @}
 
+    /**
+     * Visit the metadata of every frame whose chunk has ever been
+     * touched, as (pfn, meta). Frames in never-touched chunks are
+     * pristine by construction and are skipped — this is the sparse
+     * scan the snapshot subsystem uses to find live state.
+     */
+    template <typename Fn>
+    void
+    forEachTouchedMeta(Fn &&fn) const
+    {
+        for (std::size_t c = 0; c < metaChunks.size(); ++c) {
+            const auto &chunk = metaChunks[c];
+            if (!chunk)
+                continue;
+            Pfn base = static_cast<Pfn>(c) << MetaChunkShift;
+            std::uint64_t n =
+                std::min<std::uint64_t>(MetaChunkSize, totalFrames_ - base);
+            for (std::uint64_t i = 0; i < n; ++i)
+                fn(base + i, chunk[i]);
+        }
+    }
+
   private:
+    using ChunkPtr = std::shared_ptr<PageMeta[]>;
+
     FrameAllocator &alloc(SocketId socket);
     const FrameAllocator &alloc(SocketId socket) const;
     std::optional<Pfn> popPtCache(SocketId socket);
 
+    static ChunkPtr newChunk();
+
+    /** Replace a shared @p chunk with a private deep copy (CoW). */
+    void detachChunk(ChunkPtr &chunk);
+
+    /** 32768 frames (128 MiB of simulated memory) per metadata chunk. */
+    static constexpr unsigned MetaChunkShift = 15;
+    static constexpr std::uint64_t MetaChunkSize = 1ull << MetaChunkShift;
+
+    /** What meta() const reports for frames in untouched chunks. */
+    inline static const PageMeta pristineMeta{};
+
     const numa::Topology &topo;
+    std::uint64_t totalFrames_;
     std::vector<FrameAllocator> allocators;
-    std::vector<PageMeta> metas;
+    std::vector<ChunkPtr> metaChunks;
     std::vector<MemStats> perSocket;
 
     // PT reserve caches: frames pre-allocated per socket.
@@ -192,6 +289,11 @@ class PhysicalMemory
 
     // Live PT page counts [socket][level 0..4] (level index 1..4 used).
     std::vector<std::array<std::uint64_t, 5>> ptLive;
+
+    // Chunks this instance detached from. Holding a reference keeps a
+    // donor's storage alive even if the donor is evicted while a
+    // caller still reads through an earlier const meta() reference.
+    std::vector<ChunkPtr> retired_;
 };
 
 } // namespace mitosim::mem

@@ -16,6 +16,27 @@ Topology::Topology(const TopologyConfig &config)
         fatal("memPerSocket must be at least one large page");
     if (cfg.interferenceFactor < 1.0)
         fatal("interferenceFactor must be >= 1.0");
+
+    coreSocket_.reserve(static_cast<std::size_t>(numCores()));
+    for (int core = 0; core < numCores(); ++core)
+        coreSocket_.push_back(core / cfg.coresPerSocket);
+
+    // Frame-homing table at the coarsest exact granularity. Sockets are
+    // at most 64 and fit a uint8_t; the 16M-entry cap bounds the table
+    // at 16 MB for degenerate (odd framesPerSocket_) configs, which
+    // instead keep the division fallback.
+    unsigned shift = 0;
+    while (shift < 63 && !((framesPerSocket_ >> shift) & 1))
+        ++shift;
+    std::uint64_t entries = (totalFrames() + (1ull << shift) - 1) >> shift;
+    if (entries <= (1ull << 24)) {
+        pfnBlockShift_ = shift;
+        pfnBlockSocket_.reserve(static_cast<std::size_t>(entries));
+        for (std::uint64_t b = 0; b < entries; ++b) {
+            pfnBlockSocket_.push_back(static_cast<std::uint8_t>(
+                (b << shift) / framesPerSocket_));
+        }
+    }
 }
 
 void
@@ -32,13 +53,6 @@ Topology::removeInterferer(SocketId socket)
     MITOSIM_ASSERT(interferers[static_cast<std::size_t>(socket)] > 0,
                    "no interferer registered on socket");
     --interferers[static_cast<std::size_t>(socket)];
-}
-
-bool
-Topology::hasInterferer(SocketId socket) const
-{
-    MITOSIM_ASSERT(socket >= 0 && socket < numSockets());
-    return interferers[static_cast<std::size_t>(socket)] > 0;
 }
 
 } // namespace mitosim::numa

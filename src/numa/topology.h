@@ -69,7 +69,11 @@ class Topology
     socketOfCore(CoreId core) const
     {
         MITOSIM_ASSERT(core >= 0 && core < numCores());
-        return core / cfg.coresPerSocket;
+        // Table instead of `core / coresPerSocket`: this sits on the
+        // per-reference simulation path (every cache access derives the
+        // issuing socket) and the divisor is runtime-variable, so the
+        // compiler cannot strength-reduce it.
+        return coreSocket_[static_cast<std::size_t>(core)];
     }
 
     /** First core id on socket @p socket. */
@@ -91,6 +95,17 @@ class Topology
     socketOfPfn(Pfn pfn) const
     {
         MITOSIM_ASSERT(pfn < totalFrames());
+        // Same hot-path argument as socketOfCore: a 64-bit division by
+        // a runtime divisor costs ~20-40 cycles and runs once per
+        // simulated memory reference. Frames are homed contiguously, so
+        // a block-granular table (block size = the largest power of two
+        // dividing framesPerSocket_) answers exactly; the division
+        // remains as fallback when that table would be unreasonably
+        // large (pathological odd per-socket frame counts).
+        if (!pfnBlockSocket_.empty()) {
+            return static_cast<SocketId>(
+                pfnBlockSocket_[pfn >> pfnBlockShift_]);
+        }
         return static_cast<SocketId>(pfn / framesPerSocket_);
     }
 
@@ -124,12 +139,23 @@ class Topology
     /** Register/unregister a bandwidth hog on @p socket. */
     void addInterferer(SocketId socket);
     void removeInterferer(SocketId socket);
-    bool hasInterferer(SocketId socket) const;
+
+    bool
+    hasInterferer(SocketId socket) const
+    {
+        MITOSIM_ASSERT(socket >= 0 && socket < numSockets());
+        return interferers[static_cast<std::size_t>(socket)] > 0;
+    }
 
   private:
     TopologyConfig cfg;
     std::uint64_t framesPerSocket_;
     std::vector<int> interferers; // refcount per socket
+
+    // Hot-path lookup tables (see socketOfCore / socketOfPfn).
+    std::vector<SocketId> coreSocket_; //!< core -> owning socket
+    std::vector<std::uint8_t> pfnBlockSocket_; //!< pfn block -> socket
+    unsigned pfnBlockShift_ = 0;
 };
 
 } // namespace mitosim::numa

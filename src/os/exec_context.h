@@ -27,11 +27,41 @@
 namespace mitosim::os
 {
 
+/**
+ * One recorded workload action (sharded simulation, phase A): either a
+ * memory access or a compute charge by logical thread @p tid. The
+ * index of an op in the trace is the global serial order.
+ */
+struct TraceOp
+{
+    VirtAddr va = 0;
+    Cycles cycles = 0; //!< compute ops: the charged amount
+    std::int32_t tid = 0;
+    bool isWrite = false;
+    bool isCompute = false;
+};
+
 /** Workload-facing execution handle. */
 class ExecContext
 {
   public:
     ExecContext(Kernel &kernel, Process &proc) : k(kernel), proc_(proc) {}
+
+    /**
+     * Snapshot-fork constructor: bind to a process whose threads were
+     * already spawned by the donor and copied in with the kernel state
+     * (addThread would spawn them a second time), and adopt the
+     * donor context's per-thread counters and THP-tick clock so the
+     * fork is indistinguishable from the context that populated.
+     */
+    ExecContext(Kernel &kernel, Process &proc, const ExecContext &donor)
+        : k(kernel), proc_(proc), counters(donor.counters),
+          thpTickPeriod(donor.thpTickPeriod),
+          thpTickCredit(donor.thpTickCredit)
+    {
+        MITOSIM_ASSERT(counters.size() == proc.threads().size(),
+                       "snapshot fork: thread/counter count mismatch");
+    }
 
     /** Start a new logical thread on @p socket (pinned: needs a free
      *  core; time-shared: joins a run queue). */
@@ -73,6 +103,12 @@ class ExecContext
     Cycles
     access(int tid, VirtAddr va, bool is_write)
     {
+        if (trace_) {
+            // Recording (sharded phase A): log the op, touch nothing.
+            // No workload consumes the returned latency, so 0 is safe.
+            trace_->push_back(TraceOp{va, 0, tid, is_write, false});
+            return 0;
+        }
         auto &pc = counters[static_cast<std::size_t>(tid)];
         Scheduler &sched = k.scheduler();
         Cycles c;
@@ -94,6 +130,10 @@ class ExecContext
     void
     compute(int tid, Cycles c)
     {
+        if (trace_) {
+            trace_->push_back(TraceOp{0, c, tid, false, true});
+            return;
+        }
         auto &pc = counters[static_cast<std::size_t>(tid)];
         Scheduler &sched = k.scheduler();
         if (sched.timeShared()) {
@@ -161,6 +201,20 @@ class ExecContext
             pc = sim::PerfCounters{};
     }
 
+    /**
+     * Route access()/compute() into @p sink instead of the machine
+     * (sharded phase A). The caller owns the vector and must call
+     * endTrace() before any real simulation resumes.
+     */
+    void beginTrace(std::vector<TraceOp> *sink) { trace_ = sink; }
+    void endTrace() { trace_ = nullptr; }
+    bool tracing() const { return trace_ != nullptr; }
+
+    /** Are THP daemon ticks tied to this context's clock? (Such runs
+     *  are ineligible for sharding: ticks mutate shared state at
+     *  cycle-dependent points.) */
+    bool thpTicksEnabled() const { return thpTickPeriod != 0; }
+
     Kernel &kernel() { return k; }
     Process &process() { return proc_; }
 
@@ -182,6 +236,7 @@ class ExecContext
     std::vector<sim::PerfCounters> counters;
     Cycles thpTickPeriod = 0; //!< 0 = no daemon ticks from this context
     Cycles thpTickCredit = 0;
+    std::vector<TraceOp> *trace_ = nullptr; //!< non-null: recording
 };
 
 } // namespace mitosim::os

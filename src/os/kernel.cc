@@ -95,6 +95,46 @@ Kernel::destroyProcess(Process &proc)
     checkpoint("destroyProcess");
 }
 
+void
+Kernel::finalizeProcess(Process &proc)
+{
+    if (chk) {
+        // The checker's ledger tracks every frame; it must watch the
+        // frees or atEndOfRun() reports leaks that never were.
+        destroyProcess(proc);
+        return;
+    }
+    sched.removeProcess(proc);
+    thpMgr.onProcessDestroyed(proc.id());
+    auto it = std::find_if(procs.begin(), procs.end(),
+                           [&](const auto &p) { return p.get() == &proc; });
+    MITOSIM_ASSERT(it != procs.end(), "finalizeProcess: unknown process");
+    homeSockets.erase(homeSockets.begin() + (it - procs.begin()));
+    procs.erase(it);
+}
+
+void
+Kernel::cloneStateFrom(const Kernel &src)
+{
+    MITOSIM_ASSERT(procs.empty(),
+                   "cloneStateFrom: target kernel already has processes");
+    MITOSIM_ASSERT(sched.timeShared() == src.sched.timeShared(),
+                   "cloneStateFrom: scheduler mode mismatch");
+    MITOSIM_ASSERT(static_cast<bool>(chk) == static_cast<bool>(src.chk),
+                   "cloneStateFrom: vmcheck enablement mismatch");
+    procs.reserve(src.procs.size());
+    for (const auto &p : src.procs)
+        procs.push_back(std::unique_ptr<Process>(new Process(*p)));
+    homeSockets = src.homeSockets;
+    nextPid = src.nextPid;
+    nextTid = src.nextTid;
+    sched.cloneStateFrom(src.sched);
+    thpMgr.cloneStateFrom(src.thpMgr);
+    autonuma.cloneStateFrom(src.autonuma);
+    if (chk)
+        chk->cloneStateFrom(*src.chk);
+}
+
 Process *
 Kernel::findProcess(ProcId pid)
 {

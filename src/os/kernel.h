@@ -62,6 +62,9 @@ class AutoNuma
     const Stats &stats() const { return stats_; }
     void resetStats() { stats_ = Stats{}; }
 
+    /** Snapshot restore: adopt the cumulative counters of @p src. */
+    void cloneStateFrom(const AutoNuma &src) { stats_ = src.stats_; }
+
   private:
     Kernel &k;
     Stats stats_;
@@ -134,6 +137,33 @@ class Kernel
     /// @{
     Process &createProcess(const std::string &name, SocketId home_socket);
     void destroyProcess(Process &proc);
+
+    /**
+     * End-of-run teardown for @p proc, valid only when the whole
+     * Machine is about to be destroyed (the last statement of a bench
+     * job, after every metric was recorded). Skips the simulated
+     * bookkeeping destroyProcess exists for — the per-leaf data-frame
+     * frees with their cache invalidations and the page-table tree
+     * teardown — because nothing can observe the machine afterwards;
+     * for a multi-GiB 4 KB-mapped process that sweep is millions of
+     * host operations of pure accounting. With vmcheck active it
+     * falls back to destroyProcess: the checker's frame ledger must
+     * see every free to stay balanced through atEndOfRun().
+     */
+    void finalizeProcess(Process &proc);
+
+    /**
+     * Snapshot restore: deep-copy the OS state of @p src into this
+     * freshly constructed kernel — processes (address spaces, VMAs,
+     * threads), scheduler queues/ASIDs, THP cursors, AutoNUMA and
+     * checker ledgers, pid/tid counters. The machine must already have
+     * been restored (Machine::cloneStateFrom) so the copied roots and
+     * residencies reference live frames. The kernel's own config
+     * (daemon settings, scheduler mode) is kept: a fork may diverge
+     * from its donor in everything that does not act during populate.
+     */
+    void cloneStateFrom(const Kernel &src);
+
     Process *findProcess(ProcId pid);
 
     /**

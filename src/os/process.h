@@ -93,7 +93,6 @@ class Process
     {
     }
 
-    Process(const Process &) = delete;
     Process &operator=(const Process &) = delete;
 
     ProcId id() const { return pid; }
@@ -344,6 +343,14 @@ class Process
     std::uint64_t residentPages = 0;
 
   private:
+    /**
+     * Deep copy for Kernel::cloneStateFrom (snapshot forking) only:
+     * every member is a value, so the defaulted copy is exact. Kept
+     * private so nothing else can duplicate a live address space.
+     */
+    friend class Kernel;
+    Process(const Process &) = default;
+
     /** Merge same-attribute neighbours around [from, to]. */
     void
     mergeAdjacent(VirtAddr from, VirtAddr to)

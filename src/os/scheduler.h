@@ -197,6 +197,24 @@ class Scheduler
     int assignedThreads(CoreId core) const;
     /// @}
 
+    /**
+     * Snapshot restore: adopt the run queues, residencies, ASID
+     * generations and activity counters of @p src. Both schedulers
+     * must have been built from the same config over the same machine
+     * shape; the late-bound backend/hook of *this* kernel stay.
+     */
+    void
+    cloneStateFrom(const Scheduler &src)
+    {
+        MITOSIM_ASSERT(cfg.timeShared == src.cfg.timeShared &&
+                           cores.size() == src.cores.size(),
+                       "cloneStateFrom: scheduler config mismatch");
+        cores = src.cores;
+        asidGen = src.asidGen;
+        nextAsid = src.nextAsid;
+        stats_ = src.stats_;
+    }
+
   private:
     /** A (process, thread) reference in a run queue. */
     struct ThreadRef

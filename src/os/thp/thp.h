@@ -163,6 +163,18 @@ class ThpManager
         scanCursor.erase(pid);
     }
 
+    /**
+     * Snapshot restore: adopt counters and scan cursors from @p src.
+     * The config is *not* copied — a fork may run with different
+     * daemon settings than the donor it was populated by.
+     */
+    void
+    cloneStateFrom(const ThpManager &src)
+    {
+        stats_ = src.stats_;
+        scanCursor = src.scanCursor;
+    }
+
   private:
     /** khugepaged: one scan pass over @p proc from its cursor. */
     void scanProcess(Process &proc, pvops::KernelCost *cost);

@@ -44,86 +44,4 @@ Core::flushAsid(Asid asid)
     pwc_.flushAsid(asid);
 }
 
-Cycles
-Core::access(VirtAddr va, bool is_write, PerfCounters &pc)
-{
-    MITOSIM_ASSERT(hasContext(), "access on a core with no CR3");
-    ++pc.accesses;
-    bool in_window = sinceSwitch_ < PostSwitchWindow;
-    ++sinceSwitch_;
-    Cycles total = 0;
-
-    // A fault may need several service rounds (e.g. NUMA hint then a
-    // normal re-walk); bound retries to catch livelock bugs.
-    for (int attempt = 0; attempt < 8; ++attempt) {
-        auto look = tlb_.lookup(va);
-        total += look.latency;
-
-        if (look.hit) {
-            if (look.hitLevel == 1)
-                ++pc.tlbL1Hits;
-            else
-                ++pc.tlbL2Hits;
-
-            if (is_write && !look.entry.writable) {
-                // Stale or read-only: raise a protection fault.
-                tlb_.invalidatePage(va);
-                MITOSIM_ASSERT(faultHandler && *faultHandler,
-                               "no fault handler registered");
-                Cycles kc = (*faultHandler)(
-                    coreId, FaultRequest{va, is_write,
-                                         WalkFault::Protection});
-                pc.kernelCycles += kc;
-                total += kc;
-                continue;
-            }
-
-            std::uint64_t offset_mask =
-                (look.entry.size == PageSizeKind::Large2M)
-                    ? (LargePageSize - 1)
-                    : (PageSize - 1);
-            PhysAddr pa = pfnToAddr(look.entry.pfn) + (va & offset_mask);
-            Cycles dl = hier.access(coreId, pa, is_write, AccessKind::Data,
-                                    &pc);
-            pc.dataStallCycles += dl;
-            total += dl;
-            pc.cycles += total;
-            return total;
-        }
-
-        ++pc.tlbMisses;
-        auto out = walker.walk(coreId, cr3_, va, is_write, pwc_, &pc);
-        pc.walkCycles += out.latency;
-        if (in_window) {
-            ++pc.postSwitchTlbMisses;
-            pc.postSwitchWalkCycles += out.latency;
-        }
-        total += out.latency;
-
-        if (out.fault == WalkFault::None) {
-            tlb_.insert(va, out.entry);
-            std::uint64_t offset_mask =
-                (out.entry.size == PageSizeKind::Large2M)
-                    ? (LargePageSize - 1)
-                    : (PageSize - 1);
-            PhysAddr pa = pfnToAddr(out.entry.pfn) + (va & offset_mask);
-            Cycles dl = hier.access(coreId, pa, is_write, AccessKind::Data,
-                                    &pc);
-            pc.dataStallCycles += dl;
-            total += dl;
-            pc.cycles += total;
-            return total;
-        }
-
-        MITOSIM_ASSERT(faultHandler && *faultHandler,
-                       "no fault handler registered");
-        Cycles kc = (*faultHandler)(
-            coreId, FaultRequest{va, is_write, out.fault});
-        pc.kernelCycles += kc;
-        total += kc;
-    }
-    panic("core %d: unresolved fault at va=0x%llx", coreId,
-          (unsigned long long)va);
-}
-
 } // namespace mitosim::sim

@@ -81,6 +81,23 @@ class Core
     /** Selective INVPCID: drop @p asid's TLB and PWC entries. */
     void flushAsid(Asid asid);
 
+    /**
+     * Snapshot restore: adopt the architectural state of @p src — TLB,
+     * PWC, CR3, ASID and the post-switch window counter. Raw field
+     * copies on purpose: loadCr3 would flush the translations the
+     * donor accumulated. The caller guarantees both cores simulate the
+     * same machine shape and core id.
+     */
+    void
+    cloneStateFrom(const Core &src)
+    {
+        tlb_ = src.tlb_;
+        pwc_ = src.pwc_;
+        cr3_ = src.cr3_;
+        asid_ = src.asid_;
+        sinceSwitch_ = src.sinceSwitch_;
+    }
+
     Pfn cr3() const { return cr3_; }
     Asid asid() const { return asid_; }
     bool hasContext() const { return cr3_ != InvalidPfn; }
@@ -88,9 +105,182 @@ class Core
     /**
      * Execute one load/store to @p va. Drives TLB lookup, page walk,
      * fault servicing and the data-side cache access; charges everything
-     * into @p pc and returns the total latency.
+     * into @p pc and returns the total latency. Defined inline: with
+     * the walker and hierarchy also visible in headers, the entire
+     * no-fault translation pipeline compiles into one call-free path.
      */
-    Cycles access(VirtAddr va, bool is_write, PerfCounters &pc);
+    Cycles
+    access(VirtAddr va, bool is_write, PerfCounters &pc)
+    {
+        MITOSIM_ASSERT(hasContext(), "access on a core with no CR3");
+        ++pc.accesses;
+        bool in_window = sinceSwitch_ < PostSwitchWindow;
+        ++sinceSwitch_;
+        Cycles total = 0;
+
+        // A fault may need several service rounds (e.g. NUMA hint then
+        // a normal re-walk); bound retries to catch livelock bugs.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            auto look = tlb_.lookup(va);
+            total += look.latency;
+
+            if (look.hit) {
+                if (look.hitLevel == 1)
+                    ++pc.tlbL1Hits;
+                else
+                    ++pc.tlbL2Hits;
+
+                if (is_write && !look.entry.writable) {
+                    // Stale or read-only: raise a protection fault.
+                    tlb_.invalidatePage(va);
+                    MITOSIM_ASSERT(faultHandler && *faultHandler,
+                                   "no fault handler registered");
+                    Cycles kc = (*faultHandler)(
+                        coreId, FaultRequest{va, is_write,
+                                             WalkFault::Protection});
+                    pc.kernelCycles += kc;
+                    total += kc;
+                    continue;
+                }
+
+                std::uint64_t offset_mask =
+                    (look.entry.size == PageSizeKind::Large2M)
+                        ? (LargePageSize - 1)
+                        : (PageSize - 1);
+                PhysAddr pa =
+                    pfnToAddr(look.entry.pfn) + (va & offset_mask);
+                Cycles dl = hier.access(coreId, pa, is_write,
+                                        AccessKind::Data, &pc);
+                pc.dataStallCycles += dl;
+                total += dl;
+                pc.cycles += total;
+                return total;
+            }
+
+            ++pc.tlbMisses;
+            auto out = walker.walk(coreId, cr3_, va, is_write, pwc_, &pc);
+            pc.walkCycles += out.latency;
+            if (in_window) {
+                ++pc.postSwitchTlbMisses;
+                pc.postSwitchWalkCycles += out.latency;
+            }
+            total += out.latency;
+
+            if (out.fault == WalkFault::None) {
+                tlb_.insert(va, out.entry);
+                std::uint64_t offset_mask =
+                    (out.entry.size == PageSizeKind::Large2M)
+                        ? (LargePageSize - 1)
+                        : (PageSize - 1);
+                PhysAddr pa =
+                    pfnToAddr(out.entry.pfn) + (va & offset_mask);
+                Cycles dl = hier.access(coreId, pa, is_write,
+                                        AccessKind::Data, &pc);
+                pc.dataStallCycles += dl;
+                total += dl;
+                pc.cycles += total;
+                return total;
+            }
+
+            MITOSIM_ASSERT(faultHandler && *faultHandler,
+                           "no fault handler registered");
+            Cycles kc = (*faultHandler)(
+                coreId, FaultRequest{va, is_write, out.fault});
+            pc.kernelCycles += kc;
+            total += kc;
+        }
+        panic("core %d: unresolved fault at va=0x%llx", coreId,
+              (unsigned long long)va);
+    }
+
+    /**
+     * Sharded (phase B) access: the core-private half of access().
+     * Evolves this core's TLB / PWC / L1D and charges the private
+     * latency portions into @p pc; every shared-state effect (L3 and
+     * DRAM references, A/D-bit stores) is deferred into @p sink tagged
+     * with the global trace order @p seq for the serial phase C.
+     * Returns false on any fault — including a protection fault on a
+     * TLB hit — without running the handler: the segment aborts, the
+     * caller restores the saved pre-segment state and replays the
+     * trace serially with fault servicing active.
+     */
+    bool
+    accessSharded(VirtAddr va, bool is_write, PerfCounters &pc,
+                  std::vector<SharedOp> &sink, std::uint64_t seq)
+    {
+        MITOSIM_ASSERT(hasContext(), "access on a core with no CR3");
+        ++pc.accesses;
+        bool in_window = sinceSwitch_ < PostSwitchWindow;
+        ++sinceSwitch_;
+        Cycles total = 0;
+
+        auto look = tlb_.lookup(va);
+        total += look.latency;
+
+        tlb::TlbEntry entry;
+        if (look.hit) {
+            if (look.hitLevel == 1)
+                ++pc.tlbL1Hits;
+            else
+                ++pc.tlbL2Hits;
+            if (is_write && !look.entry.writable)
+                return false;
+            entry = look.entry;
+        } else {
+            ++pc.tlbMisses;
+            auto out = walker.walkSharded(coreId, cr3_, va, is_write,
+                                          pwc_, &pc, sink, seq,
+                                          in_window);
+            pc.walkCycles += out.latency;
+            if (in_window) {
+                ++pc.postSwitchTlbMisses;
+                pc.postSwitchWalkCycles += out.latency;
+            }
+            total += out.latency;
+            if (out.fault != WalkFault::None)
+                return false;
+            tlb_.insert(va, out.entry);
+            entry = out.entry;
+        }
+
+        std::uint64_t offset_mask =
+            (entry.size == PageSizeKind::Large2M) ? (LargePageSize - 1)
+                                                  : (PageSize - 1);
+        PhysAddr pa = pfnToAddr(entry.pfn) + (va & offset_mask);
+        if (hier.l1ProbeInsert(coreId, pa))
+            ++pc.l1dHits;
+        else
+            sink.push_back(SharedOp{seq, pa, coreId, SharedOp::L3Data,
+                                    in_window, 0});
+        Cycles dl = hier.config().l1dHitLatency;
+        pc.dataStallCycles += dl;
+        total += dl;
+        pc.cycles += total;
+        return true;
+    }
+
+    /** Architectural state accessSharded can change: a segment abort
+     *  restores exactly this (plus the L1D, saved by the engine). */
+    struct ShardBackup
+    {
+        tlb::TwoLevelTlb tlb;
+        tlb::PagingStructureCache pwc;
+        std::uint64_t sinceSwitch = 0;
+    };
+
+    ShardBackup
+    saveShardState() const
+    {
+        return ShardBackup{tlb_, pwc_, sinceSwitch_};
+    }
+
+    void
+    restoreShardState(ShardBackup &&b)
+    {
+        tlb_ = std::move(b.tlb);
+        pwc_ = std::move(b.pwc);
+        sinceSwitch_ = b.sinceSwitch;
+    }
 
     /** OS hook for fault servicing; owned by the Machine, shared. */
     void setFaultHandler(const FaultHandler *handler)

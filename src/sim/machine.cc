@@ -22,6 +22,21 @@ Machine::core(CoreId id)
 }
 
 void
+Machine::cloneStateFrom(const Machine &src)
+{
+    MITOSIM_ASSERT(topo.numCores() == src.topo.numCores() &&
+                       topo.numSockets() == src.topo.numSockets(),
+                   "cloneStateFrom: machine shape mismatch");
+    for (SocketId s = 0; s < topo.numSockets(); ++s)
+        MITOSIM_ASSERT(!src.topo.hasInterferer(s),
+                       "cloneStateFrom: donor has a live interferer");
+    mem_.cloneStateFrom(src.mem_);
+    hier.cloneStateFrom(src.hier);
+    for (std::size_t i = 0; i < cores.size(); ++i)
+        cores[i]->cloneStateFrom(*src.cores[i]);
+}
+
+void
 Machine::setFaultHandler(FaultHandler h)
 {
     handler = std::move(h);

@@ -60,6 +60,15 @@ class Machine
     /** Register the OS fault service routine (fanned out to all cores). */
     void setFaultHandler(FaultHandler handler);
 
+    /**
+     * Snapshot restore: adopt the complete hardware state of @p src —
+     * physical memory (frames, metadata, page-table storage), every
+     * cache, every core's TLB/PWC/CR3. Both machines must be built
+     * from the same MachineConfig; @p src must carry no bandwidth
+     * interferers (donors are captured before interferers attach).
+     */
+    void cloneStateFrom(const Machine &src);
+
     const MachineConfig &config() const { return cfg; }
 
   private:

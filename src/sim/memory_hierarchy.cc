@@ -17,68 +17,6 @@ MemoryHierarchy::MemoryHierarchy(numa::Topology &topology,
         l3.emplace_back(cfg.l3BytesPerSocket, cfg.l3Ways);
 }
 
-Cycles
-MemoryHierarchy::access(CoreId core, PhysAddr pa, bool is_write,
-                        AccessKind kind, PerfCounters *pc)
-{
-    SocketId here = topo.socketOfCore(core);
-    SocketId home = topo.socketOfPfn(addrToPfn(pa));
-    auto &my_l1 = l1d[static_cast<std::size_t>(core)];
-    auto &my_l3 = l3[static_cast<std::size_t>(here)];
-    (void)is_write; // presence-only model: writes allocate like reads
-
-    if (my_l1.lookup(pa)) {
-        if (pc)
-            ++pc->l1dHits;
-        return cfg.l1dHitLatency;
-    }
-
-    // A socket hosting a bandwidth interferer has its L3 continuously
-    // thrashed by the interferer's stream; model it as always-miss.
-    bool here_thrashed = topo.hasInterferer(here);
-    if (!here_thrashed && my_l3.lookup(pa)) {
-        my_l1.insert(pa);
-        if (pc)
-            ++pc->l3LocalHits;
-        return cfg.l1dHitLatency + cfg.l3HitLatency;
-    }
-
-    // Remote-L3 probe: the home socket's cache may hold the line.
-    if (cfg.remoteL3ProbeEnabled && home != here &&
-        !topo.hasInterferer(home)) {
-        auto &home_l3 = l3[static_cast<std::size_t>(home)];
-        if (home_l3.lookup(pa)) {
-            my_l1.insert(pa);
-            if (!here_thrashed)
-                my_l3.insert(pa);
-            if (pc)
-                ++pc->l3RemoteHits;
-            return cfg.l1dHitLatency + cfg.l3RemoteHitLatency;
-        }
-    }
-
-    // DRAM at the home socket.
-    Cycles dram = topo.dramLatency(here, home);
-    my_l1.insert(pa);
-    if (!here_thrashed)
-        my_l3.insert(pa);
-    if (pc) {
-        bool remote = here != home;
-        if (kind == AccessKind::PageTable) {
-            if (remote)
-                ++pc->ptDramRemote;
-            else
-                ++pc->ptDramLocal;
-        } else {
-            if (remote)
-                ++pc->dataDramRemote;
-            else
-                ++pc->dataDramLocal;
-        }
-    }
-    return cfg.l1dHitLatency + cfg.l3HitLatency + dram;
-}
-
 void
 MemoryHierarchy::invalidateFrame(Pfn pfn)
 {

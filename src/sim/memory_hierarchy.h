@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "src/base/logging.h"
 #include "src/base/types.h"
 #include "src/cache/set_assoc_cache.h"
 #include "src/numa/topology.h"
@@ -66,14 +67,115 @@ class MemoryHierarchy
      *
      * @return latency in cycles.
      */
-    Cycles access(CoreId core, PhysAddr pa, bool is_write, AccessKind kind,
-                  PerfCounters *pc);
+    Cycles
+    access(CoreId core, PhysAddr pa, bool is_write, AccessKind kind,
+           PerfCounters *pc)
+    {
+        auto &my_l1 = l1d[static_cast<std::size_t>(core)];
+        (void)is_write; // presence-only model: writes allocate like reads
+
+        // Fused probe+fill: on a miss the line is installed now rather
+        // than after the lower levels respond — state-identical, since
+        // accessBelowL1 never touches the private L1.
+        if (my_l1.probeInsert(pa)) {
+            if (pc)
+                ++pc->l1dHits;
+            return cfg.l1dHitLatency;
+        }
+
+        Cycles below = accessBelowL1(core, pa, kind, pc);
+        return cfg.l1dHitLatency + below;
+    }
+
+    /**
+     * The shared part of an access: everything below the private L1D
+     * (local L3, remote-L3 probe, DRAM). Touches only per-socket and
+     * global state, never the per-core L1 — the sharded simulator
+     * resolves these in global order on one thread while per-core L1
+     * probes run privately. Latency excludes the L1 charge.
+     */
+    Cycles
+    accessBelowL1(CoreId core, PhysAddr pa, AccessKind kind,
+                  PerfCounters *pc)
+    {
+        SocketId here = topo.socketOfCore(core);
+        SocketId home = topo.socketOfPfn(addrToPfn(pa));
+        auto &my_l3 = l3[static_cast<std::size_t>(here)];
+
+        // A socket hosting a bandwidth interferer has its L3 continuously
+        // thrashed by the interferer's stream; model it as always-miss.
+        // Fused probe+fill: both miss continuations (remote hit, DRAM)
+        // install the line locally, so doing it during the probe scan is
+        // state-identical — the intervening probe hits a *different*
+        // socket's cache.
+        bool here_thrashed = topo.hasInterferer(here);
+        if (!here_thrashed && my_l3.probeInsert(pa)) {
+            if (pc)
+                ++pc->l3LocalHits;
+            return cfg.l3HitLatency;
+        }
+
+        // Remote-L3 probe: the home socket's cache may hold the line.
+        if (cfg.remoteL3ProbeEnabled && home != here &&
+            !topo.hasInterferer(home)) {
+            auto &home_l3 = l3[static_cast<std::size_t>(home)];
+            if (home_l3.lookup(pa)) {
+                if (pc)
+                    ++pc->l3RemoteHits;
+                return cfg.l3RemoteHitLatency;
+            }
+        }
+
+        // DRAM at the home socket.
+        Cycles dram = topo.dramLatency(here, home);
+        if (pc) {
+            bool remote = here != home;
+            if (kind == AccessKind::PageTable) {
+                if (remote)
+                    ++pc->ptDramRemote;
+                else
+                    ++pc->ptDramLocal;
+            } else {
+                if (remote)
+                    ++pc->dataDramRemote;
+                else
+                    ++pc->dataDramLocal;
+            }
+        }
+        return cfg.l3HitLatency + dram;
+    }
+
+    /**
+     * The private part of an access: probe+fill @p core's L1D only, no
+     * counters, no latency. The sharded simulator runs this on the
+     * owning shard thread (each core's L1 is touched by exactly one
+     * thread) and defers the below-L1 resolution of misses.
+     */
+    bool
+    l1ProbeInsert(CoreId core, PhysAddr pa)
+    {
+        return l1d[static_cast<std::size_t>(core)].probeInsert(pa);
+    }
 
     /**
      * Drop all cached lines of frame @p pfn everywhere (page freed or
      * page-table page torn down).
      */
     void invalidateFrame(Pfn pfn);
+
+    /**
+     * Snapshot restore: adopt every cache line (all L1Ds, all L3s) of
+     * @p src, which must model the same topology and sizing.
+     */
+    void
+    cloneStateFrom(const MemoryHierarchy &src)
+    {
+        MITOSIM_ASSERT(l1d.size() == src.l1d.size() &&
+                           l3.size() == src.l3.size(),
+                       "cloneStateFrom: hierarchy shape mismatch");
+        l1d = src.l1d;
+        l3 = src.l3;
+    }
 
     cache::SetAssocCache &l3Of(SocketId socket);
     cache::SetAssocCache &l1dOf(CoreId core);

@@ -1,0 +1,26 @@
+#include "src/sim/sharded.h"
+
+#include "src/base/logging.h"
+
+namespace mitosim::sim
+{
+
+namespace
+{
+int gSimThreads = 1;
+} // namespace
+
+int
+simThreads()
+{
+    return gSimThreads;
+}
+
+void
+setSimThreads(int n)
+{
+    MITOSIM_ASSERT(n >= 1, "setSimThreads: want n >= 1");
+    gSimThreads = n;
+}
+
+} // namespace mitosim::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sharded intra-job simulation: shared types and the global shard-count
+ * knob (--sim-threads / MITOSIM_SIM_THREADS).
+ *
+ * The sharded engine (src/workloads/sharded_engine.cc) splits one
+ * measured run into three phases. Phase A records the workload's
+ * access trace serially without touching the machine. Phase B replays
+ * each simulated core's private state (TLB, PWC, L1D) on a host
+ * thread, charging the core-private latency portions and deferring
+ * every shared-state effect as a SharedOp tagged with its global trace
+ * order. Phase C applies the deferred ops serially in ascending order:
+ * L3 / DRAM references and A/D-bit stores happen in exactly the
+ * sequence the serial simulator would have issued them, so the final
+ * machine state and every counter are byte-identical to a serial run.
+ */
+
+#ifndef MITOSIM_SIM_SHARDED_H
+#define MITOSIM_SIM_SHARDED_H
+
+#include <cstdint>
+
+#include "src/base/types.h"
+
+namespace mitosim::sim
+{
+
+/**
+ * One deferred shared-state operation from a private (phase B) replay.
+ *
+ * @c seq is the index of the originating access in the recorded trace
+ * — unique and totally ordered, so a k-way merge of the per-thread op
+ * lists reconstructs the exact serial interleaving.
+ */
+struct SharedOp
+{
+    enum Kind : std::uint8_t
+    {
+        L3Data, //!< data line missed the private L1; resolve below it
+        L3Pt,   //!< page-table line missed the private L1
+        AdSet,  //!< walker wants Accessed/Dirty bits set in a PTE
+    };
+
+    std::uint64_t seq = 0;
+    /** Line address (L3Data/L3Pt) or exact PTE slot address (AdSet). */
+    PhysAddr pa = 0;
+    CoreId core = 0;
+    Kind kind = L3Data;
+    /** Post-switch window was open when the access issued. */
+    bool inWindow = false;
+    /** AdSet only: the A/D bit mask the walk wanted present. */
+    std::uint8_t want = 0;
+};
+
+/**
+ * Host threads used to shard eligible runInterleaved calls. 1 (the
+ * default) means the serial simulator runs untouched; N > 1 shards
+ * simulated cores across min(N, threads) host threads. Any value is
+ * safe: results are byte-identical by construction, and ineligible
+ * runs (time-shared scheduler, THP ticks, AutoNUMA) fall back to
+ * serial automatically.
+ */
+int simThreads();
+void setSimThreads(int n);
+
+} // namespace mitosim::sim
+
+#endif // MITOSIM_SIM_SHARDED_H

@@ -1,78 +1,4 @@
 #include "walker.h"
 
-#include "src/base/logging.h"
-
-namespace mitosim::sim
-{
-
-WalkOutcome
-PageWalker::walk(CoreId core, Pfn cr3, VirtAddr va, bool is_write,
-                 tlb::PagingStructureCache &pwc, PerfCounters *pc)
-{
-    WalkOutcome out;
-    MITOSIM_ASSERT(cr3 != InvalidPfn, "walk with no CR3 loaded");
-
-    auto probe = pwc.lookup(cr3, va);
-    Pfn table = probe.tablePfn;
-    int level = probe.startLevel;
-
-    while (true) {
-        unsigned idx = ptIndex(va, ptLevel(level));
-        PhysAddr pte_addr =
-            pfnToAddr(table) + idx * sizeof(std::uint64_t);
-        out.latency +=
-            hier.access(core, pte_addr, false, AccessKind::PageTable, pc);
-        ++out.memRefs;
-
-        std::uint64_t *slot = &mem.table(table)[idx];
-        pt::Pte entry{*slot};
-
-        if (!entry.present()) {
-            out.fault = pt::Pte{*slot}.numaHint() ? WalkFault::NumaHint
-                                                  : WalkFault::NotPresent;
-            return out;
-        }
-
-        bool is_leaf = (level == 1) || (level == 2 && entry.huge());
-
-        if (is_leaf && entry.numaHint()) {
-            // AutoNUMA sampling: treated like a (soft) fault.
-            out.fault = WalkFault::NumaHint;
-            return out;
-        }
-        if (is_leaf && is_write && !entry.writable()) {
-            out.fault = WalkFault::Protection;
-            return out;
-        }
-
-        // Hardware sets Accessed on every level it traverses and Dirty on
-        // the leaf of a store — *directly*, not via PV-Ops (§5.4).
-        std::uint64_t want = pt::PteAccessed;
-        if (is_leaf && is_write)
-            want |= pt::PteDirty;
-        if ((entry.raw() & want) != want) {
-            *slot = entry.raw() | want;
-            // The read above brought the line in; the A/D store is a hit.
-            out.latency += 1;
-        }
-
-        if (is_leaf) {
-            out.entry.pfn = entry.pfn();
-            out.entry.writable = entry.writable();
-            out.entry.size = (level == 2) ? PageSizeKind::Large2M
-                                          : PageSizeKind::Base4K;
-            if (pc) {
-                ++pc->walks;
-                pc->walkMemRefs += out.memRefs;
-            }
-            return out;
-        }
-
-        // Descend; cache the pointer we just resolved.
-        pwc.fill(cr3, va, level - 1, entry.pfn());
-        table = entry.pfn();
-        --level;
-    }
-}
-
-} // namespace mitosim::sim
+// PageWalker::walk is defined inline in walker.h (hot path; see the
+// header comment). This TU only anchors the header for the build.

@@ -1,0 +1,161 @@
+#include "snapshot.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/base/logging.h"
+
+namespace mitosim::snapshot
+{
+
+namespace
+{
+
+std::unique_ptr<pvops::PvOps>
+makeBackend(BackendKind kind, mem::PhysicalMemory &physmem,
+            const core::MitosisConfig &cfg)
+{
+    switch (kind) {
+      case BackendKind::Native:
+        return std::make_unique<pvops::NativeBackend>(physmem);
+      case BackendKind::Mitosis:
+        return std::make_unique<core::MitosisBackend>(physmem, cfg);
+      case BackendKind::LazyMitosis:
+        return std::make_unique<core::LazyMitosisBackend>(physmem, cfg);
+    }
+    panic("makeBackend: unknown backend kind");
+}
+
+} // namespace
+
+Universe::Universe(const sim::MachineConfig &machine_cfg, BackendKind k,
+                   const core::MitosisConfig &backend_cfg,
+                   const os::KernelConfig &kernel_cfg)
+    : machine(machine_cfg), kind(k), backendCfg(backend_cfg),
+      backend_(makeBackend(k, machine.physmem(), backend_cfg)),
+      kernel(machine, *backend_, kernel_cfg)
+{
+}
+
+void
+Universe::finalize()
+{
+    if (!proc)
+        return;
+    kernel.finalizeProcess(*proc);
+    proc = nullptr;
+}
+
+core::MitosisBackend &
+Universe::mitosis()
+{
+    MITOSIM_ASSERT(kind != BackendKind::Native,
+                   "mitosis(): universe runs the native backend");
+    return static_cast<core::MitosisBackend &>(*backend_);
+}
+
+std::unique_ptr<Universe>
+Universe::fork(const os::KernelConfig &kernel_cfg) const
+{
+    MITOSIM_ASSERT(proc && workload && ctx,
+                   "fork: donor universe was never captured");
+    auto t0 = std::chrono::steady_clock::now();
+    auto u = std::make_unique<Universe>(machine.config(), kind, backendCfg,
+                                        kernel_cfg);
+    auto t1 = std::chrono::steady_clock::now();
+    u->machine.cloneStateFrom(machine);
+    auto t2 = std::chrono::steady_clock::now();
+    u->kernel.cloneStateFrom(kernel);
+    auto t3 = std::chrono::steady_clock::now();
+    if (std::getenv("MITOSIM_SNAPSHOT_TIMING")) {
+        auto ms = [](auto a, auto b) {
+            return std::chrono::duration<double, std::milli>(b - a).count();
+        };
+        std::fprintf(stderr, "[fork] ctor %.1f machine %.1f kernel %.1f\n",
+                     ms(t0, t1), ms(t1, t2), ms(t2, t3));
+    }
+    switch (kind) {
+      case BackendKind::Native:
+        break; // stateless: only holds the PhysicalMemory reference
+      case BackendKind::Mitosis:
+        static_cast<core::MitosisBackend &>(*u->backend_)
+            .cloneStateFrom(
+                static_cast<const core::MitosisBackend &>(*backend_));
+        break;
+      case BackendKind::LazyMitosis:
+        static_cast<core::LazyMitosisBackend &>(*u->backend_)
+            .cloneStateFrom(
+                static_cast<const core::LazyMitosisBackend &>(*backend_));
+        break;
+    }
+    u->proc = u->kernel.findProcess(proc->id());
+    MITOSIM_ASSERT(u->proc, "fork: populated process missing in clone");
+    u->workload = workload->clone();
+    u->ctx = std::make_unique<os::ExecContext>(u->kernel, *u->proc, *ctx);
+    return u;
+}
+
+SnapshotCache &
+SnapshotCache::instance()
+{
+    static SnapshotCache cache;
+    return cache;
+}
+
+bool
+SnapshotCache::enabled()
+{
+    const char *env = std::getenv("MITOSIM_SNAPSHOTS");
+    return !(env && env[0] == '0' && env[1] == '\0');
+}
+
+std::unique_ptr<Universe>
+SnapshotCache::populated(const std::string &key,
+                         const os::KernelConfig &kernel_cfg,
+                         const Builder &build)
+{
+    if (!enabled())
+        return build();
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (cap == 0) {
+        cap = 32;
+        if (const char *env = std::getenv("MITOSIM_SNAPSHOT_CACHE_CAP"))
+            if (long v = std::atol(env); v > 0)
+                cap = static_cast<std::size_t>(v);
+    }
+    auto it = donors.find(key);
+    if (it == donors.end()) {
+        std::unique_ptr<Universe> donor = build();
+        MITOSIM_ASSERT(donor && donor->proc && donor->workload &&
+                           donor->ctx,
+                       "snapshot builder returned an uncaptured universe");
+        it = donors.emplace(key, std::move(donor)).first;
+        lru.push_front(key);
+        evictIfNeeded();
+    } else {
+        lru.remove(key);
+        lru.push_front(key);
+    }
+    return it->second->fork(kernel_cfg);
+}
+
+void
+SnapshotCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    donors.clear();
+    lru.clear();
+}
+
+void
+SnapshotCache::evictIfNeeded()
+{
+    while (donors.size() > cap && !lru.empty()) {
+        donors.erase(lru.back());
+        lru.pop_back();
+    }
+}
+
+} // namespace mitosim::snapshot

@@ -5,43 +5,6 @@
 namespace mitosim::tlb
 {
 
-PagingStructureCache::Slot *
-PagingStructureCache::Level::find(Pfn cr3, Asid asid, VirtAddr va)
-{
-    std::uint64_t tag = va >> tagShift;
-    for (auto &s : slots) {
-        if (s.cr3 == cr3 && s.asid == asid && s.vaTag == tag)
-            return &s;
-    }
-    return nullptr;
-}
-
-void
-PagingStructureCache::Level::insert(Pfn cr3, Asid asid, VirtAddr va,
-                                    Pfn table, std::uint32_t now)
-{
-    std::uint64_t tag = va >> tagShift;
-    Slot *victim = &slots[0];
-    for (auto &s : slots) {
-        if (s.cr3 == cr3 && s.asid == asid && s.vaTag == tag) {
-            s.tablePfn = table;
-            s.lru = now;
-            return;
-        }
-        if (s.cr3 == InvalidPfn) {
-            victim = &s;
-            break;
-        }
-        if (s.lru < victim->lru)
-            victim = &s;
-    }
-    victim->cr3 = cr3;
-    victim->asid = asid;
-    victim->vaTag = tag;
-    victim->tablePfn = table;
-    victim->lru = now;
-}
-
 void
 PagingStructureCache::Level::invalidate(VirtAddr va)
 {
@@ -78,55 +41,6 @@ PagingStructureCache::PagingStructureCache(const PwcConfig &config)
     pdpte.tagShift = PageShift + 2 * PtIndexBits; // 30
     pde.slots.resize(config.pdeEntries);
     pde.tagShift = PageShift + PtIndexBits; // 21
-}
-
-PagingStructureCache::Probe
-PagingStructureCache::lookup(Pfn cr3, VirtAddr va)
-{
-    Probe p;
-    if (Slot *s = pde.find(cr3, asid_, va)) {
-        s->lru = ++clock;
-        ++stats_.hits;
-        p.startLevel = 1;
-        p.tablePfn = s->tablePfn;
-        return p;
-    }
-    if (Slot *s = pdpte.find(cr3, asid_, va)) {
-        s->lru = ++clock;
-        ++stats_.hits;
-        p.startLevel = 2;
-        p.tablePfn = s->tablePfn;
-        return p;
-    }
-    if (Slot *s = pml4e.find(cr3, asid_, va)) {
-        s->lru = ++clock;
-        ++stats_.hits;
-        p.startLevel = 3;
-        p.tablePfn = s->tablePfn;
-        return p;
-    }
-    ++stats_.misses;
-    p.startLevel = 4;
-    p.tablePfn = cr3;
-    return p;
-}
-
-void
-PagingStructureCache::fill(Pfn cr3, VirtAddr va, int level, Pfn table_pfn)
-{
-    switch (level) {
-      case 3:
-        pml4e.insert(cr3, asid_, va, table_pfn, ++clock);
-        break;
-      case 2:
-        pdpte.insert(cr3, asid_, va, table_pfn, ++clock);
-        break;
-      case 1:
-        pde.insert(cr3, asid_, va, table_pfn, ++clock);
-        break;
-      default:
-        panic("PWC fill with bad level %d", level);
-    }
 }
 
 void

@@ -27,6 +27,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/base/logging.h"
 #include "src/base/types.h"
 
 namespace mitosim::tlb
@@ -75,14 +76,59 @@ class PagingStructureCache
     Asid asid() const { return asid_; }
 
     /** Find the deepest cached prefix for @p va under root @p cr3. */
-    Probe lookup(Pfn cr3, VirtAddr va);
+    Probe
+    lookup(Pfn cr3, VirtAddr va)
+    {
+        Probe p;
+        if (Slot *s = pde.find(cr3, asid_, va)) {
+            s->lru = ++clock;
+            ++stats_.hits;
+            p.startLevel = 1;
+            p.tablePfn = s->tablePfn;
+            return p;
+        }
+        if (Slot *s = pdpte.find(cr3, asid_, va)) {
+            s->lru = ++clock;
+            ++stats_.hits;
+            p.startLevel = 2;
+            p.tablePfn = s->tablePfn;
+            return p;
+        }
+        if (Slot *s = pml4e.find(cr3, asid_, va)) {
+            s->lru = ++clock;
+            ++stats_.hits;
+            p.startLevel = 3;
+            p.tablePfn = s->tablePfn;
+            return p;
+        }
+        ++stats_.misses;
+        p.startLevel = 4;
+        p.tablePfn = cr3;
+        return p;
+    }
 
     /**
      * Record that under @p cr3 the table at @p level for @p va is
      * @p table_pfn (called by the walker as it descends). @p level is the
      * level of the table being *entered* (3, 2, or 1).
      */
-    void fill(Pfn cr3, VirtAddr va, int level, Pfn table_pfn);
+    void
+    fill(Pfn cr3, VirtAddr va, int level, Pfn table_pfn)
+    {
+        switch (level) {
+          case 3:
+            pml4e.insert(cr3, asid_, va, table_pfn, ++clock);
+            break;
+          case 2:
+            pdpte.insert(cr3, asid_, va, table_pfn, ++clock);
+            break;
+          case 1:
+            pde.insert(cr3, asid_, va, table_pfn, ++clock);
+            break;
+          default:
+            panic("PWC fill with bad level %d", level);
+        }
+    }
 
     /** Invalidate all entries covering @p va, any ASID (shootdowns). */
     void invalidate(VirtAddr va);
@@ -121,9 +167,43 @@ class PagingStructureCache
         std::vector<Slot> slots;
         unsigned tagShift; //!< VA bits above this shift form the tag
 
-        Slot *find(Pfn cr3, Asid asid, VirtAddr va);
-        void insert(Pfn cr3, Asid asid, VirtAddr va, Pfn table,
-                    std::uint32_t now);
+        Slot *
+        find(Pfn cr3, Asid asid, VirtAddr va)
+        {
+            std::uint64_t tag = va >> tagShift;
+            for (auto &s : slots) {
+                if (s.cr3 == cr3 && s.asid == asid && s.vaTag == tag)
+                    return &s;
+            }
+            return nullptr;
+        }
+
+        void
+        insert(Pfn cr3, Asid asid, VirtAddr va, Pfn table,
+               std::uint32_t now)
+        {
+            std::uint64_t tag = va >> tagShift;
+            Slot *victim = &slots[0];
+            for (auto &s : slots) {
+                if (s.cr3 == cr3 && s.asid == asid && s.vaTag == tag) {
+                    s.tablePfn = table;
+                    s.lru = now;
+                    return;
+                }
+                if (s.cr3 == InvalidPfn) {
+                    victim = &s;
+                    break;
+                }
+                if (s.lru < victim->lru)
+                    victim = &s;
+            }
+            victim->cr3 = cr3;
+            victim->asid = asid;
+            victim->vaTag = tag;
+            victim->tablePfn = table;
+            victim->lru = now;
+        }
+
         void invalidate(VirtAddr va);
         void flush();
         void flushAsid(Asid asid);

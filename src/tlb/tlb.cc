@@ -17,9 +17,6 @@ roundDownPow2(std::uint64_t v)
     return p;
 }
 
-/** Granularity marker mixed into unified-L2 tags to avoid collisions. */
-constexpr std::uint64_t LargeTagBit = 1ull << 63;
-
 } // namespace
 
 TwoLevelTlb::Array::Array(unsigned entries, unsigned ways)
@@ -28,38 +25,6 @@ TwoLevelTlb::Array::Array(unsigned entries, unsigned ways)
     MITOSIM_ASSERT(ways > 0 && entries >= ways);
     sets = roundDownPow2(entries / ways);
     slots.assign(sets * ways, Slot{});
-}
-
-TwoLevelTlb::Slot *
-TwoLevelTlb::Array::find(std::uint64_t tag, Asid asid)
-{
-    std::size_t base = static_cast<std::size_t>(tag & (sets - 1)) * numWays;
-    for (unsigned w = 0; w < numWays; ++w) {
-        if (slots[base + w].tag == tag && slots[base + w].asid == asid)
-            return &slots[base + w];
-    }
-    return nullptr;
-}
-
-void
-TwoLevelTlb::Array::insert(std::uint64_t tag, Asid asid,
-                           const TlbEntry &entry, std::uint32_t now)
-{
-    std::size_t base = static_cast<std::size_t>(tag & (sets - 1)) * numWays;
-    std::size_t victim = base;
-    for (unsigned w = 0; w < numWays; ++w) {
-        Slot &s = slots[base + w];
-        if ((s.tag == tag && s.asid == asid) || s.tag == ~0ull) {
-            victim = base + w;
-            break;
-        }
-        if (slots[victim].lru > s.lru)
-            victim = base + w;
-    }
-    slots[victim].tag = tag;
-    slots[victim].asid = asid;
-    slots[victim].entry = entry;
-    slots[victim].lru = now;
 }
 
 void
@@ -96,74 +61,6 @@ TwoLevelTlb::TwoLevelTlb(const TlbConfig &config)
       l1Large(cfg.l1Entries2M, cfg.l1Ways),
       l2(cfg.l2Entries, cfg.l2Ways)
 {
-}
-
-TlbLookupResult
-TwoLevelTlb::lookup(VirtAddr va)
-{
-    TlbLookupResult res;
-
-    // L1, both size classes probed in parallel on real hardware.
-    if (Slot *s = l1Small.find(tag4K(va), asid_)) {
-        s->lru = ++clock;
-        ++stats_.l1Hits;
-        res.hit = true;
-        res.hitLevel = 1;
-        res.latency = cfg.l1HitLatency;
-        res.entry = s->entry;
-        return res;
-    }
-    if (Slot *s = l1Large.find(tag2M(va), asid_)) {
-        s->lru = ++clock;
-        ++stats_.l1Hits;
-        res.hit = true;
-        res.hitLevel = 1;
-        res.latency = cfg.l1HitLatency;
-        res.entry = s->entry;
-        return res;
-    }
-
-    // Unified L2: try the 4 KB-granule tag, then the 2 MB-granule tag.
-    if (Slot *s = l2.find(tag4K(va), asid_)) {
-        s->lru = ++clock;
-        ++stats_.l2Hits;
-        res.hit = true;
-        res.hitLevel = 2;
-        res.latency = cfg.l2HitLatency;
-        res.entry = s->entry;
-        l1Small.insert(tag4K(va), asid_, s->entry, ++clock);
-        return res;
-    }
-    if (cfg.l2Holds2M) {
-        if (Slot *s = l2.find(tag2M(va) | LargeTagBit, asid_)) {
-            s->lru = ++clock;
-            ++stats_.l2Hits;
-            res.hit = true;
-            res.hitLevel = 2;
-            res.latency = cfg.l2HitLatency;
-            res.entry = s->entry;
-            l1Large.insert(tag2M(va), asid_, s->entry, ++clock);
-            return res;
-        }
-    }
-
-    ++stats_.misses;
-    res.hit = false;
-    res.latency = cfg.l2HitLatency; // paid the full probe before missing
-    return res;
-}
-
-void
-TwoLevelTlb::insert(VirtAddr va, const TlbEntry &entry)
-{
-    if (entry.size == PageSizeKind::Base4K) {
-        l1Small.insert(tag4K(va), asid_, entry, ++clock);
-        l2.insert(tag4K(va), asid_, entry, ++clock);
-    } else {
-        l1Large.insert(tag2M(va), asid_, entry, ++clock);
-        if (cfg.l2Holds2M)
-            l2.insert(tag2M(va) | LargeTagBit, asid_, entry, ++clock);
-    }
 }
 
 void

@@ -110,10 +110,81 @@ class TwoLevelTlb
      * Probe for the translation of @p va under the current ASID. L1 by
      * size class, then L2. A hit in L2 promotes into L1.
      */
-    TlbLookupResult lookup(VirtAddr va);
+    TlbLookupResult
+    lookup(VirtAddr va)
+    {
+        TlbLookupResult res;
+
+        // L1, both size classes probed in parallel on real hardware.
+        if (Slot *s = l1Small.find(tag4K(va), asid_)) {
+            s->lru = ++clock;
+            ++stats_.l1Hits;
+            res.hit = true;
+            res.hitLevel = 1;
+            res.latency = cfg.l1HitLatency;
+            res.entry = s->entry;
+            return res;
+        }
+        // Probing the 2 MB arrays is pointless (guaranteed null, no
+        // state or stats change on a miss) until a large translation
+        // has ever been installed — which all-4K phases of fragmented
+        // runs hit on every single lookup.
+        if (sawLarge_) {
+            if (Slot *s = l1Large.find(tag2M(va), asid_)) {
+                s->lru = ++clock;
+                ++stats_.l1Hits;
+                res.hit = true;
+                res.hitLevel = 1;
+                res.latency = cfg.l1HitLatency;
+                res.entry = s->entry;
+                return res;
+            }
+        }
+
+        // Unified L2: try the 4 KB-granule tag, then the 2 MB-granule tag.
+        if (Slot *s = l2.find(tag4K(va), asid_)) {
+            s->lru = ++clock;
+            ++stats_.l2Hits;
+            res.hit = true;
+            res.hitLevel = 2;
+            res.latency = cfg.l2HitLatency;
+            res.entry = s->entry;
+            l1Small.insert(tag4K(va), asid_, s->entry, ++clock);
+            return res;
+        }
+        if (cfg.l2Holds2M && sawLarge_) {
+            if (Slot *s = l2.find(tag2M(va) | LargeTagBit, asid_)) {
+                s->lru = ++clock;
+                ++stats_.l2Hits;
+                res.hit = true;
+                res.hitLevel = 2;
+                res.latency = cfg.l2HitLatency;
+                res.entry = s->entry;
+                l1Large.insert(tag2M(va), asid_, s->entry, ++clock);
+                return res;
+            }
+        }
+
+        ++stats_.misses;
+        res.hit = false;
+        res.latency = cfg.l2HitLatency; // paid the full probe before missing
+        return res;
+    }
 
     /** Install a translation after a walk (fills L1 and L2). */
-    void insert(VirtAddr va, const TlbEntry &entry);
+    void
+    insert(VirtAddr va, const TlbEntry &entry)
+    {
+        if (entry.size == PageSizeKind::Base4K) {
+            l1Small.insert(tag4K(va), asid_, entry, ++clock);
+            l2.insert(tag4K(va), asid_, entry, ++clock);
+        } else {
+            sawLarge_ = true;
+            l1Large.insert(tag2M(va), asid_, entry, ++clock);
+            if (cfg.l2Holds2M)
+                l2.insert(tag2M(va) | LargeTagBit, asid_, entry, ++clock);
+        }
+    }
 
     /**
      * Invalidate any entry covering @p va in *every* address space
@@ -155,9 +226,42 @@ class TwoLevelTlb
     {
       public:
         Array(unsigned entries, unsigned ways);
-        Slot *find(std::uint64_t tag, Asid asid);
-        void insert(std::uint64_t tag, Asid asid, const TlbEntry &entry,
-                    std::uint32_t now);
+
+        Slot *
+        find(std::uint64_t tag, Asid asid)
+        {
+            std::size_t base =
+                static_cast<std::size_t>(tag & (sets - 1)) * numWays;
+            for (unsigned w = 0; w < numWays; ++w) {
+                if (slots[base + w].tag == tag &&
+                    slots[base + w].asid == asid)
+                    return &slots[base + w];
+            }
+            return nullptr;
+        }
+
+        void
+        insert(std::uint64_t tag, Asid asid, const TlbEntry &entry,
+               std::uint32_t now)
+        {
+            std::size_t base =
+                static_cast<std::size_t>(tag & (sets - 1)) * numWays;
+            std::size_t victim = base;
+            for (unsigned w = 0; w < numWays; ++w) {
+                Slot &s = slots[base + w];
+                if ((s.tag == tag && s.asid == asid) || s.tag == ~0ull) {
+                    victim = base + w;
+                    break;
+                }
+                if (slots[victim].lru > s.lru)
+                    victim = base + w;
+            }
+            slots[victim].tag = tag;
+            slots[victim].asid = asid;
+            slots[victim].entry = entry;
+            slots[victim].lru = now;
+        }
+
         void invalidate(std::uint64_t tag); //!< all ASIDs holding tag
         void flush();
         void flushAsid(Asid asid);
@@ -181,10 +285,20 @@ class TwoLevelTlb
     static std::uint64_t tag4K(VirtAddr va) { return va >> PageShift; }
     static std::uint64_t tag2M(VirtAddr va) { return va >> LargePageShift; }
 
+    /** Granularity marker mixed into unified-L2 tags (no collisions). */
+    static constexpr std::uint64_t LargeTagBit = 1ull << 63;
+
     TlbConfig cfg;
     Array l1Small;
     Array l1Large;
     Array l2;     //!< unified; tags are 4K-granule with size in entry
+    /**
+     * Whether any 2 MB translation was ever installed. Sticky (never
+     * cleared by flushes): false only guarantees the large arrays are
+     * empty, which licenses skipping their probes — a pure host-side
+     * shortcut with no effect on simulated state or statistics.
+     */
+    bool sawLarge_ = false;
     Asid asid_ = 0;
     std::uint32_t clock = 0;
     TlbStats stats_;

@@ -12,6 +12,8 @@
 
 #include <vector>
 
+#include <memory>
+
 #include "src/workloads/workload.h"
 
 namespace mitosim::workloads
@@ -24,6 +26,10 @@ class Canneal : public Workload
     explicit Canneal(const WorkloadParams &params) : Workload(params) {}
 
     const char *name() const override { return "canneal"; }
+    std::unique_ptr<Workload> clone() const override
+    {
+        return std::unique_ptr<Workload>(new Canneal(*this));
+    }
     void setup(os::ExecContext &ctx) override;
     void step(os::ExecContext &ctx, int tid) override;
 

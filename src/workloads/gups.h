@@ -11,6 +11,8 @@
 
 #include <vector>
 
+#include <memory>
+
 #include "src/workloads/workload.h"
 
 namespace mitosim::workloads
@@ -23,6 +25,10 @@ class Gups : public Workload
     explicit Gups(const WorkloadParams &params) : Workload(params) {}
 
     const char *name() const override { return "gups"; }
+    std::unique_ptr<Workload> clone() const override
+    {
+        return std::unique_ptr<Workload>(new Gups(*this));
+    }
     void setup(os::ExecContext &ctx) override;
     void step(os::ExecContext &ctx, int tid) override;
 

@@ -10,6 +10,8 @@
 
 #include <vector>
 
+#include <memory>
+
 #include "src/workloads/workload.h"
 
 namespace mitosim::workloads
@@ -22,6 +24,10 @@ class HashJoin : public Workload
     explicit HashJoin(const WorkloadParams &params) : Workload(params) {}
 
     const char *name() const override { return "hashjoin"; }
+    std::unique_ptr<Workload> clone() const override
+    {
+        return std::unique_ptr<Workload>(new HashJoin(*this));
+    }
     void setup(os::ExecContext &ctx) override;
     void step(os::ExecContext &ctx, int tid) override;
 

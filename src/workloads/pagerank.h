@@ -11,6 +11,8 @@
 
 #include <vector>
 
+#include <memory>
+
 #include "src/workloads/workload.h"
 
 namespace mitosim::workloads
@@ -23,6 +25,10 @@ class PageRank : public Workload
     explicit PageRank(const WorkloadParams &params) : Workload(params) {}
 
     const char *name() const override { return "pagerank"; }
+    std::unique_ptr<Workload> clone() const override
+    {
+        return std::unique_ptr<Workload>(new PageRank(*this));
+    }
     void setup(os::ExecContext &ctx) override;
     void step(os::ExecContext &ctx, int tid) override;
 

@@ -1,0 +1,237 @@
+#include "src/workloads/sharded_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/cache/set_assoc_cache.h"
+#include "src/os/kernel.h"
+#include "src/sim/core.h"
+#include "src/sim/machine.h"
+#include "src/sim/sharded.h"
+
+namespace mitosim::workloads
+{
+
+bool
+shardedEligible(os::ExecContext &ctx)
+{
+    os::Kernel &k = ctx.kernel();
+    if (k.scheduler().timeShared())
+        return false; // dispatch order depends on interleaved cycles
+    if (ctx.thpTicksEnabled())
+        return false; // daemons mutate shared state mid-run
+    if (ctx.process().autoNumaEnabled)
+        return false; // hint faults would abort every segment
+    int threads = ctx.numThreads();
+    if (threads < 2)
+        return false;
+    // Pinned scheduling maps logical threads to distinct cores by
+    // construction; verify anyway so a future sharing mode degrades
+    // to the serial path instead of racing on per-core state.
+    std::vector<bool> seen(
+        static_cast<std::size_t>(k.machine().numCores()), false);
+    for (int t = 0; t < threads; ++t) {
+        auto c = static_cast<std::size_t>(ctx.coreOf(t));
+        if (seen[c])
+            return false;
+        seen[c] = true;
+    }
+    return true;
+}
+
+void
+runTraceSharded(os::ExecContext &ctx,
+                const std::vector<os::TraceOp> &trace, int nshards)
+{
+    os::Kernel &k = ctx.kernel();
+    sim::Machine &machine = k.machine();
+    sim::MemoryHierarchy &hier = machine.hierarchy();
+    int threads = ctx.numThreads();
+    nshards = std::min(nshards, threads);
+
+    // Slice the trace per logical thread; an op's trace index is its
+    // global sequence number, so each slice is seq-ascending.
+    std::vector<std::vector<std::uint64_t>> per_tid(
+        static_cast<std::size_t>(threads));
+    for (std::uint64_t i = 0; i < trace.size(); ++i)
+        per_tid[static_cast<std::size_t>(trace[i].tid)].push_back(i);
+
+    // Pre-segment backups: everything phase B can touch. A fault
+    // aborts the segment, restores this, and replays serially.
+    struct Backup
+    {
+        sim::Core::ShardBackup core;
+        cache::SetAssocCache l1;
+        sim::PerfCounters pc;
+    };
+    std::vector<Backup> backups;
+    backups.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        CoreId c = ctx.coreOf(t);
+        backups.push_back(Backup{machine.core(c).saveShardState(),
+                                 hier.l1dOf(c),
+                                 ctx.threadCounters(t)});
+    }
+
+    // Phase B: private replay. Each shard thread owns the logical
+    // threads with tid % nshards == shard, hence their cores' TLB /
+    // PWC / L1D exclusively; page tables are read through the const
+    // view only. Shared effects land in per-tid sinks.
+    std::vector<std::vector<sim::SharedOp>> sinks(
+        static_cast<std::size_t>(threads));
+    std::atomic<bool> aborted{false};
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(nshards));
+        for (int s = 0; s < nshards; ++s) {
+            pool.emplace_back([&, s] {
+                for (int t = s; t < threads; t += nshards) {
+                    sim::Core &core = machine.core(ctx.coreOf(t));
+                    sim::PerfCounters &pc = ctx.threadCounters(t);
+                    auto &sink = sinks[static_cast<std::size_t>(t)];
+                    for (std::uint64_t seq :
+                         per_tid[static_cast<std::size_t>(t)]) {
+                        if (aborted.load(std::memory_order_relaxed))
+                            return;
+                        const os::TraceOp &op = trace[seq];
+                        if (op.isCompute) {
+                            pc.cycles += op.cycles;
+                            pc.computeCycles += op.cycles;
+                            continue;
+                        }
+                        if (!core.accessSharded(op.va, op.isWrite, pc,
+                                                sink, seq)) {
+                            aborted.store(true,
+                                          std::memory_order_relaxed);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+    }
+
+    if (aborted.load()) {
+        // Faults need the kernel's handler at the serial point of the
+        // faulting access. Roll back to the segment start and replay
+        // the trace through the normal pipeline; the workload already
+        // advanced during recording and needs no rollback.
+        for (int t = 0; t < threads; ++t) {
+            CoreId c = ctx.coreOf(t);
+            machine.core(c).restoreShardState(
+                std::move(backups[static_cast<std::size_t>(t)].core));
+            hier.l1dOf(c) = backups[static_cast<std::size_t>(t)].l1;
+            ctx.threadCounters(t) =
+                backups[static_cast<std::size_t>(t)].pc;
+        }
+        for (const os::TraceOp &op : trace) {
+            if (op.isCompute)
+                ctx.compute(op.tid, op.cycles);
+            else
+                ctx.access(op.tid, op.va, op.isWrite);
+        }
+        return;
+    }
+
+    // Phase C: k-way merge by ascending seq (unique per access), so
+    // L3 / DRAM state and A/D bits evolve in the exact serial order.
+    mem::PhysicalMemory &pm = machine.physmem();
+    std::vector<std::size_t> pos(static_cast<std::size_t>(threads), 0);
+    while (true) {
+        int best = -1;
+        std::uint64_t best_seq = ~0ull;
+        for (int t = 0; t < threads; ++t) {
+            auto ti = static_cast<std::size_t>(t);
+            if (pos[ti] < sinks[ti].size() &&
+                sinks[ti][pos[ti]].seq < best_seq) {
+                best_seq = sinks[ti][pos[ti]].seq;
+                best = t;
+            }
+        }
+        if (best < 0)
+            break;
+        auto bi = static_cast<std::size_t>(best);
+        const sim::SharedOp &op = sinks[bi][pos[bi]++];
+        sim::PerfCounters &pc = ctx.threadCounters(best);
+        switch (op.kind) {
+          case sim::SharedOp::L3Data: {
+            Cycles lat = hier.accessBelowL1(op.core, op.pa,
+                                            sim::AccessKind::Data, &pc);
+            pc.dataStallCycles += lat;
+            pc.cycles += lat;
+            break;
+          }
+          case sim::SharedOp::L3Pt: {
+            Cycles lat = hier.accessBelowL1(
+                op.core, op.pa, sim::AccessKind::PageTable, &pc);
+            pc.walkCycles += lat;
+            pc.cycles += lat;
+            if (op.inWindow)
+                pc.postSwitchWalkCycles += lat;
+            break;
+          }
+          case sim::SharedOp::AdSet: {
+            Pfn table = addrToPfn(op.pa);
+            auto idx = static_cast<unsigned>(
+                (op.pa & (PageSize - 1)) / sizeof(std::uint64_t));
+            std::uint64_t *slot = // the simulated MMU's deferred store
+                &pm.table(table)[idx]; // pvops-seam: hardware A/D, not OS
+            // An earlier serial-order walk may have set the bits
+            // since phase B looked: hardware then reads them set and
+            // stores nothing, exactly like the serial walker.
+            if ((*slot & op.want) !=
+                static_cast<std::uint64_t>(op.want)) {
+                *slot |= op.want;
+                pc.walkCycles += 1;
+                pc.cycles += 1;
+                if (op.inWindow)
+                    pc.postSwitchWalkCycles += 1;
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+runInterleavedSharded(os::ExecContext &ctx, Workload &w,
+                      std::uint64_t ops_per_thread, unsigned chunk,
+                      int nshards)
+{
+    // Record in bounded segments so the trace memory stays flat on
+    // long runs. A segment boundary cannot change results: each
+    // segment's replay reproduces the exact serial machine state
+    // before the next segment records.
+    constexpr std::uint64_t SegmentOps = 1ull << 20;
+    int threads = ctx.numThreads();
+    MITOSIM_ASSERT(threads > 0, "runInterleaved with no threads");
+    std::vector<std::uint64_t> done(static_cast<std::size_t>(threads),
+                                    0);
+    std::vector<os::TraceOp> trace;
+    bool any = true;
+    while (any) {
+        trace.clear();
+        ctx.beginTrace(&trace);
+        while (any && trace.size() < SegmentOps) {
+            any = false;
+            for (int t = 0; t < threads; ++t) {
+                auto &d = done[static_cast<std::size_t>(t)];
+                std::uint64_t end = std::min<std::uint64_t>(
+                    ops_per_thread, d + chunk);
+                for (; d < end; ++d)
+                    w.step(ctx, t);
+                if (d < ops_per_thread)
+                    any = true;
+            }
+        }
+        ctx.endTrace();
+        runTraceSharded(ctx, trace, nshards);
+    }
+}
+
+} // namespace mitosim::workloads

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The sharded intra-job simulation engine (see src/sim/sharded.h for
+ * the three-phase design). Entry points are internal to the workloads
+ * layer: runInterleaved dispatches here when --sim-threads > 1 and the
+ * run is eligible.
+ */
+
+#ifndef MITOSIM_WORKLOADS_SHARDED_ENGINE_H
+#define MITOSIM_WORKLOADS_SHARDED_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/os/exec_context.h"
+#include "src/workloads/workload.h"
+
+namespace mitosim::workloads
+{
+
+/**
+ * Can runs of @p ctx be sharded? Requires pinned scheduling (the
+ * time-shared dispatcher interleaves by cycle counts), no THP ticks
+ * tied to the context clock, AutoNUMA off for the process (hint
+ * faults would abort every segment), and at least two logical threads
+ * on distinct cores.
+ */
+bool shardedEligible(os::ExecContext &ctx);
+
+/**
+ * Replay a recorded trace with private state sharded across
+ * @p nshards host threads; byte-identical to serially replaying the
+ * trace through ctx.access()/compute(). Any fault rolls the segment
+ * back and replays serially (fault handlers need serial order).
+ */
+void runTraceSharded(os::ExecContext &ctx,
+                     const std::vector<os::TraceOp> &trace, int nshards);
+
+/**
+ * The sharded equivalent of runInterleaved's serial loop: record the
+ * workload's round-robin access trace in bounded segments and replay
+ * each through runTraceSharded.
+ */
+void runInterleavedSharded(os::ExecContext &ctx, Workload &w,
+                           std::uint64_t ops_per_thread, unsigned chunk,
+                           int nshards);
+
+} // namespace mitosim::workloads
+
+#endif // MITOSIM_WORKLOADS_SHARDED_ENGINE_H

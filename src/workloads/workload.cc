@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "src/base/logging.h"
+#include "src/sim/sharded.h"
+#include "src/workloads/sharded_engine.h"
 #include "src/workloads/btree.h"
 #include "src/workloads/canneal.h"
 #include "src/workloads/graph500.h"
@@ -68,6 +70,16 @@ runInterleaved(os::ExecContext &ctx, Workload &w,
 {
     int threads = ctx.numThreads();
     MITOSIM_ASSERT(threads > 0, "runInterleaved with no threads");
+
+    // --sim-threads > 1: shard the simulation across host threads when
+    // the run is eligible (byte-identical by construction). A context
+    // already recording is mid-phase-A of an outer sharded call.
+    int nshards = sim::simThreads();
+    if (nshards > 1 && !ctx.tracing() && shardedEligible(ctx)) {
+        runInterleavedSharded(ctx, w, ops_per_thread, chunk, nshards);
+        return;
+    }
+
     std::vector<std::uint64_t> done(static_cast<std::size_t>(threads), 0);
     bool any = true;
     while (any) {

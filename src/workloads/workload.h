@@ -51,10 +51,17 @@ class Workload
     explicit Workload(const WorkloadParams &params) : prm(params) {}
     virtual ~Workload() = default;
 
-    Workload(const Workload &) = delete;
     Workload &operator=(const Workload &) = delete;
 
     virtual const char *name() const = 0;
+
+    /**
+     * Deep copy (same dynamic type, same post-setup state: region
+     * addresses, per-thread RNG streams, cursors). The populate
+     * snapshot cache forks workloads with this right after setup() so
+     * every forked run replays the donor's exact access stream.
+     */
+    virtual std::unique_ptr<Workload> clone() const = 0;
 
     /**
      * Allocate and populate memory. Threads must already be attached to
@@ -71,6 +78,9 @@ class Workload
     const WorkloadParams &params() const { return prm; }
 
   protected:
+    /** Subclass clone() implementations copy through this. */
+    Workload(const Workload &) = default;
+
     /** Per-thread deterministic RNG. */
     Rng
     threadRng(int tid) const

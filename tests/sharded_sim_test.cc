@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Property tests for the sharded simulation engine: for any eligible
+ * run, --sim-threads=N must be byte-identical to the serial simulator
+ * — per-thread counters AND subsequent machine state (caches, TLBs,
+ * A/D bits) — for any N. Also covers the abort path (a fault during
+ * the parallel phase rolls back and replays serially) and the
+ * eligibility gates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "bench/harness.h"
+#include "src/base/rng.h"
+#include "src/sim/sharded.h"
+#include "src/workloads/sharded_engine.h"
+#include "src/workloads/workload.h"
+
+namespace mitosim::workloads
+{
+namespace
+{
+
+/** Restore the global shard count even when an assertion aborts. */
+struct SimThreadsGuard
+{
+    explicit SimThreadsGuard(int n) { sim::setSimThreads(n); }
+    ~SimThreadsGuard() { sim::setSimThreads(1); }
+};
+
+bench::PopulateSpec
+testSpec(const std::string &workload, bool thp)
+{
+    bench::PopulateSpec spec;
+    spec.machine = bench::benchMachine();
+    spec.backend = snapshot::BackendKind::Mitosis;
+    spec.workload = workload;
+    spec.params.footprint = 64ull << 20;
+    spec.params.seed = 99;
+    spec.params.thp = thp;
+    for (SocketId s = 0; s < spec.machine.topo.numSockets; ++s)
+        spec.threadSockets.push_back(s);
+    return spec;
+}
+
+bool
+countersMatch(os::ExecContext &a, os::ExecContext &b)
+{
+    if (a.numThreads() != b.numThreads())
+        return false;
+    for (int t = 0; t < a.numThreads(); ++t) {
+        if (std::memcmp(&a.threadCounters(t), &b.threadCounters(t),
+                        sizeof(sim::PerfCounters)) != 0)
+            return false;
+    }
+    return true;
+}
+
+TEST(ShardedSimTest, ByteIdenticalToSerial)
+{
+    for (const char *wl : {"gups", "memcached", "btree"}) {
+        for (bool thp : {false, true}) {
+            auto spec = testSpec(wl, thp);
+            auto serial = bench::preparePopulated(spec);
+            auto sharded = bench::preparePopulated(spec);
+            ASSERT_TRUE(shardedEligible(*serial->ctx));
+
+            runInterleaved(*serial->ctx, *serial->workload, 4000);
+            {
+                SimThreadsGuard guard(4);
+                runInterleaved(*sharded->ctx, *sharded->workload, 4000);
+            }
+            EXPECT_TRUE(countersMatch(*serial->ctx, *sharded->ctx))
+                << wl << " thp=" << thp;
+
+            // Continue both *serially*: identical continuations prove
+            // the machine state (caches, TLBs, PTE A/D bits) converged
+            // too, not just the counters.
+            runInterleaved(*serial->ctx, *serial->workload, 1000);
+            runInterleaved(*sharded->ctx, *sharded->workload, 1000);
+            EXPECT_TRUE(countersMatch(*serial->ctx, *sharded->ctx))
+                << wl << " thp=" << thp << " (serial continuation)";
+
+            serial->finalize();
+            sharded->finalize();
+        }
+    }
+}
+
+TEST(ShardedSimTest, AnyShardCountMatches)
+{
+    auto spec = testSpec("xsbench", false);
+    auto serial = bench::preparePopulated(spec);
+    runInterleaved(*serial->ctx, *serial->workload, 3000);
+
+    // 2, 3 (doesn't divide the thread count), 8 (more shards than
+    // threads: clamped), and 1 (dispatch guard: stays serial).
+    for (int n : {2, 3, 8, 1}) {
+        auto u = bench::preparePopulated(spec);
+        {
+            SimThreadsGuard guard(n);
+            runInterleaved(*u->ctx, *u->workload, 3000);
+        }
+        EXPECT_TRUE(countersMatch(*serial->ctx, *u->ctx))
+            << "sim-threads=" << n;
+        u->finalize();
+    }
+    serial->finalize();
+}
+
+TEST(ShardedSimTest, FaultAbortsAndReplaysSerially)
+{
+    // Place AutoNUMA hint bits *without* enabling AutoNUMA for the
+    // process: the eligibility gate stays open, the parallel phase
+    // trips over a hint fault, aborts, and must replay the recorded
+    // trace serially (running the kernel's hint-fault handler, which
+    // migrates pages) — still byte-identical to the serial run.
+    auto spec = testSpec("gups", false);
+    auto serial = bench::preparePopulated(spec);
+    auto sharded = bench::preparePopulated(spec);
+
+    Rng rng_a(7), rng_b(7);
+    serial->kernel.autoNuma().scan(*serial->proc, 0.3, rng_a);
+    sharded->kernel.autoNuma().scan(*sharded->proc, 0.3, rng_b);
+    ASSERT_TRUE(shardedEligible(*sharded->ctx));
+
+    runInterleaved(*serial->ctx, *serial->workload, 2000);
+    {
+        SimThreadsGuard guard(4);
+        runInterleaved(*sharded->ctx, *sharded->workload, 2000);
+    }
+    EXPECT_TRUE(countersMatch(*serial->ctx, *sharded->ctx));
+
+    // The handlers must have serviced identical fault streams.
+    EXPECT_EQ(serial->kernel.autoNuma().stats().hintFaults,
+              sharded->kernel.autoNuma().stats().hintFaults);
+    EXPECT_GT(serial->kernel.autoNuma().stats().hintFaults, 0u);
+
+    serial->finalize();
+    sharded->finalize();
+}
+
+TEST(ShardedSimTest, EligibilityGates)
+{
+    // AutoNUMA enabled for the process: ineligible (every segment
+    // would abort), but results still correct via the serial path.
+    auto spec = testSpec("gups", false);
+    auto u = bench::preparePopulated(spec);
+    ASSERT_TRUE(shardedEligible(*u->ctx));
+    u->kernel.enableAutoNuma(*u->proc, true);
+    EXPECT_FALSE(shardedEligible(*u->ctx));
+    u->kernel.enableAutoNuma(*u->proc, false);
+    EXPECT_TRUE(shardedEligible(*u->ctx));
+
+    // THP ticks tied to the context clock: ineligible.
+    u->ctx->enableThpTicks(100000);
+    EXPECT_FALSE(shardedEligible(*u->ctx));
+    u->ctx->enableThpTicks(0);
+    EXPECT_TRUE(shardedEligible(*u->ctx));
+    u->finalize();
+
+    // Time-shared scheduling: ineligible.
+    auto ts = testSpec("gups", false);
+    ts.kernelCfg.sched.timeShared = true;
+    auto v = bench::preparePopulated(ts);
+    EXPECT_FALSE(shardedEligible(*v->ctx));
+    {
+        // And the sharded dispatch must be a transparent no-op.
+        SimThreadsGuard guard(4);
+        runInterleaved(*v->ctx, *v->workload, 500);
+    }
+    v->finalize();
+}
+
+} // namespace
+} // namespace mitosim::workloads

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the snapshot subsystem (src/snapshot/): Universe forking,
+ * the populate cache, and the determinism contract — a job run from a
+ * fork must be byte-identical to the same job run from a fresh
+ * populate, and sibling forks must never observe each other's writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "bench/harness.h"
+#include "src/check/vmcheck.h"
+#include "src/sim/sharded.h"
+#include "src/workloads/workload.h"
+
+namespace mitosim::snapshot
+{
+namespace
+{
+
+bench::PopulateSpec
+testSpec(const std::string &workload, BackendKind backend)
+{
+    bench::PopulateSpec spec;
+    spec.machine = bench::benchMachine();
+    spec.backend = backend;
+    spec.workload = workload;
+    spec.params.footprint = 64ull << 20;
+    spec.params.seed = 1234;
+    for (SocketId s = 0; s < spec.machine.topo.numSockets; ++s)
+        spec.threadSockets.push_back(s);
+    return spec;
+}
+
+sim::PerfCounters
+measure(Universe &u, std::uint64_t ops)
+{
+    workloads::runInterleaved(*u.ctx, *u.workload, ops);
+    return u.ctx->totals();
+}
+
+bool
+countersEqual(const sim::PerfCounters &a, const sim::PerfCounters &b)
+{
+    return std::memcmp(&a, &b, sizeof(a)) == 0;
+}
+
+TEST(SnapshotTest, ForkMatchesFreshPopulate)
+{
+    auto spec = testSpec("gups", BackendKind::Mitosis);
+
+    // Twice through the cache: first call builds the donor, second
+    // forks it. Both are forks (the cache always returns forks), so
+    // this also covers fork-of-just-built.
+    auto forked = bench::preparePopulated(spec);
+
+    // Fresh build with the cache bypassed.
+    setenv("MITOSIM_SNAPSHOTS", "0", 1);
+    auto fresh = bench::preparePopulated(spec);
+    unsetenv("MITOSIM_SNAPSHOTS");
+
+    // Same per-socket frame accounting after populate.
+    for (SocketId s = 0; s < forked->machine.numSockets(); ++s) {
+        const mem::MemStats &a = forked->machine.physmem().stats(s);
+        const mem::MemStats &b = fresh->machine.physmem().stats(s);
+        EXPECT_EQ(a.dataPages, b.dataPages) << "socket " << s;
+        EXPECT_EQ(a.dataLargePages, b.dataLargePages) << "socket " << s;
+        EXPECT_EQ(a.ptPages, b.ptPages) << "socket " << s;
+    }
+
+    // Byte-identical measurement from either starting point.
+    sim::PerfCounters a = measure(*forked, 3000);
+    sim::PerfCounters b = measure(*fresh, 3000);
+    EXPECT_TRUE(countersEqual(a, b));
+
+    forked->finalize();
+    fresh->finalize();
+}
+
+TEST(SnapshotTest, SiblingForksAreIsolated)
+{
+    auto spec = testSpec("memcached", BackendKind::Mitosis);
+
+    // Run a workload on the first fork: sets A/D bits, rotates cache
+    // and TLB state, moves counters.
+    auto first = bench::preparePopulated(spec);
+    sim::PerfCounters a = measure(*first, 3000);
+
+    // A second fork from the same (now heavily exercised donor-shared
+    // CoW chunks) must start from pristine populate state and produce
+    // the identical measurement.
+    auto second = bench::preparePopulated(spec);
+    sim::PerfCounters b = measure(*second, 3000);
+    EXPECT_TRUE(countersEqual(a, b));
+
+    first->finalize();
+    second->finalize();
+}
+
+TEST(SnapshotTest, ForkPassesInvariantBattery)
+{
+    for (BackendKind backend :
+         {BackendKind::Native, BackendKind::Mitosis}) {
+        auto spec = testSpec("xsbench", backend);
+        auto u = bench::preparePopulated(spec);
+        measure(*u, 1000);
+
+        // The full vmcheck battery over the forked universe: replica
+        // coherence, VMA/PTE agreement, frame accounting, CR3/ASID
+        // liveness. Fail-fast config fatal()s on any violation.
+        check::Checker checker(u->kernel, check::CheckConfig{});
+        EXPECT_EQ(checker.runAll("snapshot fork"), 0u);
+        u->finalize();
+    }
+}
+
+TEST(SnapshotTest, FinalizeIsIdempotentAndDtorSafe)
+{
+    auto spec = testSpec("gups", BackendKind::Native);
+    auto u = bench::preparePopulated(spec);
+    u->finalize();
+    u->finalize(); // second call: no-op
+    u.reset();     // dtor after finalize: no double teardown
+
+    // Dtor without explicit finalize must also clean up.
+    auto v = bench::preparePopulated(spec);
+    v.reset();
+}
+
+} // namespace
+} // namespace mitosim::snapshot

@@ -27,7 +27,7 @@ The seam (mutation allowed):
 
 Known non-seam mutator, allow-listed with a reason:
 
-  * `src/sim/walker.cc` — the simulated MMU's A/D-bit update path.
+  * `src/sim/walker.h` — the simulated MMU's A/D-bit update path.
     Hardware sets Accessed/Dirty below the OS; it is not an OS-side
     PTE write and has no replica-coherence obligation (§5.4: A/D bits
     are compared OR-ed across replicas).
@@ -54,7 +54,7 @@ SEAM_DIRS = ("src/pvops", "src/pt", "src/core")
 
 # file -> reason; keep this list short and justified.
 ALLOWLIST = {
-    "src/sim/walker.cc": "simulated MMU A/D-bit update (hardware, not OS)",
+    "src/sim/walker.h": "simulated MMU A/D-bit update (hardware, not OS)",
 }
 
 WAIVER_RE = re.compile(r"//\s*pvops-seam:\s*\S")
