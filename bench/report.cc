@@ -571,9 +571,10 @@ BenchReport::wallMs(const std::string &label, double ms)
 
 void
 BenchReport::wallMsPhases(const std::string &label, double total,
-                          double populate, double run)
+                          double populate, double run,
+                          std::uint64_t sim_accesses)
 {
-    if (populate <= 0.0 && run <= 0.0) {
+    if (populate <= 0.0 && run <= 0.0 && sim_accesses == 0) {
         wallMs(label, total);
         return;
     }
@@ -583,6 +584,15 @@ BenchReport::wallMsPhases(const std::string &label, double total,
     entry.set("populate", JsonValue::number(populate));
     entry.set("run", JsonValue::number(run));
     entry.set("report", JsonValue::number(report > 0.0 ? report : 0.0));
+    if (sim_accesses) {
+        entry.set("sim_accesses",
+                  JsonValue::number(static_cast<double>(sim_accesses)));
+        double denom_ms = run > 0.0 ? run : total;
+        if (denom_ms > 0.0)
+            entry.set("host_ops_per_sec",
+                      JsonValue::number(static_cast<double>(sim_accesses) /
+                                        (denom_ms / 1000.0)));
+    }
     wallMs_.set(label, std::move(entry));
 }
 

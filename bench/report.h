@@ -183,9 +183,18 @@ class BenchReport
      * that never stamped phases (populate == run == 0) fall back to
      * the scalar form. The whole section stays excluded from metric
      * comparisons either way.
+     *
+     * When @p sim_accesses is non-zero (a timed run), the entry also
+     * carries "sim_accesses" (the job's simulated memory accesses —
+     * deterministic, but host throughput context rather than a result)
+     * and "host_ops_per_sec" (sim_accesses over the run phase, or over
+     * the total when the job never stamped phases): the simulator's
+     * host throughput for this job, the number the hot-path work in
+     * EXPERIMENTS.md optimizes.
      */
     void wallMsPhases(const std::string &label, double total,
-                      double populate, double run);
+                      double populate, double run,
+                      std::uint64_t sim_accesses = 0);
 
     /**
      * Record one scheduler activity counter for job @p label. The

@@ -86,6 +86,25 @@ std::string format(const char *fmt, ...)
         }                                                                   \
     } while (0)
 
+/**
+ * Debug-only assert for per-access hot paths (TLB lookup, page walk,
+ * topology decode, metadata reads): checked in Debug and sanitizer
+ * builds, compiled out under NDEBUG so optimized benchmarks do not pay
+ * for it millions of times per simulated second. Everything off the
+ * per-access path should keep using MITOSIM_ASSERT — one check per
+ * fault or per daemon pass is free, and release runs still catch it.
+ */
+#ifdef NDEBUG
+#define MITOSIM_DASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (false) {                                                        \
+            (void)(cond);                                                   \
+        }                                                                   \
+    } while (0)
+#else
+#define MITOSIM_DASSERT(cond, ...) MITOSIM_ASSERT(cond, __VA_ARGS__)
+#endif
+
 } // namespace mitosim
 
 #endif // MITOSIM_BASE_LOGGING_H

@@ -1,5 +1,7 @@
 #include "set_assoc_cache.h"
 
+#include <algorithm>
+
 namespace mitosim::cache
 {
 
@@ -26,7 +28,8 @@ SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, unsigned ways)
     if (total_lines < ways)
         fatal("cache capacity smaller than one set");
     sets = roundDownPow2(total_lines / ways);
-    lines.assign(sets * ways, Line{});
+    tags.assign(sets * ways, ~0ull);
+    lrus.assign(sets * ways, 0);
 }
 
 void
@@ -35,8 +38,8 @@ SetAssocCache::invalidateLine(PhysAddr pa)
     std::uint64_t line = lineAddr(pa);
     std::size_t base = setOf(line) * numWays;
     for (unsigned w = 0; w < numWays; ++w) {
-        if (lines[base + w].tag == line) {
-            lines[base + w].tag = ~0ull;
+        if (tags[base + w] == line) {
+            tags[base + w] = ~0ull;
             ++stats_.invalidations;
             return;
         }
@@ -51,8 +54,8 @@ SetAssocCache::invalidateFrame(Pfn pfn)
          ++line) {
         std::size_t base = setOf(line) * numWays;
         for (unsigned w = 0; w < numWays; ++w) {
-            if (lines[base + w].tag == line) {
-                lines[base + w].tag = ~0ull;
+            if (tags[base + w] == line) {
+                tags[base + w] = ~0ull;
                 ++stats_.invalidations;
                 break;
             }
@@ -63,8 +66,7 @@ SetAssocCache::invalidateFrame(Pfn pfn)
 void
 SetAssocCache::flush()
 {
-    for (auto &l : lines)
-        l.tag = ~0ull;
+    std::fill(tags.begin(), tags.end(), ~0ull);
 }
 
 } // namespace mitosim::cache

@@ -61,8 +61,8 @@ class SetAssocCache
         std::uint64_t line = lineAddr(pa);
         std::size_t base = setOf(line) * numWays;
         for (unsigned w = 0; w < numWays; ++w) {
-            if (lines[base + w].tag == line) {
-                lines[base + w].lru = ++clock;
+            if (tags[base + w] == line) {
+                lrus[base + w] = ++clock;
                 ++stats_.hits;
                 return true;
             }
@@ -82,23 +82,22 @@ class SetAssocCache
         std::size_t base = setOf(line) * numWays;
         std::size_t victim = base;
         for (unsigned w = 0; w < numWays; ++w) {
-            Line &l = lines[base + w];
-            if (l.tag == line) { // already present
-                l.lru = ++clock;
+            std::size_t i = base + w;
+            if (tags[i] == line) { // already present
+                lrus[i] = ++clock;
                 return ~0ull;
             }
-            if (l.tag == ~0ull) { // free way
-                victim = base + w;
-                l.tag = line;
-                l.lru = ++clock;
+            if (tags[i] == ~0ull) { // free way
+                tags[i] = line;
+                lrus[i] = ++clock;
                 return ~0ull;
             }
-            if (lines[victim].lru > l.lru)
-                victim = base + w;
+            if (lrus[victim] > lrus[i])
+                victim = i;
         }
-        std::uint64_t evicted = lines[victim].tag;
-        lines[victim].tag = line;
-        lines[victim].lru = ++clock;
+        std::uint64_t evicted = tags[victim];
+        tags[victim] = line;
+        lrus[victim] = ++clock;
         ++stats_.evictions;
         return evicted;
     }
@@ -119,9 +118,9 @@ class SetAssocCache
         std::size_t victim = base;
         bool free_way = false;
         for (unsigned w = 0; w < numWays; ++w) {
-            Line &l = lines[base + w];
-            if (l.tag == line) {
-                l.lru = ++clock;
+            std::size_t i = base + w;
+            if (tags[i] == line) {
+                lrus[i] = ++clock;
                 ++stats_.hits;
                 return true;
             }
@@ -130,19 +129,19 @@ class SetAssocCache
             // choice but the match scan must continue — invalidations
             // can leave holes before a still-resident line.
             if (!free_way) {
-                if (l.tag == ~0ull) {
-                    victim = base + w;
+                if (tags[i] == ~0ull) {
+                    victim = i;
                     free_way = true;
-                } else if (lines[victim].lru > l.lru) {
-                    victim = base + w;
+                } else if (lrus[victim] > lrus[i]) {
+                    victim = i;
                 }
             }
         }
         ++stats_.misses;
         if (!free_way)
             ++stats_.evictions;
-        lines[victim].tag = line;
-        lines[victim].lru = ++clock;
+        tags[victim] = line;
+        lrus[victim] = ++clock;
         return false;
     }
 
@@ -158,17 +157,11 @@ class SetAssocCache
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = CacheStats{}; }
 
-    std::uint64_t capacityBytes() const { return lines.size() * LineSize; }
+    std::uint64_t capacityBytes() const { return tags.size() * LineSize; }
     unsigned associativity() const { return numWays; }
     std::uint64_t numSets() const { return sets; }
 
   private:
-    struct Line
-    {
-        std::uint64_t tag = ~0ull; //!< full line address, ~0 = invalid
-        std::uint32_t lru = 0;     //!< higher = more recently used
-    };
-
     std::uint64_t lineAddr(PhysAddr pa) const { return pa >> LineShift; }
     std::size_t setOf(std::uint64_t line) const
     {
@@ -177,8 +170,13 @@ class SetAssocCache
 
     unsigned numWays;
     std::uint64_t sets;
-    std::vector<Line> lines;  // sets * ways, set-major
-    std::uint32_t clock = 0;  // LRU timestamp source
+    // Struct of arrays, set-major: a probe scans only the packed tag
+    // vector (an 8-way set of tags is exactly one cache line; the old
+    // 16-byte {tag, lru} pairs spread it over two) and touches the LRU
+    // stamp of at most one way.
+    std::vector<std::uint64_t> tags; //!< full line address, ~0 = invalid
+    std::vector<std::uint32_t> lrus; //!< higher = more recently used
+    std::uint32_t clock = 0;         //!< LRU timestamp source
     CacheStats stats_;
 };
 

@@ -188,12 +188,16 @@ benchMain(int argc, char **argv, const BenchSpec &spec)
             spec.describe(report);
         // Host telemetry, outside "metrics" (see report.h): per-job
         // thunk wall-clock (with the populate/run/report phase split
-        // when the job stamped one) plus this invocation's total.
+        // when the job stamped one), the job's simulated access count
+        // and resulting host ops/sec, plus this invocation's total.
         // Recorded before emit() moves the results out.
         for (std::size_t index : selected) {
             const JobResult &res = *results[index];
+            std::uint64_t sim_accesses =
+                res.outcome ? res.outcome->totals.accesses : 0;
             report.wallMsPhases(registry.job(index).name, res.wallMs,
-                                res.wallPopulateMs, res.wallRunMs);
+                                res.wallPopulateMs, res.wallRunMs,
+                                sim_accesses);
         }
         report.wallMs("total", total_wall_ms);
         // Scheduler activity (context switches, preemptions, ...):

@@ -7,7 +7,8 @@ namespace mitosim::mem
 
 FrameAllocator::FrameAllocator(Pfn first_pfn, std::uint64_t num_frames)
     : basePfn(first_pfn), numFrames(num_frames), freeCount(num_frames),
-      blocks(num_frames / framesPerBlock)
+      blocks(num_frames / framesPerBlock),
+      usedCounts(num_frames / framesPerBlock, 0)
 {
     if (num_frames == 0 || num_frames % framesPerBlock != 0)
         fatal("FrameAllocator size must be a positive multiple of 512");
@@ -24,17 +25,17 @@ FrameAllocator::testSlot(const Block &b, unsigned slot) const
 }
 
 void
-FrameAllocator::setSlot(Block &b, unsigned slot)
+FrameAllocator::setSlot(std::uint64_t block, unsigned slot)
 {
-    b.used[slot >> 6] |= 1ull << (slot & 63);
-    ++b.usedCount;
+    blocks[block].used[slot >> 6] |= 1ull << (slot & 63);
+    ++usedCounts[block];
 }
 
 void
-FrameAllocator::clearSlot(Block &b, unsigned slot)
+FrameAllocator::clearSlot(std::uint64_t block, unsigned slot)
 {
-    b.used[slot >> 6] &= ~(1ull << (slot & 63));
-    --b.usedCount;
+    blocks[block].used[slot >> 6] &= ~(1ull << (slot & 63));
+    --usedCounts[block];
 }
 
 int
@@ -60,15 +61,14 @@ FrameAllocator::allocFrame()
     // large-page allocations (mirrors buddy-allocator behaviour).
     while (!partialStack.empty()) {
         std::uint32_t bi = partialStack.back();
-        Block &b = blocks[bi];
-        if (b.usedCount == 0 || b.usedCount >= framesPerBlock) {
+        if (usedCounts[bi] == 0 || usedCounts[bi] >= framesPerBlock) {
             partialStack.pop_back(); // stale entry
             continue;
         }
-        int slot = findFreeSlot(b);
+        int slot = findFreeSlot(blocks[bi]);
         MITOSIM_ASSERT(slot >= 0);
-        setSlot(b, static_cast<unsigned>(slot));
-        if (b.usedCount >= framesPerBlock)
+        setSlot(bi, static_cast<unsigned>(slot));
+        if (usedCounts[bi] >= framesPerBlock)
             partialStack.pop_back();
         --freeCount;
         return basePfn + bi * 512ull + static_cast<unsigned>(slot);
@@ -77,13 +77,12 @@ FrameAllocator::allocFrame()
     // Split a fully-free block.
     while (!fullyFreeStack.empty()) {
         std::uint32_t bi = fullyFreeStack.back();
-        Block &b = blocks[bi];
-        if (b.usedCount != 0) {
+        if (usedCounts[bi] != 0) {
             fullyFreeStack.pop_back(); // stale entry
             continue;
         }
         fullyFreeStack.pop_back();
-        setSlot(b, 0);
+        setSlot(bi, 0);
         partialStack.push_back(bi);
         --freeCount;
         return basePfn + bi * 512ull;
@@ -91,9 +90,9 @@ FrameAllocator::allocFrame()
 
     // freeCount > 0 but no block found: stacks were stale; rebuild.
     for (std::size_t i = blocks.size(); i-- > 0;) {
-        if (blocks[i].usedCount == 0)
+        if (usedCounts[i] == 0)
             fullyFreeStack.push_back(static_cast<std::uint32_t>(i));
-        else if (blocks[i].usedCount < framesPerBlock)
+        else if (usedCounts[i] < framesPerBlock)
             partialStack.push_back(static_cast<std::uint32_t>(i));
     }
     if (partialStack.empty() && fullyFreeStack.empty())
@@ -106,22 +105,21 @@ FrameAllocator::allocLargeBlock()
 {
     while (!fullyFreeStack.empty()) {
         std::uint32_t bi = fullyFreeStack.back();
-        Block &b = blocks[bi];
-        if (b.usedCount != 0) {
+        if (usedCounts[bi] != 0) {
             fullyFreeStack.pop_back(); // stale
             continue;
         }
         fullyFreeStack.pop_back();
-        for (auto &w : b.used)
+        for (auto &w : blocks[bi].used)
             w = ~0ull;
-        b.usedCount = framesPerBlock;
+        usedCounts[bi] = framesPerBlock;
         freeCount -= framesPerBlock;
         return basePfn + bi * 512ull;
     }
     // Rebuild in case frees made blocks fully free without stack entries.
     bool found = false;
     for (std::size_t i = blocks.size(); i-- > 0;) {
-        if (blocks[i].usedCount == 0) {
+        if (usedCounts[i] == 0) {
             fullyFreeStack.push_back(static_cast<std::uint32_t>(i));
             found = true;
         }
@@ -135,18 +133,17 @@ void
 FrameAllocator::freeFrame(Pfn pfn)
 {
     MITOSIM_ASSERT(owns(pfn), "freeFrame: pfn not owned by this socket");
-    Block &b = blocks[blockOf(pfn)];
+    std::uint64_t bi = blockOf(pfn);
     unsigned slot = slotOf(pfn);
-    if (!testSlot(b, slot))
+    if (!testSlot(blocks[bi], slot))
         panic("double free of pfn %llu", (unsigned long long)pfn);
-    bool was_full = b.usedCount >= framesPerBlock;
-    clearSlot(b, slot);
+    bool was_full = usedCounts[bi] >= framesPerBlock;
+    clearSlot(bi, slot);
     ++freeCount;
-    std::uint32_t bi = static_cast<std::uint32_t>(blockOf(pfn));
-    if (b.usedCount == 0)
-        fullyFreeStack.push_back(bi);
+    if (usedCounts[bi] == 0)
+        fullyFreeStack.push_back(static_cast<std::uint32_t>(bi));
     else if (was_full)
-        partialStack.push_back(bi);
+        partialStack.push_back(static_cast<std::uint32_t>(bi));
 }
 
 void
@@ -154,22 +151,22 @@ FrameAllocator::freeLargeBlock(Pfn head)
 {
     MITOSIM_ASSERT(owns(head) && slotOf(head) == 0,
                    "freeLargeBlock: head not 2MB aligned");
-    Block &b = blocks[blockOf(head)];
-    if (b.usedCount != framesPerBlock)
+    std::uint64_t bi = blockOf(head);
+    if (usedCounts[bi] != framesPerBlock)
         panic("freeLargeBlock: block not fully allocated");
-    for (auto &w : b.used)
+    for (auto &w : blocks[bi].used)
         w = 0;
-    b.usedCount = 0;
+    usedCounts[bi] = 0;
     freeCount += framesPerBlock;
-    fullyFreeStack.push_back(static_cast<std::uint32_t>(blockOf(head)));
+    fullyFreeStack.push_back(static_cast<std::uint32_t>(bi));
 }
 
 std::uint64_t
 FrameAllocator::freeLargeBlocks() const
 {
     std::uint64_t n = 0;
-    for (const auto &b : blocks)
-        if (b.usedCount == 0)
+    for (std::uint32_t c : usedCounts)
+        if (c == 0)
             ++n;
     return n;
 }
@@ -187,7 +184,7 @@ std::uint32_t
 FrameAllocator::blockUsedCount(std::uint64_t index) const
 {
     MITOSIM_ASSERT(index < blocks.size());
-    return blocks[index].usedCount;
+    return usedCounts[index];
 }
 
 std::optional<Pfn>
@@ -197,26 +194,26 @@ FrameAllocator::allocFrameForCompaction(Pfn avoid)
     std::uint64_t avoid_block = blockOf(avoid);
     // The fullest partial block packs relocated frames densest, which
     // is what turns scattered occupancy back into free 2 MB blocks.
+    // Same decision as the old AoS scan: strict > keeps the lowest
+    // index on ties, avoid/empty/full blocks are skipped.
     std::uint64_t best = blocks.size();
     std::uint32_t best_used = 0;
-    for (std::uint64_t i = 0; i < blocks.size(); ++i) {
-        const Block &b = blocks[i];
-        if (i == avoid_block || b.usedCount == 0 ||
-            b.usedCount >= framesPerBlock)
+    for (std::uint64_t i = 0; i < usedCounts.size(); ++i) {
+        std::uint32_t used = usedCounts[i];
+        if (i == avoid_block || used == 0 || used >= framesPerBlock)
             continue;
-        if (b.usedCount > best_used) {
+        if (used > best_used) {
             best = i;
-            best_used = b.usedCount;
+            best_used = used;
         }
     }
     if (best == blocks.size())
         return std::nullopt;
-    Block &b = blocks[best];
-    int slot = findFreeSlot(b);
+    int slot = findFreeSlot(blocks[best]);
     MITOSIM_ASSERT(slot >= 0);
     // A now-full block may leave a stale partialStack entry behind;
     // pops verify against the block's actual state, as everywhere.
-    setSlot(b, static_cast<unsigned>(slot));
+    setSlot(best, static_cast<unsigned>(slot));
     --freeCount;
     return basePfn + best * 512ull + static_cast<unsigned>(slot);
 }
@@ -233,13 +230,12 @@ FrameAllocator::fragment(double fraction, Rng &rng)
 {
     std::vector<Pfn> pinned;
     for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
-        Block &b = blocks[bi];
-        if (b.usedCount != 0)
+        if (usedCounts[bi] != 0)
             continue;
         if (!rng.chance(fraction))
             continue;
         unsigned slot = static_cast<unsigned>(rng.below(framesPerBlock));
-        setSlot(b, slot);
+        setSlot(bi, slot);
         --freeCount;
         partialStack.push_back(static_cast<std::uint32_t>(bi));
         pinned.push_back(basePfn + bi * 512ull + slot);

@@ -112,10 +112,17 @@ class FrameAllocator
   private:
     static constexpr unsigned framesPerBlock = 512;
 
+    /**
+     * One cache line of bitmap per block. The per-block allocated
+     * count lives in the separate usedCounts vector (struct of
+     * arrays): kcompactd's fullest-partial-block scan in
+     * allocFrameForCompaction reads only the counts, and packing them
+     * 16-per-line instead of 1-per-72-byte-struct makes that O(blocks)
+     * scan stream instead of stride.
+     */
     struct Block
     {
         std::uint64_t used[8] = {0, 0, 0, 0, 0, 0, 0, 0}; // 512-bit bitmap
-        std::uint32_t usedCount = 0;
     };
 
     std::uint64_t blockOf(Pfn pfn) const { return (pfn - basePfn) / 512; }
@@ -125,14 +132,15 @@ class FrameAllocator
     }
 
     bool testSlot(const Block &b, unsigned slot) const;
-    void setSlot(Block &b, unsigned slot);
-    void clearSlot(Block &b, unsigned slot);
+    void setSlot(std::uint64_t block, unsigned slot);
+    void clearSlot(std::uint64_t block, unsigned slot);
     int findFreeSlot(const Block &b) const;
 
     Pfn basePfn;
     std::uint64_t numFrames;
     std::uint64_t freeCount;
     std::vector<Block> blocks;
+    std::vector<std::uint32_t> usedCounts; // parallel to blocks
 
     // Lazily-maintained stacks of candidate block indices. Entries may be
     // stale; pop verifies against the block's actual state.

@@ -3,11 +3,77 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <mutex>
+#include <new>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
 
 #include "src/base/logging.h"
 
 namespace mitosim::mem
 {
+
+namespace
+{
+
+/**
+ * Process-wide slab arena + recycling pool for metadata chunks.
+ *
+ * Chunks churn constantly (snapshot forks detach CoW copies, machines
+ * are built and torn down mid-run), and the snapshot cache keeps donor
+ * machines alive, so a large share of newChunk() calls cannot be
+ * served by recycling at all — they are fresh, and a per-chunk host
+ * allocation pays a page-fault per 4 KiB of metadata. Minting chunks
+ * out of multi-megabyte value-initialized slabs faults the host pages
+ * sequentially (and lets the kernel use transparent huge pages),
+ * which is several times cheaper per chunk. Slabs are never freed;
+ * released chunks are scrubbed back to pristine and parked in `free`
+ * for reuse, so arena growth is bounded by the peak live chunk count.
+ * Deliberately leaked so chunk deleters running during static
+ * destruction stay safe.
+ */
+struct ChunkPool
+{
+    std::mutex mu;
+    std::vector<PageMeta *> free; //!< scrubbed, ready to hand out
+};
+
+ChunkPool &
+chunkPool()
+{
+    static ChunkPool *pool = new ChunkPool;
+    return *pool;
+}
+
+/** Chunks minted per slab (the slab is the host-fault granule). */
+constexpr std::size_t SlabChunks = 64;
+
+/**
+ * One slab: a 2 MiB-aligned block holding SlabChunks chunks, advised
+ * towards transparent huge pages *before* the value-initializing
+ * construction pass touches it, so the kernel can back the whole slab
+ * with a handful of huge-page faults instead of one 4 KiB fault per
+ * metadata page. Slabs are intentionally never freed (the pool owns
+ * every chunk for the process lifetime), so the raw pointer is all
+ * the bookkeeping needed.
+ */
+PageMeta *
+newSlab(std::size_t elems)
+{
+    void *mem = ::operator new(elems * sizeof(PageMeta),
+                               std::align_val_t{2ull << 20});
+#ifdef __linux__
+    (void)madvise(mem, elems * sizeof(PageMeta), MADV_HUGEPAGE);
+#endif
+    PageMeta *base = static_cast<PageMeta *>(mem);
+    for (std::size_t i = 0; i < elems; ++i)
+        new (base + i) PageMeta{};
+    return base;
+}
+
+} // namespace
 
 PhysicalMemory::PhysicalMemory(const numa::Topology &topology)
     : topo(topology),
@@ -456,10 +522,30 @@ PhysicalMemory::defragment(SocketId socket)
 PhysicalMemory::ChunkPtr
 PhysicalMemory::newChunk()
 {
-    // Not make_shared: libstdc++ 12's array make_shared requires
-    // copy-constructible elements, and PageMeta owns a unique_ptr.
-    PageMeta *raw = new PageMeta[MetaChunkSize];
-    return ChunkPtr(raw);
+    ChunkPool &pool = chunkPool();
+    PageMeta *raw = nullptr;
+    {
+        std::lock_guard<std::mutex> g(pool.mu);
+        if (pool.free.empty()) {
+            PageMeta *base = newSlab(SlabChunks * MetaChunkSize);
+            // Push in descending address order so chunks are handed
+            // out ascending, matching the slab's fault order.
+            for (std::size_t c = SlabChunks; c-- > 0;)
+                pool.free.push_back(base + c * MetaChunkSize);
+        }
+        raw = pool.free.back();
+        pool.free.pop_back();
+    }
+    // The deleter scrubs the chunk back to pristine (indistinguishable
+    // from a fresh one) and parks it for reuse.
+    auto recycle = [](PageMeta *p) {
+        for (std::uint64_t i = 0; i < MetaChunkSize; ++i)
+            p[i] = PageMeta{};
+        ChunkPool &pl = chunkPool();
+        std::lock_guard<std::mutex> g(pl.mu);
+        pl.free.push_back(p);
+    };
+    return ChunkPtr(raw, recycle);
 }
 
 void

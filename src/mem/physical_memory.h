@@ -132,7 +132,7 @@ class PhysicalMemory
     table(Pfn pfn)
     {
         PageMeta &m = meta(pfn);
-        MITOSIM_ASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
+        MITOSIM_DASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
         return m.table.get();
     }
 
@@ -140,7 +140,7 @@ class PhysicalMemory
     table(Pfn pfn) const
     {
         const PageMeta &m = meta(pfn);
-        MITOSIM_ASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
+        MITOSIM_DASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
         return m.table.get();
     }
 
@@ -182,7 +182,7 @@ class PhysicalMemory
     PageMeta &
     meta(Pfn pfn)
     {
-        MITOSIM_ASSERT(pfn < totalFrames_, "meta(): pfn out of range");
+        MITOSIM_DASSERT(pfn < totalFrames_, "meta(): pfn out of range");
         auto &chunk = metaChunks[pfn >> MetaChunkShift];
         if (!chunk) [[unlikely]]
             chunk = newChunk();
@@ -195,7 +195,7 @@ class PhysicalMemory
     const PageMeta &
     meta(Pfn pfn) const
     {
-        MITOSIM_ASSERT(pfn < totalFrames_, "meta(): pfn out of range");
+        MITOSIM_DASSERT(pfn < totalFrames_, "meta(): pfn out of range");
         const auto &chunk = metaChunks[pfn >> MetaChunkShift];
         if (!chunk) [[unlikely]]
             return pristineMeta;
@@ -267,8 +267,14 @@ class PhysicalMemory
     /** Replace a shared @p chunk with a private deep copy (CoW). */
     void detachChunk(ChunkPtr &chunk);
 
-    /** 32768 frames (128 MiB of simulated memory) per metadata chunk. */
-    static constexpr unsigned MetaChunkShift = 15;
+    /**
+     * 4096 frames (16 MiB of simulated memory) per metadata chunk —
+     * the materialization / copy-on-write granule. Kept small so a
+     * fork's first write detaches (and a sparse touch initializes)
+     * roughly what it uses rather than a 128 MiB-of-memory span, while
+     * staying large enough that the chunk pointer table is trivial.
+     */
+    static constexpr unsigned MetaChunkShift = 12;
     static constexpr std::uint64_t MetaChunkSize = 1ull << MetaChunkShift;
 
     /** What meta() const reports for frames in untouched chunks. */

@@ -68,7 +68,7 @@ class Topology
     SocketId
     socketOfCore(CoreId core) const
     {
-        MITOSIM_ASSERT(core >= 0 && core < numCores());
+        MITOSIM_DASSERT(core >= 0 && core < numCores());
         // Table instead of `core / coresPerSocket`: this sits on the
         // per-reference simulation path (every cache access derives the
         // issuing socket) and the divisor is runtime-variable, so the
@@ -94,7 +94,7 @@ class Topology
     SocketId
     socketOfPfn(Pfn pfn) const
     {
-        MITOSIM_ASSERT(pfn < totalFrames());
+        MITOSIM_DASSERT(pfn < totalFrames());
         // Same hot-path argument as socketOfCore: a 64-bit division by
         // a runtime divisor costs ~20-40 cycles and runs once per
         // simulated memory reference. Frames are homed contiguously, so
@@ -143,7 +143,7 @@ class Topology
     bool
     hasInterferer(SocketId socket) const
     {
-        MITOSIM_ASSERT(socket >= 0 && socket < numSockets());
+        MITOSIM_DASSERT(socket >= 0 && socket < numSockets());
         return interferers[static_cast<std::size_t>(socket)] > 0;
     }
 

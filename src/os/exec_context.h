@@ -41,6 +41,20 @@ struct TraceOp
     bool isCompute = false;
 };
 
+/**
+ * One pre-generated workload operation for the batched stepping path:
+ * workloads emit short runs of these into a per-thread buffer
+ * (Workload::stepBatch) and ExecContext::runBatch consumes the run in
+ * a tight loop with the per-op mode checks hoisted out.
+ */
+struct BatchOp
+{
+    VirtAddr va = 0;
+    Cycles cycles = 0; //!< compute ops: the charged amount
+    bool isWrite = false;
+    bool isCompute = false;
+};
+
 /** Workload-facing execution handle. */
 class ExecContext
 {
@@ -143,6 +157,43 @@ class ExecContext
         pc.cycles += c;
         pc.computeCycles += c;
         noteThpCycles(c);
+    }
+
+    /**
+     * Replay @p n pre-generated ops for thread @p tid.
+     *
+     * Semantically identical to calling access()/compute() once per op
+     * in order — and when tracing, time-sharing, or THP ticks are
+     * active it literally does that, so TraceOp recording, scheduler
+     * dispatch points and daemon tick points stay byte-identical. In
+     * the common pinned steady state it instead hoists the per-op mode
+     * checks, the counter lookup and the core lookup out of the loop:
+     * nothing hoisted can change mid-batch there (threads never
+     * migrate cores in pinned mode, and fault handlers do not flip
+     * scheduler modes), so the simulated outcome is unchanged.
+     */
+    void
+    runBatch(int tid, const BatchOp *ops, std::size_t n)
+    {
+        if (trace_ || thpTickPeriod != 0 || k.scheduler().timeShared()) {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (ops[i].isCompute)
+                    compute(tid, ops[i].cycles);
+                else
+                    access(tid, ops[i].va, ops[i].isWrite);
+            }
+            return;
+        }
+        auto &pc = counters[static_cast<std::size_t>(tid)];
+        sim::Core &core = k.machine().core(coreOf(tid));
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ops[i].isCompute) {
+                pc.cycles += ops[i].cycles;
+                pc.computeCycles += ops[i].cycles;
+            } else {
+                core.access(ops[i].va, ops[i].isWrite, pc);
+            }
+        }
     }
 
     /**

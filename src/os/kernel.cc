@@ -23,9 +23,10 @@ Kernel::Kernel(sim::Machine &machine, pvops::PvOps &backend,
 {
     sched.attachBackend(backend);
     mach.setFaultHandler(
-        [this](CoreId core, const sim::FaultRequest &req) {
-            return handleFault(core, req);
-        });
+        [](void *ctx, CoreId core, const sim::FaultRequest &req) {
+            return static_cast<Kernel *>(ctx)->handleFault(core, req);
+        },
+        this);
 
     check::CheckConfig cc = config.check;
 #ifdef MITOSIM_CHECK_DEFAULT

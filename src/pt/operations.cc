@@ -498,43 +498,6 @@ PageTableOps::clearAccessedDirty(RootSet &roots, VirtAddr va,
 }
 
 void
-PageTableOps::forEachLeaf(
-    const RootSet &roots,
-    const std::function<void(VirtAddr, PteLoc, Pte, PageSizeKind)> &fn)
-    const
-{
-    if (roots.primaryRoot == InvalidPfn)
-        return;
-
-    struct Frame
-    {
-        Pfn table;
-        int level;
-        VirtAddr base;
-    };
-    std::vector<Frame> stack{{roots.primaryRoot, 4, 0}};
-    while (!stack.empty()) {
-        Frame f = stack.back();
-        stack.pop_back();
-        const std::uint64_t *tbl = mem.table(f.table);
-        std::uint64_t span = bytesPerEntry(ptLevel(f.level));
-        for (unsigned i = 0; i < PtEntriesPerPage; ++i) {
-            Pte entry{tbl[i]};
-            if (!entry.present())
-                continue;
-            VirtAddr va = f.base + i * span;
-            if (f.level == 1) {
-                fn(va, PteLoc{f.table, i}, entry, PageSizeKind::Base4K);
-            } else if (f.level == 2 && entry.huge()) {
-                fn(va, PteLoc{f.table, i}, entry, PageSizeKind::Large2M);
-            } else {
-                stack.push_back({entry.pfn(), f.level - 1, va});
-            }
-        }
-    }
-}
-
-void
 PageTableOps::forEachTable(const RootSet &roots,
                            const std::function<void(Pfn, int)> &fn) const
 {

@@ -10,8 +10,6 @@
 #ifndef MITOSIM_SIM_CORE_H
 #define MITOSIM_SIM_CORE_H
 
-#include <functional>
-
 #include "src/base/types.h"
 #include "src/sim/memory_hierarchy.h"
 #include "src/sim/perf_counters.h"
@@ -34,8 +32,14 @@ struct FaultRequest
  * Fault service routine: resolves the fault (mapping the page, clearing
  * the hint, upgrading protection, ...) and returns the kernel cycles
  * spent. Must make forward progress or the core panics after retries.
+ *
+ * A raw function pointer plus opaque context, not a std::function: the
+ * handler sits on the access fast path of every simulated fault, and
+ * the type-erased call gate plus its per-call validity re-checks showed
+ * up in profiles. Validity is asserted once at registration instead.
  */
-using FaultHandler = std::function<Cycles(CoreId, const FaultRequest &)>;
+using FaultHandler = Cycles (*)(void *ctx, CoreId,
+                                const FaultRequest &);
 
 /** A CPU core. */
 class Core
@@ -112,7 +116,7 @@ class Core
     Cycles
     access(VirtAddr va, bool is_write, PerfCounters &pc)
     {
-        MITOSIM_ASSERT(hasContext(), "access on a core with no CR3");
+        MITOSIM_DASSERT(hasContext(), "access on a core with no CR3");
         ++pc.accesses;
         bool in_window = sinceSwitch_ < PostSwitchWindow;
         ++sinceSwitch_;
@@ -133,11 +137,10 @@ class Core
                 if (is_write && !look.entry.writable) {
                     // Stale or read-only: raise a protection fault.
                     tlb_.invalidatePage(va);
-                    MITOSIM_ASSERT(faultHandler && *faultHandler,
-                                   "no fault handler registered");
-                    Cycles kc = (*faultHandler)(
-                        coreId, FaultRequest{va, is_write,
-                                             WalkFault::Protection});
+                    Cycles kc = faultFn_(
+                        faultCtx_, coreId,
+                        FaultRequest{va, is_write,
+                                     WalkFault::Protection});
                     pc.kernelCycles += kc;
                     total += kc;
                     continue;
@@ -182,10 +185,9 @@ class Core
                 return total;
             }
 
-            MITOSIM_ASSERT(faultHandler && *faultHandler,
-                           "no fault handler registered");
-            Cycles kc = (*faultHandler)(
-                coreId, FaultRequest{va, is_write, out.fault});
+            Cycles kc = faultFn_(
+                faultCtx_, coreId,
+                FaultRequest{va, is_write, out.fault});
             pc.kernelCycles += kc;
             total += kc;
         }
@@ -208,7 +210,7 @@ class Core
     accessSharded(VirtAddr va, bool is_write, PerfCounters &pc,
                   std::vector<SharedOp> &sink, std::uint64_t seq)
     {
-        MITOSIM_ASSERT(hasContext(), "access on a core with no CR3");
+        MITOSIM_DASSERT(hasContext(), "access on a core with no CR3");
         ++pc.accesses;
         bool in_window = sinceSwitch_ < PostSwitchWindow;
         ++sinceSwitch_;
@@ -282,10 +284,12 @@ class Core
         sinceSwitch_ = b.sinceSwitch;
     }
 
-    /** OS hook for fault servicing; owned by the Machine, shared. */
-    void setFaultHandler(const FaultHandler *handler)
+    /** OS hook for fault servicing; validity checked here, once. */
+    void setFaultHandler(FaultHandler fn, void *ctx)
     {
-        faultHandler = handler;
+        MITOSIM_ASSERT(fn, "null fault handler registered");
+        faultFn_ = fn;
+        faultCtx_ = ctx;
     }
 
     tlb::TwoLevelTlb &tlb() { return tlb_; }
@@ -301,7 +305,8 @@ class Core
     Pfn cr3_ = InvalidPfn;
     Asid asid_ = 0;
     std::uint64_t sinceSwitch_ = 0; //!< accesses since the last CR3 load
-    const FaultHandler *faultHandler = nullptr;
+    FaultHandler faultFn_ = nullptr;
+    void *faultCtx_ = nullptr;
 };
 
 } // namespace mitosim::sim

@@ -37,11 +37,11 @@ Machine::cloneStateFrom(const Machine &src)
 }
 
 void
-Machine::setFaultHandler(FaultHandler h)
+Machine::setFaultHandler(FaultHandler fn, void *ctx)
 {
-    handler = std::move(h);
+    MITOSIM_ASSERT(fn, "null fault handler registered");
     for (auto &c : cores)
-        c->setFaultHandler(&handler);
+        c->setFaultHandler(fn, ctx);
 }
 
 } // namespace mitosim::sim

@@ -58,7 +58,7 @@ class Machine
     Core &core(CoreId id);
 
     /** Register the OS fault service routine (fanned out to all cores). */
-    void setFaultHandler(FaultHandler handler);
+    void setFaultHandler(FaultHandler fn, void *ctx);
 
     /**
      * Snapshot restore: adopt the complete hardware state of @p src —
@@ -76,7 +76,6 @@ class Machine
     numa::Topology topo;
     mem::PhysicalMemory mem_;
     MemoryHierarchy hier;
-    FaultHandler handler;
     std::vector<std::unique_ptr<Core>> cores;
 };
 

@@ -72,7 +72,13 @@ class PageWalker
          tlb::PagingStructureCache &pwc, PerfCounters *pc)
     {
         WalkOutcome out;
-        MITOSIM_ASSERT(cr3 != InvalidPfn, "walk with no CR3 loaded");
+        MITOSIM_DASSERT(cr3 != InvalidPfn, "walk with no CR3 loaded");
+        // Read PTEs through the const view: a mutable meta() touch on a
+        // snapshot-shared chunk detaches a 786 KiB deep copy, and the
+        // steady state of a forked run sets no new A/D bits, so walks
+        // must not pay that. The mutable slot is fetched only when the
+        // store below actually happens.
+        const mem::PhysicalMemory &cmem = mem;
 
         auto probe = pwc.lookup(cr3, va);
         Pfn table = probe.tablePfn;
@@ -86,13 +92,11 @@ class PageWalker
                                        AccessKind::PageTable, pc);
             ++out.memRefs;
 
-            std::uint64_t *slot = &mem.table(table)[idx];
-            pt::Pte entry{*slot};
+            pt::Pte entry{cmem.table(table)[idx]};
 
             if (!entry.present()) {
-                out.fault = pt::Pte{*slot}.numaHint()
-                                ? WalkFault::NumaHint
-                                : WalkFault::NotPresent;
+                out.fault = entry.numaHint() ? WalkFault::NumaHint
+                                             : WalkFault::NotPresent;
                 return out;
             }
 
@@ -115,7 +119,7 @@ class PageWalker
             if (is_leaf && is_write)
                 want |= pt::PteDirty;
             if ((entry.raw() & want) != want) {
-                *slot = entry.raw() | want;
+                mem.table(table)[idx] = entry.raw() | want;
                 // The read brought the line in; the A/D store is a hit.
                 out.latency += 1;
             }
@@ -161,7 +165,7 @@ class PageWalker
                 bool in_window)
     {
         WalkOutcome out;
-        MITOSIM_ASSERT(cr3 != InvalidPfn, "walk with no CR3 loaded");
+        MITOSIM_DASSERT(cr3 != InvalidPfn, "walk with no CR3 loaded");
         const mem::PhysicalMemory &cmem = mem;
 
         auto probe = pwc.lookup(cr3, va);

@@ -6,28 +6,38 @@ namespace mitosim::tlb
 {
 
 void
+PagingStructureCache::Level::resize(unsigned n)
+{
+    vaTags.assign(n, ~0ull);
+    cr3s.assign(n, InvalidPfn);
+    asids.assign(n, 0);
+    tablePfns.assign(n, InvalidPfn);
+    lrus.assign(n, 0);
+}
+
+void
 PagingStructureCache::Level::invalidate(VirtAddr va)
 {
     std::uint64_t tag = va >> tagShift;
-    for (auto &s : slots) {
-        if (s.vaTag == tag)
-            s.cr3 = InvalidPfn;
+    for (std::size_t i = 0; i < vaTags.size(); ++i) {
+        if (vaTags[i] == tag)
+            cr3s[i] = InvalidPfn;
     }
 }
 
 void
 PagingStructureCache::Level::flush()
 {
-    for (auto &s : slots)
-        s.cr3 = InvalidPfn;
+    for (auto &c : cr3s)
+        c = InvalidPfn;
 }
 
 void
 PagingStructureCache::Level::flushAsid(Asid asid)
 {
-    for (auto &s : slots) {
-        if (s.asid == asid)
-            s.cr3 = InvalidPfn;
+    for (std::size_t i = 0; i < cr3s.size(); ++i) {
+        if (asids[i] == asid)
+            cr3s[i] = InvalidPfn;
     }
 }
 
@@ -35,11 +45,11 @@ PagingStructureCache::PagingStructureCache(const PwcConfig &config)
 {
     MITOSIM_ASSERT(config.pml4eEntries > 0 && config.pdpteEntries > 0 &&
                    config.pdeEntries > 0);
-    pml4e.slots.resize(config.pml4eEntries);
+    pml4e.resize(config.pml4eEntries);
     pml4e.tagShift = PageShift + 3 * PtIndexBits; // 39
-    pdpte.slots.resize(config.pdpteEntries);
+    pdpte.resize(config.pdpteEntries);
     pdpte.tagShift = PageShift + 2 * PtIndexBits; // 30
-    pde.slots.resize(config.pdeEntries);
+    pde.resize(config.pdeEntries);
     pde.tagShift = PageShift + PtIndexBits; // 21
 }
 
@@ -73,9 +83,12 @@ void
 PagingStructureCache::forEachEntry(
     const std::function<void(Pfn, Asid, int, Pfn)> &fn) const
 {
-    pml4e.forEach([&](const Slot &s) { fn(s.cr3, s.asid, 3, s.tablePfn); });
-    pdpte.forEach([&](const Slot &s) { fn(s.cr3, s.asid, 2, s.tablePfn); });
-    pde.forEach([&](const Slot &s) { fn(s.cr3, s.asid, 1, s.tablePfn); });
+    pml4e.forEach(
+        [&](Pfn cr3, Asid asid, Pfn table) { fn(cr3, asid, 3, table); });
+    pdpte.forEach(
+        [&](Pfn cr3, Asid asid, Pfn table) { fn(cr3, asid, 2, table); });
+    pde.forEach(
+        [&](Pfn cr3, Asid asid, Pfn table) { fn(cr3, asid, 1, table); });
 }
 
 } // namespace mitosim::tlb

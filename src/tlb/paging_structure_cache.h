@@ -80,25 +80,25 @@ class PagingStructureCache
     lookup(Pfn cr3, VirtAddr va)
     {
         Probe p;
-        if (Slot *s = pde.find(cr3, asid_, va)) {
-            s->lru = ++clock;
+        if (std::size_t s = pde.find(cr3, asid_, va); s != npos) {
+            pde.lrus[s] = ++clock;
             ++stats_.hits;
             p.startLevel = 1;
-            p.tablePfn = s->tablePfn;
+            p.tablePfn = pde.tablePfns[s];
             return p;
         }
-        if (Slot *s = pdpte.find(cr3, asid_, va)) {
-            s->lru = ++clock;
+        if (std::size_t s = pdpte.find(cr3, asid_, va); s != npos) {
+            pdpte.lrus[s] = ++clock;
             ++stats_.hits;
             p.startLevel = 2;
-            p.tablePfn = s->tablePfn;
+            p.tablePfn = pdpte.tablePfns[s];
             return p;
         }
-        if (Slot *s = pml4e.find(cr3, asid_, va)) {
-            s->lru = ++clock;
+        if (std::size_t s = pml4e.find(cr3, asid_, va); s != npos) {
+            pml4e.lrus[s] = ++clock;
             ++stats_.hits;
             p.startLevel = 3;
-            p.tablePfn = s->tablePfn;
+            p.tablePfn = pml4e.tablePfns[s];
             return p;
         }
         ++stats_.misses;
@@ -152,69 +152,95 @@ class PagingStructureCache
         const std::function<void(Pfn, Asid, int, Pfn)> &fn) const;
 
   private:
-    struct Slot
-    {
-        Pfn cr3 = InvalidPfn;
-        Asid asid = 0;
-        std::uint64_t vaTag = ~0ull;
-        Pfn tablePfn = InvalidPfn;
-        std::uint32_t lru = 0;
-    };
+    static constexpr std::size_t npos = ~std::size_t{0};
 
-    /** Fully-associative array for one level. */
+    /**
+     * Fully-associative array for one level, stored struct-of-arrays:
+     * the packed vaTag vector is scanned first (it is the most
+     * discriminating field for a single process, and the whole pde
+     * level's tags fit in four cache lines), cr3 / ASID confirm only
+     * on a tag match. Scan order, the free-slot early break in insert,
+     * and the lowest-LRU tiebreak are identical to the old slot scan,
+     * so victim choice — and therefore every simulated outcome — is
+     * unchanged. Emptiness is keyed on cr3 == InvalidPfn, exactly as
+     * before (invalidate/flush leave stale vaTags behind, which can
+     * never match because a live cr3 is never InvalidPfn).
+     */
     struct Level
     {
-        std::vector<Slot> slots;
+        std::vector<std::uint64_t> vaTags;
+        std::vector<Pfn> cr3s; //!< InvalidPfn = empty slot
+        std::vector<Asid> asids;
+        std::vector<Pfn> tablePfns;
+        std::vector<std::uint32_t> lrus;
         unsigned tagShift; //!< VA bits above this shift form the tag
 
-        Slot *
-        find(Pfn cr3, Asid asid, VirtAddr va)
+        /**
+         * Sticky "insert() has ever run" flag: lets find() skip the tag
+         * scan entirely while the level has never been filled. A 2 MB-
+         * mapped address space never fills the pde level (walks stop at
+         * the level-2 leaf), so its 32-tag scan — the first probe of
+         * every lookup — is pure waste there. Decision-identical: with
+         * no insert ever, every slot is empty and find() misses anyway.
+         */
+        bool everInserted = false;
+
+        void resize(unsigned n);
+
+        std::size_t
+        find(Pfn cr3, Asid asid, VirtAddr va) const
         {
+            if (!everInserted)
+                return npos;
             std::uint64_t tag = va >> tagShift;
-            for (auto &s : slots) {
-                if (s.cr3 == cr3 && s.asid == asid && s.vaTag == tag)
-                    return &s;
+            for (std::size_t i = 0; i < vaTags.size(); ++i) {
+                if (vaTags[i] == tag && cr3s[i] == cr3 &&
+                    asids[i] == asid)
+                    return i;
             }
-            return nullptr;
+            return npos;
         }
 
         void
         insert(Pfn cr3, Asid asid, VirtAddr va, Pfn table,
                std::uint32_t now)
         {
+            everInserted = true;
             std::uint64_t tag = va >> tagShift;
-            Slot *victim = &slots[0];
-            for (auto &s : slots) {
-                if (s.cr3 == cr3 && s.asid == asid && s.vaTag == tag) {
-                    s.tablePfn = table;
-                    s.lru = now;
+            std::size_t victim = 0;
+            for (std::size_t i = 0; i < vaTags.size(); ++i) {
+                if (cr3s[i] == cr3 && asids[i] == asid &&
+                    vaTags[i] == tag) {
+                    tablePfns[i] = table;
+                    lrus[i] = now;
                     return;
                 }
-                if (s.cr3 == InvalidPfn) {
-                    victim = &s;
+                if (cr3s[i] == InvalidPfn) {
+                    victim = i;
                     break;
                 }
-                if (s.lru < victim->lru)
-                    victim = &s;
+                if (lrus[i] < lrus[victim])
+                    victim = i;
             }
-            victim->cr3 = cr3;
-            victim->asid = asid;
-            victim->vaTag = tag;
-            victim->tablePfn = table;
-            victim->lru = now;
+            cr3s[victim] = cr3;
+            asids[victim] = asid;
+            vaTags[victim] = tag;
+            tablePfns[victim] = table;
+            lrus[victim] = now;
         }
 
         void invalidate(VirtAddr va);
         void flush();
         void flushAsid(Asid asid);
 
+        /** Visit every valid slot as (cr3, asid, tablePfn). */
         template <typename Fn>
         void
         forEach(Fn &&fn) const
         {
-            for (const Slot &s : slots) {
-                if (s.cr3 != InvalidPfn)
-                    fn(s);
+            for (std::size_t i = 0; i < cr3s.size(); ++i) {
+                if (cr3s[i] != InvalidPfn)
+                    fn(cr3s[i], asids[i], tablePfns[i]);
             }
         }
     };

@@ -1,5 +1,7 @@
 #include "tlb.h"
 
+#include <algorithm>
+
 #include "src/base/logging.h"
 
 namespace mitosim::tlb
@@ -19,12 +21,15 @@ roundDownPow2(std::uint64_t v)
 
 } // namespace
 
-TwoLevelTlb::Array::Array(unsigned entries, unsigned ways)
+TwoLevelTlb::Array::Array(unsigned num_entries, unsigned ways)
     : numWays(ways)
 {
-    MITOSIM_ASSERT(ways > 0 && entries >= ways);
-    sets = roundDownPow2(entries / ways);
-    slots.assign(sets * ways, Slot{});
+    MITOSIM_ASSERT(ways > 0 && num_entries >= ways);
+    sets = roundDownPow2(num_entries / ways);
+    tags.assign(sets * ways, InvalidTag);
+    asids.assign(sets * ways, 0);
+    entries.assign(sets * ways, TlbEntry{});
+    lrus.assign(sets * ways, 0);
 }
 
 void
@@ -34,24 +39,23 @@ TwoLevelTlb::Array::invalidate(std::uint64_t tag)
     // ASIDs (one per tenant that touched it before a remap).
     std::size_t base = static_cast<std::size_t>(tag & (sets - 1)) * numWays;
     for (unsigned w = 0; w < numWays; ++w) {
-        if (slots[base + w].tag == tag)
-            slots[base + w].tag = ~0ull;
+        if (tags[base + w] == tag)
+            tags[base + w] = InvalidTag;
     }
 }
 
 void
 TwoLevelTlb::Array::flush()
 {
-    for (auto &s : slots)
-        s.tag = ~0ull;
+    std::fill(tags.begin(), tags.end(), InvalidTag);
 }
 
 void
 TwoLevelTlb::Array::flushAsid(Asid asid)
 {
-    for (auto &s : slots) {
-        if (s.asid == asid)
-            s.tag = ~0ull;
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+        if (asids[i] == asid)
+            tags[i] = InvalidTag;
     }
 }
 
@@ -97,11 +101,12 @@ TwoLevelTlb::forEachEntry(
 {
     // The VA is recoverable from the tag: 2 MB entries tag at 2 MB
     // granularity (with LargeTagBit mixed in for the unified L2).
-    auto visit = [&](const Slot &s) {
-        VirtAddr va = s.entry.size == PageSizeKind::Large2M
-                          ? ((s.tag & ~LargeTagBit) << LargePageShift)
-                          : (s.tag << PageShift);
-        fn(va, s.asid, s.entry);
+    auto visit = [&](std::uint64_t tag, Asid asid,
+                     const TlbEntry &entry) {
+        VirtAddr va = entry.size == PageSizeKind::Large2M
+                          ? ((tag & ~LargeTagBit) << LargePageShift)
+                          : (tag << PageShift);
+        fn(va, asid, entry);
     };
     l1Small.forEach(visit);
     l1Large.forEach(visit);

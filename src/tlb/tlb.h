@@ -115,52 +115,75 @@ class TwoLevelTlb
     {
         TlbLookupResult res;
 
-        // L1, both size classes probed in parallel on real hardware.
-        if (Slot *s = l1Small.find(tag4K(va), asid_)) {
-            s->lru = ++clock;
-            ++stats_.l1Hits;
-            res.hit = true;
-            res.hitLevel = 1;
-            res.latency = cfg.l1HitLatency;
-            res.entry = s->entry;
+        // Early-out ASID guard (same licence as sawLarge_ below): if
+        // every entry ever installed carries one single ASID and the
+        // probing ASID differs, no array can hold a match — take the
+        // miss directly without scanning. A guaranteed-miss probe
+        // changes no state and no per-array stats, so skipping it is
+        // invisible to the simulation.
+        if (asid_ != onlyAsid_ && !multiAsid_ && anyInsert_)
+            [[unlikely]] {
+            ++stats_.misses;
+            res.hit = false;
+            res.latency = cfg.l2HitLatency;
             return res;
         }
-        // Probing the 2 MB arrays is pointless (guaranteed null, no
-        // state or stats change on a miss) until a large translation
-        // has ever been installed — which all-4K phases of fragmented
-        // runs hit on every single lookup.
-        if (sawLarge_) {
-            if (Slot *s = l1Large.find(tag2M(va), asid_)) {
-                s->lru = ++clock;
+
+        // L1, both size classes probed in parallel on real hardware.
+        // Each size class's probes are skipped until a translation of
+        // that size has ever been installed (saw4K_ / sawLarge_): a
+        // guaranteed-miss probe changes no state and no stats, and
+        // all-2M (or all-4K) address spaces otherwise pay for both
+        // size classes on every single lookup.
+        if (saw4K_) {
+            if (std::size_t s = l1Small.find(tag4K(va), asid_);
+                s != Array::npos) {
+                l1Small.touch(s, ++clock);
                 ++stats_.l1Hits;
                 res.hit = true;
                 res.hitLevel = 1;
                 res.latency = cfg.l1HitLatency;
-                res.entry = s->entry;
+                res.entry = l1Small.entryAt(s);
+                return res;
+            }
+        }
+        if (sawLarge_) {
+            if (std::size_t s = l1Large.find(tag2M(va), asid_);
+                s != Array::npos) {
+                l1Large.touch(s, ++clock);
+                ++stats_.l1Hits;
+                res.hit = true;
+                res.hitLevel = 1;
+                res.latency = cfg.l1HitLatency;
+                res.entry = l1Large.entryAt(s);
                 return res;
             }
         }
 
         // Unified L2: try the 4 KB-granule tag, then the 2 MB-granule tag.
-        if (Slot *s = l2.find(tag4K(va), asid_)) {
-            s->lru = ++clock;
-            ++stats_.l2Hits;
-            res.hit = true;
-            res.hitLevel = 2;
-            res.latency = cfg.l2HitLatency;
-            res.entry = s->entry;
-            l1Small.insert(tag4K(va), asid_, s->entry, ++clock);
-            return res;
-        }
-        if (cfg.l2Holds2M && sawLarge_) {
-            if (Slot *s = l2.find(tag2M(va) | LargeTagBit, asid_)) {
-                s->lru = ++clock;
+        if (saw4K_) {
+            if (std::size_t s = l2.find(tag4K(va), asid_);
+                s != Array::npos) {
+                l2.touch(s, ++clock);
                 ++stats_.l2Hits;
                 res.hit = true;
                 res.hitLevel = 2;
                 res.latency = cfg.l2HitLatency;
-                res.entry = s->entry;
-                l1Large.insert(tag2M(va), asid_, s->entry, ++clock);
+                res.entry = l2.entryAt(s);
+                l1Small.insert(tag4K(va), asid_, res.entry, ++clock);
+                return res;
+            }
+        }
+        if (cfg.l2Holds2M && sawLarge_) {
+            if (std::size_t s = l2.find(tag2M(va) | LargeTagBit, asid_);
+                s != Array::npos) {
+                l2.touch(s, ++clock);
+                ++stats_.l2Hits;
+                res.hit = true;
+                res.hitLevel = 2;
+                res.latency = cfg.l2HitLatency;
+                res.entry = l2.entryAt(s);
+                l1Large.insert(tag2M(va), asid_, res.entry, ++clock);
                 return res;
             }
         }
@@ -175,7 +198,14 @@ class TwoLevelTlb
     void
     insert(VirtAddr va, const TlbEntry &entry)
     {
+        if (!anyInsert_) {
+            onlyAsid_ = asid_;
+            anyInsert_ = true;
+        } else if (asid_ != onlyAsid_) {
+            multiAsid_ = true;
+        }
         if (entry.size == PageSizeKind::Base4K) {
+            saw4K_ = true;
             l1Small.insert(tag4K(va), asid_, entry, ++clock);
             l2.insert(tag4K(va), asid_, entry, ++clock);
         } else {
@@ -213,31 +243,44 @@ class TwoLevelTlb
         const;
 
   private:
-    struct Slot
-    {
-        std::uint64_t tag = ~0ull; //!< page-aligned VA tag, ~0 = invalid
-        Asid asid = 0;             //!< address space the entry belongs to
-        TlbEntry entry;
-        std::uint32_t lru = 0;
-    };
-
-    /** One set-associative array of slots. */
+    /**
+     * One set-associative array, stored struct-of-arrays: the packed
+     * tag vector is the only thing a find touches until it hits (the
+     * ASID vector is read per way only after its tag matched, which is
+     * rare outside the hit way), so a whole set's tags land in one or
+     * two cache lines instead of one per slot. Victim selection in
+     * insert is decision-identical to the old slot scan: matching or
+     * first-free way wins immediately, else the earliest way with the
+     * lowest LRU stamp.
+     */
     class Array
     {
       public:
         Array(unsigned entries, unsigned ways);
 
-        Slot *
-        find(std::uint64_t tag, Asid asid)
+        static constexpr std::size_t npos = ~std::size_t{0};
+        static constexpr std::uint64_t InvalidTag = ~0ull;
+
+        std::size_t
+        find(std::uint64_t tag, Asid asid) const
         {
             std::size_t base =
                 static_cast<std::size_t>(tag & (sets - 1)) * numWays;
             for (unsigned w = 0; w < numWays; ++w) {
-                if (slots[base + w].tag == tag &&
-                    slots[base + w].asid == asid)
-                    return &slots[base + w];
+                if (tags[base + w] == tag && asids[base + w] == asid)
+                    return base + w;
             }
-            return nullptr;
+            return npos;
+        }
+
+        void touch(std::size_t slot, std::uint32_t now)
+        {
+            lrus[slot] = now;
+        }
+
+        const TlbEntry &entryAt(std::size_t slot) const
+        {
+            return entries[slot];
         }
 
         void
@@ -248,38 +291,43 @@ class TwoLevelTlb
                 static_cast<std::size_t>(tag & (sets - 1)) * numWays;
             std::size_t victim = base;
             for (unsigned w = 0; w < numWays; ++w) {
-                Slot &s = slots[base + w];
-                if ((s.tag == tag && s.asid == asid) || s.tag == ~0ull) {
-                    victim = base + w;
+                std::size_t i = base + w;
+                if ((tags[i] == tag && asids[i] == asid) ||
+                    tags[i] == InvalidTag) {
+                    victim = i;
                     break;
                 }
-                if (slots[victim].lru > s.lru)
-                    victim = base + w;
+                if (lrus[victim] > lrus[i])
+                    victim = i;
             }
-            slots[victim].tag = tag;
-            slots[victim].asid = asid;
-            slots[victim].entry = entry;
-            slots[victim].lru = now;
+            tags[victim] = tag;
+            asids[victim] = asid;
+            entries[victim] = entry;
+            lrus[victim] = now;
         }
 
         void invalidate(std::uint64_t tag); //!< all ASIDs holding tag
         void flush();
         void flushAsid(Asid asid);
 
+        /** Visit every valid slot as (tag, asid, entry). */
         template <typename Fn>
         void
         forEach(Fn &&fn) const
         {
-            for (const Slot &s : slots) {
-                if (s.tag != ~0ull)
-                    fn(s);
+            for (std::size_t i = 0; i < tags.size(); ++i) {
+                if (tags[i] != InvalidTag)
+                    fn(tags[i], asids[i], entries[i]);
             }
         }
 
       private:
         unsigned numWays;
         std::uint64_t sets;
-        std::vector<Slot> slots;
+        std::vector<std::uint64_t> tags;  //!< InvalidTag = empty slot
+        std::vector<Asid> asids;
+        std::vector<TlbEntry> entries;
+        std::vector<std::uint32_t> lrus;
     };
 
     static std::uint64_t tag4K(VirtAddr va) { return va >> PageShift; }
@@ -293,12 +341,25 @@ class TwoLevelTlb
     Array l1Large;
     Array l2;     //!< unified; tags are 4K-granule with size in entry
     /**
-     * Whether any 2 MB translation was ever installed. Sticky (never
-     * cleared by flushes): false only guarantees the large arrays are
-     * empty, which licenses skipping their probes — a pure host-side
-     * shortcut with no effect on simulated state or statistics.
+     * Whether any 2 MB / any 4 KB translation was ever installed.
+     * Sticky (never cleared by flushes): false only guarantees the
+     * size class's arrays are empty, which licenses skipping their
+     * probes — a pure host-side shortcut with no effect on simulated
+     * state or statistics.
      */
     bool sawLarge_ = false;
+    bool saw4K_ = false;
+    /**
+     * Sticky single-ASID tracking for the lookup early-out: onlyAsid_
+     * is the ASID of the first insert ever, multiAsid_ goes true (and
+     * stays true) once a second distinct ASID is installed. While
+     * multiAsid_ is false, a probe under any other ASID is a
+     * guaranteed miss. The pinned default (one process per core) never
+     * sets multiAsid_.
+     */
+    Asid onlyAsid_ = 0;
+    bool anyInsert_ = false;
+    bool multiAsid_ = false;
     Asid asid_ = 0;
     std::uint32_t clock = 0;
     TlbStats stats_;

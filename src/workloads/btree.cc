@@ -37,8 +37,9 @@ BTree::setup(os::ExecContext &ctx)
         rngs.push_back(threadRng(t));
 }
 
+template <class Sink>
 void
-BTree::step(os::ExecContext &ctx, int tid)
+BTree::genStep(Sink &sink, int tid)
 {
     // One lookup: descend from the root, reading one node per level.
     // The child choice is a hash of (key, level) so paths are uniform
@@ -50,9 +51,9 @@ BTree::step(os::ExecContext &ctx, int tid)
     for (std::size_t level = 0; level < levelBase.size(); ++level) {
         std::uint64_t node = levelBase[level] + idx;
         VirtAddr va = base + node * NodeBytes;
-        ctx.access(tid, va, false);
-        ctx.access(tid, va + 128, false);
-        ctx.compute(tid, 6); // key comparisons
+        sink.access(va, false);
+        sink.access(va + 128, false);
+        sink.compute(6); // key comparisons
         if (level + 1 < levelBase.size()) {
             std::uint64_t child_slot =
                 (key >> (level * 4)) % Fanout;
@@ -61,6 +62,22 @@ BTree::step(os::ExecContext &ctx, int tid)
                 idx %= levelCount[level + 1];
         }
     }
+}
+
+void
+BTree::step(os::ExecContext &ctx, int tid)
+{
+    detail::CtxSink sink{ctx, tid};
+    genStep(sink, tid);
+}
+
+bool
+BTree::stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+{
+    detail::BufSink sink{out};
+    for (unsigned i = 0; i < nsteps; ++i)
+        genStep(sink, tid);
+    return true;
 }
 
 } // namespace mitosim::workloads

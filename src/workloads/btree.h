@@ -32,10 +32,14 @@ class BTree : public Workload
     }
     void setup(os::ExecContext &ctx) override;
     void step(os::ExecContext &ctx, int tid) override;
+    bool stepBatch(int tid, unsigned nsteps,
+                   std::vector<os::BatchOp> &out) override;
 
     int depth() const { return static_cast<int>(levelBase.size()); }
 
   private:
+    template <class Sink> void genStep(Sink &sink, int tid);
+
     static constexpr std::uint64_t NodeBytes = 256; //!< 4 cache lines
     static constexpr std::uint64_t Fanout = 16;
 

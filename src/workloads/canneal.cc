@@ -25,8 +25,9 @@ Canneal::setup(os::ExecContext &ctx)
         rngs.push_back(threadRng(t));
 }
 
+template <class Sink>
 void
-Canneal::step(os::ExecContext &ctx, int tid)
+Canneal::genStep(Sink &sink, int tid)
 {
     auto &rng = rngs[static_cast<std::size_t>(tid)];
 
@@ -37,17 +38,33 @@ Canneal::step(os::ExecContext &ctx, int tid)
     VirtAddr va_a = elements + a * ElementBytes;
     VirtAddr va_b = elements + b * ElementBytes;
 
-    ctx.access(tid, va_a, false);
-    ctx.access(tid, va_b, false);
+    sink.access(va_a, false);
+    sink.access(va_b, false);
     for (unsigned n = 0; n < NeighbourReads; ++n) {
         std::uint64_t na = rng.below(numElements);
         std::uint64_t nb = rng.below(numElements);
-        ctx.access(tid, elements + na * ElementBytes, false);
-        ctx.access(tid, elements + nb * ElementBytes, false);
+        sink.access(elements + na * ElementBytes, false);
+        sink.access(elements + nb * ElementBytes, false);
     }
-    ctx.access(tid, va_a, true);
-    ctx.access(tid, va_b, true);
-    ctx.compute(tid, 14); // routing-cost arithmetic
+    sink.access(va_a, true);
+    sink.access(va_b, true);
+    sink.compute(14); // routing-cost arithmetic
+}
+
+void
+Canneal::step(os::ExecContext &ctx, int tid)
+{
+    detail::CtxSink sink{ctx, tid};
+    genStep(sink, tid);
+}
+
+bool
+Canneal::stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+{
+    detail::BufSink sink{out};
+    for (unsigned i = 0; i < nsteps; ++i)
+        genStep(sink, tid);
+    return true;
 }
 
 } // namespace mitosim::workloads

@@ -33,8 +33,9 @@ Graph500::setup(os::ExecContext &ctx)
         rngs.push_back(threadRng(t));
 }
 
+template <class Sink>
 void
-Graph500::step(os::ExecContext &ctx, int tid)
+Graph500::genStep(Sink &sink, int tid)
 {
     auto &rng = rngs[static_cast<std::size_t>(tid)];
 
@@ -43,13 +44,29 @@ Graph500::step(os::ExecContext &ctx, int tid)
     // (Kronecker targets are skewed towards hubs).
     std::uint64_t v = rng.skewed(numVertices, 0.15, 0.6);
     VirtAddr edge_va = edges + v * AvgDegree * EdgeBytes;
-    ctx.access(tid, edge_va, false);
-    ctx.access(tid, edge_va + 64, false);
+    sink.access(edge_va, false);
+    sink.access(edge_va + 64, false);
     for (int n = 0; n < 4; ++n) {
         std::uint64_t u = rng.skewed(numVertices, 0.15, 0.6);
-        ctx.access(tid, visited + u * 8, true);
+        sink.access(visited + u * 8, true);
     }
-    ctx.compute(tid, 8);
+    sink.compute(8);
+}
+
+void
+Graph500::step(os::ExecContext &ctx, int tid)
+{
+    detail::CtxSink sink{ctx, tid};
+    genStep(sink, tid);
+}
+
+bool
+Graph500::stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+{
+    detail::BufSink sink{out};
+    for (unsigned i = 0; i < nsteps; ++i)
+        genStep(sink, tid);
+    return true;
 }
 
 } // namespace mitosim::workloads

@@ -22,16 +22,33 @@ Gups::setup(os::ExecContext &ctx)
         rngs.push_back(threadRng(t));
 }
 
+template <class Sink>
 void
-Gups::step(os::ExecContext &ctx, int tid)
+Gups::genStep(Sink &sink, int tid)
 {
     // One RMW of a uniformly random word: XOR-update, as in HPCC
     // RandomAccess. The simulator charges the load+store as one write
     // reference (same line) plus a couple of ALU cycles.
     auto &rng = rngs[static_cast<std::size_t>(tid)];
     VirtAddr va = base + rng.below(words) * sizeof(std::uint64_t);
-    ctx.access(tid, va, true);
-    ctx.compute(tid, 4);
+    sink.access(va, true);
+    sink.compute(4);
+}
+
+void
+Gups::step(os::ExecContext &ctx, int tid)
+{
+    detail::CtxSink sink{ctx, tid};
+    genStep(sink, tid);
+}
+
+bool
+Gups::stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+{
+    detail::BufSink sink{out};
+    for (unsigned i = 0; i < nsteps; ++i)
+        genStep(sink, tid);
+    return true;
 }
 
 } // namespace mitosim::workloads

@@ -31,8 +31,12 @@ class Gups : public Workload
     }
     void setup(os::ExecContext &ctx) override;
     void step(os::ExecContext &ctx, int tid) override;
+    bool stepBatch(int tid, unsigned nsteps,
+                   std::vector<os::BatchOp> &out) override;
 
   private:
+    template <class Sink> void genStep(Sink &sink, int tid);
+
     VirtAddr base = 0;
     std::uint64_t words = 0;
     std::vector<Rng> rngs;

@@ -31,22 +31,39 @@ HashJoin::setup(os::ExecContext &ctx)
         rngs.push_back(threadRng(t));
 }
 
+template <class Sink>
 void
-HashJoin::step(os::ExecContext &ctx, int tid)
+HashJoin::genStep(Sink &sink, int tid)
 {
     auto &rng = rngs[static_cast<std::size_t>(tid)];
 
     // Probe: hash the key to a bucket, sometimes follow one overflow
     // bucket, then fetch the matching tuple's payload.
     std::uint64_t bucket = rng.below(numBuckets);
-    ctx.access(tid, buckets + bucket * BucketBytes, false);
+    sink.access(buckets + bucket * BucketBytes, false);
     if (rng.chance(OverflowChainProb)) {
         std::uint64_t next = rng.below(numBuckets);
-        ctx.access(tid, buckets + next * BucketBytes, false);
+        sink.access(buckets + next * BucketBytes, false);
     }
     std::uint64_t tuple = rng.below(numTuples);
-    ctx.access(tid, tuples + tuple * TupleBytes, false);
-    ctx.compute(tid, 8); // hash + key compare
+    sink.access(tuples + tuple * TupleBytes, false);
+    sink.compute(8); // hash + key compare
+}
+
+void
+HashJoin::step(os::ExecContext &ctx, int tid)
+{
+    detail::CtxSink sink{ctx, tid};
+    genStep(sink, tid);
+}
+
+bool
+HashJoin::stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+{
+    detail::BufSink sink{out};
+    for (unsigned i = 0; i < nsteps; ++i)
+        genStep(sink, tid);
+    return true;
 }
 
 } // namespace mitosim::workloads

@@ -36,8 +36,9 @@ LibLinear::setup(os::ExecContext &ctx)
         rngs.push_back(threadRng(t));
 }
 
+template <class Sink>
 void
-LibLinear::step(os::ExecContext &ctx, int tid)
+LibLinear::genStep(Sink &sink, int tid)
 {
     auto &s = cursor[static_cast<std::size_t>(tid)];
     auto &rng = rngs[static_cast<std::size_t>(tid)];
@@ -45,15 +46,31 @@ LibLinear::step(os::ExecContext &ctx, int tid)
     // Stream the sample's feature lines (sequential — TLB friendly).
     VirtAddr sample_va = features + s * SampleBytes;
     for (std::uint64_t line = 0; line < SampleBytes / 64; ++line)
-        ctx.access(tid, sample_va + line * 64, false);
+        sink.access(sample_va + line * 64, false);
 
     // Sparse weight updates at the sample's nonzero coordinates.
     for (unsigned u = 0; u < SparseUpdates; ++u) {
         std::uint64_t w = rng.below(numWeights);
-        ctx.access(tid, weights + w * sizeof(std::uint64_t), true);
+        sink.access(weights + w * sizeof(std::uint64_t), true);
     }
-    ctx.compute(tid, 30); // dot products
+    sink.compute(30); // dot products
     s = (s + 1) % numSamples;
+}
+
+void
+LibLinear::step(os::ExecContext &ctx, int tid)
+{
+    detail::CtxSink sink{ctx, tid};
+    genStep(sink, tid);
+}
+
+bool
+LibLinear::stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+{
+    detail::BufSink sink{out};
+    for (unsigned i = 0; i < nsteps; ++i)
+        genStep(sink, tid);
+    return true;
 }
 
 } // namespace mitosim::workloads

@@ -32,8 +32,9 @@ Memcached::setup(os::ExecContext &ctx)
         rngs.push_back(threadRng(t));
 }
 
+template <class Sink>
 void
-Memcached::step(os::ExecContext &ctx, int tid)
+Memcached::genStep(Sink &sink, int tid)
 {
     auto &rng = rngs[static_cast<std::size_t>(tid)];
 
@@ -42,11 +43,27 @@ Memcached::step(os::ExecContext &ctx, int tid)
     std::uint64_t bucket = (item * 0x9e3779b97f4a7c15ull) % numBuckets;
     bool is_set = rng.chance(SetRatio);
 
-    ctx.access(tid, buckets + bucket * BucketBytes, false);
+    sink.access(buckets + bucket * BucketBytes, false);
     VirtAddr item_va = items + item * ItemBytes;
-    ctx.access(tid, item_va, false);              // item header
-    ctx.access(tid, item_va + 128, is_set);       // value line
-    ctx.compute(tid, 12); // hashing, memcmp of the key
+    sink.access(item_va, false);              // item header
+    sink.access(item_va + 128, is_set);       // value line
+    sink.compute(12); // hashing, memcmp of the key
+}
+
+void
+Memcached::step(os::ExecContext &ctx, int tid)
+{
+    detail::CtxSink sink{ctx, tid};
+    genStep(sink, tid);
+}
+
+bool
+Memcached::stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+{
+    detail::BufSink sink{out};
+    for (unsigned i = 0; i < nsteps; ++i)
+        genStep(sink, tid);
+    return true;
 }
 
 } // namespace mitosim::workloads

@@ -30,8 +30,12 @@ class Memcached : public Workload
     }
     void setup(os::ExecContext &ctx) override;
     void step(os::ExecContext &ctx, int tid) override;
+    bool stepBatch(int tid, unsigned nsteps,
+                   std::vector<os::BatchOp> &out) override;
 
   private:
+    template <class Sink> void genStep(Sink &sink, int tid);
+
     static constexpr std::uint64_t BucketBytes = 64;
     static constexpr std::uint64_t ItemBytes = 512; //!< header + value
     static constexpr double SetRatio = 0.10;

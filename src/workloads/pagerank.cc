@@ -39,8 +39,9 @@ PageRank::setup(os::ExecContext &ctx)
         rngs.push_back(threadRng(t));
 }
 
+template <class Sink>
 void
-PageRank::step(os::ExecContext &ctx, int tid)
+PageRank::genStep(Sink &sink, int tid)
 {
     auto &v = cursor[static_cast<std::size_t>(tid)];
     auto &rng = rngs[static_cast<std::size_t>(tid)];
@@ -48,20 +49,36 @@ PageRank::step(os::ExecContext &ctx, int tid)
     // Sequential: this vertex's slice of the CSR edge array (AvgDegree
     // edge ids = 2 cache lines).
     VirtAddr edge_va = edges + v * AvgDegree * EdgeBytes;
-    ctx.access(tid, edge_va, false);
-    ctx.access(tid, edge_va + 64, false);
+    sink.access(edge_va, false);
+    sink.access(edge_va + 64, false);
 
     // Random: gather a sample of the neighbours' ranks. Power-law-ish
     // targets: skewed towards hub vertices.
     for (int n = 0; n < 6; ++n) {
         std::uint64_t u = rng.skewed(numVertices, 0.1, 0.5);
-        ctx.access(tid, ranks + u * RankBytes, false);
+        sink.access(ranks + u * RankBytes, false);
     }
 
     // Write the new rank.
-    ctx.access(tid, ranks + v * RankBytes, true);
-    ctx.compute(tid, 10);
+    sink.access(ranks + v * RankBytes, true);
+    sink.compute(10);
     v = (v + 1) % numVertices;
+}
+
+void
+PageRank::step(os::ExecContext &ctx, int tid)
+{
+    detail::CtxSink sink{ctx, tid};
+    genStep(sink, tid);
+}
+
+bool
+PageRank::stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+{
+    detail::BufSink sink{out};
+    for (unsigned i = 0; i < nsteps; ++i)
+        genStep(sink, tid);
+    return true;
 }
 
 } // namespace mitosim::workloads

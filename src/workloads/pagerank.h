@@ -31,8 +31,12 @@ class PageRank : public Workload
     }
     void setup(os::ExecContext &ctx) override;
     void step(os::ExecContext &ctx, int tid) override;
+    bool stepBatch(int tid, unsigned nsteps,
+                   std::vector<os::BatchOp> &out) override;
 
   private:
+    template <class Sink> void genStep(Sink &sink, int tid);
+
     static constexpr std::uint64_t AvgDegree = 16;
     static constexpr std::uint64_t EdgeBytes = 8;
     static constexpr std::uint64_t RankBytes = 8;

@@ -33,8 +33,9 @@ Redis::setup(os::ExecContext &ctx)
         rngs.push_back(threadRng(t));
 }
 
+template <class Sink>
 void
-Redis::step(os::ExecContext &ctx, int tid)
+Redis::genStep(Sink &sink, int tid)
 {
     auto &rng = rngs[static_cast<std::size_t>(tid)];
     std::uint64_t key = rng.skewed(numKeys);
@@ -43,13 +44,29 @@ Redis::step(os::ExecContext &ctx, int tid)
     // The allocator scatters the three pieces of a key across arenas, so
     // the chase spans three pages: dictEntry -> robj -> sds bytes.
     std::uint64_t entry = (key * 0x9e3779b97f4a7c15ull) % numKeys;
-    ctx.access(tid, entries + entry * EntryBytes, false);
+    sink.access(entries + entry * EntryBytes, false);
     std::uint64_t obj = (key * 0xc2b2ae3d27d4eb4full) % numKeys;
-    ctx.access(tid, objects + obj * ObjBytes, false);
+    sink.access(objects + obj * ObjBytes, false);
     VirtAddr value_va = values + key * ValueBytes;
-    ctx.access(tid, value_va, is_write);
-    ctx.access(tid, value_va + 128, is_write);
-    ctx.compute(tid, 15); // protocol parse + hash
+    sink.access(value_va, is_write);
+    sink.access(value_va + 128, is_write);
+    sink.compute(15); // protocol parse + hash
+}
+
+void
+Redis::step(os::ExecContext &ctx, int tid)
+{
+    detail::CtxSink sink{ctx, tid};
+    genStep(sink, tid);
+}
+
+bool
+Redis::stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+{
+    detail::BufSink sink{out};
+    for (unsigned i = 0; i < nsteps; ++i)
+        genStep(sink, tid);
+    return true;
 }
 
 } // namespace mitosim::workloads

@@ -213,6 +213,12 @@ runInterleavedSharded(os::ExecContext &ctx, Workload &w,
     std::vector<std::uint64_t> done(static_cast<std::size_t>(threads),
                                     0);
     std::vector<os::TraceOp> trace;
+    // Recording goes through the batched generator when available:
+    // runBatch() is tracing here, so it replays the buffer per-op into
+    // the trace — the recorded TraceOp stream is byte-identical to the
+    // per-op loop's.
+    std::vector<os::BatchOp> buf;
+    bool batching = batchEnabled();
     bool any = true;
     while (any) {
         trace.clear();
@@ -223,6 +229,16 @@ runInterleavedSharded(os::ExecContext &ctx, Workload &w,
                 auto &d = done[static_cast<std::size_t>(t)];
                 std::uint64_t end = std::min<std::uint64_t>(
                     ops_per_thread, d + chunk);
+                if (batching && d < end) {
+                    buf.clear();
+                    if (w.stepBatch(t, static_cast<unsigned>(end - d),
+                                    buf)) {
+                        ctx.runBatch(t, buf.data(), buf.size());
+                        d = end;
+                    } else {
+                        batching = false;
+                    }
+                }
                 for (; d < end; ++d)
                     w.step(ctx, t);
                 if (d < ops_per_thread)

@@ -33,16 +33,33 @@ Stream::setup(os::ExecContext &ctx)
     }
 }
 
+template <class Sink>
 void
-Stream::step(os::ExecContext &ctx, int tid)
+Stream::genStep(Sink &sink, int tid)
 {
     auto &pos = cursor[static_cast<std::size_t>(tid)];
     VirtAddr off = pos * sizeof(std::uint64_t);
-    ctx.access(tid, b + off, false);
-    ctx.access(tid, c + off, false);
-    ctx.access(tid, a + off, true);
-    ctx.compute(tid, 2);
+    sink.access(b + off, false);
+    sink.access(c + off, false);
+    sink.access(a + off, true);
+    sink.compute(2);
     pos = (pos + 1) % words;
+}
+
+void
+Stream::step(os::ExecContext &ctx, int tid)
+{
+    detail::CtxSink sink{ctx, tid};
+    genStep(sink, tid);
+}
+
+bool
+Stream::stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+{
+    detail::BufSink sink{out};
+    for (unsigned i = 0; i < nsteps; ++i)
+        genStep(sink, tid);
+    return true;
 }
 
 } // namespace mitosim::workloads

@@ -32,8 +32,12 @@ class Stream : public Workload
     }
     void setup(os::ExecContext &ctx) override;
     void step(os::ExecContext &ctx, int tid) override;
+    bool stepBatch(int tid, unsigned nsteps,
+                   std::vector<os::BatchOp> &out) override;
 
   private:
+    template <class Sink> void genStep(Sink &sink, int tid);
+
     VirtAddr a = 0;
     VirtAddr b = 0;
     VirtAddr c = 0;

@@ -1,5 +1,6 @@
 #include "workload.h"
 
+#include <cstdlib>
 #include <vector>
 
 #include "src/base/logging.h"
@@ -20,6 +21,40 @@
 namespace mitosim::workloads
 {
 
+namespace
+{
+
+/** setBatchEnabledForTest() override; -1 defers to the environment. */
+int batchOverride = -1;
+
+} // namespace
+
+bool
+batchEnabled()
+{
+    if (batchOverride >= 0)
+        return batchOverride != 0;
+    static const bool on = [] {
+        const char *e = std::getenv("MITOSIM_BATCH");
+        return e == nullptr || *e != '0';
+    }();
+    return on;
+}
+
+void
+setBatchEnabledForTest(int enabled)
+{
+    batchOverride = enabled;
+}
+
+namespace
+{
+
+/** Pages emitted per runBatch() call while populating. */
+constexpr std::uint64_t PopulateBatch = 4096;
+
+} // namespace
+
 void
 Workload::populateRegion(os::ExecContext &ctx, VirtAddr start,
                          std::uint64_t length, InitMode mode) const
@@ -29,10 +64,32 @@ Workload::populateRegion(os::ExecContext &ctx, VirtAddr start,
     std::uint64_t granule = prm.thp ? LargePageSize : PageSize;
     std::uint64_t pages = (length + granule - 1) / granule;
 
+    // First-touch writes by one thread over a contiguous range batch
+    // trivially: same ops, same order, replayed per-thread through
+    // runBatch. (Shuffled cannot: its *cross-thread* touch order is
+    // what decides first-touch placement, and runBatch is per-thread.)
+    auto touch_range = [&](int t, std::uint64_t lo, std::uint64_t hi) {
+        if (!batchEnabled()) {
+            for (std::uint64_t p = lo; p < hi; ++p)
+                ctx.access(t, start + p * granule, true);
+            return;
+        }
+        std::vector<os::BatchOp> buf;
+        buf.reserve(static_cast<std::size_t>(
+            std::min(hi - lo, PopulateBatch)));
+        for (std::uint64_t p = lo; p < hi;) {
+            std::uint64_t end = std::min(hi, p + PopulateBatch);
+            buf.clear();
+            for (; p < end; ++p)
+                buf.push_back(
+                    os::BatchOp{start + p * granule, 0, true, false});
+            ctx.runBatch(t, buf.data(), buf.size());
+        }
+    };
+
     switch (mode) {
       case InitMode::MainThread:
-        for (std::uint64_t p = 0; p < pages; ++p)
-            ctx.access(0, start + p * granule, true);
+        touch_range(0, 0, pages);
         break;
 
       case InitMode::Partitioned: {
@@ -41,8 +98,7 @@ Workload::populateRegion(os::ExecContext &ctx, VirtAddr start,
         for (int t = 0; t < threads; ++t) {
             std::uint64_t lo = per * static_cast<std::uint64_t>(t);
             std::uint64_t hi = std::min(pages, lo + per);
-            for (std::uint64_t p = lo; p < hi; ++p)
-                ctx.access(t, start + p * granule, true);
+            touch_range(t, lo, hi);
         }
         break;
       }
@@ -80,6 +136,14 @@ runInterleaved(os::ExecContext &ctx, Workload &w,
         return;
     }
 
+    // Batched hot path: each chunk is generated into a per-call buffer
+    // by one virtual stepBatch() call and replayed by runBatch() with
+    // the per-op mode checks hoisted — same ops in the same global
+    // order as the per-op loop below. Workloads without a batched
+    // generator (stepBatch returns false) drop to the reference loop.
+    bool batching = batchEnabled();
+    std::vector<os::BatchOp> buf;
+
     std::vector<std::uint64_t> done(static_cast<std::size_t>(threads), 0);
     bool any = true;
     while (any) {
@@ -88,6 +152,15 @@ runInterleaved(os::ExecContext &ctx, Workload &w,
             auto &d = done[static_cast<std::size_t>(t)];
             std::uint64_t end = std::min<std::uint64_t>(ops_per_thread,
                                                         d + chunk);
+            if (batching && d < end) {
+                buf.clear();
+                if (w.stepBatch(t, static_cast<unsigned>(end - d), buf)) {
+                    ctx.runBatch(t, buf.data(), buf.size());
+                    d = end;
+                } else {
+                    batching = false;
+                }
+            }
             for (; d < end; ++d)
                 w.step(ctx, t);
             if (d < ops_per_thread)

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/base/rng.h"
 #include "src/os/exec_context.h"
@@ -43,6 +44,40 @@ struct WorkloadParams
     InitMode initMode = InitMode::Partitioned;
     bool initModeOverridden = false; //!< set to keep workload default
 };
+
+namespace detail
+{
+
+/** step() sink: issue each generated op directly against the context. */
+struct CtxSink
+{
+    os::ExecContext &ctx;
+    int tid;
+
+    void
+    access(VirtAddr va, bool is_write)
+    {
+        ctx.access(tid, va, is_write);
+    }
+
+    void compute(Cycles c) { ctx.compute(tid, c); }
+};
+
+/** stepBatch() sink: defer generated ops into a BatchOp buffer. */
+struct BufSink
+{
+    std::vector<os::BatchOp> &out;
+
+    void
+    access(VirtAddr va, bool is_write)
+    {
+        out.push_back(os::BatchOp{va, 0, is_write, false});
+    }
+
+    void compute(Cycles c) { out.push_back(os::BatchOp{0, c, false, true}); }
+};
+
+} // namespace detail
 
 /** Base class for all workloads. */
 class Workload
@@ -72,6 +107,27 @@ class Workload
     /** Execute one operation on logical thread @p tid. */
     virtual void step(os::ExecContext &ctx, int tid) = 0;
 
+    /**
+     * Batched stepping: advance thread @p tid by @p nsteps operations,
+     * appending the ops each step() would have issued to @p out instead
+     * of executing them (the caller replays the run through
+     * ExecContext::runBatch). Identical to @p nsteps step() calls by
+     * construction: both entry points run the same generator body
+     * through a different sink (detail::CtxSink vs detail::BufSink).
+     * Deferred replay is legal because generators never consume the
+     * simulated access latency — they are pure RNG/cursor machines.
+     * @return false if this workload has no batched generator; the
+     * caller must then fall back to per-op step().
+     */
+    virtual bool
+    stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+    {
+        (void)tid;
+        (void)nsteps;
+        (void)out;
+        return false;
+    }
+
     /** Reasonable per-thread operation count for benches. */
     virtual std::uint64_t defaultOps() const { return 100000; }
 
@@ -98,6 +154,23 @@ class Workload
 
     WorkloadParams prm;
 };
+
+/**
+ * Host-side toggle for the batched hot path (generate a short run of
+ * ops with Workload::stepBatch, replay through ExecContext::runBatch).
+ * On by default; MITOSIM_BATCH=0 forces the per-op reference path so
+ * CI can diff the two for byte-identical reports. Read once from the
+ * environment: flipping it mid-run is not a supported mode.
+ */
+bool batchEnabled();
+
+/**
+ * Test-only override of batchEnabled(): 0 forces the per-op reference
+ * path, 1 forces the batched path, -1 restores the environment
+ * setting. The batched-stepping property test compares both paths in
+ * one process; production code never calls this.
+ */
+void setBatchEnabledForTest(int enabled);
 
 /**
  * Run @p ops_per_thread operations per thread, interleaved round-robin in

@@ -31,8 +31,9 @@ XsBench::setup(os::ExecContext &ctx)
         rngs.push_back(threadRng(t));
 }
 
+template <class Sink>
 void
-XsBench::step(os::ExecContext &ctx, int tid)
+XsBench::genStep(Sink &sink, int tid)
 {
     auto &rng = rngs[static_cast<std::size_t>(tid)];
 
@@ -45,8 +46,8 @@ XsBench::step(os::ExecContext &ctx, int tid)
     int probes = 0;
     while (lo + 1 < hi && probes < 24) {
         std::uint64_t mid = lo + (hi - lo) / 2;
-        ctx.access(tid, grid + mid * GridEntryBytes, false);
-        ctx.compute(tid, 2);
+        sink.access(grid + mid * GridEntryBytes, false);
+        sink.compute(2);
         if (mid <= key)
             lo = mid;
         else
@@ -59,9 +60,25 @@ XsBench::step(os::ExecContext &ctx, int tid)
         std::uint64_t row =
             (key * 0x9e3779b97f4a7c15ull + n * 0xc2b2ae3d27d4eb4full) %
             xsRows;
-        ctx.access(tid, xs + row * XsRowBytes, false);
+        sink.access(xs + row * XsRowBytes, false);
     }
-    ctx.compute(tid, 20); // interpolation math
+    sink.compute(20); // interpolation math
+}
+
+void
+XsBench::step(os::ExecContext &ctx, int tid)
+{
+    detail::CtxSink sink{ctx, tid};
+    genStep(sink, tid);
+}
+
+bool
+XsBench::stepBatch(int tid, unsigned nsteps, std::vector<os::BatchOp> &out)
+{
+    detail::BufSink sink{out};
+    for (unsigned i = 0; i < nsteps; ++i)
+        genStep(sink, tid);
+    return true;
 }
 
 } // namespace mitosim::workloads

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Property tests for the batched stepping engine: replaying workload
+ * ops through stepBatch()/runBatch() must be byte-identical to the
+ * per-op reference loop — per-thread counters AND subsequent machine
+ * state (caches, TLBs, A/D bits, page-table placement) — for every
+ * batch size, across the full configuration cross product the hot
+ * path specializes for: {gups, memcached, btree} x {native, mitosis}
+ * x {4 KB, THP} x {pinned, time-shared}.
+ *
+ * Mirrors sharded_sim_test.cc: the serial continuation after the
+ * compared phase proves machine-state convergence (divergent cache or
+ * TLB contents would split the continuations' counters), and a
+ * Figure 3-style page-table dump pins down PTE placement exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "bench/harness.h"
+#include "src/analysis/pt_dump.h"
+#include "src/workloads/workload.h"
+
+namespace mitosim::workloads
+{
+namespace
+{
+
+/** Restore the environment-driven batch setting on scope exit. */
+struct BatchModeGuard
+{
+    explicit BatchModeGuard(int mode) { setBatchEnabledForTest(mode); }
+    ~BatchModeGuard() { setBatchEnabledForTest(-1); }
+};
+
+bench::PopulateSpec
+testSpec(const std::string &workload, bool thp, bool time_shared)
+{
+    bench::PopulateSpec spec;
+    spec.machine = bench::benchMachine();
+    spec.backend = snapshot::BackendKind::Mitosis;
+    spec.workload = workload;
+    spec.params.footprint = 32ull << 20;
+    spec.params.seed = 77;
+    spec.params.thp = thp;
+    spec.kernelCfg.sched.timeShared = time_shared;
+    for (SocketId s = 0; s < spec.machine.topo.numSockets; ++s)
+        spec.threadSockets.push_back(s);
+    return spec;
+}
+
+/** Fork a populated universe and apply the post-populate config. */
+std::unique_ptr<snapshot::Universe>
+prepare(const bench::PopulateSpec &spec, bool mitosis)
+{
+    auto u = bench::preparePopulated(spec);
+    if (mitosis) {
+        u->mitosis().setReplicationMask(
+            u->proc->roots(), u->proc->id(),
+            SocketMask::all(u->machine.numSockets()));
+        u->kernel.reloadContexts(*u->proc);
+    }
+    return u;
+}
+
+bool
+countersMatch(os::ExecContext &a, os::ExecContext &b)
+{
+    if (a.numThreads() != b.numThreads())
+        return false;
+    for (int t = 0; t < a.numThreads(); ++t) {
+        if (std::memcmp(&a.threadCounters(t), &b.threadCounters(t),
+                        sizeof(sim::PerfCounters)) != 0)
+            return false;
+    }
+    return true;
+}
+
+std::string
+ptDumpOf(snapshot::Universe &u)
+{
+    analysis::PtAnalyzer analyzer(u.machine.physmem(), u.kernel.ptOps());
+    return analyzer.snapshot(u.proc->roots()).str();
+}
+
+TEST(BatchedStepTest, ByteIdenticalToPerOpReference)
+{
+    for (const char *wl : {"gups", "memcached", "btree"}) {
+        for (bool mitosis : {false, true}) {
+            for (bool thp : {false, true}) {
+                for (bool time_shared : {false, true}) {
+                    auto spec = testSpec(wl, thp, time_shared);
+                    SCOPED_TRACE(std::string(wl) +
+                                 (mitosis ? " mitosis" : " native") +
+                                 (thp ? " thp" : " 4k") +
+                                 (time_shared ? " time-shared"
+                                              : " pinned"));
+
+                    for (unsigned chunk : {1u, 7u, 32u}) {
+                        SCOPED_TRACE("chunk=" + std::to_string(chunk));
+
+                        // Per-op reference: identical universe, same
+                        // interleaving granule, batching forced off.
+                        auto ref = prepare(spec, mitosis);
+                        {
+                            BatchModeGuard guard(0);
+                            runInterleaved(*ref->ctx, *ref->workload,
+                                           1200, chunk);
+                        }
+
+                        auto bat = prepare(spec, mitosis);
+                        {
+                            BatchModeGuard guard(1);
+                            runInterleaved(*bat->ctx, *bat->workload,
+                                           1200, chunk);
+                        }
+
+                        ASSERT_GT(ref->ctx->runtime(), 0u);
+                        EXPECT_TRUE(
+                            countersMatch(*ref->ctx, *bat->ctx));
+                        EXPECT_EQ(ref->ctx->runtime(),
+                                  bat->ctx->runtime());
+
+                        // PTE placement (and A/D bits feeding it) must
+                        // agree exactly, not just counters.
+                        EXPECT_EQ(ptDumpOf(*ref), ptDumpOf(*bat));
+
+                        // Identical *per-op* continuations prove the
+                        // cache/TLB/PWC state converged too.
+                        {
+                            BatchModeGuard guard(0);
+                            runInterleaved(*ref->ctx, *ref->workload,
+                                           400, chunk);
+                            runInterleaved(*bat->ctx, *bat->workload,
+                                           400, chunk);
+                        }
+                        EXPECT_TRUE(
+                            countersMatch(*ref->ctx, *bat->ctx))
+                            << "(per-op continuation)";
+
+                        ref->finalize();
+                        bat->finalize();
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace mitosim::workloads

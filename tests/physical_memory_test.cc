@@ -100,7 +100,13 @@ TEST_F(PhysicalMemoryTest, TableAccessOnDataFramePanics)
 {
     auto pfn = pm.allocData(0, 1);
     ASSERT_TRUE(pfn.has_value());
+#ifdef NDEBUG
+    // The type check sits on the per-PTE-read hot path and is
+    // MITOSIM_DASSERT: active in Debug/sanitizer builds only.
+    GTEST_SKIP() << "table() type check compiled out under NDEBUG";
+#else
     EXPECT_THROW(pm.table(*pfn), SimError);
+#endif
 }
 
 TEST_F(PhysicalMemoryTest, ReplicaListLinkUnlink)

@@ -15,9 +15,10 @@ metrics are never compared here (they are byte-stable and CI diffs
 them exactly); this is wall time only.
 
 Usage:
-  tools/perf_compare.py build/BENCH_*.json          # compare
-  tools/perf_compare.py --update build/BENCH_*.json # rewrite baseline
-  tools/perf_compare.py --tolerance 2.0 ...         # custom gate
+  tools/perf_compare.py build/BENCH_*.json            # compare
+  tools/perf_compare.py --update build/BENCH_*.json   # rewrite baseline
+  tools/perf_compare.py --tolerance 2.0 ...           # ratio gate
+  tools/perf_compare.py --max-regress 30 ...          # percent gate
 """
 
 import argparse
@@ -54,9 +55,19 @@ def main():
     ap.add_argument("--tolerance", type=float, default=2.0,
                     help="fail when new/base exceeds this (default 2.0; "
                          "wall clock is noisy across hosts)")
+    ap.add_argument("--max-regress", type=float, default=None,
+                    metavar="PCT",
+                    help="fail when a bench is more than PCT%% slower "
+                         "than its baseline (e.g. 30 fails at 1.30x). "
+                         "Overrides --tolerance when given — use for "
+                         "same-host gating, where the generous default "
+                         "ratio would hide real regressions")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the given reports")
     args = ap.parse_args()
+
+    gate = (1.0 + args.max_regress / 100.0
+            if args.max_regress is not None else args.tolerance)
 
     fresh = dict(load_report(p) for p in args.reports)
 
@@ -88,14 +99,14 @@ def main():
             continue
         ratio = new_ms / base_ms if base_ms else float("inf")
         flag = ""
-        if ratio > args.tolerance:
+        if ratio > gate:
             flag = "  REGRESSION"
             failed.append(name)
         print(f"{name:<26} {base_ms:>10.1f} {new_ms:>10.1f} "
               f"{ratio:>6.2f}x{flag}")
 
     if failed:
-        print(f"\n{len(failed)} bench(es) beyond {args.tolerance}x: "
+        print(f"\n{len(failed)} bench(es) beyond {gate:.2f}x: "
               f"{', '.join(failed)}", file=sys.stderr)
         return 1
     return 0

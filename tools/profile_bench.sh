@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Profile one bench binary with gprof.
+#
+# Maintains a dedicated instrumented build tree (build-pg/: Release
+# codegen + -pg) so profiling never dirties the main build, rebuilds
+# the requested bench there, runs it (extra arguments are passed
+# through, e.g. --filter), and prints the flat profile plus the call
+# graph of the hottest functions.
+#
+# gprof is the one profiler the toolchain image ships — perf is not
+# installed, and gprof's instrumented call counts are exact (not
+# sampled), which is what the per-access cost estimates in
+# EXPERIMENTS.md "Hot-path engineering" are based on. Mind its
+# blind spot: time in inlined callees is attributed to the caller, so
+# a flat Core::access line means "access + everything inlined into
+# it" — use the call graph and -l (line-level) for finer splits.
+#
+# Usage:
+#   tools/profile_bench.sh fig09b_multisocket_2m
+#   tools/profile_bench.sh ext_thp_aging --filter='gups/*'
+#   LINES=80 tools/profile_bench.sh fig11_fragmentation
+
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 <bench> [bench args...]" >&2
+    exit 2
+fi
+
+bench=$1
+shift
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+tree="$repo/build-pg"
+lines=${LINES:-40}
+
+cmake -B "$tree" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS=-pg \
+    -DCMAKE_EXE_LINKER_FLAGS=-pg \
+    -DMITOSIM_BUILD_TESTS=OFF \
+    -DMITOSIM_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$tree" -j "$(nproc)" --target "$bench"
+
+cd "$tree"
+rm -f gmon.out
+"./$bench" "$@" >/dev/null
+gprof -b "./$bench" gmon.out | head -n "$lines"
+echo
+echo "[full output: (cd build-pg && gprof ./$bench gmon.out | less)]"
