@@ -206,6 +206,7 @@ runMultiSocket(const ScenarioConfig &scenario, MsConfig config,
     u->finalize();
     if (sink) {
         recordCheckStats(kernel, *sink);
+        recordHostStats(u->machine, *sink);
         phases.stamp(*sink);
     }
     return out;
@@ -324,6 +325,7 @@ runWorkloadMigration(const ScenarioConfig &scenario, const WmPlacement &wm,
     u->finalize();
     if (sink) {
         recordCheckStats(kernel, *sink);
+        recordHostStats(u->machine, *sink);
         phases.stamp(*sink);
     }
     return out;
@@ -686,6 +688,33 @@ recordPlacement(BenchReport &report, const std::string &label,
     for (const auto &[key, value] : result.values)
         run.metric(key, value);
     return run;
+}
+
+void
+recordHostStats(sim::Machine &machine, driver::JobResult &res)
+{
+    std::uint64_t runs = 0;
+    std::uint64_t ops = 0;
+    for (CoreId c = 0; c < machine.numCores(); ++c) {
+        runs += machine.core(c).fusedRuns();
+        ops += machine.core(c).fusedOps();
+    }
+    res.hostStat("fused_runs", static_cast<double>(runs));
+    res.hostStat("fused_ops", static_cast<double>(ops));
+
+    mem::TableArenaStats arena = machine.physmem().tableArenaStats();
+    res.hostStat("arena_table_chunks", static_cast<double>(arena.chunks));
+    res.hostStat("arena_table_detaches",
+                 static_cast<double>(arena.detaches));
+    res.hostStat("arena_slot_recycles",
+                 static_cast<double>(arena.slotRecycles));
+
+    mem::SlabPoolStats pool = mem::slabPoolStats();
+    res.hostStat("arena_slabs",
+                 static_cast<double>(pool.metaSlabs + pool.tableSlabs));
+    res.hostStat("arena_chunk_recycles",
+                 static_cast<double>(pool.metaRecycles +
+                                     pool.tableRecycles));
 }
 
 void

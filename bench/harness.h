@@ -331,6 +331,17 @@ BenchRun &recordOutcome(BenchReport &report, const std::string &label,
 void recordCheckStats(os::Kernel &kernel, driver::JobResult &res);
 
 /**
+ * Copy the machine's host-side hot-path telemetry into @p res's host
+ * stats: fused replay activity summed over cores (Core::fusedRuns /
+ * fusedOps) and table-arena slab/chunk counters (PhysicalMemory).
+ * These land inside the report's per-job "wall_ms" entry — host
+ * throughput context like host_ops_per_sec, excluded from metric
+ * comparisons — and vary legitimately with MITOSIM_FUSE and snapshot
+ * donor reuse.
+ */
+void recordHostStats(sim::Machine &machine, driver::JobResult &res);
+
+/**
  * Add a placementJob result as a run with one remote_leaf_socket<N>
  * metric per observing socket. Returns the run for extra tags.
  */

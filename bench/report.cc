@@ -597,6 +597,21 @@ BenchReport::wallMsPhases(const std::string &label, double total,
 }
 
 void
+BenchReport::wallMsHostStat(const std::string &label,
+                            const std::string &key, double value)
+{
+    JsonValue entry = JsonValue::object();
+    if (const JsonValue *existing = wallMs_.find(label)) {
+        if (existing->isObject())
+            entry = *existing;
+        else if (existing->isNumber())
+            entry.set("total", *existing);
+    }
+    entry.set(key, JsonValue::number(value));
+    wallMs_.set(label, std::move(entry));
+}
+
+void
 BenchReport::schedStat(const std::string &label, const std::string &key,
                        double value)
 {

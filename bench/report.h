@@ -197,6 +197,18 @@ class BenchReport
                       std::uint64_t sim_accesses = 0);
 
     /**
+     * Extend job @p label's wall_ms entry with one host-side hot-path
+     * telemetry counter (fused_runs, fused_ops, arena slab activity,
+     * ...). Host state, not simulated state: it lands inside the
+     * "wall_ms" section next to host_ops_per_sec and is excluded from
+     * metric comparisons with the rest of that section. A scalar
+     * entry written earlier by wallMs() is promoted to the object form
+     * ({"total": <scalar>, ...}) so both shapes compose.
+     */
+    void wallMsHostStat(const std::string &label, const std::string &key,
+                        double value);
+
+    /**
      * Record one scheduler activity counter for job @p label. The
      * "scheduler" section only appears in the JSON when at least one
      * stat was recorded, and — like "wall_ms" — is excluded from

@@ -30,12 +30,15 @@ SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, unsigned ways)
     sets = roundDownPow2(total_lines / ways);
     tags.assign(sets * ways, ~0ull);
     lrus.assign(sets * ways, 0);
+    memoMru_.assign(sets, ~0ull);
 }
 
 void
 SetAssocCache::invalidateLine(PhysAddr pa)
 {
     std::uint64_t line = lineAddr(pa);
+    if (memoMru_[setOf(line)] == line)
+        memoMru_[setOf(line)] = ~0ull;
     std::size_t base = setOf(line) * numWays;
     for (unsigned w = 0; w < numWays; ++w) {
         if (tags[base + w] == line) {
@@ -50,6 +53,11 @@ void
 SetAssocCache::invalidateFrame(Pfn pfn)
 {
     std::uint64_t first = pfnToAddr(pfn) >> LineShift;
+    for (std::uint64_t line = first; line < first + (PageSize / LineSize);
+         ++line) {
+        if (memoMru_[setOf(line)] == line)
+            memoMru_[setOf(line)] = ~0ull;
+    }
     for (std::uint64_t line = first; line < first + (PageSize / LineSize);
          ++line) {
         std::size_t base = setOf(line) * numWays;
@@ -67,6 +75,7 @@ void
 SetAssocCache::flush()
 {
     std::fill(tags.begin(), tags.end(), ~0ull);
+    std::fill(memoMru_.begin(), memoMru_.end(), ~0ull);
 }
 
 } // namespace mitosim::cache

@@ -59,11 +59,28 @@ class SetAssocCache
     lookup(PhysAddr pa)
     {
         std::uint64_t line = lineAddr(pa);
-        std::size_t base = setOf(line) * numWays;
+        std::size_t set = setOf(line);
+        // Per-set MRU memo: the line most recently stamped in this set
+        // (hit, fill or refresh; cleared by every invalidation path).
+        // A repeat probe skips the set scan. Exact by MRU idempotence:
+        // the memo line holds the newest stamp in its set — nothing in
+        // that set has been stamped since, or the memo would have been
+        // replaced — so the re-stamp a real probe would perform cannot
+        // change the relative stamp order true-LRU eviction depends
+        // on, and the hit counter is charged identically. Per-set
+        // (rather than one global last-line) so interleaved streams —
+        // a walker's PTE-line reads alternating with data lines, or
+        // two data streams — keep their memos alive independently.
+        if (line == memoMru_[set]) {
+            ++stats_.hits;
+            return true;
+        }
+        std::size_t base = set * numWays;
         for (unsigned w = 0; w < numWays; ++w) {
             if (tags[base + w] == line) {
                 lrus[base + w] = ++clock;
                 ++stats_.hits;
+                memoMru_[set] = line;
                 return true;
             }
         }
@@ -79,8 +96,10 @@ class SetAssocCache
     insert(PhysAddr pa)
     {
         std::uint64_t line = lineAddr(pa);
-        std::size_t base = setOf(line) * numWays;
+        std::size_t set = setOf(line);
+        std::size_t base = set * numWays;
         std::size_t victim = base;
+        memoMru_[set] = line; // stamped below on every path
         for (unsigned w = 0; w < numWays; ++w) {
             std::size_t i = base + w;
             if (tags[i] == line) { // already present
@@ -114,7 +133,16 @@ class SetAssocCache
     probeInsert(PhysAddr pa)
     {
         std::uint64_t line = lineAddr(pa);
-        std::size_t base = setOf(line) * numWays;
+        std::size_t set = setOf(line);
+        // Same MRU-memo short-circuit as lookup(), same exactness
+        // argument — and a memo hit needs no fill, so the insert half
+        // is moot.
+        if (line == memoMru_[set]) {
+            ++stats_.hits;
+            return true;
+        }
+        memoMru_[set] = line; // every continuation below stamps this line
+        std::size_t base = set * numWays;
         std::size_t victim = base;
         bool free_way = false;
         for (unsigned w = 0; w < numWays; ++w) {
@@ -157,6 +185,16 @@ class SetAssocCache
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = CacheStats{}; }
 
+    /**
+     * Charge @p n hits for fused same-line repeats (Core::accessRun)
+     * without re-probing. Exact by MRU idempotence: the line was
+     * stamped most-recent by the probe that opened the run, and
+     * true-LRU victim choice depends only on the relative stamp order
+     * within a set, so re-stamping the already-newest line cannot
+     * change any future hit, miss or eviction.
+     */
+    void noteFusedHits(std::uint64_t n) { stats_.hits += n; }
+
     std::uint64_t capacityBytes() const { return tags.size() * LineSize; }
     unsigned associativity() const { return numWays; }
     std::uint64_t numSets() const { return sets; }
@@ -178,6 +216,12 @@ class SetAssocCache
     std::vector<std::uint32_t> lrus; //!< higher = more recently used
     std::uint32_t clock = 0;         //!< LRU timestamp source
     CacheStats stats_;
+    /**
+     * Per-set lookup memo (see lookup()/probeInsert()): the line most
+     * recently stamped in each set. ~0 is "empty" — it doubles as the
+     * invalid tag, so no real line can ever equal it.
+     */
+    std::vector<std::uint64_t> memoMru_;
 };
 
 } // namespace mitosim::cache

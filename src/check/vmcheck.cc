@@ -474,7 +474,7 @@ Checker::checkFrameAccounting()
                 }
                 break;
               case mem::FrameType::PageTable:
-                if (m.table == nullptr) {
+                if (!m.hasTable()) {
                     report({CheckClass::FrameAccounting, m.owner, 0, 0, s,
                             "host-backed table storage",
                             "null", format("PT pfn %llu has no storage",

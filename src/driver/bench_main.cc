@@ -200,6 +200,13 @@ benchMain(int argc, char **argv, const BenchSpec &spec)
                                 sim_accesses);
         }
         report.wallMs("total", total_wall_ms);
+        // Host-side hot-path telemetry (fused replay, table arena):
+        // appended into the per-job wall_ms entries written above, so
+        // it rides the section already excluded from comparisons.
+        for (std::size_t index : selected) {
+            for (const auto &[key, value] : results[index]->host)
+                report.wallMsHostStat(registry.job(index).name, key, value);
+        }
         // Scheduler activity (context switches, preemptions, ...):
         // deterministic but diagnostic — its own excluded section.
         for (std::size_t index : selected) {

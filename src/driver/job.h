@@ -107,6 +107,16 @@ struct JobResult
      */
     std::vector<std::pair<std::string, double>> check;
 
+    /**
+     * Host-side hot-path telemetry (fused replay runs/ops, table-arena
+     * slab activity) recorded by jobs that ran through the bench
+     * harness. Unlike `sched`/`thp`/`check` this is *not* simulated
+     * state — it varies with MITOSIM_FUSE and snapshot reuse — so it
+     * lands inside the report's "wall_ms" section (excluded wholesale
+     * from metric comparisons) rather than a section of its own.
+     */
+    std::vector<std::pair<std::string, double>> host;
+
     JobResult &
     schedStat(std::string key, double v)
     {
@@ -125,6 +135,13 @@ struct JobResult
     checkStat(std::string key, double v)
     {
         check.emplace_back(std::move(key), v);
+        return *this;
+    }
+
+    JobResult &
+    hostStat(std::string key, double v)
+    {
+        host.emplace_back(std::move(key), v);
         return *this;
     }
 

@@ -5,15 +5,16 @@
  * The paper stores the replica circular-list pointer in struct page (§5.2,
  * Figure 8) so that a PTE write can find all replicas of a page-table page
  * in O(replicas) without walking any page-table. We do the same: every
- * physical frame has a PageMeta; page-table frames additionally own their
- * 512-entry table storage and participate in a circular replica list.
+ * physical frame has a PageMeta; page-table frames additionally reference
+ * their 512-entry table storage (a slot in the owning socket's arena, see
+ * PhysicalMemory) and participate in a circular replica list.
  */
 
 #ifndef MITOSIM_MEM_PAGE_META_H
 #define MITOSIM_MEM_PAGE_META_H
 
 #include <cstdint>
-#include <memory>
+#include <type_traits>
 
 #include "src/base/types.h"
 
@@ -40,24 +41,35 @@ enum FrameFlags : std::uint16_t
                                  //!< (movable by kcompactd)
 };
 
+/** "No table storage" sentinel for PageMeta::tableSlot. */
+inline constexpr std::uint32_t NoTableSlot = 0xffffffffu;
+
 /**
  * Metadata for one 4 KB physical frame.
  *
- * @invariant type == PageTable  <=>  table != nullptr
+ * Trivially copyable by design: metadata chunks are detached (CoW) and
+ * recycled wholesale, and the 512 x u64 table storage of PageTable
+ * frames lives in the per-socket slot arenas of PhysicalMemory, not
+ * inline here.
+ *
+ * @invariant type == PageTable  <=>  tableSlot != NoTableSlot
  * @invariant For PageTable frames, replicaNext forms a circular list over
  *            all replicas of the same logical page-table page; an
  *            unreplicated page links to itself.
  */
 struct PageMeta
 {
-    /** PT frames own their 512 x u64 storage; null otherwise. */
-    std::unique_ptr<std::uint64_t[]> table;
-
     /** Next frame in the circular replica list (self if unreplicated). */
     Pfn replicaNext = InvalidPfn;
 
     /** Owning process, or -1 for kernel/none. */
     ProcId owner = -1;
+
+    /**
+     * PT frames: slot of their 512 x u64 storage in the owning
+     * socket's table arena; NoTableSlot otherwise.
+     */
+    std::uint32_t tableSlot = NoTableSlot;
 
     FrameType type = FrameType::Free;
 
@@ -69,7 +81,11 @@ struct PageMeta
     bool isPageTable() const { return type == FrameType::PageTable; }
     bool isFree() const { return type == FrameType::Free; }
     bool hasFlag(FrameFlags f) const { return (flags & f) != 0; }
+    bool hasTable() const { return tableSlot != NoTableSlot; }
 };
+
+static_assert(std::is_trivially_copyable_v<PageMeta>,
+              "metadata chunks are copied and scrubbed wholesale");
 
 } // namespace mitosim::mem
 

@@ -38,6 +38,8 @@ struct ChunkPool
 {
     std::mutex mu;
     std::vector<PageMeta *> free; //!< scrubbed, ready to hand out
+    std::uint64_t slabs = 0;      //!< telemetry: 2 MiB slabs minted
+    std::uint64_t recycles = 0;   //!< telemetry: chunks reused
 };
 
 ChunkPool &
@@ -47,33 +49,76 @@ chunkPool()
     return *pool;
 }
 
+/**
+ * Same shape for page-table storage: 2 MiB slabs of u64 PTE words,
+ * split into the 256 KiB chunks the per-socket table arenas share
+ * copy-on-write. Kept separate from ChunkPool only because the
+ * element types (and scrub passes) differ.
+ */
+struct TablePool
+{
+    std::mutex mu;
+    std::vector<std::uint64_t *> free; //!< zeroed, ready to hand out
+    std::uint64_t slabs = 0;
+    std::uint64_t recycles = 0;
+};
+
+TablePool &
+tablePool()
+{
+    static TablePool *pool = new TablePool;
+    return *pool;
+}
+
 /** Chunks minted per slab (the slab is the host-fault granule). */
 constexpr std::size_t SlabChunks = 64;
 
+/** Table chunks per 2 MiB slab (8 x 256 KiB). */
+constexpr std::size_t TableSlabChunks = 8;
+
 /**
- * One slab: a 2 MiB-aligned block holding SlabChunks chunks, advised
- * towards transparent huge pages *before* the value-initializing
- * construction pass touches it, so the kernel can back the whole slab
- * with a handful of huge-page faults instead of one 4 KiB fault per
- * metadata page. Slabs are intentionally never freed (the pool owns
- * every chunk for the process lifetime), so the raw pointer is all
- * the bookkeeping needed.
+ * One slab: a 2 MiB-aligned block advised towards transparent huge
+ * pages *before* the initializing pass touches it, so the kernel can
+ * back the whole slab with a handful of huge-page faults instead of
+ * one 4 KiB fault per page. Slabs are intentionally never freed (the
+ * pool owns every chunk for the process lifetime), so the raw pointer
+ * is all the bookkeeping needed.
  */
-PageMeta *
+template <typename T>
+T *
 newSlab(std::size_t elems)
 {
-    void *mem = ::operator new(elems * sizeof(PageMeta),
+    void *mem = ::operator new(elems * sizeof(T),
                                std::align_val_t{2ull << 20});
 #ifdef __linux__
-    (void)madvise(mem, elems * sizeof(PageMeta), MADV_HUGEPAGE);
+    (void)madvise(mem, elems * sizeof(T), MADV_HUGEPAGE);
 #endif
-    PageMeta *base = static_cast<PageMeta *>(mem);
+    T *base = static_cast<T *>(mem);
     for (std::size_t i = 0; i < elems; ++i)
-        new (base + i) PageMeta{};
+        new (base + i) T{};
     return base;
 }
 
 } // namespace
+
+SlabPoolStats
+slabPoolStats()
+{
+    SlabPoolStats out;
+    {
+        ChunkPool &pool = chunkPool();
+        std::lock_guard<std::mutex> g(pool.mu);
+        out.metaSlabs = pool.slabs;
+        out.metaRecycles = pool.recycles;
+    }
+    {
+        TablePool &pool = tablePool();
+        std::lock_guard<std::mutex> g(pool.mu);
+        out.tableSlabs = pool.slabs;
+        out.tableRecycles = pool.recycles;
+    }
+    return out;
+}
 
 PhysicalMemory::PhysicalMemory(const numa::Topology &topology)
     : topo(topology),
@@ -83,7 +128,8 @@ PhysicalMemory::PhysicalMemory(const numa::Topology &topology)
       ptCache(static_cast<std::size_t>(topo.numSockets())),
       ptCacheTarget(static_cast<std::size_t>(topo.numSockets()), 0),
       fragPinned(static_cast<std::size_t>(topo.numSockets())),
-      ptLive(static_cast<std::size_t>(topo.numSockets()))
+      ptLive(static_cast<std::size_t>(topo.numSockets())),
+      tableArenas(static_cast<std::size_t>(topo.numSockets()))
 {
     allocators.reserve(static_cast<std::size_t>(topo.numSockets()));
     for (SocketId s = 0; s < topo.numSockets(); ++s)
@@ -329,8 +375,7 @@ PhysicalMemory::allocPt(SocketId socket, int level, ProcId owner)
     m.level = static_cast<std::uint8_t>(level);
     m.flags = FrameFlagNone;
     m.replicaNext = *pfn; // self-linked until replicated
-    m.table = std::make_unique<std::uint64_t[]>(PtEntriesPerPage);
-    std::memset(m.table.get(), 0, PtEntriesPerPage * sizeof(std::uint64_t));
+    m.tableSlot = allocTableSlot(socket);
 
     ++st.ptPages;
     ++ptLive[static_cast<std::size_t>(socket)][static_cast<std::size_t>(
@@ -350,7 +395,8 @@ PhysicalMemory::freePt(Pfn pfn)
     --st.ptPages;
     --ptLive[static_cast<std::size_t>(s)][m.level];
 
-    m.table.reset();
+    releaseTableSlot(s, m.tableSlot);
+    m.tableSlot = NoTableSlot;
     m.owner = -1;
     m.level = 0;
     m.replicaNext = InvalidPfn;
@@ -527,7 +573,8 @@ PhysicalMemory::newChunk()
     {
         std::lock_guard<std::mutex> g(pool.mu);
         if (pool.free.empty()) {
-            PageMeta *base = newSlab(SlabChunks * MetaChunkSize);
+            PageMeta *base = newSlab<PageMeta>(SlabChunks * MetaChunkSize);
+            ++pool.slabs;
             // Push in descending address order so chunks are handed
             // out ascending, matching the slab's fault order.
             for (std::size_t c = SlabChunks; c-- > 0;)
@@ -544,34 +591,122 @@ PhysicalMemory::newChunk()
         ChunkPool &pl = chunkPool();
         std::lock_guard<std::mutex> g(pl.mu);
         pl.free.push_back(p);
+        ++pl.recycles;
     };
     return ChunkPtr(raw, recycle);
+}
+
+PhysicalMemory::TableChunkPtr
+PhysicalMemory::newTableChunk()
+{
+    TablePool &pool = tablePool();
+    std::uint64_t *raw = nullptr;
+    {
+        std::lock_guard<std::mutex> g(pool.mu);
+        if (pool.free.empty()) {
+            std::uint64_t *base =
+                newSlab<std::uint64_t>(TableSlabChunks * TableChunkElems);
+            ++pool.slabs;
+            for (std::size_t c = TableSlabChunks; c-- > 0;)
+                pool.free.push_back(base + c * TableChunkElems);
+        }
+        raw = pool.free.back();
+        pool.free.pop_back();
+    }
+    // Pooled chunks are always fully zeroed, so a fresh chunk's slots
+    // need no scrub at allocTableSlot time.
+    auto recycle = [](std::uint64_t *p) {
+        std::memset(p, 0, TableChunkElems * sizeof(std::uint64_t));
+        TablePool &pl = tablePool();
+        std::lock_guard<std::mutex> g(pl.mu);
+        pl.free.push_back(p);
+        ++pl.recycles;
+    };
+    return TableChunkPtr(raw, recycle);
 }
 
 void
 PhysicalMemory::detachChunk(ChunkPtr &chunk)
 {
     ChunkPtr copy = newChunk();
-    for (std::uint64_t i = 0; i < MetaChunkSize; ++i) {
-        const PageMeta &m = chunk[i];
-        PageMeta &d = copy[i];
-        d.replicaNext = m.replicaNext;
-        d.owner = m.owner;
-        d.type = m.type;
-        d.level = m.level;
-        d.flags = m.flags;
-        if (m.table) {
-            d.table =
-                std::make_unique<std::uint64_t[]>(PtEntriesPerPage);
-            std::copy(m.table.get(), m.table.get() + PtEntriesPerPage,
-                      d.table.get());
-        }
-    }
+    std::copy(chunk.get(), chunk.get() + MetaChunkSize, copy.get());
     // Keep the shared original alive for this instance's lifetime:
     // callers may still hold const meta() references into it, and the
     // donor owning it can be evicted at any time.
     retired_.push_back(std::move(chunk));
     chunk = std::move(copy);
+}
+
+void
+PhysicalMemory::detachTableChunk(TableChunkPtr &chunk)
+{
+    TableChunkPtr copy = newTableChunk();
+    std::copy(chunk.get(), chunk.get() + TableChunkElems, copy.get());
+    // Same lifetime rule as detachChunk: const tableView() pointers
+    // into the donor's chunk must survive donor eviction.
+    retiredTables_.push_back(std::move(chunk));
+    chunk = std::move(copy);
+    ++tableChunkDetaches_;
+}
+
+std::uint32_t
+PhysicalMemory::allocTableSlot(SocketId socket)
+{
+    TableArena &arena = tableArenas[static_cast<std::size_t>(socket)];
+    std::uint32_t slot;
+    bool recycled = false;
+    if (!arena.freeSlots.empty()) {
+        slot = arena.freeSlots.back();
+        arena.freeSlots.pop_back();
+        recycled = true;
+        ++tableSlotRecycles_;
+    } else {
+        slot = arena.highWater++;
+    }
+    std::size_t c = slot >> TableChunkShift;
+    if (c >= arena.chunks.size())
+        arena.chunks.resize(c + 1);
+    auto &chunk = arena.chunks[c];
+    if (!chunk) {
+        chunk = newTableChunk(); // arrives zeroed
+    } else if (recycled) {
+        // A recycled slot still holds the retired table's stale PTEs
+        // (releaseTableSlot never scrubs — that would detach chunks a
+        // fork shares). Zero it through the detaching path so a donor
+        // never observes the scrub.
+        if (chunk.use_count() > 1)
+            detachTableChunk(chunk);
+        std::uint64_t *tbl =
+            chunk.get() +
+            (slot & (TableChunkTables - 1)) * PtEntriesPerPage;
+        std::memset(tbl, 0, PtEntriesPerPage * sizeof(std::uint64_t));
+    }
+    // Never-yet-used slots of an existing chunk are zero by
+    // construction (chunks are born zeroed and detach copies preserve
+    // that), so the fresh-highWater case needs no scrub either.
+    return slot;
+}
+
+void
+PhysicalMemory::releaseTableSlot(SocketId socket, std::uint32_t slot)
+{
+    MITOSIM_ASSERT(slot != NoTableSlot, "releaseTableSlot: no slot");
+    tableArenas[static_cast<std::size_t>(socket)].freeSlots.push_back(slot);
+}
+
+TableArenaStats
+PhysicalMemory::tableArenaStats() const
+{
+    TableArenaStats out;
+    out.detaches = tableChunkDetaches_;
+    out.slotRecycles = tableSlotRecycles_;
+    for (const TableArena &arena : tableArenas) {
+        for (const TableChunkPtr &chunk : arena.chunks)
+            if (chunk)
+                ++out.chunks;
+        out.liveSlots += arena.highWater - arena.freeSlots.size();
+    }
+    return out;
 }
 
 void
@@ -588,9 +723,15 @@ PhysicalMemory::cloneStateFrom(const PhysicalMemory &src)
     ptLive = src.ptLive;
     // Share every materialized chunk copy-on-write: the first mutable
     // meta() touch detaches a private copy, so neither side can ever
-    // observe the other's subsequent writes.
+    // observe the other's subsequent writes. Table-arena chunks share
+    // the same way (first PTE write detaches); slot free lists and
+    // high-water marks are plain state, copied eagerly.
     metaChunks = src.metaChunks;
+    tableArenas = src.tableArenas;
+    tableChunkDetaches_ = src.tableChunkDetaches_;
+    tableSlotRecycles_ = src.tableSlotRecycles_;
     retired_.clear();
+    retiredTables_.clear();
 }
 
 } // namespace mitosim::mem

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/base/logging.h"
@@ -42,6 +43,29 @@ struct MemStats
     std::uint64_t ptAllocs = 0;       //!< cumulative PT allocations
     std::uint64_t ptCacheHits = 0;    //!< PT allocs served from reserve
     std::uint64_t ptAllocFailures = 0;
+};
+
+/**
+ * Host-side telemetry of the process-wide slab pools backing metadata
+ * chunks and page-table storage (never part of simulated results).
+ */
+struct SlabPoolStats
+{
+    std::uint64_t metaSlabs = 0;     //!< 2 MiB metadata slabs minted
+    std::uint64_t metaRecycles = 0;  //!< metadata chunks scrubbed + reused
+    std::uint64_t tableSlabs = 0;    //!< 2 MiB table slabs minted
+    std::uint64_t tableRecycles = 0; //!< table chunks scrubbed + reused
+};
+
+SlabPoolStats slabPoolStats();
+
+/** Per-instance table-arena telemetry (host-side, see wall_ms). */
+struct TableArenaStats
+{
+    std::uint64_t chunks = 0;       //!< arena chunks referenced
+    std::uint64_t detaches = 0;     //!< CoW chunk detaches performed
+    std::uint64_t slotRecycles = 0; //!< slots served from free lists
+    std::uint64_t liveSlots = 0;    //!< slots currently allocated
 };
 
 /** All simulated physical memory of the machine. */
@@ -127,22 +151,50 @@ class PhysicalMemory
     void setPtCacheTarget(SocketId socket, std::uint64_t frames);
     std::uint64_t ptCacheSize(SocketId socket) const;
 
-    /** Backing storage of a PT frame (512 entries). */
+    /**
+     * Backing storage of a PT frame (512 entries), writable. Table
+     * storage lives in per-socket slot arenas whose 256 KiB chunks are
+     * shared copy-on-write across snapshot forks; this overload
+     * detaches a shared chunk before handing out the pointer, so a
+     * fork can never write through to its donor. Note it does NOT
+     * detach (or even materialize) the frame's *metadata* chunk — a
+     * PTE store is not a metadata write.
+     */
     std::uint64_t *
     table(Pfn pfn)
     {
-        PageMeta &m = meta(pfn);
-        MITOSIM_DASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
-        return m.table.get();
+        const PageMeta &m = std::as_const(*this).meta(pfn);
+        MITOSIM_DASSERT(m.isPageTable() && m.hasTable(),
+                        "table(): not a PT frame");
+        auto &arena = tableArenas[static_cast<std::size_t>(socketOf(pfn))];
+        auto &chunk = arena.chunks[m.tableSlot >> TableChunkShift];
+        if (chunk.use_count() > 1) [[unlikely]]
+            detachTableChunk(chunk);
+        return chunk.get() +
+               (m.tableSlot & (TableChunkTables - 1)) * PtEntriesPerPage;
     }
 
+    /**
+     * Flat read-only view of a PT frame's 512-entry storage: never
+     * detaches, never materializes. The walker's descent, pt/operations
+     * range sweeps and vmcheck's coherence scan all read through here.
+     */
     const std::uint64_t *
-    table(Pfn pfn) const
+    tableView(Pfn pfn) const
     {
         const PageMeta &m = meta(pfn);
-        MITOSIM_DASSERT(m.isPageTable() && m.table, "table(): not a PT frame");
-        return m.table.get();
+        MITOSIM_DASSERT(m.isPageTable() && m.hasTable(),
+                        "tableView(): not a PT frame");
+        const auto &arena =
+            tableArenas[static_cast<std::size_t>(socketOf(pfn))];
+        return arena.chunks[m.tableSlot >> TableChunkShift].get() +
+               (m.tableSlot & (TableChunkTables - 1)) * PtEntriesPerPage;
     }
+
+    const std::uint64_t *table(Pfn pfn) const { return tableView(pfn); }
+
+    /** Host telemetry: this instance's table-arena activity. */
+    TableArenaStats tableArenaStats() const;
 
     /// @}
     /// @name Replica circular list (Figure 8)
@@ -174,10 +226,11 @@ class PhysicalMemory
      *
      * Chunks are copy-on-write: cloneStateFrom (snapshot forking)
      * shares the donor's chunks by reference, and the first mutable
-     * touch of a shared chunk detaches a private deep copy. Every
-     * metadata or PTE write reaches the chunk through this accessor
-     * (the non-const table() overload included), so a clone can never
-     * write through to its donor.
+     * touch of a shared chunk detaches a private copy. Every metadata
+     * write reaches the chunk through this accessor, so a clone can
+     * never write through to its donor. (PTE writes go through the
+     * non-const table() overload, which detaches the *table arena*
+     * chunk the same way — they do not touch metadata chunks.)
      */
     PageMeta &
     meta(Pfn pfn)
@@ -220,10 +273,10 @@ class PhysicalMemory
     /**
      * Snapshot restore: copy the full frame state of @p src —
      * allocators, stats, PT reserve caches and fragmentation pins are
-     * copied eagerly; metadata chunks (including the host-backed
-     * 512-entry page-table storage) are shared copy-on-write, so a
-     * fork pays for a chunk only when it first writes to it. @p src
-     * must describe the same topology.
+     * copied eagerly; metadata chunks and table-arena chunks (the
+     * host-backed 512-entry page-table storage) are shared
+     * copy-on-write, so a fork pays for a chunk only when it first
+     * writes to it. @p src must describe the same topology.
      */
     void cloneStateFrom(const PhysicalMemory &src);
 
@@ -257,15 +310,39 @@ class PhysicalMemory
 
   private:
     using ChunkPtr = std::shared_ptr<PageMeta[]>;
+    using TableChunkPtr = std::shared_ptr<std::uint64_t[]>;
+
+    /**
+     * One per-socket arena of page-table storage: a growable sequence
+     * of slots (512 x u64 each), addressed by PageMeta::tableSlot and
+     * packed into chunks of TableChunkTables tables. The chunk is the
+     * CoW granule: cloneStateFrom shares chunks by reference and the
+     * first PTE write into a shared chunk detaches a private copy.
+     * Freed slots are recycled LIFO *without* scrubbing (scrubbing
+     * would detach chunks a fork still shares); allocTableSlot zeroes
+     * a recycled slot through the detaching path instead.
+     */
+    struct TableArena
+    {
+        std::vector<TableChunkPtr> chunks;
+        std::vector<std::uint32_t> freeSlots;
+        std::uint32_t highWater = 0; //!< slots ever allocated
+    };
 
     FrameAllocator &alloc(SocketId socket);
     const FrameAllocator &alloc(SocketId socket) const;
     std::optional<Pfn> popPtCache(SocketId socket);
 
     static ChunkPtr newChunk();
+    static TableChunkPtr newTableChunk();
 
     /** Replace a shared @p chunk with a private deep copy (CoW). */
     void detachChunk(ChunkPtr &chunk);
+    void detachTableChunk(TableChunkPtr &chunk);
+
+    /** Slot with zeroed 512-entry storage on @p socket's arena. */
+    std::uint32_t allocTableSlot(SocketId socket);
+    void releaseTableSlot(SocketId socket, std::uint32_t slot);
 
     /**
      * 4096 frames (16 MiB of simulated memory) per metadata chunk —
@@ -276,6 +353,18 @@ class PhysicalMemory
      */
     static constexpr unsigned MetaChunkShift = 12;
     static constexpr std::uint64_t MetaChunkSize = 1ull << MetaChunkShift;
+
+    /**
+     * 64 tables (256 KiB) per table-arena chunk — the CoW granule for
+     * page-table storage. An order of magnitude smaller than a 2 MiB
+     * slab so a fork's first PTE write copies roughly the tables it
+     * mutates, while staying large enough that eight chunks tile one
+     * THP-advised slab exactly.
+     */
+    static constexpr unsigned TableChunkShift = 6;
+    static constexpr std::uint32_t TableChunkTables = 1u << TableChunkShift;
+    static constexpr std::size_t TableChunkElems =
+        static_cast<std::size_t>(TableChunkTables) * PtEntriesPerPage;
 
     /** What meta() const reports for frames in untouched chunks. */
     inline static const PageMeta pristineMeta{};
@@ -296,10 +385,18 @@ class PhysicalMemory
     // Live PT page counts [socket][level 0..4] (level index 1..4 used).
     std::vector<std::array<std::uint64_t, 5>> ptLive;
 
+    // Page-table storage arenas, one per socket.
+    std::vector<TableArena> tableArenas;
+
+    // Host telemetry (never simulated state).
+    std::uint64_t tableChunkDetaches_ = 0;
+    std::uint64_t tableSlotRecycles_ = 0;
+
     // Chunks this instance detached from. Holding a reference keeps a
     // donor's storage alive even if the donor is evicted while a
     // caller still reads through an earlier const meta() reference.
     std::vector<ChunkPtr> retired_;
+    std::vector<TableChunkPtr> retiredTables_;
 };
 
 } // namespace mitosim::mem

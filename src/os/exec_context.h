@@ -22,6 +22,7 @@
 #include "src/base/logging.h"
 #include "src/os/kernel.h"
 #include "src/os/process.h"
+#include "src/sim/batch_op.h"
 #include "src/sim/perf_counters.h"
 
 namespace mitosim::os
@@ -45,15 +46,10 @@ struct TraceOp
  * One pre-generated workload operation for the batched stepping path:
  * workloads emit short runs of these into a per-thread buffer
  * (Workload::stepBatch) and ExecContext::runBatch consumes the run in
- * a tight loop with the per-op mode checks hoisted out.
+ * a tight loop with the per-op mode checks hoisted out. The record
+ * itself lives in sim/ so Core::accessRun can fuse over it.
  */
-struct BatchOp
-{
-    VirtAddr va = 0;
-    Cycles cycles = 0; //!< compute ops: the charged amount
-    bool isWrite = false;
-    bool isCompute = false;
-};
+using BatchOp = sim::BatchOp;
 
 /** Workload-facing execution handle. */
 class ExecContext
@@ -163,19 +159,26 @@ class ExecContext
      * Replay @p n pre-generated ops for thread @p tid.
      *
      * Semantically identical to calling access()/compute() once per op
-     * in order — and when tracing, time-sharing, or THP ticks are
-     * active it literally does that, so TraceOp recording, scheduler
-     * dispatch points and daemon tick points stay byte-identical. In
-     * the common pinned steady state it instead hoists the per-op mode
-     * checks, the counter lookup and the core lookup out of the loop:
-     * nothing hoisted can change mid-batch there (threads never
-     * migrate cores in pinned mode, and fault handlers do not flip
-     * scheduler modes), so the simulated outcome is unchanged.
+     * in order — and when tracing or time-sharing it literally does
+     * that, so TraceOp recording and scheduler dispatch points stay
+     * byte-identical. In the pinned steady state it instead hoists the
+     * per-op mode checks, the counter lookup and the core lookup out
+     * of the loop: nothing hoisted can change mid-batch there (threads
+     * never migrate cores in pinned mode, and fault handlers do not
+     * flip scheduler modes), so the simulated outcome is unchanged.
+     *
+     * Pinned runs with THP ticks active fuse too: each accessRun call
+     * gets the cycles remaining until the next daemon tick as a budget
+     * and ends at the op that crosses it, after which noteThpCycles
+     * fires the tick — the exact op boundary where the per-op path
+     * would have run it (see Core::accessRun). With fusion disabled
+     * (MITOSIM_FUSE=0) tick runs take the literal per-op path.
      */
     void
     runBatch(int tid, const BatchOp *ops, std::size_t n)
     {
-        if (trace_ || thpTickPeriod != 0 || k.scheduler().timeShared()) {
+        if (trace_ || k.scheduler().timeShared() ||
+            (thpTickPeriod != 0 && !sim::fuseEnabled())) {
             for (std::size_t i = 0; i < n; ++i) {
                 if (ops[i].isCompute)
                     compute(tid, ops[i].cycles);
@@ -186,6 +189,49 @@ class ExecContext
         }
         auto &pc = counters[static_cast<std::size_t>(tid)];
         sim::Core &core = k.machine().core(coreOf(tid));
+        if (thpTickPeriod != 0) {
+            // Tick-aware fusion: noteThpCycles keeps thpTickCredit
+            // strictly below thpTickPeriod, so the budget is always
+            // positive and accessRun stops on (and consumes) exactly
+            // the op whose charge crosses the tick boundary. pc.cycles
+            // advances by precisely the sum the per-op path would have
+            // passed to noteThpCycles op by op, so measuring its delta
+            // fires ticks at identical points. Computes outside a run
+            // tick individually, as in the per-op path.
+            std::size_t i = 0;
+            while (i < n) {
+                if (ops[i].isCompute) {
+                    pc.cycles += ops[i].cycles;
+                    pc.computeCycles += ops[i].cycles;
+                    noteThpCycles(ops[i].cycles);
+                    ++i;
+                    continue;
+                }
+                Cycles before = pc.cycles;
+                i += core.accessRun(ops + i, n - i, pc,
+                                    thpTickPeriod - thpTickCredit);
+                noteThpCycles(pc.cycles - before);
+            }
+            return;
+        }
+        if (sim::fuseEnabled()) {
+            // Run fusion: each accessRun call replays one maximal run
+            // of same-page ops with a single real TLB probe and one
+            // real cache probe per distinct line (exact — see
+            // Core::accessRun). Leading computes are charged here so
+            // every accessRun starts on an access.
+            std::size_t i = 0;
+            while (i < n) {
+                if (ops[i].isCompute) {
+                    pc.cycles += ops[i].cycles;
+                    pc.computeCycles += ops[i].cycles;
+                    ++i;
+                    continue;
+                }
+                i += core.accessRun(ops + i, n - i, pc);
+            }
+            return;
+        }
         for (std::size_t i = 0; i < n; ++i) {
             if (ops[i].isCompute) {
                 pc.cycles += ops[i].cycles;

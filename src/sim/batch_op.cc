@@ -1,0 +1,34 @@
+#include "batch_op.h"
+
+#include <cstdlib>
+
+namespace mitosim::sim
+{
+
+namespace
+{
+
+/** setFuseEnabledForTest() override; -1 defers to the environment. */
+int fuseOverride = -1;
+
+} // namespace
+
+bool
+fuseEnabled()
+{
+    if (fuseOverride >= 0)
+        return fuseOverride != 0;
+    static const bool on = [] {
+        const char *e = std::getenv("MITOSIM_FUSE");
+        return e == nullptr || *e != '0';
+    }();
+    return on;
+}
+
+void
+setFuseEnabledForTest(int enabled)
+{
+    fuseOverride = enabled;
+}
+
+} // namespace mitosim::sim

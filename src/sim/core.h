@@ -11,6 +11,7 @@
 #define MITOSIM_SIM_CORE_H
 
 #include "src/base/types.h"
+#include "src/sim/batch_op.h"
 #include "src/sim/memory_hierarchy.h"
 #include "src/sim/perf_counters.h"
 #include "src/sim/walker.h"
@@ -116,6 +117,25 @@ class Core
     Cycles
     access(VirtAddr va, bool is_write, PerfCounters &pc)
     {
+        tlb::TlbEntry used;
+        return accessCaptured(va, is_write, pc, used);
+    }
+
+    /**
+     * access(), additionally reporting the translation the data access
+     * actually used through @p used (post fault servicing). This is
+     * what accessRun fuses against; plain access() delegates here and
+     * the dead capture store folds away.
+     *
+     * [[gnu::flatten]] keeps the "one call-free path" promise above:
+     * with two callers (access and accessRun) this body exceeds GCC's
+     * ordinary inline budget and the walker/TLB/cache calls fall out
+     * of line, which costs double-digit percent on the replay loop.
+     */
+    [[gnu::flatten]] Cycles
+    accessCaptured(VirtAddr va, bool is_write, PerfCounters &pc,
+                   tlb::TlbEntry &used)
+    {
         MITOSIM_DASSERT(hasContext(), "access on a core with no CR3");
         ++pc.accesses;
         bool in_window = sinceSwitch_ < PostSwitchWindow;
@@ -157,6 +177,7 @@ class Core
                 pc.dataStallCycles += dl;
                 total += dl;
                 pc.cycles += total;
+                used = look.entry;
                 return total;
             }
 
@@ -182,6 +203,7 @@ class Core
                 pc.dataStallCycles += dl;
                 total += dl;
                 pc.cycles += total;
+                used = out.entry;
                 return total;
             }
 
@@ -194,6 +216,123 @@ class Core
         panic("core %d: unresolved fault at va=0x%llx", coreId,
               (unsigned long long)va);
     }
+
+    /**
+     * Fused replay of the maximal run of ops starting at ops[0], which
+     * must be an access (not a compute). Returns how many ops were
+     * consumed (>= 1).
+     *
+     * ops[0] goes through the full accessCaptured() pipeline — TLB
+     * probe, walk and fault servicing as needed, real data-side cache
+     * access — and yields the translation entry. Each subsequent op on
+     * the *same page* is then a guaranteed L1-TLB hit on the entry
+     * ops[0] just made MRU (nothing evicts or invalidates mid-run: no
+     * daemon, scheduler or fault can interleave — runBatch only calls
+     * this pinned, and under THP ticks passes a budget that ends the
+     * run before any tick could fire), so the
+     * probe is skipped and its effects are charged directly:
+     * hit counters, the configured L1 hit latency, and a bulk LRU-free
+     * stats bump (exact by MRU idempotence — see
+     * TwoLevelTlb::noteFusedL1Hits). The data side fuses the same way
+     * per cache line: a repeat of the previous line is a guaranteed
+     * L1D hit charged without re-probing; a line change issues a real
+     * hierarchy access (which may miss to L3/DRAM and evict). Compute
+     * ops inside the run are absorbed as plain cycle charges.
+     *
+     * The run ends at the first op on a different page — or at a write
+     * through a read-only translation, which must take the full
+     * protection-fault path; both become ops[0] of the next call.
+     *
+     * @p budget (0 = unlimited) is a cycle cutoff for THP-tick replay:
+     * the run also ends — after consuming the crossing op — once the
+     * cycles charged by this call reach it. The caller (runBatch's
+     * tick-aware fused path) sets budget to the cycles remaining until
+     * the next daemon tick: ops strictly before the crossing op can
+     * have no tick between them (credit stays below the period), and
+     * the per-op reference path fires the tick after exactly the
+     * crossing op, so cutting the run there keeps tick points
+     * byte-identical to per-op replay.
+     */
+    [[gnu::flatten]] std::size_t
+    accessRun(const BatchOp *ops, std::size_t n, PerfCounters &pc,
+              Cycles budget = 0)
+    {
+        tlb::TlbEntry entry;
+        Cycles charged =
+            accessCaptured(ops[0].va, ops[0].isWrite, pc, entry);
+        if (budget != 0 && charged >= budget)
+            return 1;
+
+        const std::uint64_t offset_mask =
+            (entry.size == PageSizeKind::Large2M) ? (LargePageSize - 1)
+                                                  : (PageSize - 1);
+        const VirtAddr page = ops[0].va & ~offset_mask;
+        const PhysAddr base = pfnToAddr(entry.pfn);
+        const Cycles tlb_lat = tlb_.config().l1HitLatency;
+        const Cycles l1d_lat = hier.config().l1dHitLatency;
+        PhysAddr prev_line = (base + (ops[0].va & offset_mask)) >>
+                             LineShift;
+
+        std::uint64_t fused = 0;
+        std::uint64_t fused_l1d = 0;
+        std::size_t i = 1;
+        for (; i < n; ++i) {
+            if (ops[i].isCompute) {
+                pc.cycles += ops[i].cycles;
+                pc.computeCycles += ops[i].cycles;
+                charged += ops[i].cycles;
+                if (budget != 0 && charged >= budget) {
+                    ++i;
+                    break;
+                }
+                continue;
+            }
+            if ((ops[i].va & ~offset_mask) != page ||
+                (ops[i].isWrite && !entry.writable))
+                break;
+
+            ++pc.accesses;
+            ++sinceSwitch_;
+            ++pc.tlbL1Hits;
+            ++fused;
+            Cycles total = tlb_lat;
+
+            PhysAddr pa = base + (ops[i].va & offset_mask);
+            PhysAddr line = pa >> LineShift;
+            Cycles dl;
+            if (line == prev_line) {
+                ++pc.l1dHits;
+                ++fused_l1d;
+                dl = l1d_lat;
+            } else {
+                dl = hier.access(coreId, pa, ops[i].isWrite,
+                                 AccessKind::Data, &pc);
+                prev_line = line;
+            }
+            pc.dataStallCycles += dl;
+            total += dl;
+            pc.cycles += total;
+            charged += total;
+            if (budget != 0 && charged >= budget) {
+                ++i;
+                break;
+            }
+        }
+
+        if (fused) {
+            tlb_.noteFusedL1Hits(fused);
+            if (fused_l1d)
+                hier.l1dOf(coreId).noteFusedHits(fused_l1d);
+            ++fusedRuns_;
+            fusedOps_ += fused;
+        }
+        return i;
+    }
+
+    /** Host telemetry: runs that fused at least one repeat. */
+    std::uint64_t fusedRuns() const { return fusedRuns_; }
+    /** Host telemetry: repeats absorbed by fused runs. */
+    std::uint64_t fusedOps() const { return fusedOps_; }
 
     /**
      * Sharded (phase B) access: the core-private half of access().
@@ -307,6 +446,11 @@ class Core
     std::uint64_t sinceSwitch_ = 0; //!< accesses since the last CR3 load
     FaultHandler faultFn_ = nullptr;
     void *faultCtx_ = nullptr;
+
+    // Host telemetry (never simulated state; not adopted by
+    // cloneStateFrom — a fork counts its own fusion work).
+    std::uint64_t fusedRuns_ = 0;
+    std::uint64_t fusedOps_ = 0;
 };
 
 } // namespace mitosim::sim

@@ -73,8 +73,8 @@ class PageWalker
     {
         WalkOutcome out;
         MITOSIM_DASSERT(cr3 != InvalidPfn, "walk with no CR3 loaded");
-        // Read PTEs through the const view: a mutable meta() touch on a
-        // snapshot-shared chunk detaches a 786 KiB deep copy, and the
+        // Read PTEs through tableView: a mutable table() touch on a
+        // snapshot-shared arena chunk detaches a 256 KiB copy, and the
         // steady state of a forked run sets no new A/D bits, so walks
         // must not pay that. The mutable slot is fetched only when the
         // store below actually happens.
@@ -92,7 +92,7 @@ class PageWalker
                                        AccessKind::PageTable, pc);
             ++out.memRefs;
 
-            pt::Pte entry{cmem.table(table)[idx]};
+            pt::Pte entry{cmem.tableView(table)[idx]};
 
             if (!entry.present()) {
                 out.fault = entry.numaHint() ? WalkFault::NumaHint
@@ -186,7 +186,7 @@ class PageWalker
             out.latency += hier.config().l1dHitLatency;
             ++out.memRefs;
 
-            pt::Pte entry{cmem.table(table)[idx]};
+            pt::Pte entry{cmem.tableView(table)[idx]};
 
             if (!entry.present()) {
                 out.fault = entry.numaHint() ? WalkFault::NumaHint

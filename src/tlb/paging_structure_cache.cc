@@ -56,6 +56,7 @@ PagingStructureCache::PagingStructureCache(const PwcConfig &config)
 void
 PagingStructureCache::invalidate(VirtAddr va)
 {
+    clearMemo();
     pml4e.invalidate(va);
     pdpte.invalidate(va);
     pde.invalidate(va);
@@ -64,6 +65,7 @@ PagingStructureCache::invalidate(VirtAddr va)
 void
 PagingStructureCache::flushAll()
 {
+    clearMemo();
     pml4e.flush();
     pdpte.flush();
     pde.flush();
@@ -73,6 +75,7 @@ PagingStructureCache::flushAll()
 void
 PagingStructureCache::flushAsid(Asid asid)
 {
+    clearMemo();
     pml4e.flushAsid(asid);
     pdpte.flushAsid(asid);
     pde.flushAsid(asid);

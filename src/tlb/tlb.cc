@@ -74,6 +74,7 @@ TwoLevelTlb::invalidatePage(VirtAddr va)
     l1Large.invalidate(tag2M(va));
     l2.invalidate(tag4K(va));
     l2.invalidate(tag2M(va) | LargeTagBit);
+    clearMemo();
     ++stats_.singleInvalidations;
 }
 
@@ -83,6 +84,7 @@ TwoLevelTlb::flushAll()
     l1Small.flush();
     l1Large.flush();
     l2.flush();
+    clearMemo();
     ++stats_.flushes;
 }
 
@@ -92,6 +94,7 @@ TwoLevelTlb::flushAsid(Asid asid)
     l1Small.flushAsid(asid);
     l1Large.flushAsid(asid);
     l2.flushAsid(asid);
+    clearMemo();
     ++stats_.asidFlushes;
 }
 

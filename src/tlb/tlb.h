@@ -115,6 +115,27 @@ class TwoLevelTlb
     {
         TlbLookupResult res;
 
+        // MRU memo: a decoded copy of the most recently stamped L1
+        // entry (set by every L1 hit, promote and insert; cleared by
+        // every invalidation path). A repeat probe of the same page
+        // under the same ASID short-circuits the whole set scan.
+        // Exact, not approximate: the memo entry carries the newest
+        // LRU stamp in its L1 set (nothing else in that set has been
+        // stamped since, or the memo would have been replaced), so the
+        // re-stamp a real probe would perform cannot change the
+        // relative stamp order true-LRU victim choice depends on —
+        // and the counter/latency effects charged here are exactly
+        // the real L1-hit path's. Skipping the ++clock tick is
+        // equally invisible: stamps stay unique and ordered.
+        if ((va & memoMask_) == memoBase_ && asid_ == memoAsid_) {
+            ++stats_.l1Hits;
+            res.hit = true;
+            res.hitLevel = 1;
+            res.latency = cfg.l1HitLatency;
+            res.entry = memoEntry_;
+            return res;
+        }
+
         // Early-out ASID guard (same licence as sawLarge_ below): if
         // every entry ever installed carries one single ASID and the
         // probing ASID differs, no array can hold a match — take the
@@ -144,6 +165,7 @@ class TwoLevelTlb
                 res.hitLevel = 1;
                 res.latency = cfg.l1HitLatency;
                 res.entry = l1Small.entryAt(s);
+                noteMru(va, res.entry);
                 return res;
             }
         }
@@ -156,6 +178,7 @@ class TwoLevelTlb
                 res.hitLevel = 1;
                 res.latency = cfg.l1HitLatency;
                 res.entry = l1Large.entryAt(s);
+                noteMru(va, res.entry);
                 return res;
             }
         }
@@ -171,6 +194,7 @@ class TwoLevelTlb
                 res.latency = cfg.l2HitLatency;
                 res.entry = l2.entryAt(s);
                 l1Small.insert(tag4K(va), asid_, res.entry, ++clock);
+                noteMru(va, res.entry);
                 return res;
             }
         }
@@ -184,6 +208,7 @@ class TwoLevelTlb
                 res.latency = cfg.l2HitLatency;
                 res.entry = l2.entryAt(s);
                 l1Large.insert(tag2M(va), asid_, res.entry, ++clock);
+                noteMru(va, res.entry);
                 return res;
             }
         }
@@ -214,6 +239,7 @@ class TwoLevelTlb
             if (cfg.l2Holds2M)
                 l2.insert(tag2M(va) | LargeTagBit, asid_, entry, ++clock);
         }
+        noteMru(va, entry);
     }
 
     /**
@@ -232,6 +258,16 @@ class TwoLevelTlb
     const TlbStats &stats() const { return stats_; }
     void resetStats() { stats_ = TlbStats{}; }
     const TlbConfig &config() const { return cfg; }
+
+    /**
+     * Charge @p n L1 hits for fused same-page repeats (Core::accessRun)
+     * without re-probing. Exact by MRU idempotence: the repeated entry
+     * was stamped most-recent by the probe that opened the run, and
+     * true-LRU victim choice depends only on the *relative* stamp
+     * order within a set, so re-stamping the already-newest entry
+     * cannot change any future hit, miss or eviction.
+     */
+    void noteFusedL1Hits(std::uint64_t n) { stats_.l1Hits += n; }
 
     /**
      * Visit every valid entry across both levels as (va, asid, entry).
@@ -333,6 +369,30 @@ class TwoLevelTlb
     static std::uint64_t tag4K(VirtAddr va) { return va >> PageShift; }
     static std::uint64_t tag2M(VirtAddr va) { return va >> LargePageShift; }
 
+    /**
+     * Remember @p entry (just stamped in its L1 array, so the newest
+     * stamp in its set) as the lookup memo. The base/mask pair makes
+     * the memo hit test one AND+compare regardless of page size.
+     */
+    void
+    noteMru(VirtAddr va, const TlbEntry &entry)
+    {
+        memoMask_ = (entry.size == PageSizeKind::Large2M)
+                        ? ~(LargePageSize - 1)
+                        : ~(PageSize - 1);
+        memoBase_ = va & memoMask_;
+        memoAsid_ = asid_;
+        memoEntry_ = entry;
+    }
+
+    /** Drop the memo (any invalidation: mask 0 can never match ~0). */
+    void
+    clearMemo()
+    {
+        memoBase_ = ~0ull;
+        memoMask_ = 0;
+    }
+
     /** Granularity marker mixed into unified-L2 tags (no collisions). */
     static constexpr std::uint64_t LargeTagBit = 1ull << 63;
 
@@ -363,6 +423,13 @@ class TwoLevelTlb
     Asid asid_ = 0;
     std::uint32_t clock = 0;
     TlbStats stats_;
+    // Lookup memo (see lookup()/noteMru): decoded copy of the most
+    // recently stamped L1 entry. memoBase_ = ~0 with memoMask_ = 0 is
+    // the "empty" state — no canonical address matches it.
+    std::uint64_t memoBase_ = ~0ull;
+    std::uint64_t memoMask_ = 0;
+    Asid memoAsid_ = 0;
+    TlbEntry memoEntry_;
 };
 
 } // namespace mitosim::tlb

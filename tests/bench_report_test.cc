@@ -294,6 +294,54 @@ TEST(BenchReport, WallMsSectionIsSeparateFromMetrics)
     }
 }
 
+TEST(BenchReport, WallMsHostStatExtendsPhaseObjectEntries)
+{
+    BenchReport report = sampleReport();
+    report.wallMsPhases("canneal F", 20.0, 8.0, 10.0,
+                        /*sim_accesses=*/1000);
+    report.wallMsHostStat("canneal F", "fused_runs", 42.0);
+    report.wallMsHostStat("canneal F", "fused_ops", 99.0);
+    JsonValue doc = roundTrip(report);
+
+    const JsonValue *wall = doc.find("wall_ms");
+    ASSERT_NE(wall, nullptr);
+    const JsonValue *entry = wall->find("canneal F");
+    ASSERT_NE(entry, nullptr);
+    ASSERT_TRUE(entry->isObject());
+    // Phase breakdown written first survives the host-stat appends.
+    ASSERT_NE(entry->find("total"), nullptr);
+    EXPECT_EQ(entry->find("total")->asNumber(), 20.0);
+    ASSERT_NE(entry->find("host_ops_per_sec"), nullptr);
+    ASSERT_NE(entry->find("fused_runs"), nullptr);
+    EXPECT_EQ(entry->find("fused_runs")->asNumber(), 42.0);
+    EXPECT_EQ(entry->find("fused_ops")->asNumber(), 99.0);
+}
+
+TEST(BenchReport, WallMsHostStatPromotesScalarEntryToObject)
+{
+    BenchReport report = sampleReport();
+    report.wallMs("canneal F", 12.5);
+    report.wallMsHostStat("canneal F", "arena_slabs", 3.0);
+    JsonValue doc = roundTrip(report);
+
+    // The scalar wall-clock written by wallMs() becomes the "total"
+    // member of the object form so both shapes compose in one schema.
+    const JsonValue *entry = doc.find("wall_ms")->find("canneal F");
+    ASSERT_NE(entry, nullptr);
+    ASSERT_TRUE(entry->isObject());
+    ASSERT_NE(entry->find("total"), nullptr);
+    EXPECT_EQ(entry->find("total")->asNumber(), 12.5);
+    EXPECT_EQ(entry->find("arena_slabs")->asNumber(), 3.0);
+
+    // A host stat for a label never seen still creates a valid entry.
+    report.wallMsHostStat("fresh job", "fused_runs", 1.0);
+    JsonValue doc2 = roundTrip(report);
+    const JsonValue *fresh = doc2.find("wall_ms")->find("fresh job");
+    ASSERT_NE(fresh, nullptr);
+    ASSERT_TRUE(fresh->isObject());
+    EXPECT_EQ(fresh->find("fused_runs")->asNumber(), 1.0);
+}
+
 TEST(BenchReport, RunsCarryLabelTagsAndFiniteMetrics)
 {
     JsonValue doc = roundTrip(sampleReport());

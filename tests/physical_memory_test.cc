@@ -249,5 +249,79 @@ TEST_F(PhysicalMemoryTest, StatsTrackLiveCounts)
     EXPECT_EQ(pm.stats(0).ptPages, 0u);
 }
 
+TEST_F(PhysicalMemoryTest, TableArenaGrowsInChunksAndRecyclesSlots)
+{
+    TableArenaStats before = pm.tableArenaStats();
+    std::vector<Pfn> pts;
+    for (int i = 0; i < 100; ++i)
+        pts.push_back(*pm.allocPt(0, 1, 1));
+    TableArenaStats grown = pm.tableArenaStats();
+    EXPECT_EQ(grown.liveSlots, before.liveSlots + 100);
+    // 100 tables at 64 tables/chunk forces at least a second chunk.
+    EXPECT_GE(grown.chunks, before.chunks + 2);
+
+    // Dirty a table, free it, reallocate on the same socket: the LIFO
+    // free list hands the same slot back — recycled and zero-scrubbed.
+    pm.table(pts[7])[13] = 0xdeadbeefull;
+    pm.freePt(pts[7]);
+    Pfn again = *pm.allocPt(0, 1, 1);
+    TableArenaStats recycled = pm.tableArenaStats();
+    EXPECT_EQ(recycled.slotRecycles, grown.slotRecycles + 1);
+    EXPECT_EQ(recycled.liveSlots, grown.liveSlots);
+    const std::uint64_t *tbl = pm.table(again);
+    for (unsigned i = 0; i < PtEntriesPerPage; ++i)
+        ASSERT_EQ(tbl[i], 0u);
+}
+
+TEST_F(PhysicalMemoryTest, ClonedArenasShareChunksUntilTableWrite)
+{
+    Pfn pt = *pm.allocPt(2, 2, 5);
+    pm.table(pt)[0] = 0x42;
+
+    PhysicalMemory clone(topo);
+    clone.cloneStateFrom(pm);
+    // Read paths (tableView and the const table() overload) see the
+    // donor's bytes through the shared chunk without copying it.
+    EXPECT_EQ(clone.tableView(pt)[0], 0x42u);
+    EXPECT_EQ(clone.tableArenaStats().detaches, 0u);
+
+    // First mutable touch detaches exactly one chunk, privately.
+    clone.table(pt)[1] = 0x99;
+    EXPECT_EQ(clone.tableArenaStats().detaches, 1u);
+    EXPECT_EQ(pm.tableView(pt)[1], 0u);
+    EXPECT_EQ(clone.tableView(pt)[0], 0x42u);
+
+    // Later touches of the now-private chunk copy nothing.
+    clone.table(pt)[2] = 0x7;
+    EXPECT_EQ(clone.tableArenaStats().detaches, 1u);
+
+    // The fork allocates and frees independently: a new PT in the
+    // clone must not disturb the donor's slot accounting.
+    TableArenaStats donor = pm.tableArenaStats();
+    Pfn extra = *clone.allocPt(2, 1, 5);
+    EXPECT_EQ(pm.tableArenaStats().liveSlots, donor.liveSlots);
+    clone.freePt(extra);
+}
+
+TEST_F(PhysicalMemoryTest, RetiredTableChunksReturnToSlabPool)
+{
+    SlabPoolStats before = slabPoolStats();
+    {
+        PhysicalMemory other(topo);
+        ASSERT_TRUE(other.allocPt(0, 1, 1).has_value());
+    }
+    // Destruction returns the arena's chunks to the process-wide pool.
+    SlabPoolStats after = slabPoolStats();
+    EXPECT_GT(after.tableRecycles, before.tableRecycles);
+
+    // A fresh instance is served from the pooled free list: no new
+    // slab is minted for its first table chunk.
+    {
+        PhysicalMemory other(topo);
+        ASSERT_TRUE(other.allocPt(0, 1, 1).has_value());
+        EXPECT_EQ(slabPoolStats().tableSlabs, after.tableSlabs);
+    }
+}
+
 } // namespace
 } // namespace mitosim::mem

@@ -118,6 +118,49 @@ TEST(SnapshotTest, ForkPassesInvariantBattery)
     }
 }
 
+TEST(SnapshotTest, ForkAfterCollapseSplitRecyclesTableSlots)
+{
+    auto spec = testSpec("gups", BackendKind::Mitosis);
+    spec.params.thp = true; // huge-page-backed heap: splittable
+
+    auto u = bench::preparePopulated(spec);
+    mem::PhysicalMemory &pm = u->machine.physmem();
+    ASSERT_FALSE(u->proc->vmas().empty());
+    const VirtAddr heap = u->proc->vmas().begin()->first;
+
+    // Split the first huge page inside the fork: demotion allocates a
+    // fresh leaf table from this fork's arena, not the donor's.
+    mem::TableArenaStats before = pm.tableArenaStats();
+    ASSERT_TRUE(u->kernel.thp().splitAt(*u->proc, heap, nullptr));
+    mem::TableArenaStats split = pm.tableArenaStats();
+    EXPECT_GT(split.liveSlots, before.liveSlots);
+
+    // Collapse it back, then split again: the leaf table freed by the
+    // collapse must be recycled, not a new slot.
+    ASSERT_TRUE(u->kernel.thp().collapseAt(*u->proc, heap, nullptr));
+    ASSERT_TRUE(u->kernel.thp().splitAt(*u->proc, heap, nullptr));
+    mem::TableArenaStats again = pm.tableArenaStats();
+    EXPECT_GT(again.slotRecycles, split.slotRecycles);
+    EXPECT_EQ(again.liveSlots, split.liveSlots);
+
+    // The reshaped fork still passes the full invariant battery...
+    check::Checker checker(u->kernel, check::CheckConfig{});
+    EXPECT_EQ(checker.runAll("fork after collapse/split"), 0u);
+
+    // ...and a sibling fork starts from the pristine donor state —
+    // huge mapping intact, its own arena untouched by the reshaping.
+    auto sibling = bench::preparePopulated(spec);
+    EXPECT_EQ(sibling->kernel.ptOps()
+                  .walk(sibling->proc->roots(), heap)
+                  .size,
+              PageSizeKind::Large2M);
+    check::Checker sibchk(sibling->kernel, check::CheckConfig{});
+    EXPECT_EQ(sibchk.runAll("sibling fork"), 0u);
+
+    u->finalize();
+    sibling->finalize();
+}
+
 TEST(SnapshotTest, FinalizeIsIdempotentAndDtorSafe)
 {
     auto spec = testSpec("gups", BackendKind::Native);

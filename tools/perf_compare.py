@@ -19,10 +19,12 @@ Usage:
   tools/perf_compare.py --update build/BENCH_*.json   # rewrite baseline
   tools/perf_compare.py --tolerance 2.0 ...           # ratio gate
   tools/perf_compare.py --max-regress 30 ...          # percent gate
+  tools/perf_compare.py --markdown ...                # GFM table output
 """
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -64,6 +66,9 @@ def main():
                          "ratio would hide real regressions")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the given reports")
+    ap.add_argument("--markdown", action="store_true",
+                    help="emit the comparison as a GitHub-flavored "
+                         "markdown table (for CI job summaries)")
     args = ap.parse_args()
 
     gate = (1.0 + args.max_regress / 100.0
@@ -91,19 +96,47 @@ def main():
         base = json.load(f)
 
     failed = []
-    print(f"{'bench':<26} {'base_ms':>10} {'new_ms':>10} {'ratio':>7}")
+    ratios = []
+    if args.markdown:
+        print("| bench | base_ms | new_ms | ratio |")
+        print("|---|---:|---:|---:|")
+    else:
+        print(f"{'bench':<26} {'base_ms':>10} {'new_ms':>10} "
+              f"{'ratio':>7}")
     for name, new_ms in sorted(fresh.items()):
         base_ms = base.get(name)
         if base_ms is None:
-            print(f"{name:<26} {'-':>10} {new_ms:>10.1f}   (new)")
+            if args.markdown:
+                print(f"| {name} | - | {new_ms:.1f} | (new) |")
+            else:
+                print(f"{name:<26} {'-':>10} {new_ms:>10.1f}   (new)")
             continue
         ratio = new_ms / base_ms if base_ms else float("inf")
+        ratios.append(ratio)
         flag = ""
         if ratio > gate:
-            flag = "  REGRESSION"
+            flag = "REGRESSION"
             failed.append(name)
-        print(f"{name:<26} {base_ms:>10.1f} {new_ms:>10.1f} "
-              f"{ratio:>6.2f}x{flag}")
+        if args.markdown:
+            mark = f" **{flag}**" if flag else ""
+            print(f"| {name} | {base_ms:.1f} | {new_ms:.1f} | "
+                  f"{ratio:.2f}x{mark} |")
+        else:
+            pad = f"  {flag}" if flag else ""
+            print(f"{name:<26} {base_ms:>10.1f} {new_ms:>10.1f} "
+                  f"{ratio:>6.2f}x{pad}")
+
+    # The headline number: geometric mean of new/base across every
+    # bench with a baseline (< 1.0 means the tree got faster overall).
+    if ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios)
+                           / len(ratios))
+        if args.markdown:
+            print(f"| **geomean** ({len(ratios)} benches) | | | "
+                  f"**{geomean:.3f}x** |")
+        else:
+            print(f"{'geomean (' + str(len(ratios)) + ' benches)':<26} "
+                  f"{'':>10} {'':>10} {geomean:>6.3f}x")
 
     if failed:
         print(f"\n{len(failed)} bench(es) beyond {gate:.2f}x: "

@@ -19,8 +19,102 @@
 #   tools/profile_bench.sh fig09b_multisocket_2m
 #   tools/profile_bench.sh ext_thp_aging --filter='gups/*'
 #   LINES=80 tools/profile_bench.sh fig11_fragmentation
+#
+# Diff mode: run the same bench in two already-configured -pg build
+# trees (e.g. build-pg on this commit and a worktree's build-pg on the
+# baseline commit) and print the top-N per-function self-seconds side
+# by side, sorted by absolute delta — where the hot path actually
+# moved, not just what is hot:
+#   tools/profile_bench.sh --diff build-pg-base build-pg \
+#       fig09b_multisocket_2m [bench args...]
 
 set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+lines=${LINES:-40}
+
+profile_tree() {
+    # Build + run $bench in tree $1; flat profile on stdout.
+    local t=$1
+    shift
+    cmake --build "$t" -j "$(nproc)" --target "$bench" >&2
+    (cd "$t" && rm -f gmon.out && "./$bench" "$@" >/dev/null &&
+        gprof -b -p "./$bench" gmon.out)
+}
+
+if [ "${1:-}" = --diff ]; then
+    shift
+    if [ $# -lt 3 ]; then
+        echo "usage: $0 --diff <buildA> <buildB> <bench> [args...]" >&2
+        exit 2
+    fi
+    tree_a=$1
+    tree_b=$2
+    bench=$3
+    shift 3
+    for t in "$tree_a" "$tree_b"; do
+        if [ ! -f "$t/CMakeCache.txt" ]; then
+            echo "error: $t is not a configured build tree" >&2
+            exit 2
+        fi
+    done
+    profile_tree "$tree_a" "$@" > /tmp/profile_a.$$
+    profile_tree "$tree_b" "$@" > /tmp/profile_b.$$
+    python3 - "$tree_a" "$tree_b" "$lines" \
+        /tmp/profile_a.$$ /tmp/profile_b.$$ <<'EOF'
+import sys
+
+tree_a, tree_b, lines, file_a, file_b = sys.argv[1:6]
+
+def parse(path):
+    # gprof -b -p flat lines: "%time cum self [calls ms ms] name";
+    # the name keeps internal spaces (template/argument lists), so
+    # strip the leading numeric columns and join the rest.
+    out = {}
+    for line in open(path):
+        parts = line.split(None, 3)
+        if len(parts) < 4:
+            continue
+        try:
+            self_s = float(parts[2])
+        except ValueError:
+            continue
+        tokens = parts[3].split()
+        calls = None
+        while tokens:
+            try:
+                v = float(tokens[0])
+            except ValueError:
+                break
+            if calls is None:
+                calls = int(v)
+            tokens.pop(0)
+        name = " ".join(tokens)
+        if name:
+            out[name] = (self_s, calls)
+    return out
+
+a, b = parse(file_a), parse(file_b)
+rows = []
+for name in a.keys() | b.keys():
+    sa, ca = a.get(name, (0.0, None))
+    sb, cb = b.get(name, (0.0, None))
+    rows.append((abs(sb - sa), sa, sb, ca, cb, name))
+# Ties on delta are common (0.00 vs 0.00): key on (delta, name) only,
+# since the calls columns may be None and don't order.
+rows.sort(key=lambda r: (r[0], r[5]), reverse=True)
+
+fmt_calls = lambda c: "-" if c is None else str(c)
+print(f"{'A_self_s':>9} {'B_self_s':>9} {'delta':>8} "
+      f"{'A_calls':>12} {'B_calls':>12}  function")
+print(f"(A = {tree_a}, B = {tree_b}; sorted by |delta self seconds|)")
+for _, sa, sb, ca, cb, name in rows[: int(lines)]:
+    print(f"{sa:>9.2f} {sb:>9.2f} {sb - sa:>+8.2f} "
+          f"{fmt_calls(ca):>12} {fmt_calls(cb):>12}  {name[:90]}")
+EOF
+    rm -f /tmp/profile_a.$$ /tmp/profile_b.$$
+    exit 0
+fi
 
 if [ $# -lt 1 ]; then
     echo "usage: $0 <bench> [bench args...]" >&2
@@ -30,9 +124,7 @@ fi
 bench=$1
 shift
 
-repo=$(cd "$(dirname "$0")/.." && pwd)
 tree="$repo/build-pg"
-lines=${LINES:-40}
 
 cmake -B "$tree" -S "$repo" \
     -DCMAKE_BUILD_TYPE=Release \
