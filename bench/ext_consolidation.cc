@@ -109,6 +109,7 @@ run(bool use_mitosis, bool pcid)
         auto owned = std::make_unique<core::MitosisBackend>(
             machine.physmem(), mcfg);
         mitosis = owned.get();
+        mitosis->attachObs(&machine.metrics(), &machine.tracer());
         backend = std::move(owned);
     } else {
         backend =
@@ -178,20 +179,19 @@ run(bool use_mitosis, bool pcid)
                       mitosis->stats().scheduleReplications));
     }
 
-    const os::SchedulerStats &ss = kernel.scheduler().stats();
-    res.schedStat("context_switches",
-                  static_cast<double>(ss.contextSwitches));
-    res.schedStat("preemptions", static_cast<double>(ss.preemptions));
-    res.schedStat("migrations", static_cast<double>(ss.migrations));
-    res.schedStat("asid_recycle_flushes",
-                  static_cast<double>(ss.asidRecycleFlushes));
-    res.schedStat("enqueues", static_cast<double>(ss.enqueues));
+    // Per-tenant walk-cycle attribution: eight pid-labelled bucket
+    // sets, the per-job table EXPERIMENTS.md's consolidation analysis
+    // reads (which tenants walk remote, at which level).
+    for (auto &t : tenants)
+        recordWalkAttribution(res, t.proc->id(), t.ctx->totals());
 
     for (auto &t : tenants)
         kernel.finalizeProcess(*t.proc);
     // Under MITOSIM_CHECK=1 CI runs this bench and asserts that the
-    // report's "check" section shows zero violations per job.
-    recordCheckStats(kernel, res);
+    // report's "check" section shows zero violations per job. Host
+    // stats stay off: this bench drives step() directly, outside the
+    // harness populate/replay path the host counters describe.
+    recordJobStats(kernel, res, {.sched = true, .host = false});
     return res;
 }
 

@@ -105,8 +105,9 @@ run(const std::string &workload, bool replicate)
         pt_pages += u->machine.physmem().stats(s).ptPages;
     res.value("pt_pages", static_cast<double>(pt_pages));
 
+    recordWalkAttribution(res, u->proc->id(), out.totals);
     u->finalize();
-    recordCheckStats(u->kernel, res);
+    recordJobStats(u->kernel, res);
     phases.stamp(res);
     return res;
 }

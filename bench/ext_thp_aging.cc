@@ -166,20 +166,6 @@ run(const std::string &workload, bool use_mitosis, bool daemon)
     res.outcome = out;
 
     const os::thp::ThpStats &ts = thp.stats();
-    res.thpStat("collapses", static_cast<double>(ts.collapses));
-    res.thpStat("collapse_failed_no_block",
-                static_cast<double>(ts.collapseFailedNoBlock));
-    res.thpStat("splits", static_cast<double>(ts.splits));
-    res.thpStat("compaction_blocks_reclaimed",
-                static_cast<double>(ts.compactionBlocksReclaimed));
-    res.thpStat("compaction_pages_moved",
-                static_cast<double>(ts.compactionPagesMoved));
-    res.thpStat("compaction_failures",
-                static_cast<double>(ts.compactionFailures));
-    res.thpStat("ranges_scanned",
-                static_cast<double>(ts.rangesScanned));
-    res.thpStat("daemon_cycles",
-                static_cast<double>(ts.daemonCycles));
 
     if (mitosis) {
         // Acceptance: every replica table must agree with the primary
@@ -205,8 +191,9 @@ run(const std::string &workload, bool use_mitosis, bool daemon)
                       analyzer.snapshot(proc.roots()).totalLeafPtes()));
     }
 
+    recordWalkAttribution(res, proc.id(), out.totals);
     u->finalize();
-    recordCheckStats(kernel, res);
+    recordJobStats(kernel, res, {.thp = true});
     phases.stamp(res);
     return res;
 }

@@ -146,8 +146,16 @@ preparePopulated(const PopulateSpec &spec)
         u->workload->setup(*u->ctx);
         return u;
     };
-    return snapshot::SnapshotCache::instance().populated(
+    auto u = snapshot::SnapshotCache::instance().populated(
         populateKey(spec), spec.kernelCfg, build);
+    // Discard populate-phase observability: a job's metrics and trace
+    // describe only what happens after this point, which also keeps a
+    // fork of a cached donor (whose obs state is never cloned, see
+    // Machine::cloneStateFrom) byte-identical to a fresh
+    // MITOSIM_SNAPSHOTS=0 build-and-populate.
+    u->machine.metrics().reset();
+    u->machine.tracer().reset();
+    return u;
 }
 
 RunOutcome
@@ -203,10 +211,11 @@ runMultiSocket(const ScenarioConfig &scenario, MsConfig config,
     RunOutcome out;
     out.runtime = u->ctx->runtime();
     out.totals = u->ctx->totals();
+    if (sink)
+        recordWalkAttribution(*sink, proc.id(), out.totals);
     u->finalize();
     if (sink) {
-        recordCheckStats(kernel, *sink);
-        recordHostStats(u->machine, *sink);
+        recordJobStats(kernel, *sink);
         phases.stamp(*sink);
     }
     return out;
@@ -322,10 +331,11 @@ runWorkloadMigration(const ScenarioConfig &scenario, const WmPlacement &wm,
     out.totals = u->ctx->totals();
     if (wm.interference)
         u->machine.topology().removeInterferer(SocketB);
+    if (sink)
+        recordWalkAttribution(*sink, proc.id(), out.totals);
     u->finalize();
     if (sink) {
-        recordCheckStats(kernel, *sink);
-        recordHostStats(u->machine, *sink);
+        recordJobStats(kernel, *sink);
         phases.stamp(*sink);
     }
     return out;
@@ -736,6 +746,68 @@ recordCheckStats(os::Kernel &kernel, driver::JobResult &res)
     res.checkStat("leaves_checked", static_cast<double>(s.leavesChecked));
     res.checkStat("frames_accounted",
                   static_cast<double>(s.framesAccounted));
+}
+
+void
+recordJobStats(os::Kernel &kernel, driver::JobResult &res,
+               const JobStatsOptions &opts)
+{
+    if (opts.sched) {
+        const os::SchedulerStats &ss = kernel.scheduler().stats();
+        res.schedStat("context_switches",
+                      static_cast<double>(ss.contextSwitches));
+        res.schedStat("preemptions",
+                      static_cast<double>(ss.preemptions));
+        res.schedStat("migrations", static_cast<double>(ss.migrations));
+        res.schedStat("asid_recycle_flushes",
+                      static_cast<double>(ss.asidRecycleFlushes));
+        res.schedStat("enqueues", static_cast<double>(ss.enqueues));
+    }
+    if (opts.thp) {
+        const os::thp::ThpStats &ts = kernel.thp().stats();
+        res.thpStat("collapses", static_cast<double>(ts.collapses));
+        res.thpStat("collapse_failed_no_block",
+                    static_cast<double>(ts.collapseFailedNoBlock));
+        res.thpStat("splits", static_cast<double>(ts.splits));
+        res.thpStat("compaction_blocks_reclaimed",
+                    static_cast<double>(ts.compactionBlocksReclaimed));
+        res.thpStat("compaction_pages_moved",
+                    static_cast<double>(ts.compactionPagesMoved));
+        res.thpStat("compaction_failures",
+                    static_cast<double>(ts.compactionFailures));
+        res.thpStat("ranges_scanned",
+                    static_cast<double>(ts.rangesScanned));
+        res.thpStat("daemon_cycles",
+                    static_cast<double>(ts.daemonCycles));
+    }
+    recordCheckStats(kernel, res);
+    sim::Machine &machine = kernel.machine();
+    if (opts.host)
+        recordHostStats(machine, res);
+    for (const auto &[key, value] : machine.metrics().flatten())
+        res.metricStat(key, value);
+    res.traceJson = machine.tracer().exportJson();
+}
+
+void
+recordWalkAttribution(driver::JobResult &res, ProcId pid,
+                      const sim::PerfCounters &totals)
+{
+    for (unsigned level = 1; level <= PtLevels; ++level) {
+        for (int remote = 0; remote < 2; ++remote) {
+            res.metricStat(
+                format("walk_cycles_L%u_%s{pid=%d}", level,
+                       remote ? "remote" : "local",
+                       static_cast<int>(pid)),
+                static_cast<double>(
+                    totals.walkCyclesAttr[level - 1][remote]));
+        }
+    }
+    // The buckets above sum to exactly this (the attribution
+    // invariant); recording the total makes the report self-checkable.
+    res.metricStat(format("walk_cycles_total{pid=%d}",
+                          static_cast<int>(pid)),
+                   static_cast<double>(totals.walkCycles));
 }
 
 } // namespace mitosim::bench

@@ -341,6 +341,37 @@ void recordCheckStats(os::Kernel &kernel, driver::JobResult &res);
  */
 void recordHostStats(sim::Machine &machine, driver::JobResult &res);
 
+/** Which optional stat sections recordJobStats copies. */
+struct JobStatsOptions
+{
+    bool sched = false; //!< scheduler activity ("scheduler" section)
+    bool thp = false;   //!< THP lifecycle counters ("thp" section)
+    bool host = true;   //!< host hot-path telemetry ("wall_ms" section)
+};
+
+/**
+ * One-stop end-of-job stat sink: copies every diagnostic surface the
+ * job's kernel/machine accumulated into @p res — the vmcheck battery
+ * (recordCheckStats, always), scheduler and THP counters in their
+ * established key orders (opted in, since those sections only appear
+ * for benches whose jobs ran the respective machinery), host hot-path
+ * telemetry (recordHostStats, opted out by benches that bypass the
+ * populate path), the flattened src/obs metrics registry, and the
+ * exported trace JSON (empty unless MITOSIM_TRACE enabled categories).
+ * Call once per job, after Universe::finalize() / finalizeProcess().
+ */
+void recordJobStats(os::Kernel &kernel, driver::JobResult &res,
+                    const JobStatsOptions &opts = {});
+
+/**
+ * Record @p totals' walk-cycle attribution (PerfCounters::walkCyclesAttr)
+ * into @p res's "metrics" section as walk_cycles_L<level>_<local|remote>
+ * keys labelled {pid=<pid>} — one call per measured process, before the
+ * process is finalized. The buckets sum exactly to totals.walkCycles.
+ */
+void recordWalkAttribution(driver::JobResult &res, ProcId pid,
+                           const sim::PerfCounters &totals);
+
 /**
  * Add a placementJob result as a run with one remote_leaf_socket<N>
  * metric per observing socket. Returns the run for extra tags.

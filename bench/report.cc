@@ -644,6 +644,17 @@ BenchReport::checkStat(const std::string &label, const std::string &key,
     checkStats_.set(label, std::move(job));
 }
 
+void
+BenchReport::metricStat(const std::string &label, const std::string &key,
+                        double value)
+{
+    JsonValue job = JsonValue::object();
+    if (const JsonValue *existing = metricsStats_.find(label))
+        job = *existing;
+    job.set(key, JsonValue::number(value));
+    metricsStats_.set(label, std::move(job));
+}
+
 JsonValue
 BenchReport::toJson() const
 {
@@ -664,6 +675,8 @@ BenchReport::toJson() const
         doc.set("thp", thpStats_);
     if (checkStats_.size())
         doc.set("check", checkStats_);
+    if (metricsStats_.size())
+        doc.set("metrics", metricsStats_);
     return doc;
 }
 

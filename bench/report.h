@@ -17,10 +17,11 @@
  *                              "run": <number>, "report": <number> }
  *                           | <number>, ..., "total": <number> },
  *     "scheduler": { "<job>": { "<stat>": <number>, ... }, ... },
- *     "thp":       { "<job>": { "<stat>": <number>, ... }, ... }
+ *     "thp":       { "<job>": { "<stat>": <number>, ... }, ... },
+ *     "metrics":   { "<job>": { "<metric>": <number>, ... }, ... }
  *   }
  *
- * Three sections are excluded from metric comparisons. "wall_ms" is
+ * Several sections are excluded from metric comparisons. "wall_ms" is
  * host-side telemetry (per-job and total wall-clock, recorded by the
  * driver): simulated results must be bit-identical across commits
  * unless the model changed, while wall_ms is expected to drift with
@@ -30,10 +31,13 @@
  * migrations — which is deterministic but diagnostic: it explains the
  * metrics without being one. "thp" (present only when the THP
  * lifecycle daemons ran) carries per-job collapse/split/compaction and
- * failed-allocation counters under the same rule. Tools diffing
- * reports must ignore all three; they exist so wall-clock trends,
- * scheduling and huge-page lifecycle behaviour stay visible PR-to-PR
- * via the CI artifacts.
+ * failed-allocation counters under the same rule. "check" (vmcheck)
+ * and "metrics" (the src/obs registry flatten: named counters, gauge
+ * snapshots, histogram digests, walk-cycle attribution) are likewise
+ * diagnostic surfaces, free to grow richer between PRs. Tools diffing
+ * reports must ignore all of them; they exist so wall-clock trends,
+ * scheduling, huge-page lifecycle and observability signals stay
+ * visible PR-to-PR via the CI artifacts.
  *
  * A minimal JSON value/writer/parser keeps the repo dependency-free; the
  * parser exists so tests and tools can round-trip what the writer emits.
@@ -238,6 +242,16 @@ class BenchReport
     void checkStat(const std::string &label, const std::string &key,
                    double value);
 
+    /**
+     * Record one observability metric (a flattened src/obs registry
+     * entry or a walk-cycle attribution bucket) for job @p label. The
+     * "metrics" section only appears when a job recorded any and —
+     * like "scheduler"/"thp"/"check" — is diagnostic, excluded from
+     * metric comparisons.
+     */
+    void metricStat(const std::string &label, const std::string &key,
+                    double value);
+
     JsonValue toJson() const;
     std::string str() const { return toJson().str(2); }
 
@@ -259,6 +273,7 @@ class BenchReport
     JsonValue schedStats_ = JsonValue::object();
     JsonValue thpStats_ = JsonValue::object();
     JsonValue checkStats_ = JsonValue::object();
+    JsonValue metricsStats_ = JsonValue::object();
 };
 
 /// @}

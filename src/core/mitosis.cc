@@ -26,6 +26,22 @@ MitosisBackend::MitosisBackend(mem::PhysicalMemory &physmem,
 }
 
 void
+MitosisBackend::attachObs(obs::MetricsRegistry *metrics,
+                          obs::Tracer *tracer)
+{
+    trc_ = tracer;
+    if (!metrics)
+        return;
+    mReplCreated = &metrics->counter("mitosis_replica_pages_created");
+    mReplFreed = &metrics->counter("mitosis_replica_pages_freed");
+    gReplLive = &metrics->gauge("mitosis_replica_pages_live");
+    mEagerUpdates = &metrics->counter("mitosis_eager_updates");
+    mTreeRepl = &metrics->counter("mitosis_tree_replications");
+    mTreeMigr = &metrics->counter("mitosis_tree_migrations");
+    mSchedRepl = &metrics->counter("mitosis_schedule_replications");
+}
+
+void
 MitosisBackend::setSystemPolicy(SystemPolicy policy, SocketId fixed_socket)
 {
     cfg.policy = policy;
@@ -109,6 +125,13 @@ MitosisBackend::allocPtPage(pt::RootSet &roots, ProcId owner, int level,
         }
         mem.linkReplica(primary, *replica);
         ++stats_.replicaPagesCreated;
+        bump(mReplCreated);
+        if (gReplLive)
+            gReplLive->add(1);
+        if (trc_)
+            trc_->instant(obs::TraceCat::Replica, "replica_create",
+                          owner, 0, "socket",
+                          static_cast<std::uint64_t>(s));
     }
     return primary;
 }
@@ -129,8 +152,15 @@ MitosisBackend::releasePtPage(pt::RootSet &roots, Pfn pfn, KernelCost *cost)
             cost->charge(pvops::PageFreeCost);
             ++cost->ptPagesFreed;
         }
-        if (p != pfn)
+        if (p != pfn) {
             ++stats_.replicaPagesFreed;
+            bump(mReplFreed);
+            if (gReplLive)
+                gReplLive->sub(1);
+            if (trc_)
+                trc_->instant(obs::TraceCat::Replica, "replica_free",
+                              0, 0, "pfn", p);
+        }
     }
 }
 
@@ -168,6 +198,7 @@ MitosisBackend::writeReplicaEntry(Pfn replica, unsigned index,
     }
     ++stats_.eagerUpdates;
     ++stats_.replicaRefsOnUpdate;
+    bump(mEagerUpdates);
 }
 
 pt::Pte
@@ -260,6 +291,7 @@ MitosisBackend::setPtes(pt::RootSet &roots, pt::PteLoc loc,
         }
         stats_.eagerUpdates += count;
         stats_.replicaRefsOnUpdate += count;
+        bump(mEagerUpdates, count);
         p = mem.meta(p).replicaNext;
     }
 }
@@ -376,6 +408,13 @@ MitosisBackend::replicateSubtree(Pfn src, int level, SocketId target,
         dst = *page;
         mem.linkReplica(src, dst);
         ++stats_.replicaPagesCreated;
+        bump(mReplCreated);
+        if (gReplLive)
+            gReplLive->add(1);
+        if (trc_)
+            trc_->instant(obs::TraceCat::Replica, "replica_create",
+                          owner, 0, "socket",
+                          static_cast<std::uint64_t>(target));
         fresh = true;
         if (cost) {
             cost->charge(pvops::PtPageSetupCost);
@@ -430,6 +469,11 @@ MitosisBackend::setReplicationMask(pt::RootSet &roots, ProcId owner,
             fatal("replication mask names socket %d beyond topology", s);
         replicateSubtree(roots.primaryRoot, 4, s, owner, cost);
         ++stats_.treeReplications;
+        bump(mTreeRepl);
+        if (trc_)
+            trc_->instant(obs::TraceCat::Replica, "tree_replicate",
+                          owner, 0, "socket",
+                          static_cast<std::uint64_t>(s));
     }
 
     // Tear down replicas for sockets no longer in the mask. Primary-tree
@@ -445,6 +489,9 @@ MitosisBackend::setReplicationMask(pt::RootSet &roots, ProcId owner,
             mem.unlinkReplica(p);
             mem.freePt(p);
             ++stats_.replicaPagesFreed;
+            bump(mReplFreed);
+            if (gReplLive)
+                gReplLive->sub(1);
             if (cost) {
                 cost->charge(pvops::PageFreeCost);
                 ++cost->ptPagesFreed;
@@ -507,6 +554,9 @@ MitosisBackend::freeOtherReplicas(Pfn keep, KernelCost *cost)
         mem.unlinkReplica(p);
         mem.freePt(p);
         ++stats_.replicaPagesFreed;
+        bump(mReplFreed);
+        if (gReplLive)
+            gReplLive->sub(1);
         if (cost) {
             cost->charge(pvops::PageFreeCost);
             ++cost->ptPagesFreed;
@@ -533,6 +583,10 @@ MitosisBackend::migratePageTables(pt::RootSet &roots, ProcId owner,
     if (new_root == InvalidPfn)
         return false;
     ++stats_.treeMigrations;
+    bump(mTreeMigr);
+    if (trc_)
+        trc_->instant(obs::TraceCat::Replica, "tree_migrate", owner, 0,
+                      "socket", static_cast<std::uint64_t>(target));
 
     Pfn old_root = roots.primaryRoot;
     roots.primaryRoot = new_root;
@@ -619,8 +673,14 @@ MitosisBackend::onThreadScheduled(pt::RootSet &roots, ProcId owner,
         return; // not the first timeslice here: the replica exists
     SocketMask mask = roots.replicaMask;
     mask.set(socket);
-    if (setReplicationMask(roots, owner, mask, cost))
+    if (setReplicationMask(roots, owner, mask, cost)) {
         ++stats_.scheduleReplications;
+        bump(mSchedRepl);
+        if (trc_)
+            trc_->instant(obs::TraceCat::Replica, "schedule_replicate",
+                          owner, 0, "socket",
+                          static_cast<std::uint64_t>(socket));
+    }
 }
 
 } // namespace mitosim::core

@@ -30,6 +30,8 @@
 
 #include "src/base/socket_mask.h"
 #include "src/mem/physical_memory.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pvops/pvops.h"
 
 namespace mitosim::core
@@ -218,6 +220,15 @@ class MitosisBackend : public pvops::PvOps
     const MitosisConfig &config() const { return cfg; }
 
     /**
+     * Attach the owning machine's observability sinks. The backend is
+     * constructed from a PhysicalMemory alone (no Machine in reach),
+     * so snapshot::Universe wires this after construction; a detached
+     * backend (nulls, e.g. one built by hand in a test or bench) skips
+     * every metric/trace emission.
+     */
+    void attachObs(obs::MetricsRegistry *metrics, obs::Tracer *tracer);
+
+    /**
      * Snapshot restore: adopt the cumulative counters of @p src (the
      * backend's only state — page-table contents live in the
      * PhysicalMemory the fork restores separately).
@@ -263,9 +274,29 @@ class MitosisBackend : public pvops::PvOps
     void writePrimaryEntry(pt::PteLoc loc, pt::Pte value, int level,
                            pvops::KernelCost *cost);
 
+    /** Null-safe counter bump for detached backends. */
+    static void
+    bump(obs::Counter *c, std::uint64_t n = 1)
+    {
+        if (c)
+            c->inc(n);
+    }
+
     mem::PhysicalMemory &mem;
     MitosisConfig cfg;
     MitosisStats stats_;
+
+    /// @name Observability handles (null until attachObs)
+    /// @{
+    obs::Tracer *trc_ = nullptr;
+    obs::Counter *mReplCreated = nullptr;
+    obs::Counter *mReplFreed = nullptr;
+    obs::Gauge *gReplLive = nullptr;
+    obs::Counter *mEagerUpdates = nullptr;
+    obs::Counter *mTreeRepl = nullptr;
+    obs::Counter *mTreeMigr = nullptr;
+    obs::Counter *mSchedRepl = nullptr;
+    /// @}
 };
 
 } // namespace mitosim::core

@@ -1,6 +1,7 @@
 #include "bench_main.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +81,38 @@ emitGeneric(const JobRegistry &registry,
         if (!res.text.empty())
             std::printf("%s", res.text.c_str());
     }
+}
+
+/**
+ * Write one job's exported trace to TRACE_<bench>_<job>.json next to
+ * the report (same $MITOSIM_BENCH_DIR rule as BenchReport::outputPath;
+ * non-alphanumeric job-name characters become '_' so names like
+ * "canneal/F+M" stay filesystem-safe). Best-effort: an I/O failure
+ * warns and keeps going — the trace is diagnostic, not a result.
+ */
+void
+writeTraceFile(const std::string &bench, const std::string &job,
+               const std::string &json)
+{
+    std::string path;
+    if (const char *dir = std::getenv("MITOSIM_BENCH_DIR");
+        dir && *dir) {
+        path = dir;
+        if (path.back() != '/')
+            path += '/';
+    }
+    path += "TRACE_" + bench + "_";
+    for (char c : job)
+        path += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    path += ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "[trace] cannot open %s\n", path.c_str());
+        return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("[trace] %s\n", path.c_str());
 }
 
 } // namespace
@@ -225,6 +258,18 @@ benchMain(int argc, char **argv, const BenchSpec &spec)
         for (std::size_t index : selected) {
             for (const auto &[key, value] : results[index]->check)
                 report.checkStat(registry.job(index).name, key, value);
+        }
+        // Observability: flattened metrics registry + walk-cycle
+        // attribution into the excluded "metrics" section; any
+        // exported trace goes to its own TRACE_*.json file, never into
+        // the report, so traced runs keep identical BENCH_*.json.
+        for (std::size_t index : selected) {
+            const JobResult &res = *results[index];
+            const std::string &job = registry.job(index).name;
+            for (const auto &[key, value] : res.metrics)
+                report.metricStat(job, key, value);
+            if (!res.traceJson.empty())
+                writeTraceFile(spec.name, job, res.traceJson);
         }
         if (selected.size() == registry.size()) {
             std::vector<JobResult> full;

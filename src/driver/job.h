@@ -117,6 +117,27 @@ struct JobResult
      */
     std::vector<std::pair<std::string, double>> host;
 
+    /**
+     * Observability metrics (src/obs): the job machine's flattened
+     * MetricsRegistry — named counters/gauges/histogram digests plus
+     * the walk-cycle attribution table — recorded by the bench
+     * harness's stat-sink helper. Deterministic simulated telemetry
+     * landed in the report's "metrics" section, which metric
+     * comparison tooling ignores (like "wall_ms" and "check"): it is
+     * an *observability* surface, free to grow richer between PRs
+     * without breaking report identity.
+     */
+    std::vector<std::pair<std::string, double>> metrics;
+
+    /**
+     * Chrome/Perfetto trace-event JSON exported from the job machine's
+     * tracer; empty unless MITOSIM_TRACE enabled categories. The
+     * driver writes it to TRACE_<bench>_<job>.json next to the report
+     * — never *into* the report, so traced runs keep byte-identical
+     * BENCH_*.json metrics.
+     */
+    std::string traceJson;
+
     JobResult &
     schedStat(std::string key, double v)
     {
@@ -142,6 +163,13 @@ struct JobResult
     hostStat(std::string key, double v)
     {
         host.emplace_back(std::move(key), v);
+        return *this;
+    }
+
+    JobResult &
+    metricStat(std::string key, double v)
+    {
+        metrics.emplace_back(std::move(key), v);
         return *this;
     }
 

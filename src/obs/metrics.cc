@@ -1,0 +1,119 @@
+#include "metrics.h"
+
+#include "src/base/logging.h"
+
+namespace mitosim::obs
+{
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (count == 0)
+        return 0;
+    // Rank of the requested observation (0-based, floor).
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < NumBuckets; ++b) {
+        seen += buckets[b];
+        if (seen > rank)
+            return bucketFloor(b);
+    }
+    return bucketFloor(NumBuckets - 1);
+}
+
+std::string
+MetricsRegistry::render(const std::string &name, const Labels &labels)
+{
+    if (labels.empty())
+        return name;
+    std::string out = name;
+    out += '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i)
+            out += ',';
+        out += labels[i].first;
+        out += '=';
+        out += labels[i].second;
+    }
+    out += '}';
+    return out;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::find(Kind kind, std::string name, Labels &labels)
+{
+    std::string key = render(name, labels);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        Entry &e = entries_[it->second];
+        MITOSIM_ASSERT(e.kind == kind,
+                       "metric re-registered with a different kind");
+        return e;
+    }
+    entries_.emplace_back();
+    Entry &e = entries_.back();
+    e.key = std::move(key);
+    e.kind = kind;
+    index_.emplace(e.key, entries_.size() - 1);
+    return e;
+}
+
+Counter &
+MetricsRegistry::counter(std::string name, Labels labels)
+{
+    return find(Kind::Counter, std::move(name), labels).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string name, Labels labels)
+{
+    return find(Kind::Gauge, std::move(name), labels).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string name, Labels labels)
+{
+    return find(Kind::Histogram, std::move(name), labels).hist;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::flatten() const
+{
+    auto num = [](auto v) { return static_cast<double>(v); };
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_) {
+        switch (e.kind) {
+        case Kind::Counter:
+            out.emplace_back(e.key, num(e.counter.value));
+            break;
+        case Kind::Gauge:
+            out.emplace_back(e.key, num(e.gauge.value));
+            break;
+        case Kind::Histogram:
+            out.emplace_back(e.key + "_count", num(e.hist.count));
+            out.emplace_back(e.key + "_sum", num(e.hist.sum));
+            out.emplace_back(e.key + "_p50",
+                             num(e.hist.percentile(0.50)));
+            out.emplace_back(e.key + "_p90",
+                             num(e.hist.percentile(0.90)));
+            out.emplace_back(e.key + "_p99",
+                             num(e.hist.percentile(0.99)));
+            break;
+        }
+    }
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (Entry &e : entries_) {
+        e.counter = Counter{};
+        e.gauge = Gauge{};
+        e.hist = Histogram{};
+    }
+}
+
+} // namespace mitosim::obs

@@ -133,6 +133,7 @@ class ExecContext
             c = k.machine().core(coreOf(tid)).access(va, is_write, pc);
         }
         noteThpCycles(c);
+        k.machine().tracer().advance(c);
         return c;
     }
 
@@ -153,6 +154,7 @@ class ExecContext
         pc.cycles += c;
         pc.computeCycles += c;
         noteThpCycles(c);
+        k.machine().tracer().advance(c);
     }
 
     /**
@@ -178,6 +180,7 @@ class ExecContext
     runBatch(int tid, const BatchOp *ops, std::size_t n)
     {
         if (trace_ || k.scheduler().timeShared() ||
+            k.machine().tracer().enabled() ||
             (thpTickPeriod != 0 && !sim::fuseEnabled())) {
             for (std::size_t i = 0; i < n; ++i) {
                 if (ops[i].isCompute)

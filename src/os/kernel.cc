@@ -21,6 +21,13 @@ Kernel::Kernel(sim::Machine &machine, pvops::PvOps &backend,
       autonuma(*this), sched(machine, config.sched),
       thpMgr(*this, config.thp)
 {
+    obs::MetricsRegistry &mr = mach.metrics();
+    mFaultNotPresent = &mr.counter("kernel_faults", {{"kind", "not_present"}});
+    mFaultNumaHint = &mr.counter("kernel_faults", {{"kind", "numa_hint"}});
+    mFaultProtection = &mr.counter("kernel_faults", {{"kind", "protection"}});
+    mFaultCycles = &mr.histogram("kernel_fault_cycles");
+    mShootdowns = &mr.counter("kernel_tlb_shootdowns");
+
     sched.attachBackend(backend);
     mach.setFaultHandler(
         [](void *ctx, CoreId core, const sim::FaultRequest &req) {
@@ -602,6 +609,9 @@ Kernel::shootdown(Process &proc, VirtAddr va, KernelCost *cost)
     });
     if (cost)
         cost->charge(pvops::TlbShootdownCost);
+    mShootdowns->inc();
+    mach.tracer().instant(obs::TraceCat::Shootdown, "tlb_shootdown",
+                          proc.id(), 0, "va", va);
 }
 
 void
@@ -620,8 +630,14 @@ Kernel::flushProcess(Process &proc, KernelCost *cost)
             core.pwc().flushAll();
         }
     });
-    if (cost)
+    if (cost) {
         cost->charge(pvops::TlbShootdownCost);
+        // Uncosted calls are subsumed by a caller that reports its own
+        // shootdown (e.g. shootdownRange's full-flush escalation).
+        mShootdowns->inc();
+        mach.tracer().instant(obs::TraceCat::Shootdown,
+                              "tlb_flush_process", proc.id(), 0);
+    }
 }
 
 void
@@ -645,6 +661,10 @@ Kernel::shootdownRange(Process &proc, const std::vector<VirtAddr> &vas,
     // One IPI round per range op, attributed to the caller.
     if (cost)
         cost->charge(pvops::TlbShootdownCost);
+    mShootdowns->inc();
+    mach.tracer().instant(obs::TraceCat::Shootdown,
+                          "tlb_shootdown_range", proc.id(), 0, "pages",
+                          pages);
 }
 
 SocketId
@@ -810,6 +830,26 @@ Kernel::handleFault(CoreId core, const sim::FaultRequest &req)
     }
     if (chk)
         chk->noteFaultTotal(cost.cycles);
+    const char *ev = nullptr;
+    switch (req.kind) {
+      case sim::WalkFault::NotPresent:
+        mFaultNotPresent->inc();
+        ev = "fault_not_present";
+        break;
+      case sim::WalkFault::NumaHint:
+        mFaultNumaHint->inc();
+        ev = "fault_numa_hint";
+        break;
+      case sim::WalkFault::Protection:
+        mFaultProtection->inc();
+        ev = "fault_protection";
+        break;
+      case sim::WalkFault::None:
+        break;
+    }
+    mFaultCycles->observe(cost.cycles);
+    mach.tracer().complete(obs::TraceCat::Fault, ev, cost.cycles,
+                           proc->id(), core, "va", req.va);
     return cost.cycles;
 }
 

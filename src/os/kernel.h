@@ -397,6 +397,15 @@ class Kernel
     thp::ThpManager thpMgr;
     std::unique_ptr<check::Checker> chk;
 
+    /// @name Observability handles (registered once in the ctor)
+    /// @{
+    obs::Counter *mFaultNotPresent = nullptr;
+    obs::Counter *mFaultNumaHint = nullptr;
+    obs::Counter *mFaultProtection = nullptr;
+    obs::Histogram *mFaultCycles = nullptr;
+    obs::Counter *mShootdowns = nullptr;
+    /// @}
+
     std::vector<std::unique_ptr<Process>> procs;
     std::vector<SocketId> homeSockets; // parallel to procs by pid index
     ProcId nextPid = 1;

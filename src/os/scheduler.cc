@@ -20,6 +20,12 @@ Scheduler::Scheduler(sim::Machine &machine, const SchedulerConfig &config)
                    "maxAsids must be in [2, 65536]");
     for (auto &cs : cores)
         cs.seenGen.assign(asidGen.size(), 0);
+
+    obs::MetricsRegistry &mr = mach.metrics();
+    mSwitches = &mr.counter("sched_context_switches");
+    mPreemptions = &mr.counter("sched_preemptions");
+    mMigrations = &mr.counter("sched_migrations");
+    mAsidRecycles = &mr.counter("sched_asid_recycle_flushes");
 }
 
 Scheduler::CoreState &
@@ -174,6 +180,10 @@ Scheduler::migrateThreads(Process &proc, SocketId target)
         new_cs.queue.push_back(me);
         threads[i].core = fresh;
         ++stats_.migrations;
+        mMigrations->inc();
+        mach.tracer().instant(obs::TraceCat::Sched, "sched_migrate",
+                              proc.id(), static_cast<int>(i), "core",
+                              static_cast<std::uint64_t>(fresh));
     }
     return true;
 }
@@ -231,13 +241,23 @@ Scheduler::dispatch(Process &proc, int tid, sim::PerfCounters &pc)
 
     ++stats_.contextSwitches;
     ++pc.contextSwitches;
+    mSwitches->inc();
+    mach.tracer().instant(obs::TraceCat::Sched, "sched_dispatch",
+                          proc.id(), tid, "core",
+                          static_cast<std::uint64_t>(core));
     // Linux's prev->mm == next->mm fast path: switching between two
     // threads of one process keeps CR3 — no flush even with PCID off,
     // no CR3 write, no replica work; only the fixed switch cost.
     bool same_space = cs.resident.valid() && cs.resident.pid == proc.id();
     if (cs.resident.valid()) {
-        if (cs.sliceExpired)
+        if (cs.sliceExpired) {
             ++stats_.preemptions;
+            mPreemptions->inc();
+            mach.tracer().instant(obs::TraceCat::Sched, "sched_preempt",
+                                  cs.resident.pid, cs.resident.tid,
+                                  "core",
+                                  static_cast<std::uint64_t>(core));
+        }
         cs.queue.push_back(cs.resident);
     }
     // Take our queue slot. Round-robin order is advisory in this
@@ -283,6 +303,10 @@ Scheduler::dispatch(Process &proc, int tid, sim::PerfCounters &pc)
         if (seen != 0 && seen != proc.asidGeneration) {
             hw.flushAsid(proc.asid);
             ++stats_.asidRecycleFlushes;
+            mAsidRecycles->inc();
+            mach.tracer().instant(obs::TraceCat::Asid,
+                                  "asid_recycle_flush", proc.id(), tid,
+                                  "asid", proc.asid);
         }
         seen = proc.asidGeneration;
         cost += hw.loadCr3(root, proc.asid, true);

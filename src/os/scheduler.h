@@ -250,6 +250,14 @@ class Scheduler
     std::vector<std::uint64_t> asidGen; //!< generation per ASID
     int nextAsid = 1; //!< round-robin cursor; 0 is the kernel/boot space
     SchedulerStats stats_;
+
+    /// @name Observability handles (registered once in the ctor)
+    /// @{
+    obs::Counter *mSwitches = nullptr;
+    obs::Counter *mPreemptions = nullptr;
+    obs::Counter *mMigrations = nullptr;
+    obs::Counter *mAsidRecycles = nullptr;
+    /// @}
 };
 
 } // namespace mitosim::os

@@ -42,6 +42,7 @@ ThpManager::compactTick(const std::vector<Process *> &procs,
     auto &machine = k.machine();
     auto &physmem = machine.physmem();
     auto &ops = k.ptOps();
+    ensureObs();
 
     // Reverse map (rmap): mapped 4 KB data pfn -> (process, va).
     std::unordered_map<Pfn, std::pair<Process *, VirtAddr>> rmap;
@@ -117,6 +118,7 @@ ThpManager::compactTick(const std::vector<Process *> &procs,
                     if (cost)
                         cost->charge(pvops::PageCopyCost);
                     ++stats_.compactionPagesMoved;
+                    mPagesMoved->inc();
                     continue;
                 }
                 auto [proc, va] = rmap.at(p);
@@ -137,6 +139,7 @@ ThpManager::compactTick(const std::vector<Process *> &procs,
                 rmap[*fresh] = {proc, va};
                 moved.emplace_back(proc, va);
                 ++stats_.compactionPagesMoved;
+                mPagesMoved->inc();
             }
 
             // Shoot down the moved translations per owning process —
@@ -154,8 +157,14 @@ ThpManager::compactTick(const std::vector<Process *> &procs,
                     k.shootdownRange(*p, vas, vas.size(), cost);
             }
 
-            if (drained)
+            if (drained) {
                 ++stats_.compactionBlocksReclaimed;
+                mBlocksReclaimed->inc();
+                machine.tracer().instant(
+                    obs::TraceCat::Thp, "kcompactd_reclaim", 0, 0,
+                    "socket", static_cast<std::uint64_t>(s), "block",
+                    b);
+            }
         }
     }
 }

@@ -19,6 +19,18 @@ namespace mitosim::os::thp
 using pvops::KernelCost;
 
 void
+ThpManager::ensureObs()
+{
+    if (mCollapses)
+        return;
+    obs::MetricsRegistry &mr = k.machine().metrics();
+    mCollapses = &mr.counter("thp_collapses");
+    mSplits = &mr.counter("thp_splits");
+    mPagesMoved = &mr.counter("thp_compaction_pages_moved");
+    mBlocksReclaimed = &mr.counter("thp_compaction_blocks_reclaimed");
+}
+
+void
 ThpManager::tick(const std::vector<Process *> &procs)
 {
     KernelCost cost;
@@ -143,6 +155,11 @@ ThpManager::collapseAt(Process &proc, VirtAddr va2m, KernelCost *cost)
     // can hold the process's translations.
     k.shootdownRange(proc, {}, FramesPerLargePage, cost);
     ++stats_.collapses;
+    ensureObs();
+    mCollapses->inc();
+    k.machine().tracer().instant(obs::TraceCat::Thp,
+                                 "khugepaged_collapse", proc.id(), 0,
+                                 "va", va2m);
     return true;
 }
 
@@ -169,6 +186,10 @@ ThpManager::splitAt(Process &proc, VirtAddr va, KernelCost *cost)
     // also clears the covering PWC prefixes on every core.
     k.shootdown(proc, base, cost);
     ++stats_.splits;
+    ensureObs();
+    mSplits->inc();
+    k.machine().tracer().instant(obs::TraceCat::Thp, "thp_split",
+                                 proc.id(), 0, "va", base);
     return true;
 }
 

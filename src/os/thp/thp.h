@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/base/types.h"
+#include "src/obs/metrics.h"
 #include "src/os/process.h"
 #include "src/pvops/pvops.h"
 
@@ -183,9 +184,25 @@ class ThpManager
     void compactTick(const std::vector<Process *> &procs,
                      pvops::KernelCost *cost);
 
+    /**
+     * Register the metric handles on first use. Lazy because the ctor
+     * runs while Kernel is still incomplete here (thp.h is included
+     * from kernel.h), so k.machine() is only reachable from the .cc
+     * files.
+     */
+    void ensureObs();
+
     Kernel &k;
     ThpConfig cfg;
     ThpStats stats_;
+
+    /// @name Observability handles (lazily registered, see ensureObs)
+    /// @{
+    obs::Counter *mCollapses = nullptr;
+    obs::Counter *mSplits = nullptr;
+    obs::Counter *mPagesMoved = nullptr;
+    obs::Counter *mBlocksReclaimed = nullptr;
+    /// @}
 
     /** khugepaged resume addresses, per pid (Linux's scan cursor). */
     std::map<ProcId, VirtAddr> scanCursor;

@@ -13,6 +13,8 @@
 
 #include "src/mem/physical_memory.h"
 #include "src/numa/topology.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/core.h"
 #include "src/sim/memory_hierarchy.h"
 #include "src/tlb/paging_structure_cache.h"
@@ -53,6 +55,16 @@ class Machine
     mem::PhysicalMemory &physmem() { return mem_; }
     MemoryHierarchy &hierarchy() { return hier; }
 
+    /**
+     * Observability (src/obs): per-machine — and therefore per-job —
+     * metrics registry and event tracer. Deliberately NOT part of
+     * cloneStateFrom: observability is host telemetry, not simulated
+     * hardware state, and snapshot forks reset it instead (see
+     * bench::preparePopulated).
+     */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    obs::Tracer &tracer() { return tracer_; }
+
     int numCores() const { return topo.numCores(); }
     int numSockets() const { return topo.numSockets(); }
     Core &core(CoreId id);
@@ -77,6 +89,8 @@ class Machine
     mem::PhysicalMemory mem_;
     MemoryHierarchy hier;
     std::vector<std::unique_ptr<Core>> cores;
+    obs::MetricsRegistry metrics_;
+    obs::Tracer tracer_;
 };
 
 } // namespace mitosim::sim

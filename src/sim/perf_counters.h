@@ -78,6 +78,21 @@ struct PerfCounters
     Cycles postSwitchWalkCycles = 0;
     /// @}
 
+    /// @name Walk-cycle attribution
+    /// @{
+
+    /**
+     * walkCycles broken out by [walk level - 1][remote]: which radix
+     * level the walker was resolving (0 = leaf PTE .. 3 = root) and
+     * whether the page-table page it referenced lived on a different
+     * socket than the walking core. Every cycle that lands in
+     * walkCycles also lands in exactly one bucket, so the buckets sum
+     * to walkCycles exactly — the signal replication policies act on
+     * is the remote-leaf share collapsing (§3.2).
+     */
+    Cycles walkCyclesAttr[PtLevels][2] = {};
+    /// @}
+
     /** Fraction of cycles spent walking page-tables (hashed bars). */
     double
     walkFraction() const
@@ -125,6 +140,9 @@ struct PerfCounters
         contextSwitches += o.contextSwitches;
         postSwitchTlbMisses += o.postSwitchTlbMisses;
         postSwitchWalkCycles += o.postSwitchWalkCycles;
+        for (unsigned l = 0; l < PtLevels; ++l)
+            for (int r = 0; r < 2; ++r)
+                walkCyclesAttr[l][r] += o.walkCyclesAttr[l][r];
     }
 };
 

@@ -50,6 +50,9 @@ struct SharedOp
     bool inWindow = false;
     /** AdSet only: the A/D bit mask the walk wanted present. */
     std::uint8_t want = 0;
+    /** L3Pt/AdSet: radix level the walker was resolving (1 = leaf),
+     *  so phase C can attribute the charge (walkCyclesAttr). */
+    std::uint8_t level = 0;
 };
 
 /**

@@ -79,6 +79,8 @@ class PageWalker
         // must not pay that. The mutable slot is fetched only when the
         // store below actually happens.
         const mem::PhysicalMemory &cmem = mem;
+        const numa::Topology &topo = hier.topology();
+        const SocketId here = topo.socketOfCore(core);
 
         auto probe = pwc.lookup(cr3, va);
         Pfn table = probe.tablePfn;
@@ -88,8 +90,14 @@ class PageWalker
             unsigned idx = ptIndex(va, ptLevel(level));
             PhysAddr pte_addr =
                 pfnToAddr(table) + idx * sizeof(std::uint64_t);
-            out.latency += hier.access(core, pte_addr, false,
-                                       AccessKind::PageTable, pc);
+            // Attribution bucket for every cycle this level charges:
+            // which level, and was the PT page remote to the core.
+            const int remote = topo.socketOfPfn(table) != here;
+            Cycles ref = hier.access(core, pte_addr, false,
+                                     AccessKind::PageTable, pc);
+            out.latency += ref;
+            if (pc)
+                pc->walkCyclesAttr[level - 1][remote] += ref;
             ++out.memRefs;
 
             pt::Pte entry{cmem.tableView(table)[idx]};
@@ -122,6 +130,8 @@ class PageWalker
                 mem.table(table)[idx] = entry.raw() | want;
                 // The read brought the line in; the A/D store is a hit.
                 out.latency += 1;
+                if (pc)
+                    pc->walkCyclesAttr[level - 1][remote] += 1;
             }
 
             if (is_leaf) {
@@ -167,6 +177,8 @@ class PageWalker
         WalkOutcome out;
         MITOSIM_DASSERT(cr3 != InvalidPfn, "walk with no CR3 loaded");
         const mem::PhysicalMemory &cmem = mem;
+        const numa::Topology &topo = hier.topology();
+        const SocketId here = topo.socketOfCore(core);
 
         auto probe = pwc.lookup(cr3, va);
         Pfn table = probe.tablePfn;
@@ -176,14 +188,21 @@ class PageWalker
             unsigned idx = ptIndex(va, ptLevel(level));
             PhysAddr pte_addr =
                 pfnToAddr(table) + idx * sizeof(std::uint64_t);
+            const int remote = topo.socketOfPfn(table) != here;
             if (hier.l1ProbeInsert(core, pte_addr)) {
                 if (pc)
                     ++pc->l1dHits;
             } else {
+                // Phase C attributes the below-L1 latency using the
+                // level recorded on the deferred op.
                 sink.push_back(SharedOp{seq, pte_addr, core,
-                                        SharedOp::L3Pt, in_window, 0});
+                                        SharedOp::L3Pt, in_window, 0,
+                                        static_cast<std::uint8_t>(level)});
             }
             out.latency += hier.config().l1dHitLatency;
+            if (pc)
+                pc->walkCyclesAttr[level - 1][remote] +=
+                    hier.config().l1dHitLatency;
             ++out.memRefs;
 
             pt::Pte entry{cmem.tableView(table)[idx]};
@@ -217,8 +236,8 @@ class PageWalker
             if ((entry.raw() & want) != want) {
                 sink.push_back(
                     SharedOp{seq, pte_addr, core, SharedOp::AdSet,
-                             in_window,
-                             static_cast<std::uint8_t>(want)});
+                             in_window, static_cast<std::uint8_t>(want),
+                             static_cast<std::uint8_t>(level)});
             }
 
             if (is_leaf) {

@@ -36,6 +36,8 @@ Universe::Universe(const sim::MachineConfig &machine_cfg, BackendKind k,
       backend_(makeBackend(k, machine.physmem(), backend_cfg)),
       kernel(machine, *backend_, kernel_cfg)
 {
+    if (kind != BackendKind::Native)
+        mitosis().attachObs(&machine.metrics(), &machine.tracer());
 }
 
 void

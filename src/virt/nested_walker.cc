@@ -68,6 +68,13 @@ VCpu::walk2D(GuestVa gva, bool is_write, Cycles &latency)
                                  sim::AccessKind::PageTable, &pc);
         latency += ref;
         pc.walkCycles += ref;
+        // Attribute the gPT reference like the host walker does its
+        // own levels: which radix level, and whether the (nested-
+        // translated) gPT page is remote to the walking core.
+        const auto &topo = vm.kernel().machine().topology();
+        pc.walkCyclesAttr[level - 1]
+                         [topo.socketOfPfn(addrToPfn(entry_hpa)) !=
+                          topo.socketOfCore(core)] += ref;
         ++pc.walkMemRefs;
 
         pt::Pte entry = gspace.readEntry(gpt, idx);

@@ -25,6 +25,9 @@ shardedEligible(os::ExecContext &ctx)
         return false; // daemons mutate shared state mid-run
     if (ctx.process().autoNumaEnabled)
         return false; // hint faults would abort every segment
+    if (k.machine().tracer().enabled())
+        return false; // traced runs take the literal per-op path so
+                      // event order and timestamps stay identical
     int threads = ctx.numThreads();
     if (threads < 2)
         return false;
@@ -141,6 +144,13 @@ runTraceSharded(os::ExecContext &ctx,
     // Phase C: k-way merge by ascending seq (unique per access), so
     // L3 / DRAM state and A/D bits evolve in the exact serial order.
     mem::PhysicalMemory &pm = machine.physmem();
+    const numa::Topology &topo = machine.topology();
+    // Same bucket the serial walker would have charged: the PT page's
+    // socket vs the walking core's socket (walkCyclesAttr).
+    auto remoteAttr = [&topo](const sim::SharedOp &op) {
+        return static_cast<int>(topo.socketOfPfn(addrToPfn(op.pa)) !=
+                                topo.socketOfCore(op.core));
+    };
     std::vector<std::size_t> pos(static_cast<std::size_t>(threads), 0);
     while (true) {
         int best = -1;
@@ -171,6 +181,7 @@ runTraceSharded(os::ExecContext &ctx,
                 op.core, op.pa, sim::AccessKind::PageTable, &pc);
             pc.walkCycles += lat;
             pc.cycles += lat;
+            pc.walkCyclesAttr[op.level - 1][remoteAttr(op)] += lat;
             if (op.inWindow)
                 pc.postSwitchWalkCycles += lat;
             break;
@@ -189,6 +200,7 @@ runTraceSharded(os::ExecContext &ctx,
                 *slot |= op.want;
                 pc.walkCycles += 1;
                 pc.cycles += 1;
+                pc.walkCyclesAttr[op.level - 1][remoteAttr(op)] += 1;
                 if (op.inWindow)
                     pc.postSwitchWalkCycles += 1;
             }

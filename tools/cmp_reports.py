@@ -4,9 +4,11 @@
 The simulated metrics in a BENCH_<name>.json report are deterministic:
 they must be byte-identical across --sim-threads values, across
 MITOSIM_SNAPSHOTS={0,1}, across --jobs values, and (unless the model
-changed) across commits. Only host telemetry is allowed to differ: the
-top-level "wall_ms" and "check" sections, and per-run metric keys
-prefixed "wall_" or "check_".
+changed) across commits. Only diagnostic surfaces are allowed to
+differ: the top-level "wall_ms", "check" and "metrics" (src/obs
+registry flatten — an observability surface free to grow richer
+between PRs) sections, and per-run metric keys prefixed "wall_" or
+"check_".
 
 This tool strips exactly those and requires everything else to be
 equal. CI uses it as the determinism wall for the sharded simulation
@@ -23,7 +25,7 @@ import sys
 
 def strip_host_telemetry(doc):
     doc = json.loads(json.dumps(doc))
-    for sec in ("wall_ms", "check"):
+    for sec in ("wall_ms", "check", "metrics"):
         doc.pop(sec, None)
     for run in doc.get("runs", []):
         metrics = run.get("metrics", {})

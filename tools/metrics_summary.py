@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Summarize the "metrics" section of a BENCH_<name>.json report.
+
+The section is the flattened src/obs registry: counters, gauges,
+histogram digests (name_count/_sum/_p50/_p90/_p99) and the walk-cycle
+attribution buckets (walk_cycles_L<level>_<local|remote>{pid=N}).
+This tool renders it per job: scalars aligned, each histogram on one
+line, and the attribution as a per-pid level x local/remote table with
+remote shares — the fig09b companion table in EXPERIMENTS.md is this
+tool's output.
+
+Usage:
+  tools/metrics_summary.py BENCH_x.json            # every job
+  tools/metrics_summary.py BENCH_x.json --job gups # substring filter
+"""
+
+import argparse
+import json
+import re
+import sys
+
+HIST_SUFFIXES = ("_count", "_sum", "_p50", "_p90", "_p99")
+ATTR_RE = re.compile(
+    r"^walk_cycles_L(\d+)_(local|remote)\{pid=(\d+)\}$")
+
+
+def fmt(v):
+    if v == int(v):
+        return str(int(v))
+    return "%.3f" % v
+
+
+def split_metrics(metrics):
+    """Partition a job's metrics into (scalars, histograms, attr).
+
+    histograms: name -> {count, sum, p50, p90, p99}
+    attr: pid -> level -> [local, remote]
+    """
+    hists, attr, scalars = {}, {}, []
+    hist_bases = {k[: -len("_count")] for k in metrics
+                  if k.endswith("_count")
+                  and all(k[: -len("_count")] + s in metrics
+                          for s in HIST_SUFFIXES)}
+    for key, value in metrics.items():
+        m = ATTR_RE.match(key)
+        if m:
+            level, kind, pid = int(m.group(1)), m.group(2), int(m.group(3))
+            attr.setdefault(pid, {}).setdefault(level, [0, 0])[
+                kind == "remote"] = value
+            continue
+        for base in hist_bases:
+            if key.startswith(base + "_") and \
+                    key[len(base):] in HIST_SUFFIXES:
+                hists.setdefault(base, {})[key[len(base) + 1:]] = value
+                break
+        else:
+            scalars.append((key, value))
+    return scalars, hists, attr
+
+
+def print_job(job, metrics):
+    print("%s:" % job)
+    scalars, hists, attr = split_metrics(metrics)
+    width = max((len(k) for k, _ in scalars), default=0)
+    for key, value in scalars:
+        print("  %-*s %s" % (width, key, fmt(value)))
+    for base in sorted(hists):
+        h = hists[base]
+        print("  %s: count=%s sum=%s p50=%s p90=%s p99=%s" %
+              (base, fmt(h["count"]), fmt(h["sum"]), fmt(h["p50"]),
+               fmt(h["p90"]), fmt(h["p99"])))
+    for pid in sorted(attr):
+        print("  walk-cycle attribution, pid %d:" % pid)
+        print("    %-6s %14s %14s %8s" %
+              ("level", "local", "remote", "remote%"))
+        tot_local = tot_remote = 0.0
+        for level in sorted(attr[pid]):
+            local, remote = attr[pid][level]
+            tot_local += local
+            tot_remote += remote
+            share = 100.0 * remote / (local + remote) \
+                if local + remote else 0.0
+            print("    L%-5d %14s %14s %7.1f%%" %
+                  (level, fmt(local), fmt(remote), share))
+        total = tot_local + tot_remote
+        share = 100.0 * tot_remote / total if total else 0.0
+        print("    %-6s %14s %14s %7.1f%%" %
+              ("total", fmt(tot_local), fmt(tot_remote), share))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("report", help="BENCH_<name>.json path")
+    ap.add_argument("--job", default="",
+                    help="only jobs whose name contains this substring")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        doc = json.load(f)
+    section = doc.get("metrics", {})
+    if not section:
+        print("%s: no metrics section (pre-observability report?)"
+              % args.report, file=sys.stderr)
+        return 1
+    shown = 0
+    for job, metrics in section.items():
+        if args.job and args.job not in job:
+            continue
+        print_job(job, metrics)
+        shown += 1
+    if not shown:
+        print("--job '%s' matched none of %d jobs"
+              % (args.job, len(section)), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

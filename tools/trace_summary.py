@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Summarize a TRACE_<bench>_<job>.json event trace.
+
+Prints the virtual-time span, per-category and per-event-name counts,
+how many events the fixed-capacity ring dropped, and the densest 1%
+window — the slice of virtual time holding the most events, which is
+where to zoom first when the trace is opened in Perfetto
+(https://ui.perfetto.dev) or chrome://tracing.
+
+Usage:
+  tools/trace_summary.py TRACE_fig09b_thp_canneal_F_M.json [more...]
+"""
+
+import collections
+import json
+import signal
+import sys
+
+# Die quietly when piped into head(1) instead of tracebacking.
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def densest_window(stamps, span):
+    """(start, end, count) of the densest window of width span/100."""
+    width = max(span // 100, 1)
+    best_start, best_count = stamps[0], 1
+    lo = 0
+    for hi, ts in enumerate(stamps):
+        while ts - stamps[lo] > width:
+            lo += 1
+        if hi - lo + 1 > best_count:
+            best_count = hi - lo + 1
+            best_start = stamps[lo]
+    return best_start, best_start + width, best_count
+
+
+def summarize(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", [])
+    print("%s: %d events" % (path, len(events)))
+    if not events:
+        return
+    dropped = doc.get("otherData", {}).get("dropped_events", 0)
+    if dropped:
+        print("  dropped (ring overflow): %d" % dropped)
+
+    stamps = sorted(ev["ts"] for ev in events)
+    span = stamps[-1] - stamps[0]
+    print("  span: %d virtual cycles (ts %d .. %d)"
+          % (span, stamps[0], stamps[-1]))
+
+    by_cat = collections.Counter(ev.get("cat", "?") for ev in events)
+    by_name = collections.Counter(ev.get("name", "?") for ev in events)
+    print("  by category:")
+    for cat, n in by_cat.most_common():
+        print("    %-12s %8d" % (cat, n))
+    print("  by event:")
+    for name, n in by_name.most_common():
+        print("    %-24s %8d" % (name, n))
+
+    start, end, count = densest_window(stamps, span)
+    print("  densest 1%% window: ts [%d, %d] holds %d events (%.1f%%)"
+          % (start, end, count, 100.0 * count / len(events)))
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in sys.argv[1:]:
+        summarize(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
